@@ -1,0 +1,98 @@
+// Ablation: L2 design choices — the association test (Dunning's G^2 vs
+// Pearson's X^2, §3.2's motivation), the significance level, and the
+// evidence floor. One day of the standard corpus.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/evaluation.h"
+#include "core/l2_cooccurrence_miner.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace logmine;
+
+core::ConfusionCounts Run(const eval::Dataset& dataset,
+                          const core::L2Config& config) {
+  core::L2CooccurrenceMiner miner(config);
+  auto result = miner.Mine(dataset.store, dataset.day_begin(0),
+                           dataset.day_end(0));
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    std::exit(1);
+  }
+  return core::Evaluate(result.value().Dependencies(dataset.store),
+                        dataset.reference_pairs, dataset.universe_pairs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace logmine;
+  eval::Dataset dataset = bench::BuildDatasetOrDie(argc, argv,
+                                                   /*default_scale=*/1.0,
+                                                   /*default_days=*/1);
+  const core::L2Config base;
+
+  std::cout << "\nablation: association test (Dunning vs Pearson)\n";
+  TablePrinter tests({"test", "TP", "FP", "pos", "tp-ratio"});
+  for (auto [test, label] :
+       {std::pair{core::AssociationTest::kDunning, "Dunning G^2"},
+        std::pair{core::AssociationTest::kPearson, "Pearson X^2"}}) {
+    core::L2Config config = base;
+    config.test = test;
+    const core::ConfusionCounts counts = Run(dataset, config);
+    tests.AddRow({label, std::to_string(counts.true_positives),
+                  std::to_string(counts.false_positives),
+                  std::to_string(counts.positives()),
+                  FormatDouble(counts.tp_ratio(), 2)});
+  }
+  tests.Print(std::cout);
+
+  std::cout << "\nablation: significance level alpha\n";
+  TablePrinter alphas({"alpha", "TP", "FP", "pos", "tp-ratio"});
+  for (double alpha : {0.05, 0.01, 0.001, 0.0001}) {
+    core::L2Config config = base;
+    config.alpha = alpha;
+    const core::ConfusionCounts counts = Run(dataset, config);
+    alphas.AddRow({FormatDouble(alpha, 4),
+                   std::to_string(counts.true_positives),
+                   std::to_string(counts.false_positives),
+                   std::to_string(counts.positives()),
+                   FormatDouble(counts.tp_ratio(), 2)});
+  }
+  alphas.Print(std::cout);
+
+  std::cout << "\nablation: evidence floor (min co-occurrences per session)\n";
+  TablePrinter floors({"per-session floor", "TP", "FP", "pos", "tp-ratio"});
+  for (double floor : {0.0, 0.02, 0.045, 0.1, 0.2}) {
+    core::L2Config config = base;
+    config.min_cooccurrence_per_session = floor;
+    config.min_cooccurrence = floor == 0.0 ? 1 : config.min_cooccurrence;
+    const core::ConfusionCounts counts = Run(dataset, config);
+    floors.AddRow({FormatDouble(floor, 3),
+                   std::to_string(counts.true_positives),
+                   std::to_string(counts.false_positives),
+                   std::to_string(counts.positives()),
+                   FormatDouble(counts.tp_ratio(), 2)});
+  }
+  floors.Print(std::cout);
+
+  std::cout << "\nablation: session inactivity gap\n";
+  TablePrinter gaps({"max gap [min]", "TP", "FP", "pos", "tp-ratio"});
+  for (TimeMs gap : {5 * kMillisPerMinute, 15 * kMillisPerMinute,
+                     30 * kMillisPerMinute, 120 * kMillisPerMinute}) {
+    core::L2Config config = base;
+    config.session.max_gap = gap;
+    const core::ConfusionCounts counts = Run(dataset, config);
+    gaps.AddRow({FormatDouble(static_cast<double>(gap) / kMillisPerMinute, 0),
+                 std::to_string(counts.true_positives),
+                 std::to_string(counts.false_positives),
+                 std::to_string(counts.positives()),
+                 FormatDouble(counts.tp_ratio(), 2)});
+  }
+  gaps.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,156 @@
+// The paper's title motif, demonstrated end to end: the landscape moves
+// while you watch it. We evolve the topology mid-study — a new
+// integration goes live on day 4, an old interface is decommissioned
+// after day 3 — regenerate logs, mine each half of the week with L3, and
+// diff the two discovered models. The automated pipeline spots both
+// changes; a manually maintained model would silently go stale.
+//
+//   ./moving_landscape [--scale=0.3] [--seed=...]
+
+#include <iostream>
+
+#include "core/l3_text_miner.h"
+#include "core/model_tracker.h"
+#include "eval/dataset.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace logmine;
+  CliFlags flags;
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  // Build the scenario, then move the landscape: pick one reliable edge
+  // to appear on day 4 and another to disappear after day 3.
+  sim::HugScenarioConfig scenario_config;
+  scenario_config.seed =
+      static_cast<uint64_t>(flags.GetInt("seed", 20051206));
+  auto scenario_or = sim::BuildHugScenario(scenario_config);
+  if (!scenario_or.ok()) {
+    std::cerr << scenario_or.status() << "\n";
+    return 1;
+  }
+  sim::HugScenario scenario = std::move(scenario_or).value();
+
+  int added_edge = -1, removed_edge = -1;
+  for (size_t e = 0; e < scenario.topology.edges.size(); ++e) {
+    const sim::InvocationEdge& edge = scenario.topology.edges[e];
+    if (edge.cited_entry < 0 || !edge.logged_by_caller ||
+        !edge.miscited_id.empty() || edge.weight < 1.0) {
+      continue;
+    }
+    if (added_edge < 0) {
+      added_edge = static_cast<int>(e);
+    } else if (removed_edge < 0 &&
+               scenario.topology.edges[e].caller !=
+                   scenario.topology.edges[static_cast<size_t>(added_edge)]
+                       .caller) {
+      removed_edge = static_cast<int>(e);
+      break;
+    }
+  }
+  if (added_edge < 0 || removed_edge < 0) {
+    std::cerr << "no suitable edges found\n";
+    return 1;
+  }
+  scenario.topology.edges[static_cast<size_t>(added_edge)].active_from_day =
+      4;
+  scenario.topology.edges[static_cast<size_t>(removed_edge)]
+      .active_until_day = 3;
+
+  auto describe = [&](int e) {
+    const sim::InvocationEdge& edge =
+        scenario.topology.edges[static_cast<size_t>(e)];
+    return scenario.topology.apps[static_cast<size_t>(edge.caller)].name +
+           " -> " +
+           scenario.directory.entry(static_cast<size_t>(edge.cited_entry))
+               .id;
+  };
+  std::cout << "landscape changes planted:\n  goes live on day 4:      "
+            << describe(added_edge) << "\n  decommissioned after day 3: "
+            << describe(removed_edge) << "\n\n";
+
+  // Generate the 7-day corpus over the evolving topology.
+  sim::SimulationConfig sim_config;
+  sim_config.seed = scenario_config.seed + 1;
+  sim_config.scale = flags.GetDouble("scale", 0.3);
+  sim::Simulator simulator(scenario.topology, scenario.directory,
+                           sim_config);
+  LogStore store;
+  if (Status s = simulator.Run(&store, nullptr); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  // Mine each half of the week independently with L3.
+  const core::ServiceVocabulary vocabulary =
+      eval::VocabularyFrom(scenario.directory);
+  core::L3TextMiner miner(vocabulary, core::L3Config{});
+  const TimeMs start = sim_config.start == 0 ? sim::DefaultSimulationStart()
+                                             : sim_config.start;
+  auto first_half = miner.Mine(store, start, start + 3 * kMillisPerDay);
+  auto second_half =
+      miner.Mine(store, start + 4 * kMillisPerDay, start + 7 * kMillisPerDay);
+  if (!first_half.ok() || !second_half.ok()) {
+    std::cerr << "mining failed\n";
+    return 1;
+  }
+  const core::DependencyModel before =
+      first_half.value().Dependencies(store, vocabulary);
+  const core::DependencyModel after =
+      second_half.value().Dependencies(store, vocabulary);
+
+  std::cout << "model from days 1-3: " << before.size()
+            << " dependencies; days 5-7: " << after.size() << "\n\n";
+  std::cout << "dependencies that appeared:\n";
+  for (const core::NamePair& pair : after.Minus(before)) {
+    std::cout << "  + " << pair.first << " -> " << pair.second << "\n";
+  }
+  std::cout << "dependencies that disappeared:\n";
+  for (const core::NamePair& pair : before.Minus(after)) {
+    std::cout << "  - " << pair.first << " -> " << pair.second << "\n";
+  }
+  std::cout << "\n(the planted changes must appear above; a few extra "
+               "lines are weekday/weekend realization noise)\n";
+
+  // Continuous tracking: feed the tracker one mined model per day. The
+  // hysteresis separates landscape movement from day-to-day mining
+  // noise (weekends, rarely exercised interfaces).
+  std::cout << "\ncontinuous tracking (confirm after 2 days, retire after "
+               "3 unseen):\n";
+  core::ModelTrackerConfig tracker_config;
+  tracker_config.confirm_after = 2;
+  tracker_config.stale_after = 1;
+  tracker_config.retire_after = 3;
+  core::ModelTracker tracker(tracker_config);
+  const std::string added_name = describe(added_edge);
+  const std::string removed_name = describe(removed_edge);
+  for (int day = 0; day < 7; ++day) {
+    auto daily = miner.Mine(store, start + day * kMillisPerDay,
+                            start + (day + 1) * kMillisPerDay);
+    if (!daily.ok()) {
+      std::cerr << daily.status() << "\n";
+      return 1;
+    }
+    const core::ModelUpdate update =
+        tracker.Observe(daily.value().Dependencies(store, vocabulary));
+    std::cout << "  day " << day + 1 << ": model size "
+              << tracker.ActiveModel().size() << ", +"
+              << update.confirmed.size() << " confirmed, -"
+              << update.retired.size() << " retired";
+    for (const core::NamePair& pair : update.confirmed) {
+      if (pair.first + " -> " + pair.second == added_name) {
+        std::cout << "   [new integration confirmed: " << added_name << "]";
+      }
+    }
+    for (const core::NamePair& pair : update.retired) {
+      if (pair.first + " -> " + pair.second == removed_name) {
+        std::cout << "   [decommission detected: " << removed_name << "]";
+      }
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,187 @@
+#include "core/agrawal_miner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/slotting.h"
+#include "stats/distributions.h"
+#include "stats/point_process.h"
+#include "util/rng.h"
+
+namespace logmine::core {
+namespace {
+
+// Delay from each point of `points` back to the most recent element of
+// `antecedent` (sorted); points with no antecedent or delay > max_delay
+// are dropped.
+std::vector<TimeMs> DelaysToPrevious(const std::vector<TimeMs>& points,
+                                     const std::vector<TimeMs>& antecedent,
+                                     TimeMs max_delay) {
+  std::vector<TimeMs> delays;
+  delays.reserve(points.size());
+  for (TimeMs t : points) {
+    auto it = std::upper_bound(antecedent.begin(), antecedent.end(), t);
+    if (it == antecedent.begin()) continue;
+    const TimeMs delay = t - *(it - 1);
+    if (delay <= max_delay) delays.push_back(delay);
+  }
+  return delays;
+}
+
+// Two-sample chi-square statistic over `num_bins` equal-width delay bins:
+//   X^2 = sum_i (sqrt(n2/n1) O1i - sqrt(n1/n2) O2i)^2 / (O1i + O2i)
+// (the classic form that tolerates unequal sample sizes), df = bins - 1.
+double TwoSampleChiSquare(const std::vector<TimeMs>& observed,
+                          const std::vector<TimeMs>& baseline,
+                          TimeMs max_delay, int num_bins, int* df) {
+  std::vector<int64_t> o1(static_cast<size_t>(num_bins), 0);
+  std::vector<int64_t> o2(static_cast<size_t>(num_bins), 0);
+  const double width =
+      static_cast<double>(max_delay) / static_cast<double>(num_bins);
+  for (TimeMs d : observed) {
+    const auto bin = std::min<size_t>(
+        static_cast<size_t>(static_cast<double>(d) / width),
+        static_cast<size_t>(num_bins) - 1);
+    ++o1[bin];
+  }
+  for (TimeMs d : baseline) {
+    const auto bin = std::min<size_t>(
+        static_cast<size_t>(static_cast<double>(d) / width),
+        static_cast<size_t>(num_bins) - 1);
+    ++o2[bin];
+  }
+  const double n1 = static_cast<double>(observed.size());
+  const double n2 = static_cast<double>(baseline.size());
+  const double k1 = std::sqrt(n2 / n1);
+  const double k2 = std::sqrt(n1 / n2);
+  double x2 = 0.0;
+  int used_bins = 0;
+  for (int i = 0; i < num_bins; ++i) {
+    const auto idx = static_cast<size_t>(i);
+    const double total = static_cast<double>(o1[idx] + o2[idx]);
+    if (total == 0) continue;  // empty in both samples: drop the bin
+    ++used_bins;
+    const double diff = k1 * static_cast<double>(o1[idx]) -
+                        k2 * static_cast<double>(o2[idx]);
+    x2 += diff * diff / total;
+  }
+  *df = std::max(used_bins - 1, 1);
+  return x2;
+}
+
+std::vector<TimeMs> SlotTimestamps(const LogStore& store,
+                                   LogStore::SourceId source, TimeMs begin,
+                                   TimeMs end) {
+  const std::vector<TimeMs>& all = store.SourceTimestamps(source);
+  auto lo = std::lower_bound(all.begin(), all.end(), begin);
+  auto hi = std::lower_bound(lo, all.end(), end);
+  return {lo, hi};
+}
+
+}  // namespace
+
+bool AgrawalDelayMiner::TestSlot(const std::vector<TimeMs>& a,
+                                 const std::vector<TimeMs>& b,
+                                 TimeMs slot_begin, TimeMs slot_end,
+                                 uint64_t salt) const {
+  if (a.empty() || b.empty() || slot_begin >= slot_end) return false;
+  const std::vector<TimeMs> observed =
+      DelaysToPrevious(b, a, config_.max_delay);
+  if (observed.size() < 20) return false;  // not enough delay mass
+
+  Rng rng(config_.seed ^ (salt * 0x9e3779b97f4a7c15ULL));
+  const std::vector<TimeMs> random_points = stats::UniformPoints(
+      slot_begin, slot_end, config_.sample_size, &rng);
+  std::vector<TimeMs> sorted_random = random_points;
+  std::sort(sorted_random.begin(), sorted_random.end());
+  const std::vector<TimeMs> baseline =
+      DelaysToPrevious(sorted_random, a, config_.max_delay);
+  if (baseline.size() < 20) return false;
+
+  int df = 1;
+  const double x2 = TwoSampleChiSquare(observed, baseline,
+                                       config_.max_delay, config_.num_bins,
+                                       &df);
+  return stats::ChiSquareSf(x2, static_cast<double>(df)) < config_.alpha;
+}
+
+Result<AgrawalResult> AgrawalDelayMiner::Mine(const LogStore& store,
+                                              TimeMs begin, TimeMs end) const {
+  if (!store.index_built()) {
+    return Status::FailedPrecondition("LogStore index not built");
+  }
+  if (begin >= end) {
+    return Status::InvalidArgument("empty mining interval");
+  }
+  const std::vector<TimeSlot> slots = MakeSlots(begin, end,
+                                                config_.slot_length);
+  const auto num_sources = static_cast<uint32_t>(store.num_sources());
+
+  AgrawalResult result;
+  result.slots_total = static_cast<int>(slots.size());
+  std::vector<size_t> pair_index(
+      static_cast<size_t>(num_sources) * num_sources, SIZE_MAX);
+  std::vector<AgrawalPairResult> acc;
+  auto pair_slot = [&](uint32_t a, uint32_t b) -> AgrawalPairResult& {
+    const size_t key = static_cast<size_t>(a) * num_sources + b;
+    if (pair_index[key] == SIZE_MAX) {
+      pair_index[key] = acc.size();
+      AgrawalPairResult fresh;
+      fresh.a = a;
+      fresh.b = b;
+      fresh.slots_total = static_cast<int>(slots.size());
+      acc.push_back(fresh);
+    }
+    return acc[pair_index[key]];
+  };
+
+  for (size_t slot_idx = 0; slot_idx < slots.size(); ++slot_idx) {
+    const TimeSlot& slot = slots[slot_idx];
+    std::vector<uint32_t> usable;
+    std::vector<std::vector<TimeMs>> local(num_sources);
+    for (uint32_t s = 0; s < num_sources; ++s) {
+      if (store.CountInRange(s, slot.begin, slot.end) >= config_.minlogs) {
+        local[s] = SlotTimestamps(store, s, slot.begin, slot.end);
+        usable.push_back(s);
+      }
+    }
+    for (uint32_t a : usable) {
+      for (uint32_t b : usable) {
+        if (a == b) continue;
+        AgrawalPairResult& pr = pair_slot(a, b);
+        ++pr.slots_supported;
+        const uint64_t salt = slot_idx * num_sources * num_sources +
+                              static_cast<uint64_t>(a) * num_sources + b;
+        if (TestSlot(local[a], local[b], slot.begin, slot.end, salt)) {
+          ++pr.slots_positive;
+        }
+      }
+    }
+  }
+
+  const double min_support = config_.th_s * static_cast<double>(slots.size());
+  for (AgrawalPairResult& pr : acc) {
+    pr.positive_ratio =
+        pr.slots_supported == 0
+            ? 0.0
+            : static_cast<double>(pr.slots_positive) /
+                  static_cast<double>(pr.slots_supported);
+    pr.dependent = static_cast<double>(pr.slots_supported) >= min_support &&
+                   pr.positive_ratio >= config_.th_pr;
+  }
+  result.pairs = std::move(acc);
+  return result;
+}
+
+DependencyModel AgrawalResult::Dependencies(const LogStore& store) const {
+  DependencyModel model;
+  for (const AgrawalPairResult& pr : pairs) {
+    if (pr.dependent) {
+      model.Insert(MakeUnorderedPair(store.source_name(pr.a),
+                                     store.source_name(pr.b)));
+    }
+  }
+  return model;
+}
+
+}  // namespace logmine::core

@@ -1,0 +1,70 @@
+#include "core/evaluation.h"
+
+namespace logmine::core {
+
+double ConfusionCounts::tp_ratio() const {
+  const int64_t pos = positives();
+  return pos == 0 ? 0.0
+                  : static_cast<double>(true_positives) /
+                        static_cast<double>(pos);
+}
+
+double ConfusionCounts::recall() const {
+  const int64_t actual = true_positives + false_negatives;
+  return actual == 0 ? 0.0
+                     : static_cast<double>(true_positives) /
+                           static_cast<double>(actual);
+}
+
+double ConfusionCounts::false_positive_rate() const {
+  const int64_t unrelated = universe - true_positives - false_negatives;
+  return unrelated <= 0 ? 0.0
+                        : static_cast<double>(false_positives) /
+                              static_cast<double>(unrelated);
+}
+
+ConfusionCounts Evaluate(const DependencyModel& predicted,
+                         const DependencyModel& reference, int64_t universe) {
+  ConfusionCounts out;
+  for (const NamePair& pair : predicted.pairs()) {
+    if (reference.Contains(pair)) {
+      ++out.true_positives;
+    } else {
+      ++out.false_positives;
+    }
+  }
+  out.false_negatives =
+      static_cast<int64_t>(reference.size()) - out.true_positives;
+  out.universe = universe > 0
+                     ? universe
+                     : static_cast<int64_t>(reference.size() +
+                                            predicted.size());
+  return out;
+}
+
+std::vector<double> DailySeries::TpRatios() const {
+  std::vector<double> out;
+  out.reserve(days.size());
+  for (const ConfusionCounts& day : days) out.push_back(day.tp_ratio());
+  return out;
+}
+
+std::vector<double> DailySeries::TruePositives() const {
+  std::vector<double> out;
+  out.reserve(days.size());
+  for (const ConfusionCounts& day : days) {
+    out.push_back(static_cast<double>(day.true_positives));
+  }
+  return out;
+}
+
+std::vector<double> DailySeries::FalsePositives() const {
+  std::vector<double> out;
+  out.reserve(days.size());
+  for (const ConfusionCounts& day : days) {
+    out.push_back(static_cast<double>(day.false_positives));
+  }
+  return out;
+}
+
+}  // namespace logmine::core

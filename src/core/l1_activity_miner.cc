@@ -1,0 +1,197 @@
+#include "core/l1_activity_miner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <tuple>
+
+#include "core/slotting.h"
+#include "util/rng.h"
+
+namespace logmine::core {
+namespace {
+
+// Copies the timestamps of `source` falling in [begin, end) out of the
+// store's sorted per-source index.
+std::vector<int64_t> SlotTimestamps(const LogStore& store,
+                                    LogStore::SourceId source, TimeMs begin,
+                                    TimeMs end) {
+  const std::vector<TimeMs>& all = store.SourceTimestamps(source);
+  auto lo = std::lower_bound(all.begin(), all.end(), begin);
+  auto hi = std::lower_bound(lo, all.end(), end);
+  return {lo, hi};
+}
+
+}  // namespace
+
+stats::MedianDistanceTestResult L1ActivityMiner::TestSlot(
+    const LogStore& store, LogStore::SourceId a, LogStore::SourceId b,
+    TimeMs begin, TimeMs end, uint64_t salt) const {
+  const std::vector<int64_t> ts_a = SlotTimestamps(store, a, begin, end);
+  const std::vector<int64_t> ts_b = SlotTimestamps(store, b, begin, end);
+  Rng rng(config_.seed ^ (salt * 0x9e3779b97f4a7c15ULL));
+  return stats::MedianDistanceTest(ts_a, ts_b, begin, end, config_.test,
+                                   &rng);
+}
+
+Result<L1Result> L1ActivityMiner::Mine(const LogStore& store, TimeMs begin,
+                                       TimeMs end) const {
+  if (!store.index_built()) {
+    return Status::FailedPrecondition("LogStore index not built");
+  }
+  if (begin >= end) {
+    return Status::InvalidArgument("empty mining interval");
+  }
+  // All-source timestamps in the window, needed by both the adaptive
+  // slotting and the intensity-proportional baseline.
+  std::vector<TimeMs> all_events;
+  if (config_.adaptive_slots ||
+      config_.baseline == L1Baseline::kIntensityProportional) {
+    for (uint32_t s = 0; s < store.num_sources(); ++s) {
+      const std::vector<TimeMs> local = SlotTimestamps(
+          store, static_cast<LogStore::SourceId>(s), begin, end);
+      all_events.insert(all_events.end(), local.begin(), local.end());
+    }
+    std::sort(all_events.begin(), all_events.end());
+  }
+  const std::vector<TimeSlot> slots =
+      config_.adaptive_slots
+          ? MakeAdaptiveSlots(all_events, begin, end, config_.adaptive)
+          : MakeSlots(begin, end, config_.slot_length);
+  const auto num_sources = static_cast<uint32_t>(store.num_sources());
+
+  L1Result result;
+  result.slots_total = static_cast<int>(slots.size());
+  // Accumulators indexed by pair key a * num_sources + b (a < b).
+  std::vector<L1PairResult> acc;
+  acc.reserve(static_cast<size_t>(num_sources) * (num_sources - 1) / 2);
+  std::vector<size_t> pair_index(
+      static_cast<size_t>(num_sources) * num_sources, SIZE_MAX);
+  auto pair_slot = [&](uint32_t a, uint32_t b) -> L1PairResult& {
+    const size_t key = static_cast<size_t>(a) * num_sources + b;
+    if (pair_index[key] == SIZE_MAX) {
+      pair_index[key] = acc.size();
+      L1PairResult fresh;
+      fresh.a = a;
+      fresh.b = b;
+      fresh.slots_total = static_cast<int>(slots.size());
+      acc.push_back(fresh);
+    }
+    return acc[pair_index[key]];
+  };
+
+  // Phase 1 — per-slot testing, parallelizable: every (slot, pair) test
+  // draws from an RNG stream keyed by (seed, slot, a, b), so the outcome
+  // is independent of scheduling.
+  struct SlotOutcome {
+    // (a, b, both_directions_positive) per supported pair.
+    std::vector<std::tuple<uint32_t, uint32_t, bool>> pairs;
+  };
+  std::vector<SlotOutcome> outcomes(slots.size());
+  const Rng master(config_.seed);
+  auto process_slot = [&](size_t slot_idx) {
+    const TimeSlot& slot = slots[slot_idx];
+    // Sources active enough in this slot, with their local timestamps.
+    std::vector<uint32_t> usable;
+    std::vector<std::vector<int64_t>> local(num_sources);
+    for (uint32_t s = 0; s < num_sources; ++s) {
+      if (store.CountInRange(s, slot.begin, slot.end) >= config_.minlogs) {
+        local[s] = SlotTimestamps(store, s, slot.begin, slot.end);
+        usable.push_back(s);
+      }
+    }
+    // Intensity-proportional baseline: the slot's slice of the overall
+    // log stream.
+    std::vector<int64_t> slot_events;
+    if (config_.baseline == L1Baseline::kIntensityProportional) {
+      auto lo = std::lower_bound(all_events.begin(), all_events.end(),
+                                 slot.begin);
+      auto hi = std::lower_bound(lo, all_events.end(), slot.end);
+      slot_events.assign(lo, hi);
+    }
+    auto run_test = [&](const std::vector<int64_t>& from,
+                        const std::vector<int64_t>& to, Rng* rng) {
+      if (config_.baseline == L1Baseline::kIntensityProportional) {
+        return stats::MedianDistanceTestWithBaseline(
+            from, to, slot_events, config_.baseline_jitter, config_.test,
+            rng);
+      }
+      return stats::MedianDistanceTest(from, to, slot.begin, slot.end,
+                                       config_.test, rng);
+    };
+    for (size_t i = 0; i < usable.size(); ++i) {
+      for (size_t j = i + 1; j < usable.size(); ++j) {
+        const uint32_t a = usable[i];
+        const uint32_t b = usable[j];
+        Rng rng_ab = master.Fork("t-" + std::to_string(slot_idx) + "-" +
+                                 std::to_string(a) + "-" + std::to_string(b));
+        bool positive = false;
+        const auto forward = run_test(local[a], local[b], &rng_ab);
+        if (forward.positive) {  // needs both directions
+          positive = run_test(local[b], local[a], &rng_ab).positive;
+        }
+        outcomes[slot_idx].pairs.emplace_back(a, b, positive);
+      }
+    }
+  };
+
+  int num_threads = config_.num_threads;
+  if (num_threads == 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  num_threads = std::max(
+      1, std::min<int>(num_threads, static_cast<int>(slots.size())));
+  if (num_threads == 1) {
+    for (size_t slot_idx = 0; slot_idx < slots.size(); ++slot_idx) {
+      process_slot(slot_idx);
+    }
+  } else {
+    std::atomic<size_t> next_slot{0};
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) {
+      workers.emplace_back([&] {
+        for (size_t slot_idx = next_slot.fetch_add(1);
+             slot_idx < slots.size(); slot_idx = next_slot.fetch_add(1)) {
+          process_slot(slot_idx);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  // Phase 2 — serial merge in slot order (deterministic accumulation).
+  for (const SlotOutcome& outcome : outcomes) {
+    for (const auto& [a, b, positive] : outcome.pairs) {
+      L1PairResult& pr = pair_slot(a, b);
+      ++pr.slots_supported;
+      if (positive) ++pr.slots_positive;
+    }
+  }
+
+  const double min_support = config_.th_s * static_cast<double>(slots.size());
+  for (L1PairResult& pr : acc) {
+    pr.positive_ratio =
+        pr.slots_supported == 0
+            ? 0.0
+            : static_cast<double>(pr.slots_positive) /
+                  static_cast<double>(pr.slots_supported);
+    pr.dependent = static_cast<double>(pr.slots_supported) >= min_support &&
+                   pr.positive_ratio >= config_.th_pr;
+  }
+  result.pairs = std::move(acc);
+  return result;
+}
+
+DependencyModel L1Result::Dependencies(const LogStore& store) const {
+  DependencyModel model;
+  for (const L1PairResult& pr : pairs) {
+    if (pr.dependent) {
+      model.Insert(MakeUnorderedPair(store.source_name(pr.a),
+                                     store.source_name(pr.b)));
+    }
+  }
+  return model;
+}
+
+}  // namespace logmine::core

@@ -1,0 +1,90 @@
+#include "core/l2_cooccurrence_miner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "stats/association_tests.h"
+
+namespace logmine::core {
+
+Result<L2Result> L2CooccurrenceMiner::Mine(const LogStore& store,
+                                           TimeMs begin, TimeMs end) const {
+  if (!store.index_built()) {
+    return Status::FailedPrecondition("LogStore index not built");
+  }
+  SessionBuilder builder(config_.session);
+  SessionBuildStats stats;
+  const std::vector<Session> sessions =
+      builder.Build(store, begin, end, &stats);
+  auto result = MineSessions(store, sessions);
+  if (!result.ok()) return result.status();
+  L2Result out = std::move(result).value();
+  out.session_stats = stats;
+  return out;
+}
+
+Result<L2Result> L2CooccurrenceMiner::MineSessions(
+    const LogStore& store, const std::vector<Session>& sessions) const {
+  if (config_.alpha <= 0.0 || config_.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  L2Result result;
+
+  // First pass: joint and marginal bigram frequencies.
+  std::map<std::pair<uint32_t, uint32_t>, int64_t> joint;
+  std::map<uint32_t, int64_t> first_marginal;
+  std::map<uint32_t, int64_t> second_marginal;
+  int64_t total = 0;
+  for (const Session& session : sessions) {
+    for (size_t i = 0; i + 1 < session.entries.size(); ++i) {
+      const SessionLogEntry& lhs = session.entries[i];
+      const SessionLogEntry& rhs = session.entries[i + 1];
+      if (lhs.source == rhs.source) continue;
+      if (config_.timeout > 0 && rhs.ts - lhs.ts > config_.timeout) continue;
+      ++joint[{lhs.source, rhs.source}];
+      ++first_marginal[lhs.source];
+      ++second_marginal[rhs.source];
+      ++total;
+    }
+  }
+  result.num_bigrams = total;
+
+  // Second pass: contingency table + test per observed pair type.
+  const int64_t floor = std::max<int64_t>(
+      config_.min_cooccurrence,
+      static_cast<int64_t>(config_.min_cooccurrence_per_session *
+                           static_cast<double>(sessions.size())));
+  for (const auto& [pair, o11] : joint) {
+    if (o11 < floor) continue;
+    L2PairScore score;
+    score.a = pair.first;
+    score.b = pair.second;
+    score.table.o11 = o11;
+    score.table.o12 = first_marginal[pair.first] - o11;
+    score.table.o21 = second_marginal[pair.second] - o11;
+    score.table.o22 = total - first_marginal[pair.first] -
+                      second_marginal[pair.second] + o11;
+    score.score = config_.test == AssociationTest::kDunning
+                      ? stats::DunningLogLikelihood(score.table)
+                      : stats::PearsonChiSquare(score.table);
+    score.p_value = stats::ChiSquarePValue(score.score);
+    score.dependent = stats::IsSignificantAttraction(score.table, score.score,
+                                                     config_.alpha);
+    result.scored.push_back(score);
+  }
+  (void)store;
+  return result;
+}
+
+DependencyModel L2Result::Dependencies(const LogStore& store) const {
+  DependencyModel model;
+  for (const L2PairScore& score : scored) {
+    if (score.dependent) {
+      model.Insert(MakeUnorderedPair(store.source_name(score.a),
+                                     store.source_name(score.b)));
+    }
+  }
+  return model;
+}
+
+}  // namespace logmine::core

@@ -1,0 +1,79 @@
+#include "core/l2_direction.h"
+
+#include <algorithm>
+#include <map>
+
+#include "stats/distributions.h"
+
+namespace logmine::core {
+
+std::vector<DirectionEstimate> L2DirectionDetector::Estimate(
+    const std::vector<Session>& sessions,
+    const std::vector<std::pair<LogStore::SourceId, LogStore::SourceId>>&
+        pairs) const {
+  // Normalize the queried pairs and map them to accumulator slots.
+  std::map<std::pair<uint32_t, uint32_t>, size_t> index;
+  std::vector<DirectionEstimate> estimates;
+  estimates.reserve(pairs.size());
+  for (const auto& [raw_a, raw_b] : pairs) {
+    const uint32_t a = std::min(raw_a, raw_b);
+    const uint32_t b = std::max(raw_a, raw_b);
+    if (index.count({a, b})) continue;
+    index[{a, b}] = estimates.size();
+    DirectionEstimate estimate;
+    estimate.a = a;
+    estimate.b = b;
+    estimates.push_back(estimate);
+  }
+
+  // Scan each uninterrupted run once; for every queried pair remember
+  // which member appeared first *after both members are known to occur*:
+  // the paper's rule keys on the first adjacent bigram of the type, which
+  // within a run is equivalent to the first time the two sources appear
+  // adjacently; we use the first occurrence order of the two sources in
+  // the run, the natural run-level reading of "first element of the
+  // first pair".
+  for (const Session& session : sessions) {
+    size_t run_start = 0;
+    for (size_t i = 0; i <= session.entries.size(); ++i) {
+      const bool run_ends =
+          i == session.entries.size() ||
+          (i > 0 && session.entries[i].ts - session.entries[i - 1].ts >=
+                        config_.pause);
+      if (!run_ends) continue;
+      // Process run [run_start, i).
+      std::map<uint32_t, size_t> first_seen;
+      for (size_t j = run_start; j < i; ++j) {
+        first_seen.emplace(session.entries[j].source, j);
+      }
+      for (DirectionEstimate& estimate : estimates) {
+        auto fa = first_seen.find(estimate.a);
+        auto fb = first_seen.find(estimate.b);
+        if (fa == first_seen.end() || fb == first_seen.end()) continue;
+        if (fa->second < fb->second) {
+          ++estimate.first_a;
+        } else {
+          ++estimate.first_b;
+        }
+      }
+      run_start = i;
+    }
+  }
+
+  // Exact two-sided sign test per pair.
+  for (DirectionEstimate& estimate : estimates) {
+    const int64_t n = estimate.first_a + estimate.first_b;
+    if (n < config_.min_runs) continue;
+    const int64_t k = std::min(estimate.first_a, estimate.first_b);
+    estimate.p_value =
+        std::min(1.0, 2.0 * stats::BinomialCdf(k, n, 0.5));
+    if (estimate.p_value < config_.alpha) {
+      estimate.direction = estimate.first_a > estimate.first_b
+                               ? CallDirection::kAToB
+                               : CallDirection::kBToA;
+    }
+  }
+  return estimates;
+}
+
+}  // namespace logmine::core

@@ -1,0 +1,68 @@
+#ifndef LOGMINE_CORE_L2_DIRECTION_H_
+#define LOGMINE_CORE_L2_DIRECTION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/l2_session_builder.h"
+#include "log/store.h"
+
+namespace logmine::core {
+
+/// Which way a dependent pair's invocation points.
+enum class CallDirection {
+  kAToB,
+  kBToA,
+  kUndecided,
+};
+
+/// Directionality estimate for one unordered pair (a < b by source id).
+struct DirectionEstimate {
+  LogStore::SourceId a = 0;
+  LogStore::SourceId b = 0;
+  /// Number of uninterrupted runs whose *first* {a,b} bigram starts with
+  /// a, respectively b.
+  int64_t first_a = 0;
+  int64_t first_b = 0;
+  /// Two-sided exact sign-test p-value of the 50:50 null.
+  double p_value = 1.0;
+  CallDirection direction = CallDirection::kUndecided;
+};
+
+/// Configuration of the direction heuristic.
+struct DirectionConfig {
+  /// A gap of at least this length ends a "sequence of logs that is not
+  /// interrupted by a pause" (the paper suggests the L2 timeout).
+  TimeMs pause = 1000;
+  /// Significance level of the sign test.
+  double alpha = 0.05;
+  /// Minimum number of decided runs before attempting a verdict.
+  int64_t min_runs = 8;
+};
+
+/// Implements the §5 proposal for recovering invocation direction from
+/// sessions: "one could try counting the number of times the first
+/// element of the first pair of the given type is an instance of A,
+/// respectively B, in a sequence of logs that is not interrupted by a
+/// pause of at least the length of the timeout parameter". The caller
+/// logs the invocation before the callee processes it, so within an
+/// uninterrupted burst the caller's log systematically comes first.
+class L2DirectionDetector {
+ public:
+  explicit L2DirectionDetector(DirectionConfig config) : config_(config) {}
+
+  /// Estimates the direction of each given unordered pair from the
+  /// sessions (as built by SessionBuilder).
+  std::vector<DirectionEstimate> Estimate(
+      const std::vector<Session>& sessions,
+      const std::vector<std::pair<LogStore::SourceId, LogStore::SourceId>>&
+          pairs) const;
+
+ private:
+  DirectionConfig config_;
+};
+
+}  // namespace logmine::core
+
+#endif  // LOGMINE_CORE_L2_DIRECTION_H_

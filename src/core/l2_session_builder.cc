@@ -1,0 +1,59 @@
+#include "core/l2_session_builder.h"
+
+#include <cassert>
+#include <map>
+
+#include "log/filter.h"
+
+namespace logmine::core {
+
+std::vector<Session> SessionBuilder::Build(const LogStore& store,
+                                           TimeMs begin, TimeMs end,
+                                           SessionBuildStats* stats) const {
+  assert(store.index_built());
+  std::vector<Session> sessions;
+  std::map<LogStore::UserId, Session> open;
+  SessionBuildStats local;
+
+  auto finalize = [&](Session&& session) {
+    if (session.entries.size() >= config_.min_logs) {
+      local.logs_assigned += static_cast<int64_t>(session.entries.size());
+      sessions.push_back(std::move(session));
+    }
+  };
+
+  for (uint32_t idx : IndicesInRange(store, begin, end)) {
+    ++local.logs_considered;
+    const LogStore::UserId user = store.user_id(idx);
+    if (user == LogStore::kNoUser) continue;
+    ++local.logs_with_context;
+    const TimeMs ts = store.client_ts(idx);
+    auto it = open.find(user);
+    if (it != open.end() && ts - it->second.entries.back().ts > config_.max_gap) {
+      finalize(std::move(it->second));
+      open.erase(it);
+      it = open.end();
+    }
+    if (it == open.end()) {
+      Session fresh;
+      fresh.user = user;
+      it = open.emplace(user, std::move(fresh)).first;
+    }
+    it->second.entries.push_back(
+        SessionLogEntry{ts, store.source_id(idx), idx});
+  }
+  for (auto& [user, session] : open) {
+    finalize(std::move(session));
+  }
+
+  local.num_sessions = sessions.size();
+  local.assigned_fraction =
+      local.logs_considered == 0
+          ? 0.0
+          : static_cast<double>(local.logs_assigned) /
+                static_cast<double>(local.logs_considered);
+  if (stats != nullptr) *stats = local;
+  return sessions;
+}
+
+}  // namespace logmine::core

@@ -1,0 +1,108 @@
+#include "core/l3_text_miner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "log/filter.h"
+#include "util/string_util.h"
+
+namespace logmine::core {
+
+std::vector<std::string> DefaultStopPatterns() {
+  // One pattern per known provider-side log family, plus a few defensive
+  // entries; ten patterns, as deployed at HUG.
+  return {
+      "Received call *",
+      "*incoming request*",
+      "handling fct *",
+      "serve *<-*",
+      "*dispatched to worker*",
+      "*ping from*",
+      "*registration renewed*",
+      "ACK *",
+      "*keepalive*",
+      "*subscribed listener*",
+  };
+}
+
+L3TextMiner::L3TextMiner(ServiceVocabulary vocabulary, L3Config config)
+    : vocabulary_(std::move(vocabulary)), config_(std::move(config)) {
+  token_index_.reserve(vocabulary_.entries.size());
+  for (size_t i = 0; i < vocabulary_.entries.size(); ++i) {
+    token_index_.emplace_back(ToLower(vocabulary_.entries[i].id), i);
+  }
+  std::sort(token_index_.begin(), token_index_.end());
+}
+
+bool L3TextMiner::IsStopped(std::string_view message) const {
+  if (!config_.use_stop_patterns) return false;
+  for (const std::string& pattern : config_.stop_patterns) {
+    if (WildcardMatch(pattern, message)) return true;
+  }
+  return false;
+}
+
+std::vector<size_t> L3TextMiner::CitedEntries(std::string_view message) const {
+  std::vector<size_t> cited;
+  for (std::string_view token : TokenizeIdentifiers(message)) {
+    const std::string lower = ToLower(token);
+    auto it = std::lower_bound(
+        token_index_.begin(), token_index_.end(), lower,
+        [](const auto& entry, const std::string& key) {
+          return entry.first < key;
+        });
+    if (it != token_index_.end() && it->first == lower) {
+      cited.push_back(it->second);
+    }
+  }
+  std::sort(cited.begin(), cited.end());
+  cited.erase(std::unique(cited.begin(), cited.end()), cited.end());
+  return cited;
+}
+
+Result<L3Result> L3TextMiner::Mine(const LogStore& store, TimeMs begin,
+                                   TimeMs end) const {
+  if (!store.index_built()) {
+    return Status::FailedPrecondition("LogStore index not built");
+  }
+  if (vocabulary_.entries.empty()) {
+    return Status::FailedPrecondition("empty service vocabulary");
+  }
+  L3Result result;
+  std::map<std::pair<uint32_t, size_t>, int64_t> counts;
+  for (uint32_t idx : IndicesInRange(store, begin, end)) {
+    ++result.logs_scanned;
+    const std::string_view message = store.message(idx);
+    if (IsStopped(message)) {
+      ++result.logs_stopped;
+      continue;
+    }
+    for (size_t entry : CitedEntries(message)) {
+      ++counts[{store.source_id(idx), entry}];
+    }
+  }
+  result.citations.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    L3Citation citation;
+    citation.app = key.first;
+    citation.entry = key.second;
+    citation.count = count;
+    citation.dependent = count >= config_.min_citations;
+    result.citations.push_back(citation);
+  }
+  return result;
+}
+
+DependencyModel L3Result::Dependencies(
+    const LogStore& store, const ServiceVocabulary& vocabulary) const {
+  DependencyModel model;
+  for (const L3Citation& citation : citations) {
+    if (citation.dependent) {
+      model.Insert({std::string(store.source_name(citation.app)),
+                    vocabulary.entries[citation.entry].id});
+    }
+  }
+  return model;
+}
+
+}  // namespace logmine::core

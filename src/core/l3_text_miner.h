@@ -1,0 +1,85 @@
+#ifndef LOGMINE_CORE_L3_TEXT_MINER_H_
+#define LOGMINE_CORE_L3_TEXT_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dependency.h"
+#include "log/store.h"
+#include "util/result.h"
+
+namespace logmine::core {
+
+/// The service vocabulary L3 matches against — the projection of the
+/// environment's service directory that the miner needs (id + root URL).
+struct ServiceVocabulary {
+  struct Entry {
+    std::string id;
+    std::string root_url;
+  };
+  std::vector<Entry> entries;
+};
+
+/// The default stop-pattern list (10 wildcard patterns, like the paper's
+/// 10): matches the common formats in which *providers* log calls they
+/// receive, so those logs are not misread as client-side citations.
+std::vector<std::string> DefaultStopPatterns();
+
+/// Configuration of approach L3 (§3.3).
+struct L3Config {
+  /// Wildcard patterns ('*'/'?') evaluated against the free text; a
+  /// matching log is ignored.
+  std::vector<std::string> stop_patterns = DefaultStopPatterns();
+  bool use_stop_patterns = true;
+  /// Citations required before declaring the dependency (paper: one log
+  /// suffices — "If, and only if, there are logs from A referring to S").
+  int64_t min_citations = 1;
+};
+
+/// Citation counter for one (application, entry) pair.
+struct L3Citation {
+  LogStore::SourceId app = 0;
+  size_t entry = 0;  ///< index into the vocabulary
+  int64_t count = 0;
+  bool dependent = false;
+};
+
+/// Full result of one L3 run.
+struct L3Result {
+  std::vector<L3Citation> citations;
+  int64_t logs_scanned = 0;
+  int64_t logs_stopped = 0;  ///< suppressed by stop patterns
+
+  /// Positive decisions as (application name, entry id) pairs.
+  DependencyModel Dependencies(const LogStore& store,
+                               const ServiceVocabulary& vocabulary) const;
+};
+
+/// Approach L3: scan the free-text part of every log for citations of
+/// service-directory entries (whole-token, case-insensitive match of the
+/// id — which also catches the id inside root URLs) and infer that the
+/// log's source depends on the cited entry.
+class L3TextMiner {
+ public:
+  L3TextMiner(ServiceVocabulary vocabulary, L3Config config);
+
+  /// Mines [begin, end); pre-condition: store.index_built().
+  Result<L3Result> Mine(const LogStore& store, TimeMs begin,
+                        TimeMs end) const;
+
+  /// True when `message` matches one of the active stop patterns.
+  bool IsStopped(std::string_view message) const;
+
+  /// Vocabulary entry indices cited in `message` (deduplicated).
+  std::vector<size_t> CitedEntries(std::string_view message) const;
+
+ private:
+  ServiceVocabulary vocabulary_;
+  L3Config config_;
+  // Lower-cased id -> entry index.
+  std::vector<std::pair<std::string, size_t>> token_index_;  // sorted
+};
+
+}  // namespace logmine::core
+
+#endif  // LOGMINE_CORE_L3_TEXT_MINER_H_

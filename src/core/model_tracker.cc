@@ -1,0 +1,82 @@
+#include "core/model_tracker.h"
+
+namespace logmine::core {
+
+ModelUpdate ModelTracker::Observe(const DependencyModel& observed) {
+  ++observation_;
+  ModelUpdate update;
+
+  // Seen pairs: create candidates, advance streaks, revive stale ones.
+  for (const NamePair& pair : observed.pairs()) {
+    TrackedDependency& entry = tracked_[pair];
+    if (entry.times_seen == 0) {
+      entry.first_seen = observation_;
+      entry.state = DependencyState::kCandidate;
+    }
+    const bool consecutive = entry.last_seen == observation_ - 1;
+    ++entry.times_seen;
+    switch (entry.state) {
+      case DependencyState::kCandidate:
+        entry.confirm_streak = consecutive ? entry.confirm_streak + 1 : 1;
+        if (entry.confirm_streak >= config_.confirm_after) {
+          entry.state = DependencyState::kActive;
+          update.confirmed.push_back(pair);
+        }
+        break;
+      case DependencyState::kStale:
+        entry.state = DependencyState::kActive;
+        update.revived.push_back(pair);
+        break;
+      case DependencyState::kRetired:
+        // A retired pair must re-earn confirmation like a new one.
+        entry.state = DependencyState::kCandidate;
+        entry.confirm_streak = 1;
+        if (entry.confirm_streak >= config_.confirm_after) {
+          entry.state = DependencyState::kActive;
+          update.revived.push_back(pair);
+        }
+        break;
+      case DependencyState::kActive:
+        break;
+    }
+    entry.last_seen = observation_;
+  }
+
+  // Unseen pairs: age out.
+  for (auto& [pair, entry] : tracked_) {
+    if (entry.last_seen == observation_) continue;
+    const int64_t unseen = observation_ - entry.last_seen;
+    switch (entry.state) {
+      case DependencyState::kActive:
+        if (unseen >= config_.stale_after) {
+          entry.state = DependencyState::kStale;
+        }
+        break;
+      case DependencyState::kStale:
+        if (unseen >= config_.retire_after) {
+          entry.state = DependencyState::kRetired;
+          update.retired.push_back(pair);
+        }
+        break;
+      case DependencyState::kCandidate:
+        entry.confirm_streak = 0;  // streak broken
+        break;
+      case DependencyState::kRetired:
+        break;
+    }
+  }
+  return update;
+}
+
+DependencyModel ModelTracker::ActiveModel() const {
+  DependencyModel model;
+  for (const auto& [pair, entry] : tracked_) {
+    if (entry.state == DependencyState::kActive ||
+        entry.state == DependencyState::kStale) {
+      model.Insert(pair);
+    }
+  }
+  return model;
+}
+
+}  // namespace logmine::core

@@ -1,0 +1,88 @@
+#ifndef LOGMINE_CORE_MODEL_TRACKER_H_
+#define LOGMINE_CORE_MODEL_TRACKER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/dependency.h"
+
+namespace logmine::core {
+
+/// Lifecycle state of a tracked dependency.
+enum class DependencyState {
+  kCandidate,  ///< seen, but not yet confirmed
+  kActive,     ///< part of the current model
+  kStale,      ///< active but unseen recently
+  kRetired,    ///< expired from the model
+};
+
+/// Per-dependency bookkeeping.
+struct TrackedDependency {
+  DependencyState state = DependencyState::kCandidate;
+  int64_t first_seen = 0;   ///< observation index of first sighting
+  int64_t last_seen = 0;    ///< observation index of last sighting
+  int64_t times_seen = 0;
+  int64_t confirm_streak = 0;  ///< consecutive sightings while candidate
+};
+
+/// One observation's worth of changes.
+struct ModelUpdate {
+  std::vector<NamePair> confirmed;  ///< candidate -> active
+  std::vector<NamePair> retired;    ///< active/stale -> retired
+  std::vector<NamePair> revived;    ///< retired/stale -> active again
+};
+
+/// Tracker parameters.
+struct ModelTrackerConfig {
+  /// Consecutive observations a pair must appear in before joining the
+  /// model (suppresses one-off mining noise).
+  int64_t confirm_after = 2;
+  /// Observations an active pair may go unseen before turning stale.
+  int64_t stale_after = 3;
+  /// Observations unseen before a stale pair is retired.
+  int64_t retire_after = 7;
+};
+
+/// Maintains a dependency model over a stream of per-period mining
+/// results (e.g. one L3 run per day) — the paper's motivating problem:
+/// "in complex and fast evolving environments it is practically
+/// unfeasible to keep such a model up-to-date manually". Hysteresis
+/// separates mining noise (a dependency missing one day because it was
+/// not exercised) from real landscape movement (an interface
+/// decommissioned for good).
+///
+/// Example:
+///   ModelTracker tracker{ModelTrackerConfig{}};
+///   for (const DependencyModel& daily : daily_models) {
+///     ModelUpdate update = tracker.Observe(daily);
+///     // alert on update.confirmed / update.retired
+///   }
+///   DependencyModel current = tracker.ActiveModel();
+class ModelTracker {
+ public:
+  explicit ModelTracker(ModelTrackerConfig config) : config_(config) {}
+
+  /// Feeds the next period's mined model; returns what changed.
+  ModelUpdate Observe(const DependencyModel& observed);
+
+  /// The currently confirmed model (active + stale pairs).
+  DependencyModel ActiveModel() const;
+
+  /// Number of observations fed so far.
+  int64_t num_observations() const { return observation_; }
+
+  /// Full bookkeeping, for inspection.
+  const std::map<NamePair, TrackedDependency>& tracked() const {
+    return tracked_;
+  }
+
+ private:
+  ModelTrackerConfig config_;
+  std::map<NamePair, TrackedDependency> tracked_;
+  int64_t observation_ = 0;
+};
+
+}  // namespace logmine::core
+
+#endif  // LOGMINE_CORE_MODEL_TRACKER_H_

@@ -1,0 +1,42 @@
+#include "core/pipeline.h"
+
+namespace logmine::core {
+
+MiningPipeline::MiningPipeline(ServiceVocabulary vocabulary,
+                               PipelineConfig config)
+    : vocabulary_(std::move(vocabulary)), config_(std::move(config)) {}
+
+Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
+                                           TimeMs end) const {
+  if (!store.index_built()) {
+    return Status::FailedPrecondition("LogStore index not built");
+  }
+  PipelineResult out;
+  if (config_.run_l1) {
+    L1ActivityMiner miner(config_.l1);
+    auto result = miner.Mine(store, begin, end);
+    if (!result.ok()) return result.status();
+    out.l1 = std::move(result).value();
+  }
+  if (config_.run_l2) {
+    L2CooccurrenceMiner miner(config_.l2);
+    auto result = miner.Mine(store, begin, end);
+    if (!result.ok()) return result.status();
+    out.l2 = std::move(result).value();
+  }
+  if (config_.run_l3) {
+    L3TextMiner miner(vocabulary_, config_.l3);
+    auto result = miner.Mine(store, begin, end);
+    if (!result.ok()) return result.status();
+    out.l3 = std::move(result).value();
+  }
+  if (config_.run_agrawal) {
+    AgrawalDelayMiner miner(config_.agrawal);
+    auto result = miner.Mine(store, begin, end);
+    if (!result.ok()) return result.status();
+    out.agrawal = std::move(result).value();
+  }
+  return out;
+}
+
+}  // namespace logmine::core

@@ -1,0 +1,60 @@
+#ifndef LOGMINE_CORE_PIPELINE_H_
+#define LOGMINE_CORE_PIPELINE_H_
+
+#include <optional>
+
+#include "core/agrawal_miner.h"
+#include "core/l1_activity_miner.h"
+#include "core/l2_cooccurrence_miner.h"
+#include "core/l3_text_miner.h"
+#include "log/store.h"
+#include "util/result.h"
+
+namespace logmine::core {
+
+/// Which techniques a pipeline run executes.
+struct PipelineConfig {
+  bool run_l1 = true;
+  bool run_l2 = true;
+  bool run_l3 = true;
+  /// The delay-histogram baseline is off by default.
+  bool run_agrawal = false;
+  L1Config l1;
+  L2Config l2;
+  L3Config l3;
+  AgrawalConfig agrawal;
+};
+
+/// Combined output of one pipeline run.
+struct PipelineResult {
+  std::optional<L1Result> l1;
+  std::optional<L2Result> l2;
+  std::optional<L3Result> l3;
+  std::optional<AgrawalResult> agrawal;
+};
+
+/// Façade running any subset of the three techniques over one interval —
+/// the one-call public entry point used by the examples.
+///
+/// Example:
+///   MiningPipeline pipeline(vocabulary, PipelineConfig{});
+///   auto result = pipeline.Run(store, store.min_ts(), store.max_ts() + 1);
+class MiningPipeline {
+ public:
+  MiningPipeline(ServiceVocabulary vocabulary, PipelineConfig config);
+
+  /// Pre-condition: store.index_built().
+  Result<PipelineResult> Run(const LogStore& store, TimeMs begin,
+                             TimeMs end) const;
+
+  const PipelineConfig& config() const { return config_; }
+  const ServiceVocabulary& vocabulary() const { return vocabulary_; }
+
+ private:
+  ServiceVocabulary vocabulary_;
+  PipelineConfig config_;
+};
+
+}  // namespace logmine::core
+
+#endif  // LOGMINE_CORE_PIPELINE_H_

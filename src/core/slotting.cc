@@ -1,0 +1,79 @@
+#include "core/slotting.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "stats/distributions.h"
+
+namespace logmine::core {
+namespace {
+
+int64_t CountInWindow(const std::vector<TimeMs>& events, TimeMs begin,
+                      TimeMs end) {
+  auto lo = std::lower_bound(events.begin(), events.end(), begin);
+  auto hi = std::lower_bound(lo, events.end(), end);
+  return hi - lo;
+}
+
+// True when the event intensity over [begin, end) deviates from uniform
+// (chi-square goodness of fit over equal sub-bins).
+bool RejectsStationarity(const std::vector<TimeMs>& events, TimeMs begin,
+                         TimeMs end, const AdaptiveSlottingConfig& config) {
+  const int64_t total = CountInWindow(events, begin, end);
+  if (total < config.min_events) return false;
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(config.probe_bins);
+  double x2 = 0.0;
+  for (int bin = 0; bin < config.probe_bins; ++bin) {
+    const TimeMs bin_begin =
+        begin + (end - begin) * bin / config.probe_bins;
+    const TimeMs bin_end =
+        begin + (end - begin) * (bin + 1) / config.probe_bins;
+    const double observed =
+        static_cast<double>(CountInWindow(events, bin_begin, bin_end));
+    x2 += (observed - expected) * (observed - expected) / expected;
+  }
+  return stats::ChiSquareSf(x2,
+                            static_cast<double>(config.probe_bins - 1)) <
+         config.alpha;
+}
+
+void SplitRecursively(const std::vector<TimeMs>& events, TimeMs begin,
+                      TimeMs end, const AdaptiveSlottingConfig& config,
+                      std::vector<TimeSlot>* out) {
+  const TimeMs length = end - begin;
+  const bool can_split = length / 2 >= config.min_slot;
+  if (can_split &&
+      (length > config.max_slot ||
+       RejectsStationarity(events, begin, end, config))) {
+    const TimeMs mid = begin + length / 2;
+    SplitRecursively(events, begin, mid, config, out);
+    SplitRecursively(events, mid, end, config, out);
+    return;
+  }
+  out->push_back(TimeSlot{begin, end});
+}
+
+}  // namespace
+
+std::vector<TimeSlot> MakeSlots(TimeMs begin, TimeMs end,
+                                TimeMs slot_length) {
+  assert(slot_length > 0);
+  std::vector<TimeSlot> slots;
+  for (TimeMs t = begin; t < end; t += slot_length) {
+    slots.push_back(TimeSlot{t, std::min(t + slot_length, end)});
+  }
+  return slots;
+}
+
+std::vector<TimeSlot> MakeAdaptiveSlots(const std::vector<TimeMs>& events,
+                                        TimeMs begin, TimeMs end,
+                                        const AdaptiveSlottingConfig& config) {
+  assert(config.min_slot > 0 && config.max_slot >= config.min_slot);
+  std::vector<TimeSlot> slots;
+  if (begin >= end) return slots;
+  SplitRecursively(events, begin, end, config, &slots);
+  return slots;
+}
+
+}  // namespace logmine::core

@@ -1,0 +1,48 @@
+#ifndef LOGMINE_CORE_SLOTTING_H_
+#define LOGMINE_CORE_SLOTTING_H_
+
+#include <vector>
+
+#include "util/time_util.h"
+
+namespace logmine::core {
+
+/// A half-open time slot [begin, end).
+struct TimeSlot {
+  TimeMs begin = 0;
+  TimeMs end = 0;
+  TimeMs length() const { return end - begin; }
+};
+
+/// Divides [begin, end) into consecutive slots of `slot_length`; the last
+/// slot is truncated when the interval is not a multiple. This is the
+/// local-stationarity device of §3.1: the test runs per slot so that the
+/// large-scale dependence of every application on the overall load (time
+/// of day) cannot masquerade as pairwise dependence.
+std::vector<TimeSlot> MakeSlots(TimeMs begin, TimeMs end, TimeMs slot_length);
+
+/// Parameters of the adaptive variant (§5: "create time slots adaptively
+/// by measuring the degree of stationarity with existing statistical
+/// tests").
+struct AdaptiveSlottingConfig {
+  TimeMs min_slot = 15 * kMillisPerMinute;
+  TimeMs max_slot = 4 * kMillisPerHour;
+  /// A slot splits while a chi-square goodness-of-fit test over
+  /// `probe_bins` sub-bins rejects uniform event intensity at this level.
+  double alpha = 0.01;
+  int probe_bins = 8;
+  /// Slots with fewer events are never split (the test has no power).
+  int64_t min_events = 200;
+};
+
+/// Recursively splits [begin, end) until each slot is locally stationary
+/// (uniform intensity not rejected), no longer than `max_slot`, and no
+/// shorter than `min_slot`. `events` is the sorted sequence of all log
+/// timestamps in the interval (any source) — the intensity being probed.
+std::vector<TimeSlot> MakeAdaptiveSlots(const std::vector<TimeMs>& events,
+                                        TimeMs begin, TimeMs end,
+                                        const AdaptiveSlottingConfig& config);
+
+}  // namespace logmine::core
+
+#endif  // LOGMINE_CORE_SLOTTING_H_

@@ -1,0 +1,81 @@
+#include "eval/daily_runner.h"
+
+#include "util/time_util.h"
+
+namespace logmine::eval {
+namespace {
+
+std::string DayLabel(TimeMs day_begin) { return FormatDate(day_begin); }
+
+}  // namespace
+
+Result<stats::MedianCi> DailyRunResult::TpRatioCi(double level) const {
+  return stats::MedianConfidenceInterval(series.TpRatios(), level);
+}
+
+core::DependencyModel DailyRunResult::UnionModel() const {
+  core::DependencyModel out;
+  for (const core::DependencyModel& model : daily_models) {
+    out = out.Union(model);
+  }
+  return out;
+}
+
+Result<DailyRunResult> RunL1Daily(const Dataset& dataset,
+                                  const core::L1Config& config) {
+  DailyRunResult out;
+  core::L1ActivityMiner miner(config);
+  for (int day = 0; day < dataset.num_days(); ++day) {
+    auto mined =
+        miner.Mine(dataset.store, dataset.day_begin(day), dataset.day_end(day));
+    if (!mined.ok()) return mined.status();
+    core::DependencyModel model = mined.value().Dependencies(dataset.store);
+    out.series.day_labels.push_back(DayLabel(dataset.day_begin(day)));
+    out.series.days.push_back(core::Evaluate(model, dataset.reference_pairs,
+                                             dataset.universe_pairs));
+    out.daily_models.push_back(std::move(model));
+  }
+  return out;
+}
+
+Result<DailyRunResult> RunL2Daily(
+    const Dataset& dataset, const core::L2Config& config,
+    std::vector<core::SessionBuildStats>* session_stats) {
+  DailyRunResult out;
+  if (session_stats != nullptr) session_stats->clear();
+  core::L2CooccurrenceMiner miner(config);
+  for (int day = 0; day < dataset.num_days(); ++day) {
+    auto mined =
+        miner.Mine(dataset.store, dataset.day_begin(day), dataset.day_end(day));
+    if (!mined.ok()) return mined.status();
+    if (session_stats != nullptr) {
+      session_stats->push_back(mined.value().session_stats);
+    }
+    core::DependencyModel model = mined.value().Dependencies(dataset.store);
+    out.series.day_labels.push_back(DayLabel(dataset.day_begin(day)));
+    out.series.days.push_back(core::Evaluate(model, dataset.reference_pairs,
+                                             dataset.universe_pairs));
+    out.daily_models.push_back(std::move(model));
+  }
+  return out;
+}
+
+Result<DailyRunResult> RunL3Daily(const Dataset& dataset,
+                                  const core::L3Config& config) {
+  DailyRunResult out;
+  core::L3TextMiner miner(dataset.vocabulary, config);
+  for (int day = 0; day < dataset.num_days(); ++day) {
+    auto mined =
+        miner.Mine(dataset.store, dataset.day_begin(day), dataset.day_end(day));
+    if (!mined.ok()) return mined.status();
+    core::DependencyModel model =
+        mined.value().Dependencies(dataset.store, dataset.vocabulary);
+    out.series.day_labels.push_back(DayLabel(dataset.day_begin(day)));
+    out.series.days.push_back(core::Evaluate(
+        model, dataset.reference_services, dataset.universe_services));
+    out.daily_models.push_back(std::move(model));
+  }
+  return out;
+}
+
+}  // namespace logmine::eval

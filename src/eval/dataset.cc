@@ -1,0 +1,51 @@
+#include "eval/dataset.h"
+
+namespace logmine::eval {
+
+core::ServiceVocabulary VocabularyFrom(
+    const sim::ServiceDirectory& directory) {
+  core::ServiceVocabulary vocabulary;
+  vocabulary.entries.reserve(directory.size());
+  for (const sim::ServiceEntry& entry : directory.entries()) {
+    vocabulary.entries.push_back({entry.id, entry.root_url});
+  }
+  return vocabulary;
+}
+
+Result<Dataset> BuildDataset(const DatasetConfig& config) {
+  Dataset dataset;
+  auto scenario = sim::BuildHugScenario(config.scenario);
+  if (!scenario.ok()) return scenario.status();
+  dataset.scenario = std::move(scenario).value();
+  dataset.simulation = config.simulation;
+  if (dataset.simulation.start == 0) {
+    dataset.simulation.start = sim::DefaultSimulationStart();
+  }
+
+  sim::Simulator simulator(dataset.scenario.topology,
+                           dataset.scenario.directory, dataset.simulation);
+  LOGMINE_RETURN_IF_ERROR(simulator.Run(&dataset.store, &dataset.summary));
+
+  dataset.vocabulary = VocabularyFrom(dataset.scenario.directory);
+  dataset.reference_pairs =
+      core::DependencyModel(dataset.scenario.interaction_pairs);
+  dataset.reference_services =
+      core::DependencyModel(dataset.scenario.app_service_deps);
+
+  for (const sim::Application& app : dataset.scenario.topology.apps) {
+    for (int entry : app.provided_entries) {
+      dataset.entry_owner
+          [dataset.scenario.directory.entry(static_cast<size_t>(entry)).id] =
+          app.name;
+    }
+  }
+
+  const auto num_apps =
+      static_cast<int64_t>(dataset.scenario.topology.apps.size());
+  dataset.universe_pairs = num_apps * (num_apps - 1) / 2;
+  dataset.universe_services =
+      num_apps * static_cast<int64_t>(dataset.scenario.directory.size());
+  return dataset;
+}
+
+}  // namespace logmine::eval

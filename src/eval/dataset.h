@@ -1,0 +1,56 @@
+#ifndef LOGMINE_EVAL_DATASET_H_
+#define LOGMINE_EVAL_DATASET_H_
+
+#include <map>
+#include <string>
+
+#include "core/dependency.h"
+#include "core/l3_text_miner.h"
+#include "log/store.h"
+#include "simulation/hug_scenario.h"
+#include "simulation/simulator.h"
+#include "util/result.h"
+
+namespace logmine::eval {
+
+/// Everything a reproduction experiment needs: scenario + generated
+/// corpus + reference models.
+struct Dataset {
+  sim::HugScenario scenario;
+  sim::SimulationConfig simulation;
+  sim::SimulationSummary summary;
+  LogStore store;
+
+  core::ServiceVocabulary vocabulary;
+  core::DependencyModel reference_pairs;     ///< app-app (L1/L2)
+  core::DependencyModel reference_services;  ///< app-entry (L3)
+  /// Entry id -> providing application name (maps L3 realizations onto
+  /// app pairs in the load experiment).
+  std::map<std::string, std::string> entry_owner;
+
+  int64_t universe_pairs = 0;     ///< C(#apps, 2)
+  int64_t universe_services = 0;  ///< #apps * #entries
+
+  int num_days() const { return simulation.num_days; }
+  TimeMs day_begin(int day) const {
+    return simulation.start + day * kMillisPerDay;
+  }
+  TimeMs day_end(int day) const { return day_begin(day) + kMillisPerDay; }
+};
+
+/// Builder configuration; scale both knobs down for fast tests.
+struct DatasetConfig {
+  sim::HugScenarioConfig scenario;
+  sim::SimulationConfig simulation;
+};
+
+/// Extracts the L3 matching vocabulary from a simulated directory.
+core::ServiceVocabulary VocabularyFrom(const sim::ServiceDirectory& directory);
+
+/// Builds the scenario, runs the simulator and assembles the reference
+/// models.
+Result<Dataset> BuildDataset(const DatasetConfig& config);
+
+}  // namespace logmine::eval
+
+#endif  // LOGMINE_EVAL_DATASET_H_

@@ -1,0 +1,139 @@
+#include "eval/load_experiment.h"
+
+#include <algorithm>
+
+#include "log/filter.h"
+
+namespace logmine::eval {
+namespace {
+
+// Maps L3 (app, entry) positives onto unordered app pairs via directory
+// ownership, skipping excluded apps, unowned entries and self-pairs.
+core::DependencyModel RealizedPairs(
+    const Dataset& dataset, const core::DependencyModel& l3_positives,
+    const std::set<std::string>& excluded) {
+  core::DependencyModel out;
+  for (const core::NamePair& dep : l3_positives.pairs()) {
+    if (excluded.count(dep.first)) continue;
+    auto owner = dataset.entry_owner.find(dep.second);
+    if (owner == dataset.entry_owner.end()) continue;
+    if (owner->second == dep.first) continue;
+    if (excluded.count(owner->second)) continue;
+    out.Insert(core::MakeUnorderedPair(dep.first, owner->second));
+  }
+  return out;
+}
+
+double FractionFound(const core::DependencyModel& realized,
+                     const core::DependencyModel& found) {
+  if (realized.empty()) return 0.0;
+  int64_t hit = 0;
+  for (const core::NamePair& pair : realized.pairs()) {
+    if (found.Contains(pair)) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(realized.size());
+}
+
+double FpRatio(const core::DependencyModel& positives,
+               const core::DependencyModel& reference) {
+  if (positives.empty()) return 0.0;
+  int64_t fp = 0;
+  for (const core::NamePair& pair : positives.pairs()) {
+    if (!reference.Contains(pair)) ++fp;
+  }
+  return static_cast<double>(fp) / static_cast<double>(positives.size());
+}
+
+}  // namespace
+
+Result<LoadExperimentResult> RunLoadExperiment(
+    const Dataset& dataset, const LoadExperimentConfig& config) {
+  std::set<std::string> excluded = config.excluded_apps;
+  if (excluded.empty() && config.use_scenario_exclusions) {
+    for (int app : dataset.scenario.defects.apps_with_unlogged_invocations) {
+      excluded.insert(
+          dataset.scenario.topology.apps[static_cast<size_t>(app)].name);
+    }
+  }
+
+  core::L1Config l1_config = config.l1;
+  l1_config.slot_length = kMillisPerHour;  // a single slot per run
+  core::L1ActivityMiner l1(l1_config);
+  core::L2CooccurrenceMiner l2(config.l2);
+  core::L3TextMiner l3(dataset.vocabulary, config.l3);
+
+  LoadExperimentResult out;
+  const int num_hours = dataset.num_days() * 24;
+  for (int h = 0; h < num_hours; ++h) {
+    const TimeMs begin = dataset.simulation.start + h * kMillisPerHour;
+    const TimeMs end = begin + kMillisPerHour;
+
+    auto l3_result = l3.Mine(dataset.store, begin, end);
+    if (!l3_result.ok()) return l3_result.status();
+    const core::DependencyModel realized = RealizedPairs(
+        dataset, l3_result.value().Dependencies(dataset.store,
+                                                dataset.vocabulary),
+        excluded);
+
+    HourPoint point;
+    point.begin = begin;
+    point.realized = static_cast<int64_t>(realized.size());
+    for (int64_t count : CountsPerSource(dataset.store, begin, end)) {
+      point.num_logs += count;
+    }
+    if (point.realized >= config.min_realized) {
+      auto l1_result = l1.Mine(dataset.store, begin, end);
+      if (!l1_result.ok()) return l1_result.status();
+      const core::DependencyModel found1 =
+          l1_result.value().Dependencies(dataset.store);
+
+      auto l2_result = l2.Mine(dataset.store, begin, end);
+      if (!l2_result.ok()) return l2_result.status();
+      const core::DependencyModel found2 =
+          l2_result.value().Dependencies(dataset.store);
+
+      point.p1 = FractionFound(realized, found1);
+      point.p2 = FractionFound(realized, found2);
+      point.fp_ratio1 = FpRatio(found1, dataset.reference_pairs);
+      point.fp_ratio2 = FpRatio(found2, dataset.reference_pairs);
+      out.hours.push_back(point);
+    }
+  }
+  if (out.hours.size() < 10) {
+    return Status::FailedPrecondition(
+        "too few usable hours for the load regression");
+  }
+
+  // Rescale the load to [0, 1] as in figure 9.
+  int64_t max_logs = 1;
+  for (const HourPoint& point : out.hours) {
+    max_logs = std::max(max_logs, point.num_logs);
+  }
+  std::vector<double> load, p1, p2, fp1, fp2;
+  for (const HourPoint& point : out.hours) {
+    load.push_back(static_cast<double>(point.num_logs) /
+                   static_cast<double>(max_logs));
+    p1.push_back(point.p1);
+    p2.push_back(point.p2);
+    fp1.push_back(point.fp_ratio1);
+    fp2.push_back(point.fp_ratio2);
+  }
+  auto fit = [&](const std::vector<double>& ys,
+                 stats::LinearFit* target) -> Status {
+    auto fitted = stats::FitLinear(load, ys, config.regression_level);
+    if (!fitted.ok()) return fitted.status();
+    *target = fitted.value();
+    return Status::OK();
+  };
+  LOGMINE_RETURN_IF_ERROR(fit(p1, &out.fit_p1));
+  LOGMINE_RETURN_IF_ERROR(fit(p2, &out.fit_p2));
+  LOGMINE_RETURN_IF_ERROR(fit(fp1, &out.fit_fp1));
+  LOGMINE_RETURN_IF_ERROR(fit(fp2, &out.fit_fp2));
+  out.qq_correlation_p1 =
+      stats::QqNormalCorrelation(stats::Residuals(out.fit_p1, load, p1));
+  out.qq_correlation_p2 =
+      stats::QqNormalCorrelation(stats::Residuals(out.fit_p2, load, p2));
+  return out;
+}
+
+}  // namespace logmine::eval

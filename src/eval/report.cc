@@ -1,0 +1,55 @@
+#include "eval/report.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace logmine::eval {
+
+void PrintDailyFigure(std::string_view title,
+                      const core::DailySeries& series, std::ostream& os) {
+  os << title << "\n";
+  TablePrinter table({"day", "TP", "FP", "pos", "tp-ratio", "bar (#=TP x=FP)"});
+  int64_t max_pos = 1;
+  for (const core::ConfusionCounts& day : series.days) {
+    max_pos = std::max(max_pos, day.positives());
+  }
+  constexpr int kBarWidth = 40;
+  for (size_t i = 0; i < series.days.size(); ++i) {
+    const core::ConfusionCounts& day = series.days[i];
+    const int total_cells = static_cast<int>(
+        static_cast<double>(day.positives()) / static_cast<double>(max_pos) *
+            kBarWidth +
+        0.5);
+    const int tp_cells =
+        day.positives() == 0
+            ? 0
+            : static_cast<int>(static_cast<double>(day.true_positives) /
+                                   static_cast<double>(day.positives()) *
+                                   total_cells +
+                               0.5);
+    std::string bar(static_cast<size_t>(tp_cells), '#');
+    bar.append(static_cast<size_t>(std::max(0, total_cells - tp_cells)), 'x');
+    table.AddRow({series.day_labels[i], std::to_string(day.true_positives),
+                  std::to_string(day.false_positives),
+                  std::to_string(day.positives()),
+                  FormatDouble(day.tp_ratio(), 2), bar});
+  }
+  table.Print(os);
+}
+
+std::string FormatCi(const stats::MedianCi& ci, int digits) {
+  return FormatDouble(ci.median, digits) + " [" +
+         FormatDouble(ci.lower, digits) + ", " +
+         FormatDouble(ci.upper, digits) + "] (level " +
+         FormatDouble(ci.coverage, 4) + ")";
+}
+
+std::string FormatSlopeCi(const stats::LinearFit& fit, int digits) {
+  return FormatDouble(fit.slope, digits) + " [" +
+         FormatDouble(fit.slope_ci_lo, digits) + ", " +
+         FormatDouble(fit.slope_ci_hi, digits) + "]";
+}
+
+}  // namespace logmine::eval

@@ -1,0 +1,28 @@
+#ifndef LOGMINE_EVAL_REPORT_H_
+#define LOGMINE_EVAL_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "core/evaluation.h"
+#include "stats/order_stats_ci.h"
+#include "stats/regression.h"
+
+namespace logmine::eval {
+
+/// Prints a per-day TP/FP figure in the style of the paper's figures
+/// 5/6/8: one row per day with counts, the TP ratio, and a stacked ASCII
+/// bar (TP as '#', FP as 'x').
+void PrintDailyFigure(std::string_view title,
+                      const core::DailySeries& series, std::ostream& os);
+
+/// Renders "median [lo, hi] (level L)".
+std::string FormatCi(const stats::MedianCi& ci, int digits);
+
+/// Renders "slope [lo, hi]" for a regression fit.
+std::string FormatSlopeCi(const stats::LinearFit& fit, int digits);
+
+}  // namespace logmine::eval
+
+#endif  // LOGMINE_EVAL_REPORT_H_

@@ -1,0 +1,100 @@
+#include "eval/timeout_experiment.h"
+
+#include "core/l2_session_builder.h"
+#include "stats/order_stats_ci.h"
+#include "stats/wilcoxon.h"
+
+namespace logmine::eval {
+namespace {
+
+// Evaluates L2 with `timeout` on pre-built sessions of one day.
+Result<core::ConfusionCounts> EvaluateWithTimeout(
+    const Dataset& dataset, const core::L2Config& base_config,
+    const std::vector<core::Session>& sessions, TimeMs timeout) {
+  core::L2Config config = base_config;
+  config.timeout = timeout;
+  core::L2CooccurrenceMiner miner(config);
+  auto mined = miner.MineSessions(dataset.store, sessions);
+  if (!mined.ok()) return mined.status();
+  return core::Evaluate(mined.value().Dependencies(dataset.store),
+                        dataset.reference_pairs, dataset.universe_pairs);
+}
+
+}  // namespace
+
+Result<TimeoutExperimentResult> RunTimeoutExperiment(
+    const Dataset& dataset, const core::L2Config& base_config,
+    const std::vector<TimeMs>& finite_timeouts, double ci_level) {
+  TimeoutExperimentResult out;
+  out.timeouts = finite_timeouts;
+  out.timeouts.push_back(0);  // infinity sentinel, mined last
+  out.daily.resize(out.timeouts.size());
+
+  core::SessionBuilder builder(base_config.session);
+  for (int day = 0; day < dataset.num_days(); ++day) {
+    const std::vector<core::Session> sessions = builder.Build(
+        dataset.store, dataset.day_begin(day), dataset.day_end(day), nullptr);
+    for (size_t t = 0; t < out.timeouts.size(); ++t) {
+      auto counts =
+          EvaluateWithTimeout(dataset, base_config, sessions, out.timeouts[t]);
+      if (!counts.ok()) return counts.status();
+      out.daily[t].push_back(counts.value());
+    }
+  }
+
+  const size_t inf_index = out.timeouts.size() - 1;
+  for (size_t t = 0; t + 1 < out.timeouts.size(); ++t) {
+    TimeoutRow row;
+    row.timeout = out.timeouts[t];
+    std::vector<double> tpr_diffs, tp_diffs;
+    for (int day = 0; day < dataset.num_days(); ++day) {
+      const core::ConfusionCounts& with_to =
+          out.daily[t][static_cast<size_t>(day)];
+      const core::ConfusionCounts& inf =
+          out.daily[inf_index][static_cast<size_t>(day)];
+      tpr_diffs.push_back(with_to.tp_ratio() - inf.tp_ratio());
+      tp_diffs.push_back(static_cast<double>(with_to.true_positives) -
+                         static_cast<double>(inf.true_positives));
+    }
+    auto tpr_ci = stats::MedianConfidenceInterval(tpr_diffs, ci_level);
+    if (!tpr_ci.ok()) return tpr_ci.status();
+    auto tp_ci = stats::MedianConfidenceInterval(tp_diffs, ci_level);
+    if (!tp_ci.ok()) return tp_ci.status();
+    row.tpr_diff_median = tpr_ci.value().median;
+    row.tpr_diff_lo = tpr_ci.value().lower;
+    row.tpr_diff_hi = tpr_ci.value().upper;
+    row.tp_diff_median = tp_ci.value().median;
+    row.tp_diff_lo = tp_ci.value().lower;
+    row.tp_diff_hi = tp_ci.value().upper;
+
+    auto w_tpr = stats::WilcoxonSignedRank(tpr_diffs,
+                                           stats::Alternative::kTwoSided);
+    row.wilcoxon_p_tpr = w_tpr.ok() ? w_tpr.value().p_value : 1.0;
+    auto w_tp =
+        stats::WilcoxonSignedRank(tp_diffs, stats::Alternative::kTwoSided);
+    row.wilcoxon_p_tp = w_tp.ok() ? w_tp.value().p_value : 1.0;
+    out.rows.push_back(row);
+  }
+  return out;
+}
+
+Result<std::vector<core::ConfusionCounts>> RunTimeoutSweepOneDay(
+    const Dataset& dataset, const core::L2Config& base_config, int day,
+    const std::vector<TimeMs>& timeouts) {
+  if (day < 0 || day >= dataset.num_days()) {
+    return Status::InvalidArgument("day out of range");
+  }
+  core::SessionBuilder builder(base_config.session);
+  const std::vector<core::Session> sessions = builder.Build(
+      dataset.store, dataset.day_begin(day), dataset.day_end(day), nullptr);
+  std::vector<core::ConfusionCounts> out;
+  for (TimeMs timeout : timeouts) {
+    auto counts =
+        EvaluateWithTimeout(dataset, base_config, sessions, timeout);
+    if (!counts.ok()) return counts.status();
+    out.push_back(counts.value());
+  }
+  return out;
+}
+
+}  // namespace logmine::eval

@@ -1,0 +1,51 @@
+#ifndef LOGMINE_EVAL_TIMEOUT_EXPERIMENT_H_
+#define LOGMINE_EVAL_TIMEOUT_EXPERIMENT_H_
+
+#include <vector>
+
+#include "core/evaluation.h"
+#include "core/l2_cooccurrence_miner.h"
+#include "eval/dataset.h"
+#include "util/result.h"
+
+namespace logmine::eval {
+
+/// Statistics of one timeout value versus the infinite timeout (one row
+/// of the paper's table 2): per-day differences of the TP ratio and of
+/// the absolute TP count, each with a median confidence interval, plus
+/// the two-sided Wilcoxon signed-rank p-values.
+struct TimeoutRow {
+  TimeMs timeout = 0;
+  double tpr_diff_median = 0;  ///< median of tpr_to - tpr_inf (per day)
+  double tpr_diff_lo = 0;
+  double tpr_diff_hi = 0;
+  double tp_diff_median = 0;   ///< median of tp_to - tp_inf (per day)
+  double tp_diff_lo = 0;
+  double tp_diff_hi = 0;
+  double wilcoxon_p_tpr = 1;
+  double wilcoxon_p_tp = 1;
+};
+
+/// Full §4.7 experiment output.
+struct TimeoutExperimentResult {
+  /// Per-timeout (including infinity as the last element) per-day counts.
+  std::vector<TimeMs> timeouts;  ///< 0 encodes infinity
+  std::vector<std::vector<core::ConfusionCounts>> daily;  ///< [timeout][day]
+  std::vector<TimeoutRow> rows;  ///< one per *finite* timeout
+};
+
+/// Runs L2 on every day under each finite timeout and under no timeout,
+/// then performs the median tests of table 2 at `ci_level` (paper: 0.98).
+/// Sessions are built once per day and re-mined per timeout.
+Result<TimeoutExperimentResult> RunTimeoutExperiment(
+    const Dataset& dataset, const core::L2Config& base_config,
+    const std::vector<TimeMs>& finite_timeouts, double ci_level);
+
+/// Figure 7: positives on a single day across a timeout sweep.
+Result<std::vector<core::ConfusionCounts>> RunTimeoutSweepOneDay(
+    const Dataset& dataset, const core::L2Config& base_config, int day,
+    const std::vector<TimeMs>& timeouts);
+
+}  // namespace logmine::eval
+
+#endif  // LOGMINE_EVAL_TIMEOUT_EXPERIMENT_H_

@@ -1,0 +1,154 @@
+#include "log/codec.h"
+
+#include <array>
+
+#include "util/string_util.h"
+
+namespace logmine {
+namespace {
+
+void AppendEscaped(std::string_view field, std::string* out) {
+  for (char c : field) {
+    switch (c) {
+      case '|':
+        *out += "\\|";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+// Splits a line on unescaped '|' and unescapes each field.
+Result<std::vector<std::string>> SplitEscaped(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '\\') {
+      if (i + 1 >= line.size()) {
+        return Status::ParseError("dangling escape at end of line");
+      }
+      const char next = line[++i];
+      switch (next) {
+        case '|':
+          current += '|';
+          break;
+        case '\\':
+          current += '\\';
+          break;
+        case 'n':
+          current += '\n';
+          break;
+        default:
+          return Status::ParseError(std::string("unknown escape: \\") + next);
+      }
+    } else if (c == '|') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<Severity> ParseSeverity(std::string_view name) {
+  static constexpr std::array<Severity, 4> kAll = {
+      Severity::kDebug, Severity::kInfo, Severity::kWarning,
+      Severity::kError};
+  for (Severity s : kAll) {
+    if (name == SeverityName(s)) return s;
+  }
+  return Status::ParseError("unknown severity: " + std::string(name));
+}
+
+}  // namespace
+
+std::string LineCodec::Encode(const LogRecord& record) {
+  std::string out;
+  out.reserve(64 + record.message.size());
+  out += FormatTime(record.client_ts);
+  out += '|';
+  out += FormatTime(record.server_ts);
+  out += '|';
+  out += SeverityName(record.severity);
+  out += '|';
+  AppendEscaped(record.source, &out);
+  out += '|';
+  AppendEscaped(record.host, &out);
+  out += '|';
+  AppendEscaped(record.user, &out);
+  out += '|';
+  AppendEscaped(record.message, &out);
+  return out;
+}
+
+Result<LogRecord> LineCodec::Decode(std::string_view line) {
+  auto fields_or = SplitEscaped(line);
+  if (!fields_or.ok()) return fields_or.status();
+  const std::vector<std::string>& fields = fields_or.value();
+  if (fields.size() != 7) {
+    return Status::ParseError("expected 7 fields, got " +
+                              std::to_string(fields.size()));
+  }
+  LogRecord record;
+  auto client = ParseTime(fields[0]);
+  if (!client.ok()) return client.status();
+  record.client_ts = client.value();
+  auto server = ParseTime(fields[1]);
+  if (!server.ok()) return server.status();
+  record.server_ts = server.value();
+  auto severity = ParseSeverity(fields[2]);
+  if (!severity.ok()) return severity.status();
+  record.severity = severity.value();
+  record.source = fields[3];
+  record.host = fields[4];
+  record.user = fields[5];
+  record.message = fields[6];
+  if (record.source.empty()) {
+    return Status::ParseError("empty source field");
+  }
+  return record;
+}
+
+std::string LineCodec::EncodeAll(const std::vector<LogRecord>& records) {
+  std::string out;
+  for (const LogRecord& record : records) {
+    out += Encode(record);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<LogRecord>> LineCodec::DecodeAll(std::string_view text) {
+  std::vector<LogRecord> out;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    ++line_no;
+    if (!Trim(line).empty()) {
+      auto record = Decode(line);
+      if (!record.ok()) {
+        return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                  record.status().message());
+      }
+      out.push_back(std::move(record).value());
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace logmine

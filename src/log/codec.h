@@ -1,0 +1,37 @@
+#ifndef LOGMINE_LOG_CODEC_H_
+#define LOGMINE_LOG_CODEC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "log/record.h"
+#include "util/result.h"
+
+namespace logmine {
+
+/// Serializes log records to/from the pipe-separated line format used for
+/// on-disk corpora and the example binaries:
+///
+///   client_ts|server_ts|SEVERITY|source|host|user|message
+///
+/// Timestamps render as "YYYY-MM-DD HH:MM:SS.mmm". Pipe, backslash and
+/// newline inside string fields are escaped (`\|`, `\\`, `\n`), so any
+/// message round-trips. Decode rejects malformed lines with ParseError
+/// instead of guessing.
+class LineCodec {
+ public:
+  static std::string Encode(const LogRecord& record);
+  static Result<LogRecord> Decode(std::string_view line);
+
+  /// Encodes many records, one line each, with trailing newline per line.
+  static std::string EncodeAll(const std::vector<LogRecord>& records);
+
+  /// Decodes a whole text buffer; empty lines are skipped. Fails on the
+  /// first malformed line, reporting its 1-based line number.
+  static Result<std::vector<LogRecord>> DecodeAll(std::string_view text);
+};
+
+}  // namespace logmine
+
+#endif  // LOGMINE_LOG_CODEC_H_

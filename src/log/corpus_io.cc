@@ -1,0 +1,45 @@
+#include "log/corpus_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "log/codec.h"
+
+namespace logmine {
+
+Status WriteCorpusFile(const LogStore& store, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  auto write_record = [&out](const LogRecord& record) {
+    out << LineCodec::Encode(record) << '\n';
+  };
+  if (store.index_built()) {
+    for (uint32_t idx : store.TimeOrder()) write_record(store.GetRecord(idx));
+  } else {
+    for (size_t i = 0; i < store.size(); ++i) write_record(store.GetRecord(i));
+  }
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<LogStore> ReadCorpusFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto records = LineCodec::DecodeAll(buffer.str());
+  if (!records.ok()) return records.status();
+  LogStore store;
+  for (const LogRecord& record : records.value()) {
+    LOGMINE_RETURN_IF_ERROR(store.Append(record));
+  }
+  store.BuildIndex();
+  return store;
+}
+
+}  // namespace logmine

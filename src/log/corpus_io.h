@@ -1,0 +1,22 @@
+#ifndef LOGMINE_LOG_CORPUS_IO_H_
+#define LOGMINE_LOG_CORPUS_IO_H_
+
+#include <string>
+
+#include "log/store.h"
+#include "util/result.h"
+
+namespace logmine {
+
+/// Writes all records of `store` to `path` in the line format
+/// (LineCodec), one record per line, in time order when the index is
+/// built (insertion order otherwise).
+Status WriteCorpusFile(const LogStore& store, const std::string& path);
+
+/// Reads a corpus written by `WriteCorpusFile` (or any line-format file)
+/// into a fresh store with its index built.
+Result<LogStore> ReadCorpusFile(const std::string& path);
+
+}  // namespace logmine
+
+#endif  // LOGMINE_LOG_CORPUS_IO_H_

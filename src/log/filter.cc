@@ -1,0 +1,56 @@
+#include "log/filter.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace logmine {
+
+std::vector<uint32_t> IndicesInRange(const LogStore& store, TimeMs begin,
+                                     TimeMs end) {
+  assert(store.index_built());
+  const std::vector<uint32_t>& order = store.TimeOrder();
+  auto lo = std::lower_bound(order.begin(), order.end(), begin,
+                             [&store](uint32_t idx, TimeMs t) {
+                               return store.client_ts(idx) < t;
+                             });
+  auto hi = std::lower_bound(lo, order.end(), end,
+                             [&store](uint32_t idx, TimeMs t) {
+                               return store.client_ts(idx) < t;
+                             });
+  return {lo, hi};
+}
+
+std::vector<uint32_t> IndicesWhere(
+    const LogStore& store,
+    const std::function<bool(const LogStore&, size_t)>& predicate) {
+  assert(store.index_built());
+  std::vector<uint32_t> out;
+  for (uint32_t idx : store.TimeOrder()) {
+    if (predicate(store, idx)) out.push_back(idx);
+  }
+  return out;
+}
+
+LogStore SliceByTime(const LogStore& store, TimeMs begin, TimeMs end) {
+  LogStore out;
+  for (uint32_t idx : IndicesInRange(store, begin, end)) {
+    Status s = out.Append(store.GetRecord(idx));
+    assert(s.ok());
+    (void)s;
+  }
+  out.BuildIndex();
+  return out;
+}
+
+std::vector<int64_t> CountsPerSource(const LogStore& store, TimeMs begin,
+                                     TimeMs end) {
+  assert(store.index_built());
+  std::vector<int64_t> counts(store.num_sources(), 0);
+  for (size_t s = 0; s < store.num_sources(); ++s) {
+    counts[s] =
+        store.CountInRange(static_cast<LogStore::SourceId>(s), begin, end);
+  }
+  return counts;
+}
+
+}  // namespace logmine

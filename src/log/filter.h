@@ -1,0 +1,35 @@
+#ifndef LOGMINE_LOG_FILTER_H_
+#define LOGMINE_LOG_FILTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "log/store.h"
+#include "util/time_util.h"
+
+namespace logmine {
+
+/// Record indices with client_ts in [begin, end), in time order.
+/// Pre-condition: store.index_built().
+std::vector<uint32_t> IndicesInRange(const LogStore& store, TimeMs begin,
+                                     TimeMs end);
+
+/// Record indices (time-ordered) matching an arbitrary predicate over the
+/// store row. Pre-condition: store.index_built().
+std::vector<uint32_t> IndicesWhere(
+    const LogStore& store,
+    const std::function<bool(const LogStore&, size_t)>& predicate);
+
+/// Copies all records of `store` with client_ts in [begin, end) into a
+/// fresh store (dictionary ids are re-interned). Used by the per-day
+/// evaluation runner. The result has its index built.
+LogStore SliceByTime(const LogStore& store, TimeMs begin, TimeMs end);
+
+/// Per-source log counts within [begin, end); the load measure of §4.9.
+std::vector<int64_t> CountsPerSource(const LogStore& store, TimeMs begin,
+                                     TimeMs end);
+
+}  // namespace logmine
+
+#endif  // LOGMINE_LOG_FILTER_H_

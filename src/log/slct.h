@@ -1,0 +1,64 @@
+#ifndef LOGMINE_LOG_SLCT_H_
+#define LOGMINE_LOG_SLCT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "log/store.h"
+#include "util/time_util.h"
+
+namespace logmine {
+
+/// A mined message template: fixed words at fixed positions, "*" where
+/// the cluster's messages vary.
+struct LogTemplate {
+  std::vector<std::string> tokens;
+  int64_t count = 0;
+
+  /// Renders "request processed in * ms".
+  std::string ToString() const;
+};
+
+/// SLCT parameters.
+struct SlctConfig {
+  /// A (position, word) pair or candidate template must occur at least
+  /// this often to survive.
+  int64_t support = 10;
+  /// Messages longer than this many words are truncated for clustering.
+  size_t max_words = 32;
+};
+
+/// Clustering outcome.
+struct SlctResult {
+  std::vector<LogTemplate> templates;  ///< sorted by descending count
+  int64_t outliers = 0;  ///< messages not matching any template
+  int64_t messages = 0;
+};
+
+/// Simple Logfile Clustering Tool (Vaarandi 2003), the log-message
+/// clustering algorithm the paper cites as a candidate preprocessing
+/// step for its miners (§2.2, §5): two passes over the data — first
+/// count (position, word) frequencies, then form a cluster candidate per
+/// message from its frequent words and keep candidates with enough
+/// support.
+class SlctClusterer {
+ public:
+  explicit SlctClusterer(SlctConfig config) : config_(config) {}
+
+  /// Clusters free-text messages (whitespace word tokenization).
+  SlctResult Cluster(const std::vector<std::string_view>& messages) const;
+
+  /// Convenience: clusters the messages of one source in [begin, end).
+  /// Pre-condition: store.index_built().
+  SlctResult ClusterSource(const LogStore& store, LogStore::SourceId source,
+                           TimeMs begin, TimeMs end) const;
+
+ private:
+  SlctConfig config_;
+};
+
+}  // namespace logmine
+
+#endif  // LOGMINE_LOG_SLCT_H_

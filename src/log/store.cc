@@ -1,0 +1,108 @@
+#include "log/store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace logmine {
+
+uint32_t LogStore::Intern(std::string_view name,
+                          std::vector<std::string>* names,
+                          std::map<std::string, uint32_t, std::less<>>* index) {
+  auto it = index->find(name);
+  if (it != index->end()) return it->second;
+  const auto id = static_cast<uint32_t>(names->size());
+  names->emplace_back(name);
+  index->emplace(std::string(name), id);
+  return id;
+}
+
+Status LogStore::Append(const LogRecord& record) {
+  if (record.source.empty()) {
+    return Status::InvalidArgument("log record without source");
+  }
+  client_ts_.push_back(record.client_ts);
+  server_ts_.push_back(record.server_ts);
+  severity_.push_back(record.severity);
+  source_ids_.push_back(Intern(record.source, &source_names_, &source_index_));
+  host_ids_.push_back(record.host.empty()
+                          ? kNoHost
+                          : Intern(record.host, &host_names_, &host_index_));
+  user_ids_.push_back(record.user.empty()
+                          ? kNoUser
+                          : Intern(record.user, &user_names_, &user_index_));
+  messages_.push_back(record.message);
+  index_built_ = false;
+  return Status::OK();
+}
+
+LogRecord LogStore::GetRecord(size_t i) const {
+  LogRecord record;
+  record.client_ts = client_ts_[i];
+  record.server_ts = server_ts_[i];
+  record.severity = severity_[i];
+  record.source = source_names_[source_ids_[i]];
+  if (host_ids_[i] != kNoHost) record.host = host_names_[host_ids_[i]];
+  if (user_ids_[i] != kNoUser) record.user = user_names_[user_ids_[i]];
+  record.message = messages_[i];
+  return record;
+}
+
+Result<LogStore::SourceId> LogStore::FindSource(std::string_view name) const {
+  auto it = source_index_.find(name);
+  if (it == source_index_.end()) {
+    return Status::NotFound("unknown source: " + std::string(name));
+  }
+  return it->second;
+}
+
+void LogStore::BuildIndex() {
+  if (index_built_) return;
+  source_timestamps_.assign(source_names_.size(), {});
+  for (size_t i = 0; i < size(); ++i) {
+    source_timestamps_[source_ids_[i]].push_back(client_ts_[i]);
+  }
+  for (auto& ts : source_timestamps_) {
+    std::sort(ts.begin(), ts.end());
+  }
+  time_order_.resize(size());
+  std::iota(time_order_.begin(), time_order_.end(), 0u);
+  std::stable_sort(time_order_.begin(), time_order_.end(),
+                   [this](uint32_t a, uint32_t b) {
+                     return client_ts_[a] < client_ts_[b];
+                   });
+  index_built_ = true;
+}
+
+const std::vector<TimeMs>& LogStore::SourceTimestamps(SourceId source) const {
+  assert(index_built_);
+  return source_timestamps_[source];
+}
+
+const std::vector<uint32_t>& LogStore::TimeOrder() const {
+  assert(index_built_);
+  return time_order_;
+}
+
+int64_t LogStore::CountInRange(SourceId source, TimeMs begin,
+                               TimeMs end) const {
+  assert(index_built_);
+  const std::vector<TimeMs>& ts = source_timestamps_[source];
+  auto lo = std::lower_bound(ts.begin(), ts.end(), begin);
+  auto hi = std::lower_bound(ts.begin(), ts.end(), end);
+  return hi - lo;
+}
+
+TimeMs LogStore::min_ts() const {
+  if (empty()) return 0;
+  if (index_built_) return client_ts_[time_order_.front()];
+  return *std::min_element(client_ts_.begin(), client_ts_.end());
+}
+
+TimeMs LogStore::max_ts() const {
+  if (empty()) return 0;
+  if (index_built_) return client_ts_[time_order_.back()];
+  return *std::max_element(client_ts_.begin(), client_ts_.end());
+}
+
+}  // namespace logmine

@@ -1,0 +1,125 @@
+#ifndef LOGMINE_LOG_STORE_H_
+#define LOGMINE_LOG_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "log/record.h"
+#include "util/result.h"
+#include "util/time_util.h"
+
+namespace logmine {
+
+/// Columnar, append-only store for a log corpus.
+///
+/// Source, host and user strings are interned into dense ids; timestamps
+/// and ids live in flat columns. `BuildIndex` materializes a sorted
+/// per-source timestamp index (the access path of the L1 miner) and a
+/// global time order (the access path of the session builder). Records
+/// may be appended in any order — the simulator emits slightly out of
+/// order because of clock skew, exactly like the real system.
+///
+/// Not thread-safe; build once, then mine.
+class LogStore {
+ public:
+  using SourceId = uint32_t;
+  using HostId = uint32_t;
+  using UserId = uint32_t;
+
+  /// Sentinel for "no user context on this record".
+  static constexpr UserId kNoUser = UINT32_MAX;
+  /// Sentinel for "no host recorded".
+  static constexpr HostId kNoHost = UINT32_MAX;
+
+  LogStore() = default;
+  LogStore(const LogStore&) = delete;
+  LogStore& operator=(const LogStore&) = delete;
+  LogStore(LogStore&&) = default;
+  LogStore& operator=(LogStore&&) = default;
+
+  /// Appends one record; `record.source` must be non-empty.
+  /// Invalidates indexes built earlier.
+  Status Append(const LogRecord& record);
+
+  /// Number of records.
+  size_t size() const { return client_ts_.size(); }
+  bool empty() const { return client_ts_.empty(); }
+
+  // --- column accessors (index < size()) ---
+  TimeMs client_ts(size_t i) const { return client_ts_[i]; }
+  TimeMs server_ts(size_t i) const { return server_ts_[i]; }
+  Severity severity(size_t i) const { return severity_[i]; }
+  SourceId source_id(size_t i) const { return source_ids_[i]; }
+  HostId host_id(size_t i) const { return host_ids_[i]; }
+  UserId user_id(size_t i) const { return user_ids_[i]; }
+  std::string_view message(size_t i) const { return messages_[i]; }
+
+  /// Reassembles a full record (copying strings).
+  LogRecord GetRecord(size_t i) const;
+
+  // --- dictionaries ---
+  size_t num_sources() const { return source_names_.size(); }
+  size_t num_hosts() const { return host_names_.size(); }
+  size_t num_users() const { return user_names_.size(); }
+  std::string_view source_name(SourceId id) const {
+    return source_names_[id];
+  }
+  std::string_view host_name(HostId id) const { return host_names_[id]; }
+  std::string_view user_name(UserId id) const { return user_names_[id]; }
+
+  /// Looks up a source by exact name.
+  Result<SourceId> FindSource(std::string_view name) const;
+
+  // --- indexes ---
+
+  /// Builds (or rebuilds) the per-source sorted timestamp index and the
+  /// global time order. Idempotent until the next Append.
+  void BuildIndex();
+  bool index_built() const { return index_built_; }
+
+  /// Sorted client timestamps of all logs of `source`.
+  /// Pre-condition: BuildIndex() has run.
+  const std::vector<TimeMs>& SourceTimestamps(SourceId source) const;
+
+  /// Record indices sorted by (client_ts, insertion order).
+  /// Pre-condition: BuildIndex() has run.
+  const std::vector<uint32_t>& TimeOrder() const;
+
+  /// Number of logs of `source` with client_ts in [begin, end).
+  /// Pre-condition: BuildIndex() has run.
+  int64_t CountInRange(SourceId source, TimeMs begin, TimeMs end) const;
+
+  /// Earliest / latest client timestamp; 0 on an empty store.
+  TimeMs min_ts() const;
+  TimeMs max_ts() const;
+
+ private:
+  uint32_t Intern(std::string_view name, std::vector<std::string>* names,
+                  std::map<std::string, uint32_t, std::less<>>* index);
+
+  std::vector<TimeMs> client_ts_;
+  std::vector<TimeMs> server_ts_;
+  std::vector<Severity> severity_;
+  std::vector<SourceId> source_ids_;
+  std::vector<HostId> host_ids_;
+  std::vector<UserId> user_ids_;
+  std::vector<std::string> messages_;
+
+  std::vector<std::string> source_names_;
+  std::map<std::string, uint32_t, std::less<>> source_index_;
+  std::vector<std::string> host_names_;
+  std::map<std::string, uint32_t, std::less<>> host_index_;
+  std::vector<std::string> user_names_;
+  std::map<std::string, uint32_t, std::less<>> user_index_;
+
+  bool index_built_ = false;
+  std::vector<std::vector<TimeMs>> source_timestamps_;
+  std::vector<uint32_t> time_order_;
+};
+
+}  // namespace logmine
+
+#endif  // LOGMINE_LOG_STORE_H_

@@ -1,0 +1,224 @@
+#include "simulation/bank_scenario.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "simulation/workload.h"
+#include "util/string_util.h"
+
+namespace logmine::sim {
+namespace {
+
+struct AppSpec {
+  std::string_view name;
+  Tier tier;
+  std::string_view entry;  // primary directory entry id ("" = none)
+};
+
+constexpr std::array<AppSpec, 18> kBankApps = {{
+    {"EBankingWeb", Tier::kClient, ""},
+    {"MobileApp", Tier::kClient, ""},
+    {"TellerDesk", Tier::kClient, ""},
+    {"AdvisorWorkbench", Tier::kClient, ""},
+    {"AccountsSrv", Tier::kService, "ACCSRV"},
+    {"PaymentsSrv", Tier::kService, "PAYSRV"},
+    {"CardsSrv", Tier::kService, "CARDSRV"},
+    {"FraudCheck", Tier::kService, "FRAUDSRV"},
+    {"FxRatesSrv", Tier::kService, "FXSRV"},
+    {"LoansSrv", Tier::kService, "LOANSRV2"},
+    {"NotifyGateway", Tier::kService, "NOTIFYGW"},
+    {"DocVault", Tier::kService, "DOCVAULT"},
+    {"CustomerIndex", Tier::kService, "CUSTIDX"},
+    {"LedgerDB", Tier::kBackend, "LEDGER"},
+    {"CustomerDB", Tier::kBackend, "CUSTDB"},
+    {"ArchiveStore", Tier::kBackend, "ARCHSTORE"},
+    {"SwiftBridge", Tier::kIntegration, "SWIFTBR"},
+    {"EodBatch", Tier::kDaemon, ""},
+}};
+
+}  // namespace
+
+Result<HugScenario> BuildBankScenario(const BankScenarioConfig& config) {
+  HugScenario scenario;
+  Topology& topology = scenario.topology;
+  ServiceDirectory& directory = scenario.directory;
+  Rng rng(config.seed);
+  Rng topo_rng = rng.Fork("bank-topology");
+
+  // ---- applications and directory ---------------------------------------
+  int host_counter = 0;
+  for (size_t i = 0; i < kBankApps.size(); ++i) {
+    Application app;
+    app.name = std::string(kBankApps[i].name);
+    app.tier = kBankApps[i].tier;
+    app.invocation_style = static_cast<InvocationLogStyle>(
+        i % static_cast<size_t>(kNumInvocationLogStyles));
+    app.invocation_log_prob = topo_rng.Uniform(0.9, 1.0);
+    app.background_rate_per_hour =
+        app.tier == Tier::kClient ? topo_rng.Uniform(10, 25)
+                                  : topo_rng.Uniform(50, 120);
+    app.nt_clock = app.tier == Tier::kClient || topo_rng.Bernoulli(0.3);
+    if (app.tier != Tier::kClient) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "app%02d.bank.example",
+                    host_counter++);
+      app.host = buf;
+    }
+    topology.apps.push_back(std::move(app));
+    if (!kBankApps[i].entry.empty()) {
+      ServiceEntry entry;
+      entry.id = std::string(kBankApps[i].entry);
+      entry.server_host = topology.apps.back().host;
+      entry.root_url =
+          "https://" + entry.server_host + "/api/" + ToLower(entry.id);
+      entry.num_replicas = 1 + static_cast<int>(topo_rng.UniformInt(0, 1));
+      LOGMINE_RETURN_IF_ERROR(directory.Add(entry));
+      topology.apps.back().provided_entries.push_back(
+          static_cast<int>(directory.size()) - 1);
+    }
+  }
+  // A second entry for PaymentsSrv (the instant-payments API).
+  {
+    ServiceEntry entry;
+    entry.id = "PAYSRVINSTANT";
+    const Application& payments = topology.apps[5];
+    entry.server_host = payments.host;
+    entry.root_url = "https://" + entry.server_host + "/api/paysrvinstant";
+    entry.num_replicas = 2;
+    LOGMINE_RETURN_IF_ERROR(directory.Add(entry));
+    topology.apps[5].provided_entries.push_back(
+        static_cast<int>(directory.size()) - 1);
+  }
+
+  // ---- invocation edges ---------------------------------------------------
+  std::set<std::pair<int, int>> guard;
+  auto add_edge = [&](std::string_view caller, std::string_view callee,
+                      double weight, bool async) {
+    const int from = topology.FindApp(caller);
+    const int to = topology.FindApp(callee);
+    const auto key = std::minmax(from, to);
+    if (guard.count({key.first, key.second})) return -1;
+    guard.insert({key.first, key.second});
+    InvocationEdge edge;
+    edge.caller = from;
+    edge.callee = to;
+    const auto& provided =
+        topology.apps[static_cast<size_t>(to)].provided_entries;
+    edge.cited_entry = provided.empty() ? -1 : provided[0];
+    edge.true_entry = edge.cited_entry;
+    edge.weight = weight;
+    edge.asynchronous = async;
+    topology.edges.push_back(edge);
+    return static_cast<int>(topology.edges.size()) - 1;
+  };
+  add_edge("EBankingWeb", "AccountsSrv", 3.0, false);
+  add_edge("EBankingWeb", "PaymentsSrv", 1.6, false);
+  add_edge("EBankingWeb", "DocVault", 0.6, false);
+  add_edge("MobileApp", "AccountsSrv", 2.2, false);
+  add_edge("MobileApp", "CardsSrv", 1.0, false);
+  add_edge("MobileApp", "FxRatesSrv", 0.8, false);
+  add_edge("TellerDesk", "CustomerIndex", 1.5, false);
+  add_edge("TellerDesk", "PaymentsSrv", 0.9, false);
+  add_edge("TellerDesk", "LoansSrv", 0.5, false);
+  add_edge("AdvisorWorkbench", "CustomerIndex", 1.2, false);
+  add_edge("AdvisorWorkbench", "LoansSrv", 0.8, false);
+  add_edge("AdvisorWorkbench", "DocVault", 0.7, false);
+  add_edge("AccountsSrv", "LedgerDB", 1.0, false);
+  add_edge("AccountsSrv", "CustomerDB", 0.8, false);
+  add_edge("PaymentsSrv", "FraudCheck", 1.0, false);
+  add_edge("PaymentsSrv", "LedgerDB", 1.0, false);
+  add_edge("PaymentsSrv", "SwiftBridge", 0.5, false);
+  add_edge("PaymentsSrv", "NotifyGateway", 0.7, true);
+  add_edge("CardsSrv", "FraudCheck", 0.7, false);
+  add_edge("CardsSrv", "CustomerDB", 0.6, false);
+  add_edge("LoansSrv", "CustomerIndex", 0.7, false);
+  add_edge("LoansSrv", "DocVault", 0.5, false);
+  add_edge("FraudCheck", "CustomerDB", 0.6, false);
+  add_edge("CustomerIndex", "CustomerDB", 1.0, false);
+  add_edge("DocVault", "ArchiveStore", 0.8, false);
+  add_edge("NotifyGateway", "MobileApp", 0.6, true);  // push notification
+  add_edge("EodBatch", "LedgerDB", 1.0, false);
+  add_edge("EodBatch", "AccountsSrv", 0.8, false);
+  add_edge("EodBatch", "ArchiveStore", 0.6, false);
+
+  // ---- defects -------------------------------------------------------------
+  Rng defect_rng = rng.Fork("bank-defects");
+  LOGMINE_RETURN_IF_ERROR(ApplyDefects(config.defects, directory,
+                                       &defect_rng, &topology,
+                                       &scenario.defects));
+
+  // ---- use cases -----------------------------------------------------------
+  Rng uc_rng = rng.Fork("bank-usecases");
+  std::map<int, std::vector<int>> out_edges;
+  for (size_t e = 0; e < topology.edges.size(); ++e) {
+    out_edges[topology.edges[e].caller].push_back(static_cast<int>(e));
+  }
+  // One use case per client edge with one level of nesting; a batch use
+  // case per non-client app covering its out-edges.
+  std::function<CallStep(int, int)> expand = [&](int edge, int depth) {
+    CallStep step;
+    step.edge = edge;
+    if (depth >= 2) return step;
+    const int callee = topology.edges[static_cast<size_t>(edge)].callee;
+    auto it = out_edges.find(callee);
+    if (it == out_edges.end()) return step;
+    for (int child : it->second) {
+      const double weight = topology.edges[static_cast<size_t>(child)].weight;
+      if (uc_rng.Bernoulli(std::min(0.9, 0.5 * weight + 0.2))) {
+        step.children.push_back(expand(child, depth + 1));
+      }
+    }
+    return step;
+  };
+  int counter = 0;
+  for (const auto& [app, edges] : out_edges) {
+    const bool is_client =
+        topology.apps[static_cast<size_t>(app)].tier == Tier::kClient;
+    if (is_client) {
+      for (int e : edges) {
+        UseCase uc;
+        uc.name = "bank-uc-" + std::to_string(counter++);
+        uc.root_app = app;
+        uc.steps.push_back(expand(e, 0));
+        uc.weight = topology.edges[static_cast<size_t>(e)].weight;
+        topology.use_cases.push_back(std::move(uc));
+      }
+    } else {
+      UseCase uc;
+      uc.name = "bank-batch-" + std::to_string(counter++);
+      uc.root_app = app;
+      double weight_sum = 0;
+      for (int e : edges) {
+        uc.steps.push_back(expand(e, 1));
+        weight_sum += topology.edges[static_cast<size_t>(e)].weight;
+      }
+      uc.weight = weight_sum / static_cast<double>(edges.size());
+      topology.batch_use_cases.push_back(std::move(uc));
+    }
+  }
+
+  LOGMINE_RETURN_IF_ERROR(topology.Validate(directory));
+  scenario.interaction_pairs = topology.InteractionPairs();
+  scenario.app_service_deps = topology.AppServiceDeps(directory);
+  return scenario;
+}
+
+SimulationConfig BankSimulationDefaults() {
+  SimulationConfig config;
+  config.seed = 8;
+  config.anon_executions_per_weekday = 5000;
+  config.batch_executions_per_day = 120;
+  config.workload.sessions_per_weekday = 450;
+  config.workload.num_users = 600;
+  config.workload.num_workstations = 400;
+  // Customer sessions are fully traced: context-rich logs.
+  config.client_context_prob = 0.98;
+  config.service_context_prob = 0.4;
+  return config;
+}
+
+}  // namespace logmine::sim

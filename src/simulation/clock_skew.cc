@@ -1,0 +1,58 @@
+#include "simulation/clock_skew.h"
+
+#include "util/rng.h"
+
+namespace logmine::sim {
+namespace {
+
+uint64_t MixHash(uint64_t seed, std::string_view text, uint64_t extra) {
+  uint64_t h = seed ^ 0x9e3779b97f4a7c15ULL;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  h ^= extra + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return SplitMix64(&h);
+}
+
+}  // namespace
+
+TimeMs ClockSkewModel::SkewFor(std::string_view host, bool nt_clock,
+                               int day_index) const {
+  const uint64_t base = MixHash(seed_, host, 0);
+  const uint64_t daily =
+      MixHash(seed_, host, static_cast<uint64_t>(day_index) + 1);
+  if (!nt_clock) {
+    // NTP: within +-1 ms.
+    return static_cast<TimeMs>(base % 3) - 1;
+  }
+  if (host.substr(0, 3) == "ws-") {
+    // Client workstations sync only within their NT domain; the paper
+    // verified the < 1 s bound for NT *servers* but leaves workstations
+    // unbounded. Stable offset +-1.5 s plus daily drift +-0.3 s.
+    const TimeMs stable = static_cast<TimeMs>(base % 3001) - 1500;
+    const TimeMs drift = static_cast<TimeMs>(daily % 601) - 300;
+    return stable + drift;
+  }
+  // NT servers: a stable per-host offset within +-700 ms plus a daily
+  // drift within +-150 ms, keeping |skew| < 1 s as verified in the paper.
+  const TimeMs stable = static_cast<TimeMs>(base % 1401) - 700;
+  const TimeMs drift = static_cast<TimeMs>(daily % 301) - 150;
+  return stable + drift;
+}
+
+TimeMs ClockSkewModel::BufferDelayFor(std::string_view host, TimeMs t) const {
+  // Flush cycle of 0.2 - 5 s, phase-locked per host: reception time is
+  // quantized to the next flush boundary plus a small network delay.
+  const uint64_t h = MixHash(seed_, host, 42);
+  const TimeMs cycle = 200 + static_cast<TimeMs>(h % 4801);
+  const TimeMs phase = static_cast<TimeMs>(MixHash(seed_, host, 7) %
+                                           static_cast<uint64_t>(cycle));
+  const TimeMs next_flush = ((t - phase) / cycle + 1) * cycle + phase;
+  const TimeMs network = 2 + static_cast<TimeMs>(MixHash(seed_, host,
+                                                         static_cast<uint64_t>(t)) %
+                                                 30);
+  return (next_flush - t) + network;
+}
+
+}  // namespace logmine::sim

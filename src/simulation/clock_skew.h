@@ -1,0 +1,34 @@
+#ifndef LOGMINE_SIMULATION_CLOCK_SKEW_H_
+#define LOGMINE_SIMULATION_CLOCK_SKEW_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/time_util.h"
+
+namespace logmine::sim {
+
+/// Deterministic per-host clock error model mirroring §4.2: Unix servers
+/// are NTP-synced (deviation < 1 ms); Windows NT servers and client
+/// workstations sync only within their NT domain and drift up to ~1 s.
+/// The skew of a host is stable within a day and drifts day to day.
+class ClockSkewModel {
+ public:
+  explicit ClockSkewModel(uint64_t seed) : seed_(seed) {}
+
+  /// Milliseconds to *add* to the true time to obtain the host's clock
+  /// reading on day `day_index`.
+  TimeMs SkewFor(std::string_view host, bool nt_clock, int day_index) const;
+
+  /// Extra latency between message creation and reception at the log
+  /// server, modelling client-side buffering: batched flushes make the
+  /// server timestamp unusable (hash-derived, 200 ms - 5 s).
+  TimeMs BufferDelayFor(std::string_view host, TimeMs t) const;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace logmine::sim
+
+#endif  // LOGMINE_SIMULATION_CLOCK_SKEW_H_

@@ -1,0 +1,251 @@
+#include "simulation/defects.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "simulation/message_render.h"
+
+namespace logmine::sim {
+namespace {
+
+// Edges eligible to host a defect: a real, normally-weighted, logged call
+// citing a directory entry, with no defect applied yet.
+std::vector<int> CandidateEdges(const Topology& topology,
+                                const std::set<int>& used) {
+  std::vector<int> out;
+  for (size_t i = 0; i < topology.edges.size(); ++i) {
+    const InvocationEdge& e = topology.edges[i];
+    if (used.count(static_cast<int>(i))) continue;
+    if (e.cited_entry < 0 || !e.logged_by_caller) continue;
+    if (!e.miscited_id.empty() || e.exception_deep_entry >= 0) continue;
+    if (e.weight < 0.5) continue;
+    out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+Status ApplyDefects(const DefectCatalog& catalog,
+                    const ServiceDirectory& directory, Rng* rng,
+                    Topology* topology, AppliedDefects* applied) {
+  *applied = AppliedDefects{};
+  std::set<int> used_edges;
+  Rng local = rng->Fork("defects");
+
+  // --- unlogged edges, concentrated on few caller apps --------------------
+  {
+    std::vector<int> candidates = CandidateEdges(*topology, used_edges);
+    // Group candidates by caller and prefer callers with many out-edges so
+    // the defect concentrates on ~4 apps, as in the paper.
+    std::map<int, std::vector<int>> by_caller;
+    for (int e : candidates) {
+      by_caller[topology->edges[static_cast<size_t>(e)].caller].push_back(e);
+    }
+    std::vector<std::pair<int, std::vector<int>>> callers(by_caller.begin(),
+                                                          by_caller.end());
+    std::stable_sort(callers.begin(), callers.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second.size() > b.second.size();
+                     });
+    int remaining = catalog.unlogged_edges;
+    std::set<int> caller_apps;
+    for (const auto& [caller, edges] : callers) {
+      if (remaining <= 0) break;
+      for (int e : edges) {
+        if (remaining <= 0) break;
+        topology->edges[static_cast<size_t>(e)].logged_by_caller = false;
+        used_edges.insert(e);
+        applied->unlogged_edges.push_back(e);
+        caller_apps.insert(caller);
+        --remaining;
+      }
+    }
+    if (remaining > 0) {
+      return Status::FailedPrecondition(
+          "not enough candidate edges for unlogged-edge defects");
+    }
+    applied->apps_with_unlogged_invocations.assign(caller_apps.begin(),
+                                                   caller_apps.end());
+  }
+
+  // --- wrong (stale) names -------------------------------------------------
+  {
+    std::vector<int> candidates = CandidateEdges(*topology, used_edges);
+    local.Shuffle(&candidates);
+    if (static_cast<int>(candidates.size()) < catalog.wrong_name_edges) {
+      return Status::FailedPrecondition(
+          "not enough candidate edges for wrong-name defects");
+    }
+    for (int i = 0; i < catalog.wrong_name_edges; ++i) {
+      const int e = candidates[static_cast<size_t>(i)];
+      InvocationEdge& edge = topology->edges[static_cast<size_t>(e)];
+      const std::string& real_id =
+          directory.entry(static_cast<size_t>(edge.cited_entry)).id;
+      // Derive a stale variant of the id, e.g. "UPSRV2" logged as "UPSRV".
+      std::string stale = real_id;
+      if (!stale.empty() && std::isdigit(static_cast<unsigned char>(
+                                stale.back()))) {
+        stale.pop_back();
+      } else {
+        stale += "0";
+      }
+      while (directory.FindById(stale).ok()) stale += "X";
+      edge.miscited_id = stale;
+      used_edges.insert(e);
+      applied->wrong_name_edges.push_back(e);
+    }
+  }
+
+  // --- erroneous but valid ids ---------------------------------------------
+  {
+    std::vector<int> candidates = CandidateEdges(*topology, used_edges);
+    local.Shuffle(&candidates);
+    if (static_cast<int>(candidates.size()) < catalog.erroneous_id_edges) {
+      return Status::FailedPrecondition(
+          "not enough candidate edges for erroneous-id defects");
+    }
+    for (int i = 0; i < catalog.erroneous_id_edges; ++i) {
+      const int e = candidates[static_cast<size_t>(i)];
+      InvocationEdge& edge = topology->edges[static_cast<size_t>(e)];
+      // Cite a different, valid entry while the true dependency stays.
+      int other = edge.cited_entry;
+      while (other == edge.cited_entry) {
+        other = static_cast<int>(
+            local.UniformInt(0, static_cast<int64_t>(directory.size()) - 1));
+      }
+      edge.cited_entry = other;
+      used_edges.insert(e);
+      applied->erroneous_id_edges.push_back(e);
+    }
+  }
+
+  // --- server-side loggers ---------------------------------------------------
+  {
+    std::vector<int> providers;
+    for (size_t i = 0; i < topology->apps.size(); ++i) {
+      if (!topology->apps[i].provided_entries.empty()) {
+        providers.push_back(static_cast<int>(i));
+      }
+    }
+    local.Shuffle(&providers);
+    if (static_cast<int>(providers.size()) < catalog.server_side_loggers) {
+      return Status::FailedPrecondition(
+          "not enough provider apps for server-side loggers");
+    }
+    for (int i = 0; i < catalog.server_side_loggers; ++i) {
+      Application& app =
+          topology->apps[static_cast<size_t>(providers[static_cast<size_t>(i)])];
+      app.logs_server_side = true;
+      if (i < catalog.uncovered_server_side_loggers) {
+        app.server_side_style = kNumServerSideStyles - 1;  // no stop pattern
+        applied->uncovered_server_side_apps.push_back(
+            providers[static_cast<size_t>(i)]);
+      } else {
+        app.server_side_style = i % (kNumServerSideStyles - 1);
+      }
+      applied->server_side_apps.push_back(providers[static_cast<size_t>(i)]);
+    }
+  }
+
+  // --- exception stack-trace leaks -------------------------------------------
+  {
+    std::vector<int> candidates;
+    for (int e : CandidateEdges(*topology, used_edges)) {
+      const InvocationEdge& edge = topology->edges[static_cast<size_t>(e)];
+      // Need a deeper edge callee -> D where D provides an entry different
+      // from the one this edge cites.
+      for (const InvocationEdge& deeper : topology->edges) {
+        if (deeper.caller != edge.callee || deeper.true_entry < 0) continue;
+        if (deeper.true_entry == edge.cited_entry) continue;
+        candidates.push_back(e);
+        break;
+      }
+    }
+    local.Shuffle(&candidates);
+    if (static_cast<int>(candidates.size()) < catalog.exception_edges) {
+      return Status::FailedPrecondition(
+          "not enough two-hop chains for exception defects");
+    }
+    for (int i = 0; i < catalog.exception_edges; ++i) {
+      const int e = candidates[static_cast<size_t>(i)];
+      InvocationEdge& edge = topology->edges[static_cast<size_t>(e)];
+      for (const InvocationEdge& deeper : topology->edges) {
+        if (deeper.caller == edge.callee && deeper.true_entry >= 0 &&
+            deeper.true_entry != edge.cited_entry) {
+          edge.exception_deep_entry = deeper.true_entry;
+          break;
+        }
+      }
+      edge.failure_prob = 0.05;
+      used_edges.insert(e);
+      applied->exception_edges.push_back(e);
+    }
+  }
+
+  // --- coincidental citations -------------------------------------------------
+  {
+    const auto true_deps = topology->AppServiceDeps(directory);
+    std::vector<std::pair<int, int>> candidates;
+    for (size_t a = 0; a < topology->apps.size(); ++a) {
+      const Application& app = topology->apps[a];
+      if (app.tier != Tier::kClient && app.tier != Tier::kService) continue;
+      for (size_t s = 0; s < directory.size(); ++s) {
+        if (!true_deps.count({app.name, directory.entry(s).id})) {
+          candidates.emplace_back(static_cast<int>(a), static_cast<int>(s));
+        }
+      }
+    }
+    local.Shuffle(&candidates);
+    if (static_cast<int>(candidates.size()) < catalog.coincidence_pairs) {
+      return Status::FailedPrecondition(
+          "not enough (app, entry) pairs for coincidence defects");
+    }
+    std::set<int> apps_seen;
+    int taken = 0;
+    for (const auto& [a, s] : candidates) {
+      if (taken >= catalog.coincidence_pairs) break;
+      if (apps_seen.count(a)) continue;  // spread across apps
+      topology->apps[static_cast<size_t>(a)].coincidence_entries.push_back(s);
+      applied->coincidences.emplace_back(a, s);
+      apps_seen.insert(a);
+      ++taken;
+    }
+    // If spreading failed to reach the count, allow repeats.
+    for (const auto& [a, s] : candidates) {
+      if (taken >= catalog.coincidence_pairs) break;
+      auto& existing =
+          topology->apps[static_cast<size_t>(a)].coincidence_entries;
+      if (std::find(existing.begin(), existing.end(), s) != existing.end()) {
+        continue;
+      }
+      existing.push_back(s);
+      applied->coincidences.emplace_back(a, s);
+      ++taken;
+    }
+  }
+
+  // --- rarely used edges --------------------------------------------------------
+  {
+    std::vector<int> candidates = CandidateEdges(*topology, used_edges);
+    local.Shuffle(&candidates);
+    if (static_cast<int>(candidates.size()) < catalog.rare_edges) {
+      return Status::FailedPrecondition(
+          "not enough candidate edges for rare-edge defects");
+    }
+    for (int i = 0; i < catalog.rare_edges; ++i) {
+      const int e = candidates[static_cast<size_t>(i)];
+      // "Used extremely seldom": expected well below one realization per
+      // simulated week, so most weeks these never take place.
+      topology->edges[static_cast<size_t>(e)].weight = 0.001;
+      used_edges.insert(e);
+      applied->rare_edges.push_back(e);
+    }
+  }
+
+  return Status::OK();
+}
+
+}  // namespace logmine::sim

@@ -1,0 +1,66 @@
+#ifndef LOGMINE_SIMULATION_DEFECTS_H_
+#define LOGMINE_SIMULATION_DEFECTS_H_
+
+#include <utility>
+#include <vector>
+
+#include "simulation/directory.h"
+#include "simulation/topology.h"
+#include "util/rng.h"
+
+namespace logmine::sim {
+
+/// The catalog of *logging defects* injected into a clean topology so the
+/// corpus exhibits every error source of the paper's §4.8 analysis.
+/// Counts follow the paper's union-over-seven-days taxonomy.
+struct DefectCatalog {
+  /// Interactions never logged by the caller (L3 false negatives; their
+  /// caller apps are the ones removed in the §4.9 load experiment).
+  int unlogged_edges = 7;
+  /// Interactions logged under a stale id absent from the directory
+  /// ("UPSRV" instead of "UPSRV2"): pure false negatives.
+  int wrong_name_edges = 3;
+  /// Interactions citing a similar but *wrong* (valid) entry: a false
+  /// positive on the cited entry plus a false negative on the true one.
+  int erroneous_id_edges = 5;
+  /// Provider apps that log calls they receive, citing their own group
+  /// (inverted dependencies unless a stop pattern suppresses the log).
+  int server_side_loggers = 24;
+  /// Of those, how many use a format the default stop patterns miss.
+  int uncovered_server_side_loggers = 2;
+  /// Edges whose failures leak a transitive citation via a logged stack
+  /// trace returned through the intermediary.
+  int exception_edges = 5;
+  /// (app, entry) pairs where the entry id shows up coincidentally in the
+  /// app's data (patient names etc.).
+  int coincidence_pairs = 7;
+  /// Edges "used extremely seldom" — near-zero weight, likely absent
+  /// from any given week.
+  int rare_edges = 6;
+};
+
+/// Record of where each defect landed, for tests and the experiment
+/// harness (e.g. which apps to exclude in the load experiment).
+struct AppliedDefects {
+  std::vector<int> unlogged_edges;
+  std::vector<int> wrong_name_edges;
+  std::vector<int> erroneous_id_edges;
+  std::vector<int> server_side_apps;
+  std::vector<int> uncovered_server_side_apps;
+  std::vector<int> exception_edges;
+  std::vector<std::pair<int, int>> coincidences;  ///< (app, entry)
+  std::vector<int> rare_edges;
+  /// Distinct caller apps of `unlogged_edges`.
+  std::vector<int> apps_with_unlogged_invocations;
+};
+
+/// Mutates `topology` according to `catalog`. Requires a validated
+/// topology whose edges are still defect-free. Deterministic given `rng`.
+/// Fails when the topology is too small to host the requested counts.
+Status ApplyDefects(const DefectCatalog& catalog,
+                    const ServiceDirectory& directory, Rng* rng,
+                    Topology* topology, AppliedDefects* applied);
+
+}  // namespace logmine::sim
+
+#endif  // LOGMINE_SIMULATION_DEFECTS_H_

@@ -1,0 +1,445 @@
+#include "simulation/hug_scenario.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <map>
+
+#include "simulation/message_render.h"
+#include "simulation/workload.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace logmine::sim {
+namespace {
+
+struct AppSpec {
+  std::string_view name;
+  Tier tier;
+};
+
+// 12 clients, 26 services, 8 backends, 4 integration bridges, 4 daemons.
+constexpr std::array<AppSpec, 54> kApps = {{
+    {"DPIFormidoc", Tier::kClient},
+    {"DPIViewer", Tier::kClient},
+    {"DPIOrders", Tier::kClient},
+    {"LabConsole", Tier::kClient},
+    {"RadViewer", Tier::kClient},
+    {"AdmissionDesk", Tier::kClient},
+    {"PharmaDesk", Tier::kClient},
+    {"NurseBoard", Tier::kClient},
+    {"BillingDesk", Tier::kClient},
+    {"ArchiveBrowser", Tier::kClient},
+    {"PlanningTool", Tier::kClient},
+    {"TriageClient", Tier::kClient},
+    {"DPIPublication", Tier::kService},
+    {"DPINotifier", Tier::kService},
+    {"DPIBaseDoc", Tier::kService},
+    {"DPIUserSrv", Tier::kService},
+    {"LabResults", Tier::kService},
+    {"LabOrders", Tier::kService},
+    {"RadImaging", Tier::kService},
+    {"RadReports", Tier::kService},
+    {"AdmissionSrv", Tier::kService},
+    {"PatientIndex", Tier::kService},
+    {"BillingSrv", Tier::kService},
+    {"PharmaStock", Tier::kService},
+    {"Prescription", Tier::kService},
+    {"VaccineSrv", Tier::kService},
+    {"NutritionSrv", Tier::kService},
+    {"PhysioSrv", Tier::kService},
+    {"EpidemioSrv", Tier::kService},
+    {"ResourceMgr", Tier::kService},
+    {"WardMgr", Tier::kService},
+    {"TransportSrv", Tier::kService},
+    {"AlertSrv", Tier::kService},
+    {"AuditSrv", Tier::kService},
+    {"DocTemplates", Tier::kService},
+    {"TermServer", Tier::kService},
+    {"StatsSrv", Tier::kService},
+    {"ExportSrv", Tier::kService},
+    {"PatientDB", Tier::kBackend},
+    {"DocStore", Tier::kBackend},
+    {"LabDB", Tier::kBackend},
+    {"ImageArchive", Tier::kBackend},
+    {"BillingDB", Tier::kBackend},
+    {"HRDB", Tier::kBackend},
+    {"ConfigDB", Tier::kBackend},
+    {"ArchiveDB", Tier::kBackend},
+    {"RISGateway", Tier::kIntegration},
+    {"ICUBridge", Tier::kIntegration},
+    {"InsuranceLink", Tier::kIntegration},
+    {"StateRegistry", Tier::kIntegration},
+    {"NightBatch", Tier::kDaemon},
+    {"ReplicaSync", Tier::kDaemon},
+    {"PurgeDaemon", Tier::kDaemon},
+    {"StatsCollector", Tier::kDaemon},
+}};
+
+// Primary directory ids for the 26 services (aligned with kApps order),
+// including the paper's "UPSRV2" (the newer version of DPIUserSrv whose
+// stale name "UPSRV" shows up in the wrong-name defect).
+constexpr std::array<std::string_view, 26> kServiceEntryIds = {
+    "DPIPUBLICATION", "DPINOTIFICATION", "DPIBASEDOC", "UPSRV2",
+    "LABRES",         "LABORD",          "RADIMG",     "RADREP",
+    "ADMSRV",         "PATIDX",          "BILLSRV",    "PHARMSTK",
+    "PRESCR",         "VACSRV",          "NUTRSRV",    "PHYSSRV",
+    "EPIDSRV",        "RESMGR",          "WARDMGR",    "TRANSPSRV",
+    "ALERTSRV",       "AUDITSRV",        "DOCTPL",     "TERMSRV",
+    "STATSRV",        "EXPSRV"};
+
+constexpr std::array<std::string_view, 8> kBackendEntryIds = {
+    "PATDB", "DOCSTORE", "LABDB", "IMGARCH",
+    "BILLDB", "HRDB",    "CONFDB", "ARCHDB"};
+
+// Eight services also expose a second-generation API group (v3 suffix to
+// avoid colliding with the wrong-name derivation that strips a digit).
+constexpr std::array<int, 8> kV2Services = {2, 4, 6, 9, 10, 22, 20, 25};
+
+constexpr std::array<std::string_view, 5> kIntegrationEntryIds = {
+    "RISGW", "ICUBRIDGE", "INSLINK", "STATEREG", "STATEREG2"};
+
+std::string HostName(int index, bool nt) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), nt ? "ntsrv%02d.hug.ch" : "srv%02d.hug.ch",
+                index);
+  return buf;
+}
+
+// Adds an edge unless the (caller, callee) pair already exists in either
+// direction; returns the edge index or -1.
+int AddEdge(Topology* topology,
+            std::set<std::pair<int, int>>* pairs, int caller, int callee,
+            int entry, double weight, bool asynchronous) {
+  if (caller == callee) return -1;
+  const auto key = std::minmax(caller, callee);
+  if (pairs->count({key.first, key.second})) return -1;
+  pairs->insert({key.first, key.second});
+  InvocationEdge edge;
+  edge.caller = caller;
+  edge.callee = callee;
+  edge.cited_entry = entry;
+  edge.true_entry = entry;
+  edge.weight = weight;
+  edge.asynchronous = asynchronous;
+  topology->edges.push_back(edge);
+  return static_cast<int>(topology->edges.size()) - 1;
+}
+
+// Picks the entry a caller cites for `callee` (primary, or occasionally
+// the v2 group if one exists).
+int CitedEntryFor(const Application& callee, Rng* rng) {
+  if (callee.provided_entries.empty()) return -1;
+  if (callee.provided_entries.size() > 1 && rng->Bernoulli(0.35)) {
+    return callee.provided_entries[1];
+  }
+  return callee.provided_entries[0];
+}
+
+// Recursively expands the call tree below `edge_index`: each out-edge of
+// the callee may appear as a nested call, with probability proportional
+// to its weight and decaying with depth.
+CallStep ExpandStep(const Topology& topology,
+                    const std::map<int, std::vector<int>>& out_edges,
+                    int edge_index, int depth, Rng* rng) {
+  CallStep step;
+  step.edge = edge_index;
+  if (depth >= 2) return step;
+  const int callee = topology.edges[static_cast<size_t>(edge_index)].callee;
+  auto it = out_edges.find(callee);
+  if (it == out_edges.end()) return step;
+  for (int child : it->second) {
+    const InvocationEdge& edge = topology.edges[static_cast<size_t>(child)];
+    const double base = depth == 0 ? 0.55 : 0.30;
+    const double prob = std::min(0.9, base * edge.weight);
+    if (rng->Bernoulli(prob)) {
+      step.children.push_back(
+          ExpandStep(topology, out_edges, child, depth + 1, rng));
+    }
+  }
+  return step;
+}
+
+}  // namespace
+
+Result<HugScenario> BuildHugScenario(const HugScenarioConfig& config) {
+  HugScenario scenario;
+  Topology& topology = scenario.topology;
+  ServiceDirectory& directory = scenario.directory;
+  Rng rng(config.seed);
+  Rng topo_rng = rng.Fork("topology");
+
+  // ---- applications -------------------------------------------------------
+  int host_counter = 0;
+  for (size_t i = 0; i < kApps.size(); ++i) {
+    Application app;
+    app.name = std::string(kApps[i].name);
+    app.tier = kApps[i].tier;
+    app.invocation_style = static_cast<InvocationLogStyle>(
+        i % static_cast<size_t>(kNumInvocationLogStyles));
+    app.invocation_log_prob = topo_rng.Uniform(0.85, 1.0);
+    switch (app.tier) {
+      case Tier::kClient:
+        app.background_rate_per_hour = topo_rng.Uniform(10, 30);
+        app.host = "";  // set per session (workstations)
+        app.nt_clock = true;
+        break;
+      case Tier::kService:
+        app.background_rate_per_hour = topo_rng.Uniform(60, 140);
+        app.nt_clock = topo_rng.Bernoulli(0.3);
+        app.host = HostName(host_counter++, app.nt_clock);
+        break;
+      case Tier::kBackend:
+        app.background_rate_per_hour = topo_rng.Uniform(100, 200);
+        app.nt_clock = false;
+        app.host = HostName(host_counter++, false);
+        break;
+      case Tier::kIntegration:
+        app.background_rate_per_hour = topo_rng.Uniform(40, 120);
+        app.nt_clock = topo_rng.Bernoulli(0.5);
+        app.host = HostName(host_counter++, app.nt_clock);
+        break;
+      case Tier::kDaemon:
+        app.background_rate_per_hour = topo_rng.Uniform(80, 160);
+        app.nt_clock = false;
+        app.host = HostName(host_counter++, false);
+        break;
+    }
+    topology.apps.push_back(std::move(app));
+  }
+  const int kFirstService = 12;
+  const int kFirstBackend = 38;
+  const int kFirstIntegration = 46;
+  const int kFirstDaemon = 50;
+  // Administrative clients are idle on weekends.
+  for (int office : {5 /*AdmissionDesk*/, 8 /*BillingDesk*/,
+                     9 /*ArchiveBrowser*/, 10 /*PlanningTool*/}) {
+    topology.apps[static_cast<size_t>(office)].weekday_only = true;
+  }
+  // Care clients run around the clock; everything else sleeps at night.
+  for (int care : {0 /*DPIFormidoc*/, 1 /*DPIViewer*/, 3 /*LabConsole*/,
+                   7 /*NurseBoard*/, 11 /*TriageClient*/}) {
+    topology.apps[static_cast<size_t>(care)].night_active = true;
+  }
+
+  // ---- service directory ---------------------------------------------------
+  auto add_entry = [&](std::string_view id, int owner_app) -> Status {
+    ServiceEntry entry;
+    entry.id = std::string(id);
+    const Application& owner =
+        topology.apps[static_cast<size_t>(owner_app)];
+    entry.server_host = owner.host;
+    entry.root_url =
+        "http://" + owner.host + ":9980/" + ToLower(id);
+    entry.num_replicas = 1 + static_cast<int>(topo_rng.UniformInt(0, 2));
+    LOGMINE_RETURN_IF_ERROR(directory.Add(entry));
+    topology.apps[static_cast<size_t>(owner_app)].provided_entries.push_back(
+        static_cast<int>(directory.size()) - 1);
+    return Status::OK();
+  };
+  for (size_t s = 0; s < kServiceEntryIds.size(); ++s) {
+    LOGMINE_RETURN_IF_ERROR(
+        add_entry(kServiceEntryIds[s], kFirstService + static_cast<int>(s)));
+  }
+  for (size_t b = 0; b < kBackendEntryIds.size(); ++b) {
+    LOGMINE_RETURN_IF_ERROR(
+        add_entry(kBackendEntryIds[b], kFirstBackend + static_cast<int>(b)));
+  }
+  for (int v2 : kV2Services) {
+    const std::string id = std::string(kServiceEntryIds[static_cast<size_t>(v2)]) + "3";
+    LOGMINE_RETURN_IF_ERROR(add_entry(id, kFirstService + v2));
+  }
+  for (size_t g = 0; g < kIntegrationEntryIds.size(); ++g) {
+    const int owner =
+        kFirstIntegration + std::min<int>(static_cast<int>(g), 3);
+    LOGMINE_RETURN_IF_ERROR(add_entry(kIntegrationEntryIds[g], owner));
+  }
+  if (directory.size() != 47) {
+    return Status::Internal("directory construction mismatch: " +
+                            std::to_string(directory.size()));
+  }
+
+  // ---- invocation edges ------------------------------------------------------
+  std::set<std::pair<int, int>> pair_guard;
+  // The paper's running illustration: DPIFormidoc publishes medical
+  // documents through DPIPublication — guaranteed, heavy edge.
+  AddEdge(&topology, &pair_guard, /*caller=*/0, kFirstService,
+          CitedEntryFor(topology.apps[static_cast<size_t>(kFirstService)],
+                        &topo_rng),
+          9.0, false);
+  // Clients call 6-10 services each.
+  for (int c = 0; c < kFirstService; ++c) {
+    const int fanout = static_cast<int>(topo_rng.UniformInt(6, 10));
+    for (int k = 0; k < fanout; ++k) {
+      const int callee = kFirstService + static_cast<int>(topo_rng.UniformInt(
+                             0, 25));
+      // Heavy-tailed popularity: a few workflows dominate the day, many
+      // run only a handful of times — the regime in which co-occurrence
+      // mining misses the tail.
+      const double weight =
+          std::clamp(LogNormal(0.5, 2.2, &topo_rng), 0.02, 40.0);
+      AddEdge(&topology, &pair_guard, c, callee,
+              CitedEntryFor(topology.apps[static_cast<size_t>(callee)],
+                            &topo_rng),
+              weight, false);
+    }
+  }
+  // Services call 2-3 other services or backends; ~25% of the
+  // service->service links are asynchronous notifications.
+  for (int s = kFirstService; s < kFirstBackend; ++s) {
+    const int fanout = static_cast<int>(topo_rng.UniformInt(2, 4));
+    for (int k = 0; k < fanout; ++k) {
+      int callee;
+      if (topo_rng.Bernoulli(0.45)) {
+        callee = kFirstBackend + static_cast<int>(topo_rng.UniformInt(0, 7));
+      } else {
+        callee = kFirstService + static_cast<int>(topo_rng.UniformInt(0, 25));
+      }
+      const bool is_async = topology.apps[static_cast<size_t>(callee)].tier ==
+                                Tier::kService &&
+                            topo_rng.Bernoulli(0.25);
+      AddEdge(&topology, &pair_guard, s, callee,
+              CitedEntryFor(topology.apps[static_cast<size_t>(callee)],
+                            &topo_rng),
+              std::clamp(LogNormal(0.6, 1.5, &topo_rng), 0.03, 15.0),
+              is_async);
+    }
+  }
+  // Services <-> integration bridges.
+  for (int g = kFirstIntegration; g < kFirstDaemon; ++g) {
+    for (int k = 0; k < 2; ++k) {
+      const int service =
+          kFirstService + static_cast<int>(topo_rng.UniformInt(0, 25));
+      AddEdge(&topology, &pair_guard, service, g,
+              CitedEntryFor(topology.apps[static_cast<size_t>(g)], &topo_rng),
+              topo_rng.Uniform(0.5, 1.2), topo_rng.Bernoulli(0.3));
+    }
+    const int target =
+        kFirstService + static_cast<int>(topo_rng.UniformInt(0, 25));
+    AddEdge(&topology, &pair_guard, g, target,
+            CitedEntryFor(topology.apps[static_cast<size_t>(target)],
+                          &topo_rng),
+            topo_rng.Uniform(0.5, 1.0), false);
+  }
+  // Daemons sweep services/backends.
+  for (int d = kFirstDaemon; d < 54; ++d) {
+    const int fanout = static_cast<int>(topo_rng.UniformInt(2, 4));
+    for (int k = 0; k < fanout; ++k) {
+      const int callee =
+          kFirstService + static_cast<int>(topo_rng.UniformInt(0, 33));
+      AddEdge(&topology, &pair_guard, d, callee,
+              CitedEntryFor(topology.apps[static_cast<size_t>(callee)],
+                            &topo_rng),
+              topo_rng.Uniform(0.5, 1.5), false);
+    }
+  }
+  // Asynchronous notifications pushed to clients (no directory entry on
+  // the callee side: visible to L1/L2 but outside the L3 model).
+  for (int k = 0; k < 8; ++k) {
+    const int notifier = kFirstService + 1;  // DPINotifier
+    const int client = static_cast<int>(topo_rng.UniformInt(0, 11));
+    AddEdge(&topology, &pair_guard, notifier, client, -1,
+            topo_rng.Uniform(0.5, 1.0), true);
+  }
+
+  // ---- defects ------------------------------------------------------------------
+  Rng defect_rng = rng.Fork("defects");
+  LOGMINE_RETURN_IF_ERROR(ApplyDefects(config.defects, directory, &defect_rng,
+                                       &topology, &scenario.defects));
+
+  // ---- use cases -------------------------------------------------------------------
+  Rng uc_rng = rng.Fork("usecases");
+  std::map<int, std::vector<int>> out_edges;
+  for (size_t e = 0; e < topology.edges.size(); ++e) {
+    out_edges[topology.edges[e].caller].push_back(static_cast<int>(e));
+  }
+  int uc_counter = 0;
+  auto next_name = [&uc_counter](std::string_view kind) {
+    return std::string(kind) + "-" + std::to_string(uc_counter++);
+  };
+
+  for (int c = 0; c < kFirstService; ++c) {
+    auto it = out_edges.find(c);
+    if (it == out_edges.end()) continue;
+    const std::vector<int>& edges = it->second;
+    std::vector<int> normal_edges;
+    for (int e : edges) {
+      if (topology.edges[static_cast<size_t>(e)].weight < 0.01) {
+        // Rare edge: its own, rarely selected use case.
+        UseCase uc;
+        uc.name = next_name("rare");
+        uc.root_app = c;
+        uc.steps.push_back(ExpandStep(topology, out_edges, e, 0, &uc_rng));
+        uc.weight = topology.edges[static_cast<size_t>(e)].weight;
+        topology.use_cases.push_back(std::move(uc));
+      } else {
+        normal_edges.push_back(e);
+      }
+    }
+    for (int e : normal_edges) {
+      // Primary use case around this edge.
+      UseCase uc;
+      uc.name = next_name("uc");
+      uc.root_app = c;
+      uc.steps.push_back(ExpandStep(topology, out_edges, e, 0, &uc_rng));
+      uc.weight = topology.edges[static_cast<size_t>(e)].weight;
+      topology.use_cases.push_back(std::move(uc));
+      // A combined view: this edge plus another of the client's calls
+      // (the paper's "creation of a view requires combining information
+      // provided by different components").
+      if (normal_edges.size() > 1 && uc_rng.Bernoulli(0.4)) {
+        int other = e;
+        while (other == e) {
+          other = normal_edges[static_cast<size_t>(uc_rng.UniformInt(
+              0, static_cast<int64_t>(normal_edges.size()) - 1))];
+        }
+        UseCase combo;
+        combo.name = next_name("view");
+        combo.root_app = c;
+        combo.steps.push_back(ExpandStep(topology, out_edges, e, 0, &uc_rng));
+        combo.steps.push_back(
+            ExpandStep(topology, out_edges, other, 0, &uc_rng));
+        combo.weight =
+            0.5 * std::min(topology.edges[static_cast<size_t>(e)].weight,
+                           topology.edges[static_cast<size_t>(other)].weight);
+        topology.use_cases.push_back(std::move(combo));
+      }
+    }
+  }
+
+  // Batch/background use cases guarantee every non-rare edge of every
+  // non-client app is realized.
+  for (const auto& [app, edges] : out_edges) {
+    if (topology.apps[static_cast<size_t>(app)].tier == Tier::kClient) {
+      continue;
+    }
+    UseCase uc;
+    uc.name = next_name("batch");
+    uc.root_app = app;
+    double weight_sum = 0;
+    for (int e : edges) {
+      if (topology.edges[static_cast<size_t>(e)].weight < 0.01) {
+        UseCase rare;
+        rare.name = next_name("rare-batch");
+        rare.root_app = app;
+        rare.steps.push_back(CallStep{e, {}});
+        rare.weight = topology.edges[static_cast<size_t>(e)].weight;
+        topology.batch_use_cases.push_back(std::move(rare));
+        continue;
+      }
+      uc.steps.push_back(ExpandStep(topology, out_edges, e, 1, &uc_rng));
+      weight_sum += topology.edges[static_cast<size_t>(e)].weight;
+    }
+    if (!uc.steps.empty()) {
+      uc.weight = weight_sum / static_cast<double>(uc.steps.size());
+      topology.batch_use_cases.push_back(std::move(uc));
+    }
+  }
+
+  LOGMINE_RETURN_IF_ERROR(topology.Validate(directory));
+  scenario.interaction_pairs = topology.InteractionPairs();
+  scenario.app_service_deps = topology.AppServiceDeps(directory);
+  return scenario;
+}
+
+}  // namespace logmine::sim

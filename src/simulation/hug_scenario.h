@@ -1,0 +1,45 @@
+#ifndef LOGMINE_SIMULATION_HUG_SCENARIO_H_
+#define LOGMINE_SIMULATION_HUG_SCENARIO_H_
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "simulation/defects.h"
+#include "simulation/directory.h"
+#include "simulation/topology.h"
+#include "util/result.h"
+
+namespace logmine::sim {
+
+/// Parameters of the preset hospital landscape.
+struct HugScenarioConfig {
+  uint64_t seed = 20051206;
+  DefectCatalog defects;
+};
+
+/// A complete, validated scenario: the landscape, its service directory,
+/// the record of injected logging defects, and the two ground-truth
+/// reference models the paper evaluates against.
+struct HugScenario {
+  Topology topology;
+  ServiceDirectory directory;
+  AppliedDefects defects;
+  /// Reference model for L1/L2: unordered pairs of directly interacting
+  /// application names (~178 of 54*53/2 pairs in the paper).
+  std::set<std::pair<std::string, std::string>> interaction_pairs;
+  /// Reference model for L3: (application, directory entry id) pairs
+  /// (~177 in the paper).
+  std::set<std::pair<std::string, std::string>> app_service_deps;
+};
+
+/// Builds the HUG-like landscape: 54 applications (12 clients, 26
+/// services, 8 backends, 4 integration bridges, 4 daemons), a 47-entry
+/// service directory, ~175 interaction edges realized through generated
+/// use-case trees, and the full defect catalog of §4.8. Deterministic in
+/// `config.seed`.
+Result<HugScenario> BuildHugScenario(const HugScenarioConfig& config);
+
+}  // namespace logmine::sim
+
+#endif  // LOGMINE_SIMULATION_HUG_SCENARIO_H_

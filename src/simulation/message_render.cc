@@ -1,0 +1,168 @@
+#include "simulation/message_render.h"
+
+#include <array>
+
+#include "util/string_util.h"
+
+namespace logmine::sim {
+namespace {
+
+constexpr std::array<std::string_view, 12> kVerbs = {
+    "store", "fetch", "query", "publish", "notify", "validate",
+    "submit", "list",  "merge", "resolve", "export", "sign"};
+
+constexpr std::array<std::string_view, 10> kWards = {
+    "cardiology", "pediatrics", "oncology",  "radiology", "surgery",
+    "intensive",  "emergency",  "maternity", "geriatrics", "psychiatry"};
+
+constexpr std::array<std::string_view, 8> kProcessingTemplates = {
+    "request processed in %d ms",
+    "query executed rows=%d",
+    "cache refresh completed (%d entries)",
+    "document rendered, size=%d bytes",
+    "transaction committed seq=%d",
+    "queue depth %d",
+    "session state persisted (%d keys)",
+    "validation finished, %d warnings",
+};
+
+constexpr std::array<std::string_view, 8> kBackgroundTemplates = {
+    "heartbeat ok, uptime %d s",
+    "scheduled scan: %d items checked",
+    "gc cycle freed %d objects",
+    "replica sync delta=%d",
+    "metrics flushed (%d series)",
+    "connection pool: %d idle",
+    "index maintenance: %d pages",
+    "watchdog tick %d",
+};
+
+std::string FormatCount(std::string_view tmpl, int64_t n) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), std::string(tmpl).c_str(),
+                static_cast<int>(n));
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderInvocationMessage(InvocationLogStyle style,
+                                    std::string_view fct,
+                                    std::string_view cited_id,
+                                    std::string_view url, Rng* rng) {
+  const int64_t id = rng->UniformInt(1000, 999999);
+  std::string out;
+  switch (style) {
+    case InvocationLogStyle::kBracketedServer:
+      out = "Invoke externalService [fct [" + std::string(fct) +
+            "] server [" + std::string(url) + "]]";
+      break;
+    case InvocationLogStyle::kParenGroup:
+      out = "(" + std::string(cited_id) + ") " + std::string(fct) +
+            "( $params )";
+      break;
+    case InvocationLogStyle::kProseCall:
+      out = "calling " + std::string(cited_id) + "." + std::string(fct) +
+            " for patient " + std::to_string(id);
+      break;
+    case InvocationLogStyle::kArrowUrl:
+      out = "-> url " + std::string(url) + "/" + std::string(fct) +
+            " id=" + std::to_string(id);
+      break;
+    case InvocationLogStyle::kKeyValue:
+      out = "remote call fct=" + std::string(fct) + " grp=" +
+            std::string(cited_id) + " rc=0";
+      break;
+  }
+  return out;
+}
+
+std::string RenderProcessingMessage(std::string_view app_name, Rng* rng) {
+  const size_t pick = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(kProcessingTemplates.size()) - 1));
+  (void)app_name;  // kept in the signature for per-app vocabularies later
+  return FormatCount(kProcessingTemplates[pick], rng->UniformInt(1, 5000));
+}
+
+std::string RenderServerSideMessage(int style, std::string_view fct,
+                                    std::string_view own_id,
+                                    std::string_view caller_host, Rng* rng) {
+  const int64_t n = rng->UniformInt(1, 9999);
+  switch (style % kNumServerSideStyles) {
+    case 0:
+      return "Received call " + std::string(fct) + " from " +
+             std::string(caller_host) + " (" + std::string(own_id) + ")";
+    case 1:
+      return "incoming request " + std::string(fct) + " (" +
+             std::string(own_id) + ") client=" + std::string(caller_host);
+    case 2:
+      return "handling fct " + std::string(fct) + " for " +
+             std::string(caller_host) + " grp " + std::string(own_id);
+    case 3:
+      return "serve " + std::string(own_id) + "." + std::string(fct) +
+             " <- " + std::string(caller_host);
+    case 4:
+      return "request dispatched to worker: " + std::string(own_id) + "/" +
+             std::string(fct) + " job=" + std::to_string(n);
+    default:
+      // Style 5: an idiosyncratic format the stop-pattern list misses.
+      return "EXEC " + std::string(fct) + " caller=" +
+             std::string(caller_host) + " group=" + std::string(own_id);
+  }
+}
+
+std::string RenderExceptionMessage(std::string_view via_id,
+                                   std::string_view deep_id,
+                                   std::string_view fct, Rng* rng) {
+  const int64_t line = rng->UniformInt(20, 900);
+  return "ERROR remote fault returned by " + std::string(via_id) +
+         ": unhandled exception\\n at " + std::string(deep_id) + "." +
+         std::string(fct) + "(request.c:" + std::to_string(line) +
+         ")\\n at dispatcher.invoke";
+}
+
+std::string RenderCoincidenceMessage(std::string_view app_name,
+                                     std::string_view entry_id, Rng* rng) {
+  (void)app_name;
+  const int64_t pid = rng->UniformInt(100000, 999999);
+  switch (rng->UniformInt(0, 2)) {
+    case 0:
+      return "admission of patient " + std::string(entry_id) + " M. (pid " +
+             std::to_string(pid) + ")";
+    case 1:
+      return "updated record for " + std::string(entry_id) +
+             ", ward transferred";
+    default:
+      return "billing item '" + std::string(entry_id) + "' priced";
+  }
+}
+
+std::string RenderUserActionMessage(std::string_view use_case_name,
+                                    Rng* rng) {
+  const size_t ward = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(kWards.size()) - 1));
+  return "user action: " + std::string(use_case_name) + " [" +
+         std::string(kWards[ward]) + "]";
+}
+
+std::string RenderBackgroundMessage(std::string_view app_name, Rng* rng) {
+  const size_t pick = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(kBackgroundTemplates.size()) - 1));
+  (void)app_name;
+  return FormatCount(kBackgroundTemplates[pick], rng->UniformInt(1, 100000));
+}
+
+std::string FunctionNameFor(std::string_view entry_id, int variant) {
+  // Hash the id to a stable verb, offset by `variant` for multi-function
+  // groups.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : entry_id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  const size_t idx =
+      static_cast<size_t>((h + static_cast<uint64_t>(variant)) % kVerbs.size());
+  return std::string(kVerbs[idx]);
+}
+
+}  // namespace logmine::sim

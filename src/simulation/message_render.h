@@ -1,0 +1,62 @@
+#ifndef LOGMINE_SIMULATION_MESSAGE_RENDER_H_
+#define LOGMINE_SIMULATION_MESSAGE_RENDER_H_
+
+#include <string>
+#include <string_view>
+
+#include "simulation/topology.h"
+#include "util/rng.h"
+
+namespace logmine::sim {
+
+/// Number of distinct server-side ("received call") template families.
+/// Families 0..4 are matched by the default stop-pattern list; family 5
+/// deliberately is not, producing the residual inverted dependencies the
+/// paper reports even with stop patterns enabled.
+inline constexpr int kNumServerSideStyles = 6;
+
+/// Renders the free text a caller writes when invoking `fct` of service
+/// group `cited_id` at `url`, in the given developer style. The citation
+/// of the directory entry (by id or by URL containing the id) is what L3
+/// mines.
+std::string RenderInvocationMessage(InvocationLogStyle style,
+                                    std::string_view fct,
+                                    std::string_view cited_id,
+                                    std::string_view url, Rng* rng);
+
+/// Renders an ordinary processing log with no service citation (queries,
+/// timings, cache chatter, ...).
+std::string RenderProcessingMessage(std::string_view app_name, Rng* rng);
+
+/// Renders the server-side log of a *received* call, citing the
+/// provider's own group id — the source of inverted dependencies.
+std::string RenderServerSideMessage(int style, std::string_view fct,
+                                    std::string_view own_id,
+                                    std::string_view caller_host, Rng* rng);
+
+/// Renders an exception log that leaks a *transitive* citation: the
+/// caller logs the stack trace returned by intermediary `via_id`, which
+/// mentions the deeper service `deep_id`.
+std::string RenderExceptionMessage(std::string_view via_id,
+                                   std::string_view deep_id,
+                                   std::string_view fct, Rng* rng);
+
+/// Renders a log whose free text *coincidentally* contains `entry_id`
+/// as ordinary data (the paper's example: a patient having the same name
+/// as a service id).
+std::string RenderCoincidenceMessage(std::string_view app_name,
+                                     std::string_view entry_id, Rng* rng);
+
+/// Renders the client-side log of a user action starting a use case.
+std::string RenderUserActionMessage(std::string_view use_case_name, Rng* rng);
+
+/// Renders background daemon/monitoring chatter.
+std::string RenderBackgroundMessage(std::string_view app_name, Rng* rng);
+
+/// Deterministically derives a plausible function name for a service
+/// entry ("DPINOTIFICATION" -> "notify", generic ids -> verbs).
+std::string FunctionNameFor(std::string_view entry_id, int variant);
+
+}  // namespace logmine::sim
+
+#endif  // LOGMINE_SIMULATION_MESSAGE_RENDER_H_

@@ -1,0 +1,456 @@
+#include "simulation/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "simulation/message_render.h"
+
+namespace logmine::sim {
+namespace {
+
+constexpr double kCompletionLogProb = 0.25;
+constexpr double kServerSideLogProb = 0.8;
+
+std::string UserName(int user) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "u%04d", user);
+  return buf;
+}
+
+std::string WorkstationName(int ws) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "ws-%03d", ws);
+  return buf;
+}
+
+}  // namespace
+
+TimeMs DefaultSimulationStart() {
+  return TimeFromCivil({.year = 2005, .month = 12, .day = 6});
+}
+
+Simulator::Simulator(const Topology& topology,
+                     const ServiceDirectory& directory,
+                     const SimulationConfig& config)
+    : topology_(topology),
+      directory_(directory),
+      config_(config),
+      skew_(config.seed ^ 0xc1c1c1c1ULL),
+      rng_(config.seed) {
+  if (config_.start == 0) config_.start = DefaultSimulationStart();
+
+  edge_text_.resize(topology_.edges.size());
+  for (size_t e = 0; e < topology_.edges.size(); ++e) {
+    const InvocationEdge& edge = topology_.edges[e];
+    EdgeText& text = edge_text_[e];
+    if (edge.cited_entry >= 0) {
+      const ServiceEntry& entry =
+          directory_.entry(static_cast<size_t>(edge.cited_entry));
+      text.cited_id = edge.miscited_id.empty() ? entry.id : edge.miscited_id;
+      text.url = entry.root_url;
+      if (!edge.miscited_id.empty()) {
+        // A stale id is cited consistently in URLs too.
+        text.url = entry.server_host + "/" + edge.miscited_id;
+      }
+      text.fct = FunctionNameFor(text.cited_id, static_cast<int>(e) % 3);
+    } else {
+      const Application& callee =
+          topology_.apps[static_cast<size_t>(edge.callee)];
+      text.cited_id = "";
+      text.url = callee.host + "/internal";
+      text.fct = FunctionNameFor(callee.name, static_cast<int>(e) % 3);
+    }
+  }
+
+  for (size_t a = 0; a < topology_.apps.size(); ++a) {
+    if (topology_.apps[a].tier == Tier::kClient) {
+      client_apps_.push_back(static_cast<int>(a));
+    }
+  }
+  use_case_weights_.resize(topology_.use_cases.size(), 1.0);
+  for (size_t u = 0; u < topology_.use_cases.size(); ++u) {
+    use_case_weights_[u] = topology_.use_cases[u].weight;
+    use_cases_by_root_[topology_.use_cases[u].root_app].push_back(
+        static_cast<int>(u));
+  }
+}
+
+bool Simulator::IsFailed(int app, TimeMs t) const {
+  for (const FailureWindow& window : config_.failures) {
+    if (window.app == app && t >= window.begin && t < window.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::string& Simulator::HostOf(int app, const ExecContext& ctx) const {
+  const Application& a = topology_.apps[static_cast<size_t>(app)];
+  return a.tier == Tier::kClient ? ctx.workstation : a.host;
+}
+
+void Simulator::EmitLog(int app, TimeMs true_time, const ExecContext& ctx,
+                        double context_prob, Severity severity,
+                        std::string message) {
+  const Application& a = topology_.apps[static_cast<size_t>(app)];
+  const std::string& host = HostOf(app, ctx);
+  const bool nt = a.tier == Tier::kClient ? true : a.nt_clock;
+
+  LogRecord record;
+  record.client_ts =
+      true_time + skew_.SkewFor(host, nt, ctx.day_index);
+  record.server_ts = true_time + skew_.BufferDelayFor(host, true_time);
+  record.severity = severity;
+  record.source = a.name;
+  record.host = host;
+  if (ctx.identified && !ctx.user.empty() &&
+      rng_.Bernoulli(context_prob)) {
+    record.user = ctx.user;
+    if (summary_ != nullptr) ++summary_->context_logs;
+  }
+  record.message = std::move(message);
+  Status s = out_->Append(record);
+  assert(s.ok());
+  (void)s;
+  if (summary_ != nullptr) ++summary_->total_logs;
+}
+
+TimeMs Simulator::ExecuteCall(const CallStep& step, TimeMs t,
+                              const ExecContext& ctx) {
+  const InvocationEdge& edge = topology_.edges[static_cast<size_t>(step.edge)];
+  if (ctx.day_index < edge.active_from_day ||
+      ctx.day_index > edge.active_until_day) {
+    return t;  // the interaction does not exist (yet / anymore)
+  }
+  if (IsFailed(edge.caller, t)) return t;  // a failed app initiates nothing
+  const EdgeText& text = edge_text_[static_cast<size_t>(step.edge)];
+  const Application& caller =
+      topology_.apps[static_cast<size_t>(edge.caller)];
+  const Application& callee =
+      topology_.apps[static_cast<size_t>(edge.callee)];
+  const double caller_context = caller.tier == Tier::kClient
+                                    ? config_.client_context_prob
+                                    : config_.service_context_prob;
+
+  // Caller logs the invocation (unless this interaction is one of the
+  // unlogged defects, or the developer's logging is flaky).
+  if (edge.logged_by_caller && !text.cited_id.empty() &&
+      rng_.Bernoulli(caller.invocation_log_prob)) {
+    EmitLog(edge.caller, t, ctx, caller_context, Severity::kInfo,
+            RenderInvocationMessage(caller.invocation_style, text.fct,
+                                    text.cited_id, text.url, &rng_));
+  }
+
+  const TimeMs network = static_cast<TimeMs>(
+      LogNormal(config_.network_median_ms, config_.network_sigma, &rng_));
+  const TimeMs arrival = t + std::max<TimeMs>(network, 1);
+
+  // Injected outage: the callee is down — it logs nothing, the caller
+  // times out with an error citing the service it tried to reach.
+  if (IsFailed(edge.callee, arrival)) {
+    const TimeMs timeout =
+        t + config_.failure_timeout_ms + rng_.UniformInt(0, 500);
+    EmitLog(edge.caller, timeout, ctx, caller_context, Severity::kError,
+            "ERROR timeout waiting for " +
+                (text.cited_id.empty() ? callee.name : text.cited_id) +
+                " (fct " + text.fct + "), giving up after " +
+                std::to_string(timeout - t) + " ms");
+    return timeout;
+  }
+
+  // Provider-side receive log (source of inverted dependencies).
+  if (callee.logs_server_side && !callee.provided_entries.empty() &&
+      rng_.Bernoulli(kServerSideLogProb)) {
+    const std::string& own_id =
+        directory_.entry(static_cast<size_t>(callee.provided_entries[0])).id;
+    EmitLog(edge.callee, arrival, ctx, config_.service_context_prob,
+            Severity::kInfo,
+            RenderServerSideMessage(callee.server_side_style, text.fct,
+                                    own_id, HostOf(edge.caller, ctx), &rng_));
+  }
+
+  // Callee processing logs.
+  const TimeMs processing = static_cast<TimeMs>(LogNormal(
+      config_.processing_median_ms, config_.processing_sigma, &rng_));
+  const int num_proc = 1 + static_cast<int>(rng_.UniformInt(0, 1));
+  for (int i = 0; i < num_proc; ++i) {
+    const TimeMs offset =
+        processing * (i + 1) / (num_proc + 1);
+    EmitLog(edge.callee, arrival + offset, ctx,
+            config_.service_context_prob, Severity::kInfo,
+            RenderProcessingMessage(callee.name, &rng_));
+  }
+
+  // Nested calls made by the callee while handling the request.
+  TimeMs sync_end = arrival + processing;
+  for (const CallStep& child : step.children) {
+    const InvocationEdge& child_edge =
+        topology_.edges[static_cast<size_t>(child.edge)];
+    if (child_edge.asynchronous) {
+      const TimeMs delay = static_cast<TimeMs>(LogNormal(
+          config_.async_delay_median_ms, config_.async_sigma, &rng_));
+      ExecuteCall(child, arrival + processing / 2 + delay, ctx);
+    } else {
+      sync_end = ExecuteCall(child, sync_end, ctx);
+    }
+  }
+
+  // Failure path: the caller logs an exception whose stack trace cites a
+  // deeper service returned through the intermediary.
+  if (edge.exception_deep_entry >= 0 && rng_.Bernoulli(edge.failure_prob)) {
+    const std::string& deep_id =
+        directory_.entry(static_cast<size_t>(edge.exception_deep_entry)).id;
+    EmitLog(edge.caller, sync_end + 5, ctx, caller_context, Severity::kError,
+            RenderExceptionMessage(text.cited_id, deep_id, text.fct, &rng_));
+  } else if (rng_.Bernoulli(kCompletionLogProb)) {
+    EmitLog(edge.caller, sync_end + 2, ctx, caller_context, Severity::kDebug,
+            "call completed rc=0 (" + std::to_string(sync_end - t) + " ms)");
+  }
+  return sync_end + 2;
+}
+
+TimeMs Simulator::ExecuteUseCase(const UseCase& use_case, TimeMs t,
+                                 const ExecContext& ctx) {
+  const Application& root =
+      topology_.apps[static_cast<size_t>(use_case.root_app)];
+  if (IsFailed(use_case.root_app, t)) return t;
+  if (root.tier == Tier::kClient) {
+    EmitLog(use_case.root_app, t, ctx, config_.client_context_prob,
+            Severity::kInfo, RenderUserActionMessage(use_case.name, &rng_));
+  } else {
+    EmitLog(use_case.root_app, t, ctx, 0.0, Severity::kDebug,
+            "job started: " + use_case.name);
+  }
+  TimeMs cursor = t + rng_.UniformInt(10, 120);
+  for (const CallStep& step : use_case.steps) {
+    cursor = ExecuteCall(step, cursor, ctx);
+    cursor += rng_.UniformInt(60, 400);  // UI / job pacing between calls
+  }
+  return cursor;
+}
+
+void Simulator::RunIdentifiedSessions(TimeMs day_start, int day_index) {
+  if (client_apps_.empty()) return;
+  WorkloadConfig workload = config_.workload;
+  workload.sessions_per_weekday *= config_.scale;
+  std::vector<int> night_clients;
+  for (int c : client_apps_) {
+    if (topology_.apps[static_cast<size_t>(c)].night_active) {
+      night_clients.push_back(c);
+    }
+  }
+  Rng plan_rng = rng_.Fork("sessions-" + std::to_string(day_index));
+  const std::vector<SessionPlan> plans =
+      PlanDaySessions(day_start, config_.profile, workload, client_apps_,
+                      night_clients, &plan_rng);
+  const bool weekend = IsWeekend(day_start);
+  for (const SessionPlan& plan : plans) {
+    if (weekend &&
+        topology_.apps[static_cast<size_t>(plan.client_app)].weekday_only) {
+      continue;
+    }
+    auto it = use_cases_by_root_.find(plan.client_app);
+    if (it == use_cases_by_root_.end()) continue;
+    if (summary_ != nullptr) ++summary_->num_identified_sessions;
+    ExecContext ctx;
+    ctx.user = UserName(plan.user);
+    ctx.workstation = WorkstationName(plan.workstation);
+    ctx.day_index = day_index;
+    ctx.identified = true;
+
+    std::vector<double> weights;
+    weights.reserve(it->second.size());
+    for (int u : it->second) {
+      weights.push_back(use_case_weights_[static_cast<size_t>(u)]);
+    }
+    TimeMs t = plan.start;
+    while (t < plan.end) {
+      const int pick = it->second[rng_.WeightedIndex(weights)];
+      t = ExecuteUseCase(topology_.use_cases[static_cast<size_t>(pick)], t,
+                         ctx);
+      const double think = LogNormal(
+          config_.workload.think_median_seconds * 1000.0,
+          config_.workload.think_log_sigma, &rng_);
+      t += static_cast<TimeMs>(think);
+    }
+  }
+}
+
+void Simulator::RunAnonymousLoad(TimeMs day_start, int day_index) {
+  if (topology_.use_cases.empty()) return;
+  // On weekends, use cases rooted at weekday-only clients drop out.
+  std::vector<double> weights = use_case_weights_;
+  if (IsWeekend(day_start)) {
+    for (size_t u = 0; u < topology_.use_cases.size(); ++u) {
+      const int root = topology_.use_cases[u].root_app;
+      if (topology_.apps[static_cast<size_t>(root)].weekday_only) {
+        weights[u] = 0.0;
+      }
+    }
+  }
+  // During night hours only the round-the-clock care clients generate
+  // interactive load.
+  std::vector<double> night_weights = weights;
+  bool have_night_active = false;
+  for (size_t u = 0; u < topology_.use_cases.size(); ++u) {
+    const auto& root =
+        topology_.apps[static_cast<size_t>(topology_.use_cases[u].root_app)];
+    if (root.night_active) {
+      have_night_active = true;
+    } else {
+      // A trickle of non-care activity remains at night (emergency
+      // admissions, on-call staff).
+      night_weights[u] *= 0.15;
+    }
+  }
+  for (int hour = 0; hour < 24; ++hour) {
+    const TimeMs hour_start = day_start + hour * kMillisPerHour;
+    const double intensity = config_.profile.IntensityAt(hour_start);
+    const bool night_regime =
+        intensity < kNightRegimeIntensity && have_night_active;
+    const double expected = config_.anon_executions_per_weekday / 24.0 *
+                            intensity * config_.scale;
+    const int64_t count = rng_.Poisson(expected);
+    for (int64_t i = 0; i < count; ++i) {
+      const size_t pick =
+          rng_.WeightedIndex(night_regime ? night_weights : weights);
+      ExecContext ctx;
+      ctx.workstation = WorkstationName(static_cast<int>(
+          rng_.UniformInt(0, config_.workload.num_workstations - 1)));
+      ctx.day_index = day_index;
+      ctx.identified = false;
+      const TimeMs t = hour_start + rng_.UniformInt(0, kMillisPerHour - 1);
+      ExecuteUseCase(topology_.use_cases[pick], t, ctx);
+      if (summary_ != nullptr) ++summary_->num_anonymous_executions;
+    }
+  }
+}
+
+void Simulator::RunBatchJobs(TimeMs day_start, int day_index) {
+  if (topology_.batch_use_cases.empty()) return;
+  std::vector<double> weights;
+  weights.reserve(topology_.batch_use_cases.size());
+  for (const UseCase& uc : topology_.batch_use_cases) {
+    weights.push_back(uc.weight);
+  }
+  // Night-weighted schedule: batch jobs cluster between 01:00 and 05:00.
+  std::vector<double> hour_weights(24, 0.25);
+  for (int h = 1; h <= 5; ++h) hour_weights[static_cast<size_t>(h)] = 7.0;
+  const int64_t count =
+      rng_.Poisson(config_.batch_executions_per_day * config_.scale);
+  for (int64_t i = 0; i < count; ++i) {
+    const int hour = static_cast<int>(rng_.WeightedIndex(hour_weights));
+    const TimeMs t =
+        day_start + hour * kMillisPerHour + rng_.UniformInt(0, kMillisPerHour - 1);
+    ExecContext ctx;
+    ctx.workstation = WorkstationName(0);
+    ctx.day_index = day_index;
+    ctx.identified = false;
+    const size_t pick = rng_.WeightedIndex(weights);
+    ExecuteUseCase(topology_.batch_use_cases[pick], t, ctx);
+    if (summary_ != nullptr) ++summary_->num_batch_executions;
+  }
+}
+
+void Simulator::RunBackgroundChatter(TimeMs day_start, int day_index) {
+  for (size_t a = 0; a < topology_.apps.size(); ++a) {
+    const Application& app = topology_.apps[a];
+    for (int hour = 0; hour < 24; ++hour) {
+      const TimeMs hour_start = day_start + hour * kMillisPerHour;
+      const double intensity = config_.profile.IntensityAt(hour_start);
+      double modulation;
+      switch (app.tier) {
+        case Tier::kDaemon:
+          modulation = 1.0;  // daemons chatter around the clock
+          break;
+        case Tier::kClient:
+          modulation = intensity;  // workstations are on during the day
+          break;
+        default:
+          // Service/backend chatter mostly tracks the interactive load
+          // (connection pools, per-request caches), with a small floor.
+          modulation = 0.15 + 0.85 * intensity;
+      }
+      const double expected =
+          app.background_rate_per_hour * modulation * config_.scale;
+      const int64_t count = rng_.Poisson(expected);
+      for (int64_t i = 0; i < count; ++i) {
+        ExecContext ctx;
+        ctx.workstation = WorkstationName(static_cast<int>(
+            rng_.UniformInt(0, config_.workload.num_workstations - 1)));
+        ctx.day_index = day_index;
+        ctx.identified = false;
+        const TimeMs t = hour_start + rng_.UniformInt(0, kMillisPerHour - 1);
+        if (IsFailed(static_cast<int>(a), t)) continue;  // app is down
+        EmitLog(static_cast<int>(a), t, ctx, 0.0,
+                rng_.Bernoulli(0.15) ? Severity::kDebug : Severity::kInfo,
+                RenderBackgroundMessage(app.name, &rng_));
+      }
+    }
+  }
+}
+
+void Simulator::RunCoincidences(TimeMs day_start, int day_index) {
+  for (size_t a = 0; a < topology_.apps.size(); ++a) {
+    const Application& app = topology_.apps[a];
+    for (int entry : app.coincidence_entries) {
+      const int64_t count =
+          rng_.Poisson(config_.coincidence_rate_per_day * config_.scale);
+      for (int64_t i = 0; i < count; ++i) {
+        ExecContext ctx;
+        ctx.workstation = WorkstationName(static_cast<int>(
+            rng_.UniformInt(0, config_.workload.num_workstations - 1)));
+        ctx.day_index = day_index;
+        ctx.identified = false;
+        // Coincidences happen while people work: bias toward the day.
+        const TimeMs t =
+            day_start + rng_.UniformInt(7, 19) * kMillisPerHour +
+            rng_.UniformInt(0, kMillisPerHour - 1);
+        EmitLog(static_cast<int>(a), t, ctx, 0.0, Severity::kInfo,
+                RenderCoincidenceMessage(
+                    app.name,
+                    directory_.entry(static_cast<size_t>(entry)).id, &rng_));
+      }
+    }
+  }
+}
+
+Status Simulator::Run(LogStore* out, SimulationSummary* summary) {
+  if (out == nullptr) {
+    return Status::InvalidArgument("null output store");
+  }
+  LOGMINE_RETURN_IF_ERROR(topology_.Validate(directory_));
+  if (config_.num_days < 1 || config_.scale <= 0.0) {
+    return Status::InvalidArgument("num_days must be >= 1 and scale > 0");
+  }
+  out_ = out;
+  SimulationSummary local_summary;
+  summary_ = &local_summary;
+
+  for (int day = 0; day < config_.num_days; ++day) {
+    const TimeMs day_start = config_.start + day * kMillisPerDay;
+    RunIdentifiedSessions(day_start, day);
+    RunAnonymousLoad(day_start, day);
+    RunBatchJobs(day_start, day);
+    RunBackgroundChatter(day_start, day);
+    RunCoincidences(day_start, day);
+  }
+  out->BuildIndex();
+
+  // Per-day counts from the stored timestamps.
+  local_summary.logs_per_day.assign(static_cast<size_t>(config_.num_days), 0);
+  for (size_t i = 0; i < out->size(); ++i) {
+    const int64_t day = (out->client_ts(i) - config_.start) / kMillisPerDay;
+    if (day >= 0 && day < config_.num_days) {
+      ++local_summary.logs_per_day[static_cast<size_t>(day)];
+    }
+  }
+  if (summary != nullptr) *summary = local_summary;
+  summary_ = nullptr;
+  out_ = nullptr;
+  return Status::OK();
+}
+
+}  // namespace logmine::sim

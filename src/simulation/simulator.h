@@ -1,0 +1,153 @@
+#ifndef LOGMINE_SIMULATION_SIMULATOR_H_
+#define LOGMINE_SIMULATION_SIMULATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "log/store.h"
+#include "simulation/clock_skew.h"
+#include "simulation/directory.h"
+#include "simulation/topology.h"
+#include "simulation/workload.h"
+#include "util/rng.h"
+
+namespace logmine::sim {
+
+/// An injected outage: the application is down during [begin, end) —
+/// it emits nothing, and calls to it fail with timeout errors at the
+/// caller. The substrate for evaluating the §1.1 applications (root
+/// cause analysis, fault detection) end to end.
+struct FailureWindow {
+  int app = -1;  ///< index into Topology::apps
+  TimeMs begin = 0;
+  TimeMs end = 0;
+};
+
+/// Volume and behaviour knobs of a simulation run. Defaults target
+/// roughly 1/30 of HUG's production volume (~330 k logs per weekday)
+/// while keeping per-application hourly densities in the regime where
+/// the paper's statistics behave the same way.
+struct SimulationConfig {
+  /// First simulated day, midnight UTC. Defaults to 2005-12-06, the first
+  /// day of the paper's test period.
+  TimeMs start = 0;  // 0 => use kDefaultStart
+  int num_days = 7;
+  /// Global volume multiplier applied to sessions, anonymous executions
+  /// and background chatter.
+  double scale = 1.0;
+  uint64_t seed = 20051206;
+
+  WorkloadConfig workload;
+  DiurnalProfile profile = DiurnalProfile::Hospital();
+
+  /// Context-free use-case executions per weekday (users the session
+  /// builder cannot identify). The bulk of interaction traffic.
+  double anon_executions_per_weekday = 14000.0;
+  /// Nightly batch executions per day (daemon/service-rooted use cases).
+  double batch_executions_per_day = 500.0;
+  /// Expected occurrences, per day and (app, entry) coincidence pair, of
+  /// free text containing a service id by coincidence.
+  double coincidence_rate_per_day = 0.5;
+
+  /// Probability that a log emitted while handling an *identified*
+  /// session's transaction carries the user/workstation context.
+  double client_context_prob = 0.95;   ///< for the client application
+  double service_context_prob = 0.25;  ///< for downstream services
+
+  /// Latency model (lognormal medians in ms and log-space sigmas).
+  double network_median_ms = 80.0;
+  double network_sigma = 0.7;
+  double processing_median_ms = 280.0;
+  double processing_sigma = 1.0;
+  double async_delay_median_ms = 1200.0;
+  double async_sigma = 0.8;
+
+  /// Caller-side timeout when invoking a failed component.
+  TimeMs failure_timeout_ms = 2500;
+  /// Injected outages.
+  std::vector<FailureWindow> failures;
+};
+
+/// The paper's test period starts 2005-12-06 (a Tuesday).
+TimeMs DefaultSimulationStart();
+
+/// Counters reported by a run.
+struct SimulationSummary {
+  std::vector<int64_t> logs_per_day;
+  int64_t total_logs = 0;
+  int64_t context_logs = 0;  ///< logs carrying user context
+  int64_t num_identified_sessions = 0;
+  int64_t num_anonymous_executions = 0;
+  int64_t num_batch_executions = 0;
+};
+
+/// Generates a synthetic log corpus from a topology: identified user
+/// sessions, anonymous interactive load, nightly batch jobs, background
+/// chatter, clock skew, and every logging defect the topology carries.
+/// Deterministic for a given (topology, directory, config).
+class Simulator {
+ public:
+  Simulator(const Topology& topology, const ServiceDirectory& directory,
+            const SimulationConfig& config);
+
+  /// Runs the simulation, appending into `out` (which may be pre-loaded)
+  /// and building its index. `summary` may be null.
+  Status Run(LogStore* out, SimulationSummary* summary);
+
+ private:
+  struct ExecContext {
+    std::string user;         ///< empty => anonymous
+    std::string workstation;  ///< host used for client-app logs
+    int day_index = 0;
+    bool identified = false;
+  };
+
+  // Appends one record with clock skew applied; `context_prob` is the
+  // chance it carries the session's user context.
+  void EmitLog(int app, TimeMs true_time, const ExecContext& ctx,
+               double context_prob, Severity severity, std::string message);
+
+  // Executes one call step (and its children); returns the completion
+  // time of the synchronous part.
+  TimeMs ExecuteCall(const CallStep& step, TimeMs t, const ExecContext& ctx);
+
+  // Executes a whole use case starting at `t`; returns its end time.
+  TimeMs ExecuteUseCase(const UseCase& use_case, TimeMs t,
+                        const ExecContext& ctx);
+
+  void RunIdentifiedSessions(TimeMs day_start, int day_index);
+  void RunAnonymousLoad(TimeMs day_start, int day_index);
+  void RunBatchJobs(TimeMs day_start, int day_index);
+  void RunBackgroundChatter(TimeMs day_start, int day_index);
+  void RunCoincidences(TimeMs day_start, int day_index);
+
+  const std::string& HostOf(int app, const ExecContext& ctx) const;
+
+  // True when `app` is inside an injected failure window at `t`.
+  bool IsFailed(int app, TimeMs t) const;
+
+  const Topology& topology_;
+  const ServiceDirectory& directory_;
+  SimulationConfig config_;
+  ClockSkewModel skew_;
+  Rng rng_;
+
+  // Precomputed per edge: the id cited in logs, the URL, a function name.
+  struct EdgeText {
+    std::string cited_id;
+    std::string url;
+    std::string fct;
+  };
+  std::vector<EdgeText> edge_text_;
+  std::vector<int> client_apps_;
+  std::map<int, std::vector<int>> use_cases_by_root_;
+  std::vector<double> use_case_weights_;  // aligned with topology.use_cases
+
+  LogStore* out_ = nullptr;
+  SimulationSummary* summary_ = nullptr;
+};
+
+}  // namespace logmine::sim
+
+#endif  // LOGMINE_SIMULATION_SIMULATOR_H_

@@ -1,0 +1,124 @@
+#include "simulation/topology.h"
+
+#include <algorithm>
+
+namespace logmine::sim {
+
+std::string_view TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kClient:
+      return "client";
+    case Tier::kService:
+      return "service";
+    case Tier::kBackend:
+      return "backend";
+    case Tier::kDaemon:
+      return "daemon";
+    case Tier::kIntegration:
+      return "integration";
+  }
+  return "service";
+}
+
+int Topology::FindApp(std::string_view name) const {
+  for (size_t i = 0; i < apps.size(); ++i) {
+    if (apps[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::set<std::pair<std::string, std::string>> Topology::InteractionPairs()
+    const {
+  std::set<std::pair<std::string, std::string>> out;
+  for (const InvocationEdge& edge : edges) {
+    std::string a = apps[static_cast<size_t>(edge.caller)].name;
+    std::string b = apps[static_cast<size_t>(edge.callee)].name;
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    out.emplace(std::move(a), std::move(b));
+  }
+  return out;
+}
+
+std::set<std::pair<std::string, std::string>> Topology::AppServiceDeps(
+    const ServiceDirectory& directory) const {
+  std::set<std::pair<std::string, std::string>> out;
+  for (const InvocationEdge& edge : edges) {
+    if (edge.true_entry < 0) continue;
+    out.emplace(apps[static_cast<size_t>(edge.caller)].name,
+                directory.entry(static_cast<size_t>(edge.true_entry)).id);
+  }
+  return out;
+}
+
+namespace {
+
+// Recursively checks that every step's edge exists and is rooted at
+// `expected_caller`.
+Status ValidateSteps(const Topology& topology,
+                     const std::vector<CallStep>& steps, int expected_caller) {
+  for (const CallStep& step : steps) {
+    if (step.edge < 0 ||
+        step.edge >= static_cast<int>(topology.edges.size())) {
+      return Status::InvalidArgument("use-case step references bad edge");
+    }
+    const InvocationEdge& edge =
+        topology.edges[static_cast<size_t>(step.edge)];
+    if (edge.caller != expected_caller) {
+      return Status::InvalidArgument(
+          "use-case step edge caller does not match tree position");
+    }
+    LOGMINE_RETURN_IF_ERROR(ValidateSteps(topology, step.children,
+                                          edge.callee));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Topology::Validate(const ServiceDirectory& directory) const {
+  const int num_apps = static_cast<int>(apps.size());
+  const int num_entries = static_cast<int>(directory.size());
+  for (const Application& app : apps) {
+    if (app.name.empty()) {
+      return Status::InvalidArgument("application with empty name");
+    }
+    for (int entry : app.provided_entries) {
+      if (entry < 0 || entry >= num_entries) {
+        return Status::InvalidArgument("app " + app.name +
+                                       " provides unknown entry");
+      }
+    }
+  }
+  for (const InvocationEdge& edge : edges) {
+    if (edge.caller < 0 || edge.caller >= num_apps || edge.callee < 0 ||
+        edge.callee >= num_apps) {
+      return Status::InvalidArgument("edge with bad endpoint");
+    }
+    if (edge.caller == edge.callee) {
+      return Status::InvalidArgument("self-loop edge on " +
+                                     apps[static_cast<size_t>(edge.caller)].name);
+    }
+    if (edge.cited_entry >= num_entries || edge.true_entry >= num_entries) {
+      return Status::InvalidArgument("edge cites unknown entry");
+    }
+    if (edge.weight < 0) {
+      return Status::InvalidArgument("edge with negative weight");
+    }
+  }
+  for (const UseCase& uc : use_cases) {
+    if (uc.root_app < 0 || uc.root_app >= num_apps) {
+      return Status::InvalidArgument("use case with bad root");
+    }
+    LOGMINE_RETURN_IF_ERROR(ValidateSteps(*this, uc.steps, uc.root_app));
+  }
+  for (const UseCase& uc : batch_use_cases) {
+    if (uc.root_app < 0 || uc.root_app >= num_apps) {
+      return Status::InvalidArgument("batch use case with bad root");
+    }
+    LOGMINE_RETURN_IF_ERROR(ValidateSteps(*this, uc.steps, uc.root_app));
+  }
+  return Status::OK();
+}
+
+}  // namespace logmine::sim

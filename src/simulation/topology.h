@@ -1,0 +1,155 @@
+#ifndef LOGMINE_SIMULATION_TOPOLOGY_H_
+#define LOGMINE_SIMULATION_TOPOLOGY_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simulation/directory.h"
+#include "util/result.h"
+
+namespace logmine::sim {
+
+/// Architectural tier of an application; determines logging behaviour,
+/// hosting and how it participates in workload.
+enum class Tier {
+  kClient,       ///< GUI / lightweight client, runs on user workstations
+  kService,      ///< mid-tier HTTP/XML service
+  kBackend,      ///< database-ish backend
+  kDaemon,       ///< batch / background job, no user interaction
+  kIntegration,  ///< third-party system bridged into the landscape
+};
+
+std::string_view TierName(Tier tier);
+
+/// Message-template family an application's developer happened to use for
+/// invocation logs (the paper: "the way of doing this is not
+/// standardized").
+enum class InvocationLogStyle {
+  kBracketedServer,  ///< Invoke externalService [fct [f] server [url]]
+  kParenGroup,       ///< (GROUPID) fct( $params )
+  kProseCall,        ///< calling GROUPID.fct for patient NNN
+  kArrowUrl,         ///< -> url http://host/group/fct id=NNN
+  kKeyValue,         ///< remote call fct=f grp=GROUPID rc=0
+};
+
+inline constexpr int kNumInvocationLogStyles = 5;
+
+/// A component of the landscape (an application or module — a log source).
+struct Application {
+  std::string name;
+  Tier tier = Tier::kService;
+  /// Directory entries this application *provides* (indices into the
+  /// ServiceDirectory); empty for clients/daemons.
+  std::vector<int> provided_entries;
+  /// Background (non-interaction) logging intensity, logs/hour at load 1.
+  double background_rate_per_hour = 10.0;
+  /// Template family used for invocation logs.
+  InvocationLogStyle invocation_style = InvocationLogStyle::kBracketedServer;
+  /// Probability that an invocation is logged by the caller at all
+  /// (defect "7 interactions are not logged" is modelled per-edge below;
+  /// this is the per-log flakiness within a logged edge).
+  double invocation_log_prob = 0.95;
+  /// True when the app logs calls it *receives*, citing its own service
+  /// group — the source of inverted dependencies in L3.
+  bool logs_server_side = false;
+  /// Index into the server-side template family table (defines which stop
+  /// pattern, if any, matches this app's receive logs).
+  int server_side_style = 0;
+  /// True for applications only used during office days (billing,
+  /// admission, planning): their use cases never run on weekends, which
+  /// produces the weekend dip in realized dependencies (§4.9).
+  bool weekday_only = false;
+  /// True for the round-the-clock care clients (triage, nursing, the
+  /// CPR viewers): the only interactive workload during night hours.
+  bool night_active = false;
+  /// Host the app runs on ("ws-*" placeholders for clients are replaced
+  /// by the workstation executing the session).
+  std::string host;
+  /// True when the host clock is NT-domain synced (skew up to ~1 s);
+  /// false for NTP-synced Unix servers (skew < 1 ms).
+  bool nt_clock = false;
+  /// Directory entries whose ids this app occasionally emits as ordinary
+  /// free-text data (patient names, billing items) — coincidental
+  /// citations that become L3 false positives.
+  std::vector<int> coincidence_entries;
+};
+
+/// A directed invocation relationship between two applications.
+struct InvocationEdge {
+  int caller = 0;  ///< index into Topology::apps
+  int callee = 0;
+  /// Directory entry cited when the caller logs the call, usually the
+  /// callee's primary provided entry; -1 when the callee provides none.
+  int cited_entry = -1;
+  /// The entry the caller *actually* depends on (ground truth), normally
+  /// == cited_entry. The defect catalog makes them diverge.
+  int true_entry = -1;
+  bool asynchronous = false;  ///< notification-style, decoupled in time
+  bool logged_by_caller = true;  ///< defect: some interactions never logged
+  /// When non-empty, the caller cites this literal (possibly stale or
+  /// erroneous) id instead of the directory entry's id.
+  std::string miscited_id;
+  /// Relative frequency multiplier; ~0 for the "used extremely seldom"
+  /// edges of the paper's false-negative analysis.
+  double weight = 1.0;
+  /// When >= 0, failures of this call make the caller log an exception
+  /// stack trace citing this *deeper* entry (returned through the callee)
+  /// — the transitive false positives of §4.8.
+  int exception_deep_entry = -1;
+  /// Probability that one execution of this edge fails and produces the
+  /// exception log above.
+  double failure_prob = 0.0;
+  /// Lifecycle of the interaction in simulated days (inclusive bounds):
+  /// the "moving landscape" — integrations appear and are decommissioned
+  /// while the study runs.
+  int active_from_day = 0;
+  int active_until_day = 1 << 29;
+};
+
+/// A node of a use-case call tree: execute `edge`, then the nested calls
+/// the callee makes while handling it.
+struct CallStep {
+  int edge = 0;  ///< index into Topology::edges
+  std::vector<CallStep> children;
+};
+
+/// A user-visible unit of work (one "click"): the root application
+/// performs `steps` in order.
+struct UseCase {
+  std::string name;
+  int root_app = 0;
+  std::vector<CallStep> steps;
+  double weight = 1.0;  ///< relative selection frequency
+};
+
+/// The complete landscape: applications, invocation edges, and the
+/// use cases that realize the edges at runtime.
+class Topology {
+ public:
+  std::vector<Application> apps;
+  std::vector<InvocationEdge> edges;
+  std::vector<UseCase> use_cases;          ///< client-rooted (sessions)
+  std::vector<UseCase> batch_use_cases;    ///< daemon-rooted (background)
+
+  int FindApp(std::string_view name) const;  ///< -1 when absent
+
+  /// Ground truth for L1/L2 evaluation: unordered pairs of directly
+  /// interacting application names (the paper's first reference model).
+  std::set<std::pair<std::string, std::string>> InteractionPairs() const;
+
+  /// Ground truth for L3 evaluation: (application name, directory entry
+  /// id) pairs, using the *true* entry of each edge (the paper's second
+  /// reference model).
+  std::set<std::pair<std::string, std::string>> AppServiceDeps(
+      const ServiceDirectory& directory) const;
+
+  /// Sanity checks: edge endpoints valid, entries within directory range,
+  /// use-case trees reference existing edges with matching roots.
+  Status Validate(const ServiceDirectory& directory) const;
+};
+
+}  // namespace logmine::sim
+
+#endif  // LOGMINE_SIMULATION_TOPOLOGY_H_

@@ -1,0 +1,74 @@
+#include "simulation/workload.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace logmine::sim {
+
+double DiurnalProfile::IntensityAt(TimeMs t) const {
+  const auto hour = static_cast<size_t>(HourOfDay(t));
+  return IsWeekend(t) ? weekend[hour] : weekday[hour];
+}
+
+DiurnalProfile DiurnalProfile::Hospital() {
+  DiurnalProfile p;
+  constexpr std::array<double, 24> kWeekday = {
+      0.14, 0.10, 0.08, 0.08, 0.11, 0.20, 0.65, 1.35,  // 0-7
+      1.95, 2.25, 2.20, 1.95, 1.60, 1.75, 2.05, 2.10,  // 8-15
+      1.80, 1.40, 0.95, 0.65, 0.45, 0.32, 0.24, 0.18,  // 16-23
+  };
+  p.weekday = kWeekday;
+  for (size_t h = 0; h < 24; ++h) {
+    // Weekend: roughly a third of the volume, flatter daytime shape.
+    p.weekend[h] = 0.33 * (0.65 * kWeekday[h] + 0.35);
+  }
+  return p;
+}
+
+double LogNormal(double median, double log_sigma, Rng* rng) {
+  assert(median > 0 && log_sigma >= 0);
+  return median * std::exp(rng->Normal(0.0, log_sigma));
+}
+
+std::vector<SessionPlan> PlanDaySessions(TimeMs day_start,
+                                         const DiurnalProfile& profile,
+                                         const WorkloadConfig& config,
+                                         const std::vector<int>& day_clients,
+                                         const std::vector<int>& night_clients,
+                                         Rng* rng) {
+  assert(!day_clients.empty());
+  std::vector<SessionPlan> plans;
+  // Expected sessions per hour proportional to the profile; the weekday
+  // profile averages ~1.0 so `sessions_per_weekday` is hit on weekdays.
+  for (int hour = 0; hour < 24; ++hour) {
+    const TimeMs hour_start = day_start + hour * kMillisPerHour;
+    const double raw_intensity = profile.IntensityAt(hour_start);
+    // Care providers work around the clock: identified sessions dip far
+    // less at night than the overall log volume does.
+    const double intensity = std::max(raw_intensity, 0.45);
+    const bool night_regime = raw_intensity < kNightRegimeIntensity &&
+                              !night_clients.empty();
+    const std::vector<int>& clients =
+        night_regime ? night_clients : day_clients;
+    const double expected = config.sessions_per_weekday / 24.0 * intensity;
+    const int64_t count = rng->Poisson(expected);
+    for (int64_t i = 0; i < count; ++i) {
+      SessionPlan plan;
+      plan.start = hour_start + rng->UniformInt(0, kMillisPerHour - 1);
+      const double minutes =
+          LogNormal(config.mean_session_minutes * 0.8, 0.6, rng);
+      plan.end = plan.start +
+                 static_cast<TimeMs>(minutes * kMillisPerMinute);
+      plan.user = static_cast<int>(
+          rng->UniformInt(0, config.num_users - 1));
+      plan.workstation = static_cast<int>(
+          rng->UniformInt(0, config.num_workstations - 1));
+      plan.client_app = clients[static_cast<size_t>(rng->UniformInt(
+          0, static_cast<int64_t>(clients.size()) - 1))];
+      plans.push_back(plan);
+    }
+  }
+  return plans;
+}
+
+}  // namespace logmine::sim

@@ -1,0 +1,76 @@
+#ifndef LOGMINE_SIMULATION_WORKLOAD_H_
+#define LOGMINE_SIMULATION_WORKLOAD_H_
+
+#include <array>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time_util.h"
+
+namespace logmine::sim {
+
+/// Hour-of-day activity profile of the hospital, separately for weekdays
+/// and weekends. "Even though hospitals are working round the clock,
+/// there is still much more activity at usual office hours."
+struct DiurnalProfile {
+  std::array<double, 24> weekday{};
+  std::array<double, 24> weekend{};
+
+  /// Relative intensity (mean 1.0 over weekday hours) at time `t`.
+  double IntensityAt(TimeMs t) const;
+
+  /// The default hospital shape: night floor ~0.25, morning ramp, peaks
+  /// 9-11 and 14-16, evening decay; weekend scaled to ~1/3 with a flatter
+  /// profile.
+  static DiurnalProfile Hospital();
+};
+
+/// One planned user session: a user on a workstation driving one client
+/// application for a while.
+struct SessionPlan {
+  TimeMs start = 0;
+  TimeMs end = 0;
+  int user = 0;
+  int workstation = 0;
+  int client_app = 0;  ///< index into Topology::apps (a kClient app)
+};
+
+/// Parameters of the user-level workload.
+struct WorkloadConfig {
+  int num_users = 220;
+  int num_workstations = 140;
+  /// Expected identified sessions on a weekday (weekends scale by
+  /// `weekend_factor` through the diurnal profile).
+  double sessions_per_weekday = 550.0;
+  double mean_session_minutes = 7.0;
+  /// Median / log-sigma of the lognormal think time between user actions.
+  double think_median_seconds = 30.0;
+  double think_log_sigma = 0.9;
+};
+
+/// Lognormal sample with the given median and log-space sigma.
+double LogNormal(double median, double log_sigma, Rng* rng);
+
+/// Intensity below which only the round-the-clock care applications are
+/// in use ("night regime").
+inline constexpr double kNightRegimeIntensity = 0.35;
+
+/// Plans the identified user sessions of one day: session start times
+/// follow the diurnal profile, users/workstations are drawn with reuse
+/// (several users share machines and users roam), and each session picks
+/// a client application.
+///
+/// `day_clients` lists the app indices eligible during the day;
+/// `night_clients` the (sub)set active when the hourly intensity falls
+/// below `kNightRegimeIntensity`. When `night_clients` is empty,
+/// `day_clients` is used around the clock.
+std::vector<SessionPlan> PlanDaySessions(TimeMs day_start,
+                                         const DiurnalProfile& profile,
+                                         const WorkloadConfig& config,
+                                         const std::vector<int>& day_clients,
+                                         const std::vector<int>& night_clients,
+                                         Rng* rng);
+
+}  // namespace logmine::sim
+
+#endif  // LOGMINE_SIMULATION_WORKLOAD_H_

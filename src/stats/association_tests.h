@@ -1,0 +1,49 @@
+#ifndef LOGMINE_STATS_ASSOCIATION_TESTS_H_
+#define LOGMINE_STATS_ASSOCIATION_TESTS_H_
+
+#include "stats/contingency.h"
+
+namespace logmine::stats {
+
+/// Dunning's log-likelihood ratio statistic
+///   G^2 = 2 * sum_ij o_ij * ln(o_ij / e_ij)
+/// (terms with o_ij = 0 contribute 0). Asymptotically chi-square with
+/// 1 degree of freedom, with far better behaviour than Pearson's X^2 on
+/// the heavily skewed tables produced by log bigrams (Dunning 1993) —
+/// the test the paper adopts for L2 via Evert's UCS toolkit.
+double DunningLogLikelihood(const Contingency2x2& table);
+
+/// Pearson's X^2 = sum_ij (o_ij - e_ij)^2 / e_ij, provided as the
+/// classical baseline the paper compares against.
+double PearsonChiSquare(const Contingency2x2& table);
+
+/// Pointwise mutual information log2(o11 / e11); -inf-free: returns 0
+/// when o11 = 0. Reported as a descriptive association measure.
+double PointwiseMutualInformation(const Contingency2x2& table);
+
+/// Fisher's exact one-sided p-value P(X >= o11) under the hypergeometric
+/// null with fixed marginals — the exact reference the asymptotic tests
+/// approximate (UCS provides it alongside log-likelihood).
+double FisherExactPValue(const Contingency2x2& table);
+
+/// Dice coefficient 2*o11 / (r1 + c1) in [0, 1].
+double DiceCoefficient(const Contingency2x2& table);
+
+/// z-score (o11 - e11) / sqrt(e11); 0 when e11 = 0.
+double ZScore(const Contingency2x2& table);
+
+/// t-score (o11 - e11) / sqrt(o11); 0 when o11 = 0.
+double TScore(const Contingency2x2& table);
+
+/// p-value of an association score that is asymptotically chi-square with
+/// one degree of freedom (applies to both tests above).
+double ChiSquarePValue(double score);
+
+/// One-sided decision used by the L2 miner: the table shows *attraction*
+/// (o11 > e11) and the score's p-value is below `alpha`.
+bool IsSignificantAttraction(const Contingency2x2& table, double score,
+                             double alpha);
+
+}  // namespace logmine::stats
+
+#endif  // LOGMINE_STATS_ASSOCIATION_TESTS_H_

@@ -1,0 +1,43 @@
+#include "stats/contingency.h"
+
+#include <cstdio>
+
+namespace logmine::stats {
+
+double Contingency2x2::e11() const {
+  return n() == 0 ? 0.0
+                  : static_cast<double>(r1()) * static_cast<double>(c1()) /
+                        static_cast<double>(n());
+}
+
+double Contingency2x2::e12() const {
+  return n() == 0 ? 0.0
+                  : static_cast<double>(r1()) * static_cast<double>(c2()) /
+                        static_cast<double>(n());
+}
+
+double Contingency2x2::e21() const {
+  return n() == 0 ? 0.0
+                  : static_cast<double>(r2()) * static_cast<double>(c1()) /
+                        static_cast<double>(n());
+}
+
+double Contingency2x2::e22() const {
+  return n() == 0 ? 0.0
+                  : static_cast<double>(r2()) * static_cast<double>(c2()) /
+                        static_cast<double>(n());
+}
+
+bool Contingency2x2::IsAttracted() const {
+  return static_cast<double>(o11) > e11();
+}
+
+std::string Contingency2x2::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[[%lld, %lld], [%lld, %lld]]",
+                static_cast<long long>(o11), static_cast<long long>(o12),
+                static_cast<long long>(o21), static_cast<long long>(o22));
+  return buf;
+}
+
+}  // namespace logmine::stats

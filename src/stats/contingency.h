@@ -1,0 +1,46 @@
+#ifndef LOGMINE_STATS_CONTINGENCY_H_
+#define LOGMINE_STATS_CONTINGENCY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace logmine::stats {
+
+/// A 2x2 contingency table over bigram observations, following Evert's UCS
+/// terminology: for a pair type (A, B),
+///
+///            b = B     b != B
+///   a = A     o11       o12
+///   a != A    o21       o22
+///
+/// o11 is the joint frequency, r1 = o11 + o12 the frequency of A as first
+/// element, c1 = o11 + o21 the frequency of B as second element, and
+/// n the total number of bigrams (the sample size).
+struct Contingency2x2 {
+  int64_t o11 = 0;
+  int64_t o12 = 0;
+  int64_t o21 = 0;
+  int64_t o22 = 0;
+
+  int64_t r1() const { return o11 + o12; }
+  int64_t r2() const { return o21 + o22; }
+  int64_t c1() const { return o11 + o21; }
+  int64_t c2() const { return o12 + o22; }
+  int64_t n() const { return o11 + o12 + o21 + o22; }
+
+  /// Expected frequencies under independence, e_ij = r_i * c_j / n.
+  double e11() const;
+  double e12() const;
+  double e21() const;
+  double e22() const;
+
+  /// True when o11 exceeds its expectation — the association is positive
+  /// (attraction); the collocation literature only accepts attracted pairs.
+  bool IsAttracted() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace logmine::stats
+
+#endif  // LOGMINE_STATS_CONTINGENCY_H_

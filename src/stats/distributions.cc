@@ -1,0 +1,258 @@
+#include "stats/distributions.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace logmine::stats {
+namespace {
+
+constexpr double kEps = 1e-14;
+constexpr int kMaxIterations = 500;
+
+// Lower incomplete gamma by power series; valid for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Upper incomplete gamma by Lentz continued fraction; valid for x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  const double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEps) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued fraction for the regularized incomplete beta (Lentz).
+double BetaContinuedFraction(double x, double a, double b) {
+  const double kTiny = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double LogFactorial(int64_t n) {
+  assert(n >= 0);
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogChoose(int64_t n, int64_t k) {
+  assert(n >= 0 && k >= 0 && k <= n);
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double BinomialPmf(int64_t k, int64_t n, double p) {
+  assert(n >= 0 && p >= 0.0 && p <= 1.0);
+  if (k < 0 || k > n) return 0.0;
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double log_pmf = LogChoose(n, k) + k * std::log(p) +
+                         (n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double BinomialCdf(int64_t k, int64_t n, double p) {
+  assert(n >= 0 && p >= 0.0 && p <= 1.0);
+  if (k < 0) return 0.0;
+  if (k >= n) return 1.0;
+  if (n <= 2000) {
+    // Exact summation with the pmf recurrence carried in log space, so
+    // pmf(0) = (1-p)^n may underflow without poisoning later terms:
+    // log pmf(i+1) = log pmf(i) + log((n-i)/(i+1)) + log(p/(1-p)).
+    if (p == 0.0) return 1.0;
+    if (p == 1.0) return 0.0;
+    const double log_ratio = std::log(p) - std::log1p(-p);
+    double log_pmf = n * std::log1p(-p);  // log pmf(0)
+    double cdf = std::exp(log_pmf);
+    for (int64_t i = 0; i < k; ++i) {
+      log_pmf += std::log(static_cast<double>(n - i) /
+                          static_cast<double>(i + 1)) +
+                 log_ratio;
+      cdf += std::exp(log_pmf);
+    }
+    return std::min(cdf, 1.0);
+  }
+  // Normal approximation with continuity correction.
+  const double mu = n * p;
+  const double sigma = std::sqrt(n * p * (1.0 - p));
+  return NormalCdf((static_cast<double>(k) + 0.5 - mu) / sigma);
+}
+
+double NormalPdf(double x) {
+  static const double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double NormalCdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double NormalQuantile(double p) {
+  assert(p > 0.0 && p < 1.0);
+  // Acklam's rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double x;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - plow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log1p(-p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step.
+  const double e = NormalCdf(x) - p;
+  const double u = e / NormalPdf(x);
+  x -= u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double RegularizedGammaP(double a, double x) {
+  assert(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double RegularizedGammaQ(double a, double x) {
+  assert(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+double ChiSquareSf(double x, double df) {
+  assert(df > 0.0);
+  if (x <= 0.0) return 1.0;
+  return RegularizedGammaQ(df / 2.0, x / 2.0);
+}
+
+double ChiSquareQuantile(double p, double df) {
+  assert(p >= 0.0 && p < 1.0);
+  if (p == 0.0) return 0.0;
+  double lo = 0.0;
+  double hi = df + 10.0 * std::sqrt(2.0 * df) + 10.0;
+  while (1.0 - ChiSquareSf(hi, df) < p) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (1.0 - ChiSquareSf(mid, df) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double RegularizedBeta(double x, double a, double b) {
+  assert(a > 0.0 && b > 0.0 && x >= 0.0 && x <= 1.0);
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double log_front = std::lgamma(a + b) - std::lgamma(a) -
+                           std::lgamma(b) + a * std::log(x) +
+                           b * std::log1p(-x);
+  const double front = std::exp(log_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(x, a, b) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(1.0 - x, b, a) / b;
+}
+
+double StudentTCdf(double t, double df) {
+  assert(df > 0.0);
+  if (t == 0.0) return 0.5;
+  const double x = df / (df + t * t);
+  const double tail = 0.5 * RegularizedBeta(x, df / 2.0, 0.5);
+  return t > 0.0 ? 1.0 - tail : tail;
+}
+
+double StudentTQuantile(double p, double df) {
+  assert(p > 0.0 && p < 1.0);
+  if (p == 0.5) return 0.0;
+  // Bracket with the normal quantile (t quantiles have heavier tails).
+  double z = NormalQuantile(p);
+  double lo = z - 1.0;
+  double hi = z + 1.0;
+  while (StudentTCdf(lo, df) > p) lo = lo * 2.0 - z;
+  while (StudentTCdf(hi, df) < p) hi = hi * 2.0 - z;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (StudentTCdf(mid, df) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace logmine::stats

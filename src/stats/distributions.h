@@ -1,0 +1,54 @@
+#ifndef LOGMINE_STATS_DISTRIBUTIONS_H_
+#define LOGMINE_STATS_DISTRIBUTIONS_H_
+
+#include <cstdint>
+
+namespace logmine::stats {
+
+/// log(n!) via lgamma.
+double LogFactorial(int64_t n);
+
+/// log of the binomial coefficient C(n, k).
+double LogChoose(int64_t n, int64_t k);
+
+/// Binomial(n, p) probability mass at k (computed in log space).
+double BinomialPmf(int64_t k, int64_t n, double p);
+
+/// P(X <= k) for X ~ Binomial(n, p). Exact summation for n <= 2000,
+/// normal approximation with continuity correction above.
+double BinomialCdf(int64_t k, int64_t n, double p);
+
+/// Standard normal density.
+double NormalPdf(double x);
+
+/// Standard normal CDF (via erfc).
+double NormalCdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation, refined
+/// with one Halley step; |relative error| < 1e-12). Requires 0 < p < 1.
+double NormalQuantile(double p);
+
+/// Regularized lower incomplete gamma P(a, x), a > 0, x >= 0.
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Survival function P(X > x) for X ~ ChiSquare(df).
+double ChiSquareSf(double x, double df);
+
+/// Quantile of the chi-square distribution (bisection on the CDF).
+double ChiSquareQuantile(double p, double df);
+
+/// Regularized incomplete beta I_x(a, b), 0 <= x <= 1.
+double RegularizedBeta(double x, double a, double b);
+
+/// CDF of Student's t with `df` degrees of freedom.
+double StudentTCdf(double t, double df);
+
+/// Quantile of Student's t (bisection; exact enough for CI construction).
+double StudentTQuantile(double p, double df);
+
+}  // namespace logmine::stats
+
+#endif  // LOGMINE_STATS_DISTRIBUTIONS_H_

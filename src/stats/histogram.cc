@@ -1,0 +1,47 @@
+#include "stats/histogram.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace logmine::stats {
+
+Histogram::Histogram(double lo, double hi, int num_bins) : lo_(lo) {
+  assert(lo < hi && num_bins >= 1);
+  width_ = (hi - lo) / num_bins;
+  counts_.assign(static_cast<size_t>(num_bins), 0);
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  const double offset = (x - lo_) / width_;
+  if (offset < 0) {
+    ++underflow_;
+    return;
+  }
+  const auto bin = static_cast<size_t>(offset);
+  if (bin >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[bin];
+}
+
+double Histogram::bin_center(int bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+std::vector<int64_t> BinCountSeries(const std::vector<int64_t>& events,
+                                    int64_t begin, int64_t end,
+                                    int64_t bin_width) {
+  assert(begin < end && bin_width > 0);
+  const auto num_bins =
+      static_cast<size_t>((end - begin + bin_width - 1) / bin_width);
+  std::vector<int64_t> counts(num_bins, 0);
+  for (int64_t t : events) {
+    if (t < begin || t >= end) continue;
+    counts[static_cast<size_t>((t - begin) / bin_width)] += 1;
+  }
+  return counts;
+}
+
+}  // namespace logmine::stats

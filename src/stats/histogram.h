@@ -1,0 +1,46 @@
+#ifndef LOGMINE_STATS_HISTOGRAM_H_
+#define LOGMINE_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace logmine::stats {
+
+/// Fixed-width histogram over [lo, hi); values outside the range are
+/// counted in underflow/overflow.
+class Histogram {
+ public:
+  /// Requires lo < hi and num_bins >= 1.
+  Histogram(double lo, double hi, int num_bins);
+
+  void Add(double x);
+
+  int64_t bin_count(int bin) const { return counts_[static_cast<size_t>(bin)]; }
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+  int64_t total() const { return total_; }
+
+  /// Midpoint of `bin`.
+  double bin_center(int bin) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  int64_t total_ = 0;
+};
+
+/// Counts events per fixed-width time bin over [begin, end): the series
+/// behind the paper's figure 1 ("number of logs per second"). Events
+/// outside the window are ignored. `bin_width` must be positive.
+std::vector<int64_t> BinCountSeries(const std::vector<int64_t>& events,
+                                    int64_t begin, int64_t end,
+                                    int64_t bin_width);
+
+}  // namespace logmine::stats
+
+#endif  // LOGMINE_STATS_HISTOGRAM_H_

@@ -1,0 +1,62 @@
+#include "stats/order_stats_ci.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+
+namespace logmine::stats {
+
+logmine::Result<MedianCi> MedianCiRanks(int64_t n, double level) {
+  if (n < 1) {
+    return logmine::Status::InvalidArgument("median CI requires n >= 1");
+  }
+  if (level <= 0.0 || level >= 1.0) {
+    return logmine::Status::InvalidArgument("level must be in (0, 1)");
+  }
+  // Coverage of the symmetric interval [x_(j), x_(n+1-j)] is
+  //   P(j <= #{X_i < m} <= n - j) = 1 - 2 * P(Bin(n, 1/2) <= j - 1).
+  // Pick the largest j (tightest interval) whose coverage still reaches
+  // `level`. Start from the normal approximation and walk to the exact
+  // answer with BinomialCdf, which is exact for the sample sizes we use.
+  const double z = NormalQuantile(0.5 + level / 2.0);
+  int64_t j = static_cast<int64_t>(
+      std::floor(static_cast<double>(n) / 2.0 -
+                 z * std::sqrt(static_cast<double>(n)) / 2.0));
+  j = std::max<int64_t>(j, 1);
+  j = std::min(j, (n + 1) / 2);
+
+  auto coverage_at = [n](int64_t jj) {
+    return 1.0 - 2.0 * BinomialCdf(jj - 1, n, 0.5);
+  };
+  // Walk down until coverage suffices...
+  while (j > 1 && coverage_at(j) < level) --j;
+  if (coverage_at(j) < level) {
+    return logmine::Status::InvalidArgument(
+        "sample too small for the requested confidence level");
+  }
+  // ...then up as long as it still suffices.
+  while (j + 1 <= (n + 1) / 2 && coverage_at(j + 1) >= level) ++j;
+
+  MedianCi out;
+  out.lower_rank = static_cast<int>(j);
+  out.upper_rank = static_cast<int>(n + 1 - j);
+  out.coverage = coverage_at(j);
+  return out;
+}
+
+logmine::Result<MedianCi> MedianConfidenceInterval(std::vector<double> xs,
+                                                   double level) {
+  auto ranks = MedianCiRanks(static_cast<int64_t>(xs.size()), level);
+  if (!ranks.ok()) return ranks.status();
+  MedianCi ci = ranks.value();
+  std::sort(xs.begin(), xs.end());
+  ci.lower = xs[static_cast<size_t>(ci.lower_rank - 1)];
+  ci.upper = xs[static_cast<size_t>(ci.upper_rank - 1)];
+  const size_t n = xs.size();
+  ci.median = n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+  return ci;
+}
+
+}  // namespace logmine::stats

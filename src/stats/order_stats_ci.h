@@ -1,0 +1,40 @@
+#ifndef LOGMINE_STATS_ORDER_STATS_CI_H_
+#define LOGMINE_STATS_ORDER_STATS_CI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+
+namespace logmine::stats {
+
+/// A confidence interval for the median obtained from order statistics.
+struct MedianCi {
+  double lower = 0;     ///< value of the lower order statistic
+  double upper = 0;     ///< value of the upper order statistic
+  double median = 0;    ///< sample median
+  int lower_rank = 0;   ///< 1-based rank j of the lower bound
+  int upper_rank = 0;   ///< 1-based rank k of the upper bound
+  double coverage = 0;  ///< achieved (conservative) confidence level
+};
+
+/// 1-based ranks (j, k) such that [x_(j), x_(k)] is a distribution-free
+/// confidence interval for the median with coverage >= `level`, plus the
+/// achieved coverage 1 - 2 * BinomialCdf(j - 1; n, 1/2).
+///
+/// This is the robust order-statistics method of Le Boudec used throughout
+/// the paper: the only assumption is independence. For n = 7 and
+/// level = 0.98 it returns (1, 7) with coverage 0.984375 — exactly the
+/// "0.984 level" the paper reports for its 7 daily values.
+///
+/// Fails with InvalidArgument when no such interval exists, i.e. when even
+/// [x_(1), x_(n)] has coverage < level (n too small).
+logmine::Result<MedianCi> MedianCiRanks(int64_t n, double level);
+
+/// Computes the interval on concrete data (copied and sorted internally).
+logmine::Result<MedianCi> MedianConfidenceInterval(std::vector<double> xs,
+                                                   double level);
+
+}  // namespace logmine::stats
+
+#endif  // LOGMINE_STATS_ORDER_STATS_CI_H_

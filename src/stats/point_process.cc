@@ -1,0 +1,112 @@
+#include "stats/point_process.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace logmine::stats {
+
+int64_t NearestDistance(int64_t t, const std::vector<int64_t>& sorted_ref) {
+  assert(!sorted_ref.empty());
+  auto it = std::lower_bound(sorted_ref.begin(), sorted_ref.end(), t);
+  int64_t best;
+  if (it == sorted_ref.end()) {
+    best = t - sorted_ref.back();
+  } else {
+    best = *it - t;
+    if (it != sorted_ref.begin()) {
+      best = std::min(best, t - *(it - 1));
+    }
+  }
+  return best;
+}
+
+std::vector<double> DistancesToNearest(
+    const std::vector<int64_t>& points,
+    const std::vector<int64_t>& sorted_ref) {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (int64_t p : points) {
+    out.push_back(static_cast<double>(NearestDistance(p, sorted_ref)));
+  }
+  return out;
+}
+
+std::vector<int64_t> UniformPoints(int64_t begin, int64_t end, size_t count,
+                                   logmine::Rng* rng) {
+  assert(begin < end);
+  std::vector<int64_t> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(rng->UniformInt(begin, end - 1));
+  }
+  return out;
+}
+
+std::vector<int64_t> Subsample(const std::vector<int64_t>& points,
+                               size_t max_count, logmine::Rng* rng) {
+  if (points.size() <= max_count) return points;
+  // Partial Fisher-Yates: draw max_count distinct elements.
+  std::vector<int64_t> pool = points;
+  for (size_t i = 0; i < max_count; ++i) {
+    const size_t j = static_cast<size_t>(
+        rng->UniformInt(static_cast<int64_t>(i),
+                        static_cast<int64_t>(pool.size()) - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(max_count);
+  return pool;
+}
+
+namespace {
+
+// Shared tail of both test variants: computes the distance samples and
+// compares the median CIs one-sidedly.
+MedianDistanceTestResult FinishTest(const std::vector<int64_t>& a,
+                                    const std::vector<int64_t>& b_sample,
+                                    const std::vector<int64_t>& reference,
+                                    const MedianDistanceTestConfig& config) {
+  MedianDistanceTestResult out;
+  out.sample_random = DistancesToNearest(reference, a);
+  out.sample_target = DistancesToNearest(b_sample, a);
+  auto ci_r = MedianConfidenceInterval(out.sample_random, config.level);
+  auto ci_b = MedianConfidenceInterval(out.sample_target, config.level);
+  if (!ci_r.ok() || !ci_b.ok()) return out;  // samples too small
+  out.ci_random = ci_r.value();
+  out.ci_target = ci_b.value();
+  out.positive = out.ci_target.upper < out.ci_random.lower;
+  return out;
+}
+
+}  // namespace
+
+MedianDistanceTestResult MedianDistanceTest(
+    const std::vector<int64_t>& a, const std::vector<int64_t>& b,
+    int64_t interval_begin, int64_t interval_end,
+    const MedianDistanceTestConfig& config, logmine::Rng* rng) {
+  if (a.empty() || b.empty() || interval_begin >= interval_end) return {};
+  const std::vector<int64_t> random_points =
+      UniformPoints(interval_begin, interval_end, config.sample_size, rng);
+  const std::vector<int64_t> b_sample =
+      Subsample(b, config.sample_size, rng);
+  return FinishTest(a, b_sample, random_points, config);
+}
+
+MedianDistanceTestResult MedianDistanceTestWithBaseline(
+    const std::vector<int64_t>& a, const std::vector<int64_t>& b,
+    const std::vector<int64_t>& baseline_points, int64_t baseline_jitter,
+    const MedianDistanceTestConfig& config, logmine::Rng* rng) {
+  if (a.empty() || b.empty() || baseline_points.empty()) return {};
+  std::vector<int64_t> reference =
+      Subsample(baseline_points, config.sample_size, rng);
+  if (baseline_jitter > 0) {
+    for (int64_t& point : reference) {
+      point += rng->UniformInt(-baseline_jitter, baseline_jitter);
+    }
+  }
+  const std::vector<int64_t> b_sample =
+      Subsample(b, config.sample_size, rng);
+  return FinishTest(a, b_sample, reference, config);
+}
+
+}  // namespace logmine::stats

@@ -1,0 +1,85 @@
+#include "stats/regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+
+namespace logmine::stats {
+
+logmine::Result<LinearFit> FitLinear(const std::vector<double>& xs,
+                                     const std::vector<double>& ys,
+                                     double level) {
+  if (xs.size() != ys.size()) {
+    return logmine::Status::InvalidArgument("x/y size mismatch");
+  }
+  const int n = static_cast<int>(xs.size());
+  if (n < 3) {
+    return logmine::Status::InvalidArgument("OLS needs at least 3 points");
+  }
+  if (level <= 0.0 || level >= 1.0) {
+    return logmine::Status::InvalidArgument("level must be in (0, 1)");
+  }
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double dx = xs[static_cast<size_t>(i)] - mx;
+    const double dy = ys[static_cast<size_t>(i)] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) {
+    return logmine::Status::InvalidArgument("x is constant; slope undefined");
+  }
+
+  LinearFit fit;
+  fit.n = n;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+
+  double ss_res = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double pred = fit.intercept + fit.slope * xs[static_cast<size_t>(i)];
+    const double r = ys[static_cast<size_t>(i)] - pred;
+    ss_res += r * r;
+  }
+  const double df = static_cast<double>(n - 2);
+  const double sigma2 = ss_res / df;
+  fit.residual_stddev = std::sqrt(sigma2);
+  fit.slope_stderr = std::sqrt(sigma2 / sxx);
+  fit.r_squared = syy <= 0.0 ? 1.0 : 1.0 - ss_res / syy;
+
+  const double t = StudentTQuantile(0.5 + level / 2.0, df);
+  fit.slope_ci_lo = fit.slope - t * fit.slope_stderr;
+  fit.slope_ci_hi = fit.slope + t * fit.slope_stderr;
+  return fit;
+}
+
+std::vector<double> Residuals(const LinearFit& fit,
+                              const std::vector<double>& xs,
+                              const std::vector<double>& ys) {
+  std::vector<double> out(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    out[i] = ys[i] - (fit.intercept + fit.slope * xs[i]);
+  }
+  return out;
+}
+
+double QqNormalCorrelation(std::vector<double> residuals) {
+  const size_t n = residuals.size();
+  if (n < 3) return 0.0;
+  std::sort(residuals.begin(), residuals.end());
+  std::vector<double> quantiles(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Blom plotting positions.
+    const double p = (static_cast<double>(i) + 1.0 - 0.375) /
+                     (static_cast<double>(n) + 0.25);
+    quantiles[i] = NormalQuantile(p);
+  }
+  return PearsonCorrelation(residuals, quantiles);
+}
+
+}  // namespace logmine::stats

@@ -1,0 +1,49 @@
+#ifndef LOGMINE_STATS_REGRESSION_H_
+#define LOGMINE_STATS_REGRESSION_H_
+
+#include <vector>
+
+#include "util/result.h"
+
+namespace logmine::stats {
+
+/// Ordinary least squares fit of y = intercept + slope * x, with the
+/// t-based confidence interval for the slope used in the paper's load
+/// experiment (§4.9): "we check if the confidence interval for the linear
+/// factor is strictly negative [L1], respectively includes zero [L2]".
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double slope_stderr = 0;
+  double slope_ci_lo = 0;
+  double slope_ci_hi = 0;
+  double r_squared = 0;
+  double residual_stddev = 0;
+  int n = 0;
+
+  bool SlopeCiStrictlyNegative() const { return slope_ci_hi < 0.0; }
+  bool SlopeCiContainsZero() const {
+    return slope_ci_lo <= 0.0 && slope_ci_hi >= 0.0;
+  }
+};
+
+/// Fits OLS on paired samples (size >= 3, x not constant); `level` is the
+/// confidence level for the slope interval, e.g. 0.95.
+logmine::Result<LinearFit> FitLinear(const std::vector<double>& xs,
+                                     const std::vector<double>& ys,
+                                     double level);
+
+/// Residuals of a fit, for normal-QQ diagnostics ("the validity of the
+/// regression model is verified by the means of normal qqplots for the
+/// residuals").
+std::vector<double> Residuals(const LinearFit& fit,
+                              const std::vector<double>& xs,
+                              const std::vector<double>& ys);
+
+/// Correlation between sorted residuals and normal quantiles — the
+/// numeric analogue of eyeballing a QQ plot; near 1 means "normal enough".
+double QqNormalCorrelation(std::vector<double> residuals);
+
+}  // namespace logmine::stats
+
+#endif  // LOGMINE_STATS_REGRESSION_H_

@@ -1,0 +1,125 @@
+#include "stats/wilcoxon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/distributions.h"
+
+namespace logmine::stats {
+namespace {
+
+// Exact null distribution of W+ over all 2^n sign assignments, via the
+// classic dynamic program on achievable rank sums. Ranks are 1..n
+// (no ties). Returns P(W+ <= w) and P(W+ >= w).
+void ExactTailProbabilities(int n, double w, double* p_leq, double* p_geq) {
+  const int max_sum = n * (n + 1) / 2;
+  // counts[s] = number of subsets of {1..n} with rank sum s.
+  std::vector<double> counts(static_cast<size_t>(max_sum) + 1, 0.0);
+  counts[0] = 1.0;
+  for (int rank = 1; rank <= n; ++rank) {
+    for (int s = max_sum; s >= rank; --s) {
+      counts[static_cast<size_t>(s)] += counts[static_cast<size_t>(s - rank)];
+    }
+  }
+  const double total = std::ldexp(1.0, n);  // 2^n
+  double leq = 0.0, geq = 0.0;
+  for (int s = 0; s <= max_sum; ++s) {
+    if (s <= w + 1e-9) leq += counts[static_cast<size_t>(s)];
+    if (s >= w - 1e-9) geq += counts[static_cast<size_t>(s)];
+  }
+  *p_leq = leq / total;
+  *p_geq = geq / total;
+}
+
+}  // namespace
+
+logmine::Result<WilcoxonResult> WilcoxonSignedRank(
+    const std::vector<double>& diffs, Alternative alternative) {
+  // Drop zeros.
+  std::vector<double> d;
+  d.reserve(diffs.size());
+  for (double x : diffs) {
+    if (x != 0.0) d.push_back(x);
+  }
+  if (d.empty()) {
+    return logmine::Status::InvalidArgument(
+        "signed-rank test needs at least one non-zero difference");
+  }
+  const int n = static_cast<int>(d.size());
+
+  // Midranks of |d|.
+  std::vector<size_t> order(d.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return std::fabs(d[a]) < std::fabs(d[b]);
+  });
+  std::vector<double> ranks(d.size(), 0.0);
+  bool has_ties = false;
+  double tie_correction = 0.0;  // sum over tie groups of t^3 - t
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           std::fabs(d[order[j + 1]]) == std::fabs(d[order[i]])) {
+      ++j;
+    }
+    const double midrank = (static_cast<double>(i + 1) +
+                            static_cast<double>(j + 1)) / 2.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    const double t = static_cast<double>(j - i + 1);
+    if (t > 1) {
+      has_ties = true;
+      tie_correction += t * t * t - t;
+    }
+    i = j + 1;
+  }
+
+  WilcoxonResult out;
+  out.n_used = n;
+  for (size_t k = 0; k < d.size(); ++k) {
+    if (d[k] > 0) out.w_plus += ranks[k];
+  }
+
+  double p_leq, p_geq;
+  if (!has_ties && n <= 25) {
+    out.exact = true;
+    ExactTailProbabilities(n, out.w_plus, &p_leq, &p_geq);
+  } else {
+    out.exact = false;
+    const double mu = static_cast<double>(n) * (n + 1) / 4.0;
+    const double var = static_cast<double>(n) * (n + 1) * (2 * n + 1) / 24.0 -
+                       tie_correction / 48.0;
+    const double sigma = std::sqrt(var);
+    // Continuity correction of 0.5 toward the mean.
+    p_leq = NormalCdf((out.w_plus - mu + 0.5) / sigma);
+    p_geq = 1.0 - NormalCdf((out.w_plus - mu - 0.5) / sigma);
+  }
+
+  switch (alternative) {
+    case Alternative::kTwoSided:
+      out.p_value = std::min(1.0, 2.0 * std::min(p_leq, p_geq));
+      break;
+    case Alternative::kLess:  // small W+ => negative median
+      out.p_value = p_leq;
+      break;
+    case Alternative::kGreater:
+      out.p_value = p_geq;
+      break;
+  }
+  return out;
+}
+
+logmine::Result<WilcoxonResult> WilcoxonSignedRankPaired(
+    const std::vector<double>& xs, const std::vector<double>& ys,
+    Alternative alternative) {
+  if (xs.size() != ys.size()) {
+    return logmine::Status::InvalidArgument(
+        "paired test requires equal sample sizes");
+  }
+  std::vector<double> diffs(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) diffs[i] = xs[i] - ys[i];
+  return WilcoxonSignedRank(diffs, alternative);
+}
+
+}  // namespace logmine::stats

@@ -1,0 +1,43 @@
+#ifndef LOGMINE_STATS_WILCOXON_H_
+#define LOGMINE_STATS_WILCOXON_H_
+
+#include <vector>
+
+#include "util/result.h"
+
+namespace logmine::stats {
+
+/// Alternative hypothesis for the signed-rank test of zero median.
+enum class Alternative {
+  kTwoSided,
+  kLess,     ///< median of the differences < 0
+  kGreater,  ///< median of the differences > 0
+};
+
+/// Result of a Wilcoxon signed-rank test.
+struct WilcoxonResult {
+  double w_plus = 0;    ///< sum of ranks of the positive differences
+  double p_value = 1;
+  int n_used = 0;       ///< sample size after dropping exact zeros
+  bool exact = false;   ///< exact permutation distribution was used
+};
+
+/// Wilcoxon signed-rank test for a zero median of `diffs`.
+///
+/// Zeros are dropped (Wilcoxon's convention); ties receive midranks. The
+/// exact permutation distribution is used when n <= 25 and there are no
+/// ties; otherwise a normal approximation with tie correction applies.
+///
+/// For the paper's table 2: seven same-signed differences give the exact
+/// two-sided p-value 2 * (1/2)^7 = 0.015625.
+logmine::Result<WilcoxonResult> WilcoxonSignedRank(
+    const std::vector<double>& diffs, Alternative alternative);
+
+/// Convenience: paired test on x - y.
+logmine::Result<WilcoxonResult> WilcoxonSignedRankPaired(
+    const std::vector<double>& xs, const std::vector<double>& ys,
+    Alternative alternative);
+
+}  // namespace logmine::stats
+
+#endif  // LOGMINE_STATS_WILCOXON_H_

@@ -1,0 +1,62 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace logmine {
+
+Status CliFlags::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+      return Status::InvalidArgument("expected --name[=value], got: " +
+                                     std::string(arg));
+    }
+    arg.remove_prefix(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      values_[std::string(arg)] = "true";
+    } else {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    }
+  }
+  return Status::OK();
+}
+
+bool CliFlags::Has(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string CliFlags::GetString(std::string_view name,
+                                std::string fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t CliFlags::GetInt(std::string_view name, int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  return (end == nullptr || *end != '\0') ? fallback : value;
+}
+
+double CliFlags::GetDouble(std::string_view name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  return (end == nullptr || *end != '\0') ? fallback : value;
+}
+
+bool CliFlags::GetBool(std::string_view name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string lower = ToLower(it->second);
+  if (lower == "true" || lower == "1" || lower == "yes") return true;
+  if (lower == "false" || lower == "0" || lower == "no") return false;
+  return fallback;
+}
+
+}  // namespace logmine

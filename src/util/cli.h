@@ -1,0 +1,44 @@
+#ifndef LOGMINE_UTIL_CLI_H_
+#define LOGMINE_UTIL_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace logmine {
+
+/// Minimal command-line flag parser shared by the benchmark and example
+/// binaries. Accepts `--name=value` and bare `--name` (value "true");
+/// positional arguments are rejected so typos fail loudly.
+///
+/// Example:
+///   CliFlags flags;
+///   Status s = flags.Parse(argc, argv);
+///   double scale = flags.GetDouble("scale", 1.0);
+class CliFlags {
+ public:
+  CliFlags() = default;
+
+  /// Parses argv[1..); returns InvalidArgument on malformed input.
+  Status Parse(int argc, const char* const* argv);
+
+  bool Has(std::string_view name) const;
+
+  /// Typed getters returning `fallback` when the flag is absent.
+  /// Malformed numeric values also fall back (the Parse step cannot know
+  /// the intended type).
+  std::string GetString(std::string_view name, std::string fallback) const;
+  int64_t GetInt(std::string_view name, int64_t fallback) const;
+  double GetDouble(std::string_view name, double fallback) const;
+  bool GetBool(std::string_view name, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+}  // namespace logmine
+
+#endif  // LOGMINE_UTIL_CLI_H_

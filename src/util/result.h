@@ -1,0 +1,67 @@
+#ifndef LOGMINE_UTIL_RESULT_H_
+#define LOGMINE_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace logmine {
+
+/// Value-or-Status return type: either holds a `T` or a non-OK `Status`.
+///
+/// Example:
+///   Result<LogRecord> r = LineCodec::Decode(line);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor): mirrors absl.
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Pre-condition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when this result failed.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating failure; otherwise binds the
+/// value to `lhs`.
+#define LOGMINE_ASSIGN_OR_RETURN(lhs, rexpr)         \
+  auto _res_##__LINE__ = (rexpr);                    \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = std::move(_res_##__LINE__).value()
+
+}  // namespace logmine
+
+#endif  // LOGMINE_UTIL_RESULT_H_

@@ -1,0 +1,133 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace logmine {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// FNV-1a over the label bytes, used to key forked streams.
+uint64_t HashLabel(std::string_view label) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+}
+
+Rng Rng::Fork(std::string_view label) const {
+  // Mix the current state words with the label hash; does not advance *this.
+  uint64_t sm = s_[0] ^ Rotl(s_[1], 17) ^ Rotl(s_[2], 31) ^ s_[3];
+  sm ^= HashLabel(label);
+  return Rng(SplitMix64(&sm));
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 top bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * Uniform();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // Full 64-bit range.
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t draw;
+  do {
+    draw = Next();
+  } while (draw >= limit);
+  return lo + static_cast<int64_t>(draw % range);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+double Rng::Exponential(double lambda) {
+  assert(lambda > 0);
+  double u;
+  do {
+    u = Uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 0.0);
+  const double u2 = Uniform();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * z;
+}
+
+int64_t Rng::Poisson(double lambda) {
+  assert(lambda >= 0);
+  if (lambda == 0) return 0;
+  if (lambda > 64.0) {
+    // Normal approximation with continuity correction; adequate for the
+    // workload intensities used in the simulator.
+    const double draw = Normal(lambda, std::sqrt(lambda));
+    return draw < 0.5 ? 0 : static_cast<int64_t>(draw + 0.5);
+  }
+  const double limit = std::exp(-lambda);
+  int64_t k = 0;
+  double prod = Uniform();
+  while (prod > limit) {
+    ++k;
+    prod *= Uniform();
+  }
+  return k;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0;
+  for (double w : weights) total += w;
+  assert(total > 0);
+  double draw = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace logmine

@@ -1,0 +1,43 @@
+#ifndef LOGMINE_UTIL_STRING_UTIL_H_
+#define LOGMINE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace logmine {
+
+/// Splits `input` at every occurrence of `sep`; empty fields are kept.
+/// Split("a||b", '|') -> {"a", "", "b"}.
+std::vector<std::string> Split(std::string_view input, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing (the service-directory vocabulary is ASCII).
+std::string ToLower(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Glob-style match supporting '*' (any run, including empty) and
+/// '?' (any single character). Case-sensitive.
+bool WildcardMatch(std::string_view pattern, std::string_view text);
+
+/// Splits `text` into maximal runs of [A-Za-z0-9_] — the tokenization used
+/// when matching service-directory citations in free text.
+std::vector<std::string_view> TokenizeIdentifiers(std::string_view text);
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// Replaces every occurrence of `from` (non-empty) in `s` with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+}  // namespace logmine
+
+#endif  // LOGMINE_UTIL_STRING_UTIL_H_

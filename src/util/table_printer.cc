@@ -1,0 +1,66 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+
+namespace logmine {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  size_t cols = headers_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  if (cols == 0) return "";
+
+  std::vector<size_t> widths(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(headers_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      if (i > 0) line += " | ";
+      line += cell;
+      line.append(widths[i] - cell.size(), ' ');
+    }
+    // Right-trim so empty trailing cells don't leave whitespace.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::string out;
+  if (!headers_.empty()) {
+    out += render_row(headers_);
+    size_t total = 0;
+    for (size_t i = 0; i < cols; ++i) total += widths[i] + (i > 0 ? 3 : 0);
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+std::string AsciiBar(int filled, int total, int width) {
+  if (total <= 0 || width <= 0) return "";
+  filled = std::clamp(filled, 0, total);
+  const int cells = static_cast<int>(
+      static_cast<double>(filled) / total * width + 0.5);
+  std::string out(static_cast<size_t>(cells), '#');
+  out.append(static_cast<size_t>(width - cells), '.');
+  return out;
+}
+
+}  // namespace logmine

@@ -1,0 +1,48 @@
+#ifndef LOGMINE_UTIL_TABLE_PRINTER_H_
+#define LOGMINE_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace logmine {
+
+/// Renders aligned ASCII tables for the benchmark harness output, e.g.:
+///
+///   day [dec 05]  | 06   | 07   | ...
+///   #logs [mio]   | 10.3 | 9.4  | ...
+///
+/// Cells are strings; numeric formatting is the caller's concern
+/// (see FormatDouble).
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers (may be empty for a
+  /// headerless table).
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row. Rows shorter than the header are padded with
+  /// empty cells; longer rows widen the table.
+  void AddRow(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the table with a header separator line.
+  std::string ToString() const;
+
+  /// Writes `ToString()` to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a one-line horizontal "area chart" used to mimic the paper's
+/// stacked TP/FP bar figures in terminal output:
+///   `######______` with `filled` of `total` cells shown as '#'.
+std::string AsciiBar(int filled, int total, int width);
+
+}  // namespace logmine
+
+#endif  // LOGMINE_UTIL_TABLE_PRINTER_H_

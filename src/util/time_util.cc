@@ -1,0 +1,115 @@
+#include "util/time_util.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace logmine {
+
+int64_t DaysFromCivil(int year, int month, int day) {
+  // Howard Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  year -= month <= 2;
+  const int64_t era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);  // [0, 399]
+  const unsigned doy =
+      (153u * static_cast<unsigned>(month + (month > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(day) - 1;                            // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;    // [0,146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t days, int* year, int* month, int* day) {
+  days += 719468;
+  const int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(days - era * 146097);
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *day = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *month = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  *year = static_cast<int>(y + (*month <= 2));
+}
+
+TimeMs TimeFromCivil(const CivilTime& civil) {
+  const int64_t days = DaysFromCivil(civil.year, civil.month, civil.day);
+  return days * kMillisPerDay + civil.hour * kMillisPerHour +
+         civil.minute * kMillisPerMinute + civil.second * kMillisPerSecond +
+         civil.millisecond;
+}
+
+CivilTime CivilFromTime(TimeMs t) {
+  int64_t days = t / kMillisPerDay;
+  TimeMs rem = t % kMillisPerDay;
+  if (rem < 0) {
+    rem += kMillisPerDay;
+    --days;
+  }
+  CivilTime civil;
+  CivilFromDays(days, &civil.year, &civil.month, &civil.day);
+  civil.hour = static_cast<int>(rem / kMillisPerHour);
+  rem %= kMillisPerHour;
+  civil.minute = static_cast<int>(rem / kMillisPerMinute);
+  rem %= kMillisPerMinute;
+  civil.second = static_cast<int>(rem / kMillisPerSecond);
+  civil.millisecond = static_cast<int>(rem % kMillisPerSecond);
+  return civil;
+}
+
+int DayOfWeek(TimeMs t) {
+  int64_t days = t / kMillisPerDay;
+  if (t % kMillisPerDay < 0) --days;
+  // 1970-01-01 was a Thursday (index 3 with Monday = 0).
+  int dow = static_cast<int>((days + 3) % 7);
+  return dow < 0 ? dow + 7 : dow;
+}
+
+bool IsWeekend(TimeMs t) { return DayOfWeek(t) >= 5; }
+
+int HourOfDay(TimeMs t) {
+  TimeMs rem = t % kMillisPerDay;
+  if (rem < 0) rem += kMillisPerDay;
+  return static_cast<int>(rem / kMillisPerHour);
+}
+
+TimeMs StartOfDay(TimeMs t) {
+  TimeMs rem = t % kMillisPerDay;
+  if (rem < 0) rem += kMillisPerDay;
+  return t - rem;
+}
+
+std::string FormatTime(TimeMs t) {
+  const CivilTime c = CivilFromTime(t);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                c.year, c.month, c.day, c.hour, c.minute, c.second,
+                c.millisecond);
+  return buf;
+}
+
+std::string FormatDate(TimeMs t) {
+  const CivilTime c = CivilFromTime(t);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", c.year, c.month, c.day);
+  return buf;
+}
+
+Result<TimeMs> ParseTime(std::string_view text) {
+  CivilTime c;
+  int fields = std::sscanf(std::string(text).c_str(),
+                           "%d-%d-%d %d:%d:%d.%d", &c.year, &c.month, &c.day,
+                           &c.hour, &c.minute, &c.second, &c.millisecond);
+  if (fields != 3 && fields != 6 && fields != 7) {
+    return Status::ParseError("unrecognized timestamp: " + std::string(text));
+  }
+  if (c.month < 1 || c.month > 12 || c.day < 1 || c.day > 31 || c.hour > 23 ||
+      c.minute > 59 || c.second > 59 || c.millisecond > 999 || c.hour < 0 ||
+      c.minute < 0 || c.second < 0 || c.millisecond < 0) {
+    return Status::ParseError("timestamp field out of range: " +
+                              std::string(text));
+  }
+  return TimeFromCivil(c);
+}
+
+}  // namespace logmine

@@ -1,0 +1,88 @@
+#include "core/evaluation.h"
+
+#include <gtest/gtest.h>
+
+namespace logmine::core {
+namespace {
+
+DependencyModel Model(std::initializer_list<NamePair> pairs) {
+  DependencyModel model;
+  for (const NamePair& pair : pairs) model.Insert(pair);
+  return model;
+}
+
+TEST(EvaluateTest, CountsConfusion) {
+  const DependencyModel predicted =
+      Model({{"A", "B"}, {"C", "D"}, {"E", "F"}});
+  const DependencyModel reference = Model({{"A", "B"}, {"C", "D"}, {"G", "H"}});
+  const ConfusionCounts counts = Evaluate(predicted, reference, 100);
+  EXPECT_EQ(counts.true_positives, 2);
+  EXPECT_EQ(counts.false_positives, 1);
+  EXPECT_EQ(counts.false_negatives, 1);
+  EXPECT_EQ(counts.positives(), 3);
+  EXPECT_EQ(counts.true_negatives(), 96);
+  EXPECT_NEAR(counts.tp_ratio(), 2.0 / 3, 1e-12);
+  EXPECT_NEAR(counts.recall(), 2.0 / 3, 1e-12);
+  // 1 FP over 100 - 3 unrelated pairs.
+  EXPECT_NEAR(counts.false_positive_rate(), 1.0 / 97, 1e-12);
+}
+
+TEST(EvaluateTest, EmptyPrediction) {
+  const ConfusionCounts counts =
+      Evaluate(DependencyModel{}, Model({{"A", "B"}}), 10);
+  EXPECT_EQ(counts.true_positives, 0);
+  EXPECT_EQ(counts.false_negatives, 1);
+  EXPECT_EQ(counts.tp_ratio(), 0.0);
+  EXPECT_EQ(counts.recall(), 0.0);
+}
+
+TEST(EvaluateTest, EmptyReference) {
+  const ConfusionCounts counts =
+      Evaluate(Model({{"A", "B"}}), DependencyModel{}, 10);
+  EXPECT_EQ(counts.false_positives, 1);
+  EXPECT_EQ(counts.recall(), 0.0);
+}
+
+TEST(EvaluateTest, DefaultUniverse) {
+  const ConfusionCounts counts =
+      Evaluate(Model({{"A", "B"}}), Model({{"C", "D"}}), 0);
+  EXPECT_EQ(counts.universe, 2);
+}
+
+TEST(EvaluateTest, PaperScaleNumbers) {
+  // §4.5's arithmetic: 1431 pairs, 178 dependent, 25 FP over 1253
+  // unrelated pairs is a ~2% error rate.
+  DependencyModel predicted;
+  DependencyModel reference;
+  for (int i = 0; i < 178; ++i) {
+    reference.Insert({"r" + std::to_string(i), "x"});
+  }
+  for (int i = 0; i < 40; ++i) {
+    predicted.Insert({"r" + std::to_string(i), "x"});  // 40 TP
+  }
+  for (int i = 0; i < 25; ++i) {
+    predicted.Insert({"f" + std::to_string(i), "x"});  // 25 FP
+  }
+  const ConfusionCounts counts = Evaluate(predicted, reference, 1431);
+  EXPECT_NEAR(counts.false_positive_rate(), 25.0 / 1253.0, 1e-12);
+  EXPECT_NEAR(counts.false_positive_rate(), 0.02, 0.001);
+}
+
+TEST(DailySeriesTest, ExtractsVectors) {
+  DailySeries series;
+  series.day_labels = {"d1", "d2"};
+  ConfusionCounts day1;
+  day1.true_positives = 30;
+  day1.false_positives = 10;
+  ConfusionCounts day2;
+  day2.true_positives = 40;
+  day2.false_positives = 20;
+  series.days = {day1, day2};
+  EXPECT_EQ(series.TruePositives(), (std::vector<double>{30, 40}));
+  EXPECT_EQ(series.FalsePositives(), (std::vector<double>{10, 20}));
+  EXPECT_NEAR(series.TpRatios()[0], 0.75, 1e-12);
+  EXPECT_NEAR(series.TpRatios()[1], 2.0 / 3, 1e-12);
+}
+
+}  // namespace
+}  // namespace logmine::core

@@ -1,0 +1,140 @@
+#include "core/l2_session_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace logmine::core {
+namespace {
+
+LogRecord Rec(TimeMs ts, std::string source, std::string user) {
+  LogRecord record;
+  record.client_ts = ts;
+  record.server_ts = ts;
+  record.source = std::move(source);
+  record.user = std::move(user);
+  record.message = "x";
+  return record;
+}
+
+LogStore MakeStore(const std::vector<LogRecord>& records) {
+  LogStore store;
+  for (const LogRecord& record : records) {
+    EXPECT_TRUE(store.Append(record).ok());
+  }
+  store.BuildIndex();
+  return store;
+}
+
+SessionBuilderConfig SmallConfig() {
+  SessionBuilderConfig config;
+  config.max_gap = 1000;
+  config.min_logs = 2;
+  return config;
+}
+
+TEST(SessionBuilderTest, GroupsByUser) {
+  const LogStore store = MakeStore({
+      Rec(0, "A", "alice"),
+      Rec(10, "B", "bob"),
+      Rec(20, "C", "alice"),
+      Rec(30, "D", "bob"),
+  });
+  SessionBuilder builder(SmallConfig());
+  SessionBuildStats stats;
+  const auto sessions = builder.Build(store, 0, 100, &stats);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(stats.num_sessions, 2u);
+  EXPECT_EQ(stats.logs_assigned, 4);
+  for (const Session& session : sessions) {
+    EXPECT_EQ(session.entries.size(), 2u);
+    // Ordered by time within the session.
+    EXPECT_LE(session.entries[0].ts, session.entries[1].ts);
+  }
+}
+
+TEST(SessionBuilderTest, ContextFreeLogsIgnored) {
+  const LogStore store = MakeStore({
+      Rec(0, "A", "alice"),
+      Rec(5, "B", ""),  // no user context
+      Rec(10, "C", "alice"),
+  });
+  SessionBuilder builder(SmallConfig());
+  SessionBuildStats stats;
+  const auto sessions = builder.Build(store, 0, 100, &stats);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].entries.size(), 2u);
+  EXPECT_EQ(stats.logs_considered, 3);
+  EXPECT_EQ(stats.logs_with_context, 2);
+  EXPECT_NEAR(stats.assigned_fraction, 2.0 / 3.0, 1e-12);
+}
+
+TEST(SessionBuilderTest, SplitsOnInactivityGap) {
+  const LogStore store = MakeStore({
+      Rec(0, "A", "alice"),
+      Rec(100, "B", "alice"),
+      Rec(5000, "C", "alice"),  // gap > 1000 -> new session
+      Rec(5100, "D", "alice"),
+  });
+  SessionBuilder builder(SmallConfig());
+  const auto sessions = builder.Build(store, 0, 10000, nullptr);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].start(), 0);
+  EXPECT_EQ(sessions[0].end(), 100);
+  EXPECT_EQ(sessions[1].start(), 5000);
+}
+
+TEST(SessionBuilderTest, DiscardsTooShortSessions) {
+  const LogStore store = MakeStore({
+      Rec(0, "A", "alice"),     // singleton -> dropped (min_logs = 2)
+      Rec(9000, "B", "alice"),  // singleton after gap -> dropped
+      Rec(20000, "C", "bob"),
+      Rec(20010, "D", "bob"),
+  });
+  SessionBuilder builder(SmallConfig());
+  SessionBuildStats stats;
+  const auto sessions = builder.Build(store, 0, 30000, &stats);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].user, store.user_id(2));
+  EXPECT_EQ(stats.logs_assigned, 2);
+  EXPECT_EQ(stats.logs_with_context, 4);
+}
+
+TEST(SessionBuilderTest, RespectsTimeWindow) {
+  const LogStore store = MakeStore({
+      Rec(0, "A", "alice"),
+      Rec(10, "B", "alice"),
+      Rec(500, "C", "alice"),
+  });
+  SessionBuilder builder(SmallConfig());
+  const auto sessions = builder.Build(store, 0, 100, nullptr);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].entries.size(), 2u);  // the log at 500 is outside
+}
+
+TEST(SessionBuilderTest, InterleavedUsersStaySeparated) {
+  // The "machine shared by different users" scenario: interleaved in
+  // time, distinct in identity.
+  std::vector<LogRecord> records;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back(Rec(i * 10, "A", i % 2 == 0 ? "alice" : "bob"));
+  }
+  const LogStore store = MakeStore(records);
+  SessionBuilder builder(SmallConfig());
+  const auto sessions = builder.Build(store, 0, 1000, nullptr);
+  ASSERT_EQ(sessions.size(), 2u);
+  for (const Session& session : sessions) {
+    EXPECT_EQ(session.entries.size(), 5u);
+  }
+}
+
+TEST(SessionBuilderTest, EmptyWindowYieldsNothing) {
+  const LogStore store = MakeStore({Rec(0, "A", "alice")});
+  SessionBuilder builder(SmallConfig());
+  SessionBuildStats stats;
+  const auto sessions = builder.Build(store, 1000, 2000, &stats);
+  EXPECT_TRUE(sessions.empty());
+  EXPECT_EQ(stats.logs_considered, 0);
+  EXPECT_EQ(stats.assigned_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace logmine::core

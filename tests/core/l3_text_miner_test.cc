@@ -1,0 +1,188 @@
+#include "core/l3_text_miner.h"
+
+#include <gtest/gtest.h>
+
+namespace logmine::core {
+namespace {
+
+ServiceVocabulary Vocab() {
+  ServiceVocabulary vocabulary;
+  vocabulary.entries.push_back(
+      {"DPINOTIFICATION", "http://srv01.hug.ch:9980/dpinotification"});
+  vocabulary.entries.push_back(
+      {"UPSRV2", "http://srv02.hug.ch:9980/upsrv2"});
+  vocabulary.entries.push_back(
+      {"LABRES", "http://srv03.hug.ch:9980/labres"});
+  return vocabulary;
+}
+
+LogRecord Rec(TimeMs ts, std::string source, std::string message) {
+  LogRecord record;
+  record.client_ts = ts;
+  record.server_ts = ts;
+  record.source = std::move(source);
+  record.message = std::move(message);
+  return record;
+}
+
+LogStore MakeStore(const std::vector<LogRecord>& records) {
+  LogStore store;
+  for (const LogRecord& record : records) {
+    EXPECT_TRUE(store.Append(record).ok());
+  }
+  store.BuildIndex();
+  return store;
+}
+
+TEST(L3MinerTest, PaperExampleMessagesMatch) {
+  // Both log shapes from §3.3 must produce the citation.
+  const ServiceVocabulary vocabulary = Vocab();
+  const LogStore store = MakeStore({
+      Rec(0, "AppA",
+          "Invoke externalService [fct [notify] "
+          "server [srv01.hug.ch:9980/dpinotification]]"),
+      Rec(10, "AppB", "(DPINOTIFICATION) notify( $myparams )"),
+  });
+  L3TextMiner miner(vocabulary, L3Config{});
+  auto result = miner.Mine(store, 0, 100);
+  ASSERT_TRUE(result.ok());
+  const DependencyModel deps =
+      result.value().Dependencies(store, vocabulary);
+  EXPECT_TRUE(deps.Contains({"AppA", "DPINOTIFICATION"}));
+  EXPECT_TRUE(deps.Contains({"AppB", "DPINOTIFICATION"}));
+}
+
+TEST(L3MinerTest, CitationByIdAndByUrl) {
+  const ServiceVocabulary vocabulary = Vocab();
+  const LogStore store = MakeStore({
+      Rec(0, "AppA", "(DPINOTIFICATION) notify()"),
+      Rec(10, "AppB", "-> url http://srv02.hug.ch:9980/upsrv2/store id=4"),
+      Rec(20, "AppC", "nothing to see here"),
+  });
+  L3TextMiner miner(vocabulary, L3Config{});
+  auto result = miner.Mine(store, 0, 100);
+  ASSERT_TRUE(result.ok());
+  const DependencyModel deps =
+      result.value().Dependencies(store, vocabulary);
+  EXPECT_EQ(deps.size(), 2u);
+  EXPECT_TRUE(deps.Contains({"AppA", "DPINOTIFICATION"}));
+  EXPECT_TRUE(deps.Contains({"AppB", "UPSRV2"}));
+}
+
+TEST(L3MinerTest, MatchingIsCaseInsensitiveAndWholeToken) {
+  const ServiceVocabulary vocabulary = Vocab();
+  const LogStore store = MakeStore({
+      Rec(0, "AppA", "calling labres.query for patient 1234"),
+      // Substring but not a whole token: must NOT match LABRES.
+      Rec(10, "AppB", "calling labres2migration.query"),
+      Rec(20, "AppC", "token LABRESX is unrelated"),
+  });
+  L3TextMiner miner(vocabulary, L3Config{});
+  auto result = miner.Mine(store, 0, 100);
+  ASSERT_TRUE(result.ok());
+  const DependencyModel deps =
+      result.value().Dependencies(store, vocabulary);
+  EXPECT_EQ(deps.size(), 1u);
+  EXPECT_TRUE(deps.Contains({"AppA", "LABRES"}));
+}
+
+TEST(L3MinerTest, StopPatternsSuppressServerSideLogs) {
+  const ServiceVocabulary vocabulary = Vocab();
+  const LogStore store = MakeStore({
+      Rec(0, "NotifSrv", "Received call notify from ws-004 (DPINOTIFICATION)"),
+      Rec(10, "AppA", "(DPINOTIFICATION) notify()"),
+  });
+  L3TextMiner with_stop(vocabulary, L3Config{});
+  auto result = with_stop.Mine(store, 0, 100);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().logs_stopped, 1);
+  const DependencyModel deps =
+      result.value().Dependencies(store, vocabulary);
+  EXPECT_EQ(deps.size(), 1u);
+  EXPECT_FALSE(deps.Contains({"NotifSrv", "DPINOTIFICATION"}));
+
+  L3Config no_stop;
+  no_stop.use_stop_patterns = false;
+  L3TextMiner without(vocabulary, no_stop);
+  auto result2 = without.Mine(store, 0, 100);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_EQ(result2.value().logs_stopped, 0);
+  EXPECT_TRUE(result2.value()
+                  .Dependencies(store, vocabulary)
+                  .Contains({"NotifSrv", "DPINOTIFICATION"}));
+}
+
+TEST(L3MinerTest, DefaultStopPatternsCoverKnownFormats) {
+  L3TextMiner miner(Vocab(), L3Config{});
+  EXPECT_TRUE(miner.IsStopped("Received call notify from ws-001 (X)"));
+  EXPECT_TRUE(miner.IsStopped("x incoming request store (Y) client=h"));
+  EXPECT_TRUE(miner.IsStopped("handling fct query for h grp Z"));
+  EXPECT_TRUE(miner.IsStopped("serve Z.query <- ws-003"));
+  EXPECT_TRUE(miner.IsStopped("request dispatched to worker: Z/f job=1"));
+  // The sixth provider-side family deliberately evades the list.
+  EXPECT_FALSE(miner.IsStopped("EXEC query caller=ws-001 group=Z"));
+  EXPECT_FALSE(miner.IsStopped("ordinary message"));
+  EXPECT_EQ(DefaultStopPatterns().size(), 10u);  // as deployed at HUG
+}
+
+TEST(L3MinerTest, MinCitationsThreshold) {
+  const ServiceVocabulary vocabulary = Vocab();
+  const LogStore store = MakeStore({
+      Rec(0, "AppA", "(LABRES) fetch()"),
+      Rec(10, "AppA", "(LABRES) fetch()"),
+      Rec(20, "AppB", "(LABRES) fetch()"),
+  });
+  L3Config config;
+  config.min_citations = 2;
+  L3TextMiner miner(vocabulary, config);
+  auto result = miner.Mine(store, 0, 100);
+  ASSERT_TRUE(result.ok());
+  const DependencyModel deps =
+      result.value().Dependencies(store, vocabulary);
+  EXPECT_TRUE(deps.Contains({"AppA", "LABRES"}));
+  EXPECT_FALSE(deps.Contains({"AppB", "LABRES"}));
+}
+
+TEST(L3MinerTest, CitationCountsAccumulate) {
+  const ServiceVocabulary vocabulary = Vocab();
+  const LogStore store = MakeStore({
+      Rec(0, "AppA", "(LABRES) fetch() and again LABRES"),  // dedup per log
+      Rec(10, "AppA", "(LABRES) fetch()"),
+  });
+  L3TextMiner miner(vocabulary, L3Config{});
+  auto result = miner.Mine(store, 0, 100);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().citations.size(), 1u);
+  EXPECT_EQ(result.value().citations[0].count, 2);
+}
+
+TEST(L3MinerTest, TimeWindowRespected) {
+  const ServiceVocabulary vocabulary = Vocab();
+  const LogStore store = MakeStore({
+      Rec(0, "AppA", "(LABRES) fetch()"),
+      Rec(1000, "AppB", "(LABRES) fetch()"),
+  });
+  L3TextMiner miner(vocabulary, L3Config{});
+  auto result = miner.Mine(store, 0, 500);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().logs_scanned, 1);
+  const DependencyModel deps =
+      result.value().Dependencies(store, vocabulary);
+  EXPECT_FALSE(deps.Contains({"AppB", "LABRES"}));
+}
+
+TEST(L3MinerTest, EmptyVocabularyFails) {
+  const LogStore store = MakeStore({Rec(0, "AppA", "x")});
+  L3TextMiner miner(ServiceVocabulary{}, L3Config{});
+  EXPECT_FALSE(miner.Mine(store, 0, 100).ok());
+}
+
+TEST(L3MinerTest, CitedEntriesDeduplicated) {
+  L3TextMiner miner(Vocab(), L3Config{});
+  const auto cited =
+      miner.CitedEntries("LABRES labres LaBrEs UPSRV2 and LABRES again");
+  EXPECT_EQ(cited.size(), 2u);
+}
+
+}  // namespace
+}  // namespace logmine::core

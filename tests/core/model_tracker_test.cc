@@ -1,0 +1,120 @@
+#include "core/model_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace logmine::core {
+namespace {
+
+DependencyModel Model(std::initializer_list<NamePair> pairs) {
+  DependencyModel model;
+  for (const NamePair& pair : pairs) model.Insert(pair);
+  return model;
+}
+
+ModelTrackerConfig FastConfig() {
+  ModelTrackerConfig config;
+  config.confirm_after = 2;
+  config.stale_after = 2;
+  config.retire_after = 4;
+  return config;
+}
+
+TEST(ModelTrackerTest, ConfirmationRequiresConsecutiveSightings) {
+  ModelTracker tracker(FastConfig());
+  auto u1 = tracker.Observe(Model({{"A", "B"}}));
+  EXPECT_TRUE(u1.confirmed.empty());
+  EXPECT_TRUE(tracker.ActiveModel().empty());  // still a candidate
+  auto u2 = tracker.Observe(Model({{"A", "B"}}));
+  ASSERT_EQ(u2.confirmed.size(), 1u);
+  EXPECT_EQ(u2.confirmed[0], (NamePair{"A", "B"}));
+  EXPECT_TRUE(tracker.ActiveModel().Contains({"A", "B"}));
+}
+
+TEST(ModelTrackerTest, BrokenStreakRestartsConfirmation) {
+  ModelTracker tracker(FastConfig());
+  tracker.Observe(Model({{"A", "B"}}));
+  tracker.Observe(Model({}));  // gap
+  auto u3 = tracker.Observe(Model({{"A", "B"}}));
+  EXPECT_TRUE(u3.confirmed.empty());  // streak restarted at 1
+  auto u4 = tracker.Observe(Model({{"A", "B"}}));
+  EXPECT_EQ(u4.confirmed.size(), 1u);
+}
+
+TEST(ModelTrackerTest, StaleThenRetired) {
+  ModelTracker tracker(FastConfig());
+  tracker.Observe(Model({{"A", "B"}}));
+  tracker.Observe(Model({{"A", "B"}}));  // confirmed
+  // Unseen for stale_after=2 observations -> stale (still in the model).
+  tracker.Observe(Model({}));
+  auto u4 = tracker.Observe(Model({}));
+  EXPECT_TRUE(u4.retired.empty());
+  EXPECT_TRUE(tracker.ActiveModel().Contains({"A", "B"}));
+  EXPECT_EQ(tracker.tracked().at({"A", "B"}).state,
+            DependencyState::kStale);
+  // Unseen for retire_after=4 -> retired and out of the model.
+  tracker.Observe(Model({}));
+  auto u6 = tracker.Observe(Model({}));
+  ASSERT_EQ(u6.retired.size(), 1u);
+  EXPECT_FALSE(tracker.ActiveModel().Contains({"A", "B"}));
+}
+
+TEST(ModelTrackerTest, StaleRevivesOnSighting) {
+  ModelTracker tracker(FastConfig());
+  tracker.Observe(Model({{"A", "B"}}));
+  tracker.Observe(Model({{"A", "B"}}));
+  tracker.Observe(Model({}));
+  tracker.Observe(Model({}));  // stale now
+  auto u5 = tracker.Observe(Model({{"A", "B"}}));
+  ASSERT_EQ(u5.revived.size(), 1u);
+  EXPECT_EQ(tracker.tracked().at({"A", "B"}).state,
+            DependencyState::kActive);
+}
+
+TEST(ModelTrackerTest, RetiredMustReEarnConfirmation) {
+  ModelTrackerConfig config = FastConfig();
+  ModelTracker tracker(config);
+  tracker.Observe(Model({{"A", "B"}}));
+  tracker.Observe(Model({{"A", "B"}}));
+  for (int i = 0; i < 6; ++i) tracker.Observe(Model({}));  // retired
+  EXPECT_EQ(tracker.tracked().at({"A", "B"}).state,
+            DependencyState::kRetired);
+  auto u = tracker.Observe(Model({{"A", "B"}}));
+  EXPECT_TRUE(u.revived.empty());  // candidate again, not yet back
+  EXPECT_FALSE(tracker.ActiveModel().Contains({"A", "B"}));
+  auto u2 = tracker.Observe(Model({{"A", "B"}}));
+  EXPECT_EQ(u2.confirmed.size(), 1u);
+}
+
+TEST(ModelTrackerTest, ImmediateConfirmationWithThresholdOne) {
+  ModelTrackerConfig config = FastConfig();
+  config.confirm_after = 1;
+  ModelTracker tracker(config);
+  auto u = tracker.Observe(Model({{"X", "Y"}}));
+  EXPECT_EQ(u.confirmed.size(), 1u);
+}
+
+TEST(ModelTrackerTest, TracksManyPairsIndependently) {
+  ModelTracker tracker(FastConfig());
+  tracker.Observe(Model({{"A", "B"}, {"C", "D"}}));
+  tracker.Observe(Model({{"A", "B"}}));
+  EXPECT_TRUE(tracker.ActiveModel().Contains({"A", "B"}));
+  EXPECT_FALSE(tracker.ActiveModel().Contains({"C", "D"}));
+  EXPECT_EQ(tracker.num_observations(), 2);
+}
+
+TEST(ModelTrackerTest, NoiseOneDayWonderNeverEntersModel) {
+  // The motivating property: a single-day mining artifact never pollutes
+  // the maintained model.
+  ModelTracker tracker(FastConfig());
+  for (int day = 0; day < 10; ++day) {
+    DependencyModel daily = Model({{"Real", "Pair"}});
+    if (day == 4) daily.Insert({"Noise", "Pair"});
+    tracker.Observe(daily);
+  }
+  EXPECT_TRUE(tracker.ActiveModel().Contains({"Pair", "Real"}) ||
+              tracker.ActiveModel().Contains({"Real", "Pair"}));
+  EXPECT_FALSE(tracker.ActiveModel().Contains({"Noise", "Pair"}));
+}
+
+}  // namespace
+}  // namespace logmine::core

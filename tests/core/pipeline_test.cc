@@ -1,0 +1,98 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace logmine::core {
+namespace {
+
+LogStore TinyStore() {
+  LogStore store;
+  for (int i = 0; i < 20; ++i) {
+    LogRecord record;
+    record.client_ts = i * 100;
+    record.server_ts = record.client_ts;
+    record.source = i % 2 == 0 ? "A" : "B";
+    record.user = "u";
+    record.message = i % 2 == 0 ? "(SRVX) call()" : "processing";
+    EXPECT_TRUE(store.Append(record).ok());
+  }
+  store.BuildIndex();
+  return store;
+}
+
+ServiceVocabulary TinyVocab() {
+  ServiceVocabulary vocabulary;
+  vocabulary.entries.push_back({"SRVX", "http://h/srvx"});
+  return vocabulary;
+}
+
+TEST(PipelineTest, RunsAllThreeTechniques) {
+  const LogStore store = TinyStore();
+  PipelineConfig config;
+  config.l1.minlogs = 1;
+  config.l1.test.sample_size = 5;
+  config.l2.min_cooccurrence = 1;
+  config.l2.min_cooccurrence_per_session = 0;
+  config.l2.session.min_logs = 2;
+  MiningPipeline pipeline(TinyVocab(), config);
+  auto result = pipeline.Run(store, 0, 10000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().l1.has_value());
+  EXPECT_TRUE(result.value().l2.has_value());
+  EXPECT_TRUE(result.value().l3.has_value());
+  // The L3 citation must surface.
+  EXPECT_TRUE(result.value().l3->Dependencies(store, TinyVocab())
+                  .Contains({"A", "SRVX"}));
+}
+
+TEST(PipelineTest, AgrawalBaselineOptIn) {
+  const LogStore store = TinyStore();
+  PipelineConfig config;
+  config.run_l1 = config.run_l2 = config.run_l3 = false;
+  config.run_agrawal = true;
+  config.agrawal.minlogs = 1;
+  MiningPipeline pipeline(TinyVocab(), config);
+  auto result = pipeline.Run(store, 0, 10000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().agrawal.has_value());
+  EXPECT_FALSE(result.value().l1.has_value());
+  // Default config leaves the baseline off.
+  MiningPipeline default_pipeline(TinyVocab(), PipelineConfig{});
+  auto default_result = default_pipeline.Run(store, 0, 10000);
+  ASSERT_TRUE(default_result.ok());
+  EXPECT_FALSE(default_result.value().agrawal.has_value());
+}
+
+TEST(PipelineTest, SelectiveExecution) {
+  const LogStore store = TinyStore();
+  PipelineConfig config;
+  config.run_l1 = false;
+  config.run_l2 = false;
+  MiningPipeline pipeline(TinyVocab(), config);
+  auto result = pipeline.Run(store, 0, 10000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().l1.has_value());
+  EXPECT_FALSE(result.value().l2.has_value());
+  EXPECT_TRUE(result.value().l3.has_value());
+}
+
+TEST(PipelineTest, RequiresBuiltIndex) {
+  LogStore store;
+  LogRecord record;
+  record.source = "A";
+  ASSERT_TRUE(store.Append(record).ok());
+  MiningPipeline pipeline(TinyVocab(), PipelineConfig{});
+  EXPECT_FALSE(pipeline.Run(store, 0, 100).ok());
+}
+
+TEST(PipelineTest, PropagatesMinerErrors) {
+  const LogStore store = TinyStore();
+  PipelineConfig config;
+  config.run_l1 = false;
+  config.run_l2 = false;
+  MiningPipeline pipeline(ServiceVocabulary{}, config);  // empty vocabulary
+  EXPECT_FALSE(pipeline.Run(store, 0, 10000).ok());
+}
+
+}  // namespace
+}  // namespace logmine::core

@@ -1,0 +1,115 @@
+#include "core/slotting.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace logmine::core {
+namespace {
+
+TEST(MakeSlotsTest, EvenDivision) {
+  const auto slots = MakeSlots(0, 24 * kMillisPerHour, kMillisPerHour);
+  ASSERT_EQ(slots.size(), 24u);
+  EXPECT_EQ(slots.front().begin, 0);
+  EXPECT_EQ(slots.front().end, kMillisPerHour);
+  EXPECT_EQ(slots.back().begin, 23 * kMillisPerHour);
+  EXPECT_EQ(slots.back().end, 24 * kMillisPerHour);
+}
+
+TEST(MakeSlotsTest, TruncatedLastSlot) {
+  const auto slots = MakeSlots(0, 250, 100);
+  ASSERT_EQ(slots.size(), 3u);
+  EXPECT_EQ(slots[2].begin, 200);
+  EXPECT_EQ(slots[2].end, 250);
+  EXPECT_EQ(slots[2].length(), 50);
+}
+
+TEST(MakeSlotsTest, EmptyInterval) {
+  EXPECT_TRUE(MakeSlots(100, 100, 10).empty());
+  EXPECT_TRUE(MakeSlots(100, 50, 10).empty());
+}
+
+TEST(MakeSlotsTest, ContiguousCoverage) {
+  const auto slots = MakeSlots(1000, 12345, 777);
+  for (size_t i = 1; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i].begin, slots[i - 1].end);
+  }
+  EXPECT_EQ(slots.front().begin, 1000);
+  EXPECT_EQ(slots.back().end, 12345);
+}
+
+AdaptiveSlottingConfig TightAdaptive() {
+  AdaptiveSlottingConfig config;
+  config.min_slot = 1000;
+  config.max_slot = 100000;
+  config.min_events = 100;
+  return config;
+}
+
+TEST(MakeAdaptiveSlotsTest, StationaryStreamStaysCoarse) {
+  // Uniform events: no split below max_slot.
+  std::vector<TimeMs> events;
+  for (int i = 0; i < 5000; ++i) events.push_back(i * 16);  // ~ [0, 80000)
+  const auto slots = MakeAdaptiveSlots(events, 0, 80000, TightAdaptive());
+  EXPECT_EQ(slots.size(), 1u);
+  EXPECT_EQ(slots[0].begin, 0);
+  EXPECT_EQ(slots[0].end, 80000);
+}
+
+TEST(MakeAdaptiveSlotsTest, StepChangeSplitsOnce) {
+  // Density 10x higher in the second half; each half is uniform, so one
+  // split at the midpoint suffices.
+  std::vector<TimeMs> events;
+  for (int i = 0; i < 500; ++i) events.push_back(i * 80);           // [0, 40000)
+  for (int i = 0; i < 5000; ++i) events.push_back(40000 + i * 8);   // [40000, 80000)
+  std::sort(events.begin(), events.end());
+  const auto slots = MakeAdaptiveSlots(events, 0, 80000, TightAdaptive());
+  EXPECT_EQ(slots.size(), 2u);
+  EXPECT_EQ(slots[0].end, 40000);
+}
+
+TEST(MakeAdaptiveSlotsTest, RampSplitsWhereIntensityMoves) {
+  // Continuous ramp: density keeps rising, so halves stay non-uniform
+  // and the recursion goes deeper than one level.
+  std::vector<TimeMs> events;
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) {
+    const double u = static_cast<double>(i) / n;
+    events.push_back(static_cast<TimeMs>(80000.0 * std::sqrt(u)));
+  }
+  std::sort(events.begin(), events.end());
+  const auto slots = MakeAdaptiveSlots(events, 0, 80000, TightAdaptive());
+  EXPECT_GT(slots.size(), 2u);
+  // Coverage stays contiguous and complete.
+  EXPECT_EQ(slots.front().begin, 0);
+  EXPECT_EQ(slots.back().end, 80000);
+  for (size_t i = 1; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i].begin, slots[i - 1].end);
+  }
+  // No slot shorter than the floor.
+  for (const TimeSlot& slot : slots) {
+    EXPECT_GE(slot.length(), 1000);
+  }
+}
+
+TEST(MakeAdaptiveSlotsTest, MaxSlotForcesSplits) {
+  AdaptiveSlottingConfig config = TightAdaptive();
+  config.max_slot = 10000;
+  std::vector<TimeMs> events;  // even empty streams obey max_slot
+  const auto slots = MakeAdaptiveSlots(events, 0, 40000, config);
+  EXPECT_EQ(slots.size(), 4u);
+}
+
+TEST(MakeAdaptiveSlotsTest, SparseStreamNeverSplits) {
+  AdaptiveSlottingConfig config = TightAdaptive();
+  std::vector<TimeMs> events = {1, 2, 3};  // below min_events
+  const auto slots = MakeAdaptiveSlots(events, 0, 80000, config);
+  EXPECT_EQ(slots.size(), 1u);
+}
+
+TEST(MakeAdaptiveSlotsTest, EmptyInterval) {
+  EXPECT_TRUE(MakeAdaptiveSlots({}, 50, 50, TightAdaptive()).empty());
+}
+
+}  // namespace
+}  // namespace logmine::core

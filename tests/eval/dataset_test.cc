@@ -1,0 +1,75 @@
+#include "eval/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace logmine::eval {
+namespace {
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetConfig config;
+    config.simulation.num_days = 2;
+    config.simulation.scale = 0.05;
+    auto built = BuildDataset(config);
+    ASSERT_TRUE(built.ok()) << built.status();
+    dataset_ = new Dataset(std::move(built).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static Dataset* dataset_;
+};
+
+Dataset* DatasetTest::dataset_ = nullptr;
+
+TEST_F(DatasetTest, UniversesMatchPaperArithmetic) {
+  // 54 apps -> (54^2 - 54) / 2 = 1431 pairs; 54 x 47 app-entry cells.
+  EXPECT_EQ(dataset_->universe_pairs, 1431);
+  EXPECT_EQ(dataset_->universe_services, 54 * 47);
+}
+
+TEST_F(DatasetTest, ReferencesMirrorScenario) {
+  EXPECT_EQ(dataset_->reference_pairs.size(),
+            dataset_->scenario.interaction_pairs.size());
+  EXPECT_EQ(dataset_->reference_services.size(),
+            dataset_->scenario.app_service_deps.size());
+}
+
+TEST_F(DatasetTest, VocabularyMatchesDirectory) {
+  ASSERT_EQ(dataset_->vocabulary.entries.size(),
+            dataset_->scenario.directory.size());
+  for (size_t i = 0; i < dataset_->vocabulary.entries.size(); ++i) {
+    EXPECT_EQ(dataset_->vocabulary.entries[i].id,
+              dataset_->scenario.directory.entry(i).id);
+  }
+}
+
+TEST_F(DatasetTest, EntryOwnerMapIsComplete) {
+  EXPECT_EQ(dataset_->entry_owner.size(),
+            dataset_->scenario.directory.size());
+  for (const auto& [id, owner] : dataset_->entry_owner) {
+    EXPECT_GE(dataset_->scenario.topology.FindApp(owner), 0) << owner;
+    EXPECT_TRUE(dataset_->scenario.directory.FindById(id).ok()) << id;
+  }
+}
+
+TEST_F(DatasetTest, DayWindowsTileTheSimulation) {
+  EXPECT_EQ(dataset_->num_days(), 2);
+  EXPECT_EQ(dataset_->day_begin(0), dataset_->simulation.start);
+  EXPECT_EQ(dataset_->day_end(0), dataset_->day_begin(1));
+  EXPECT_GE(dataset_->store.min_ts(),
+            dataset_->day_begin(0) - 5000);  // skew slack
+  EXPECT_LE(dataset_->store.max_ts(),
+            dataset_->day_end(1) + kMillisPerHour);  // async tail slack
+}
+
+TEST_F(DatasetTest, StoreIsIndexedAndPopulated) {
+  EXPECT_TRUE(dataset_->store.index_built());
+  EXPECT_GT(dataset_->store.size(), 5000u);
+  EXPECT_EQ(dataset_->store.num_sources(), 54u);
+}
+
+}  // namespace
+}  // namespace logmine::eval

@@ -1,0 +1,150 @@
+#include "log/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/time_util.h"
+
+namespace logmine {
+namespace {
+
+LogRecord MakeRecord() {
+  LogRecord record;
+  record.client_ts = TimeFromCivil({.year = 2005, .month = 12, .day = 6,
+                                    .hour = 8, .minute = 30, .second = 1,
+                                    .millisecond = 250});
+  record.server_ts = record.client_ts + 1234;
+  record.severity = Severity::kWarning;
+  record.source = "DPIFormidoc";
+  record.host = "ws-042";
+  record.user = "u0007";
+  record.message = "Invoke externalService [fct [notify]]";
+  return record;
+}
+
+TEST(LineCodecTest, EncodeProducesSevenFields) {
+  const std::string line = LineCodec::Encode(MakeRecord());
+  EXPECT_EQ(std::count(line.begin(), line.end(), '|'), 6);
+  EXPECT_NE(line.find("2005-12-06 08:30:01.250"), std::string::npos);
+  EXPECT_NE(line.find("WARN"), std::string::npos);
+}
+
+TEST(LineCodecTest, RoundTrip) {
+  const LogRecord record = MakeRecord();
+  auto decoded = LineCodec::Decode(LineCodec::Encode(record));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), record);
+}
+
+TEST(LineCodecTest, RoundTripEmptyOptionalFields) {
+  LogRecord record = MakeRecord();
+  record.host.clear();
+  record.user.clear();
+  record.message.clear();
+  auto decoded = LineCodec::Decode(LineCodec::Encode(record));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), record);
+}
+
+TEST(LineCodecTest, EscapesSpecialCharacters) {
+  LogRecord record = MakeRecord();
+  record.message = "pipes | and \\ backslashes\nand newlines";
+  const std::string line = LineCodec::Encode(record);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  auto decoded = LineCodec::Decode(line);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().message, record.message);
+}
+
+TEST(LineCodecTest, FuzzRoundTripArbitraryMessages) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    LogRecord record = MakeRecord();
+    record.message.clear();
+    const int len = static_cast<int>(rng.UniformInt(0, 60));
+    for (int i = 0; i < len; ++i) {
+      record.message +=
+          static_cast<char>(rng.UniformInt(1, 126));  // any non-NUL ASCII
+    }
+    auto decoded = LineCodec::Decode(LineCodec::Encode(record));
+    ASSERT_TRUE(decoded.ok()) << record.message;
+    EXPECT_EQ(decoded.value().message, record.message);
+  }
+}
+
+TEST(LineCodecTest, RejectsWrongFieldCount) {
+  EXPECT_FALSE(LineCodec::Decode("a|b|c").ok());
+  EXPECT_FALSE(LineCodec::Decode("").ok());
+  const std::string line = LineCodec::Encode(MakeRecord());
+  EXPECT_FALSE(LineCodec::Decode(line + "|extra").ok());
+}
+
+TEST(LineCodecTest, RejectsBadTimestampSeverityAndEscapes) {
+  const std::string good = LineCodec::Encode(MakeRecord());
+  std::string bad_ts = good;
+  bad_ts.replace(0, 4, "20xx");
+  EXPECT_FALSE(LineCodec::Decode(bad_ts).ok());
+
+  std::string bad_sev = ReplaceAll(good, "WARN", "LOUD");
+  EXPECT_FALSE(LineCodec::Decode(bad_sev).ok());
+
+  EXPECT_FALSE(LineCodec::Decode(good + "\\").ok());      // dangling escape
+  EXPECT_FALSE(LineCodec::Decode(good + "\\q").ok());     // unknown escape
+}
+
+TEST(LineCodecTest, RejectsEmptySource) {
+  LogRecord record = MakeRecord();
+  record.source.clear();
+  // Encode happily writes it; Decode must reject.
+  EXPECT_FALSE(LineCodec::Decode(LineCodec::Encode(record)).ok());
+}
+
+TEST(LineCodecTest, DecodeArbitraryGarbageNeverCrashes) {
+  // Robustness property: Decode on random bytes must return cleanly
+  // (usually a ParseError) for any input.
+  Rng rng(777);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string line;
+    const int len = static_cast<int>(rng.UniformInt(0, 120));
+    for (int i = 0; i < len; ++i) {
+      line += static_cast<char>(rng.UniformInt(1, 255));
+    }
+    auto result = LineCodec::Decode(line);  // must not crash or hang
+    if (result.ok()) {
+      // If it decoded, re-encoding must round-trip.
+      auto again = LineCodec::Decode(LineCodec::Encode(result.value()));
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(again.value(), result.value());
+    }
+  }
+}
+
+TEST(LineCodecTest, EncodeAllDecodeAllRoundTrip) {
+  std::vector<LogRecord> records;
+  for (int i = 0; i < 5; ++i) {
+    LogRecord record = MakeRecord();
+    record.client_ts += i * 1000;
+    record.message = "line " + std::to_string(i);
+    records.push_back(record);
+  }
+  auto decoded = LineCodec::DecodeAll(LineCodec::EncodeAll(records));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), records);
+}
+
+TEST(LineCodecTest, DecodeAllSkipsBlankLinesAndReportsLineNumbers) {
+  const std::string text =
+      LineCodec::Encode(MakeRecord()) + "\n\n  \n" +
+      LineCodec::Encode(MakeRecord()) + "\n";
+  auto decoded = LineCodec::DecodeAll(text);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().size(), 2u);
+
+  auto failed = LineCodec::DecodeAll("\n\ngarbage\n");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.status().message().find("line 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace logmine

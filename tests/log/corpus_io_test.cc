@@ -1,0 +1,89 @@
+#include "log/corpus_io.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace logmine {
+namespace {
+
+class CorpusIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("logmine_corpus_io_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) +
+             ".log");
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  std::filesystem::path path_;
+};
+
+LogRecord Rec(TimeMs ts, std::string source, std::string message) {
+  LogRecord record;
+  record.client_ts = ts;
+  record.server_ts = ts + 5;
+  record.source = std::move(source);
+  record.host = "h";
+  record.user = "u";
+  record.message = std::move(message);
+  return record;
+}
+
+TEST_F(CorpusIoTest, RoundTripsStore) {
+  LogStore store;
+  ASSERT_TRUE(store.Append(Rec(300, "B", "later")).ok());
+  ASSERT_TRUE(store.Append(Rec(100, "A", "pipe | in message")).ok());
+  store.BuildIndex();
+  ASSERT_TRUE(WriteCorpusFile(store, path_.string()).ok());
+
+  auto loaded = ReadCorpusFile(path_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_TRUE(loaded.value().index_built());
+  // Written in time order -> record 0 is the earlier one.
+  EXPECT_EQ(loaded.value().GetRecord(0).source, "A");
+  EXPECT_EQ(loaded.value().GetRecord(0).message, "pipe | in message");
+  EXPECT_EQ(loaded.value().GetRecord(1).source, "B");
+}
+
+TEST_F(CorpusIoTest, EmptyStoreYieldsEmptyFile) {
+  LogStore store;
+  store.BuildIndex();
+  ASSERT_TRUE(WriteCorpusFile(store, path_.string()).ok());
+  auto loaded = ReadCorpusFile(path_.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+}
+
+TEST_F(CorpusIoTest, MissingFileIsNotFound) {
+  auto loaded = ReadCorpusFile("/nonexistent/dir/corpus.log");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CorpusIoTest, UnwritablePathFails) {
+  LogStore store;
+  store.BuildIndex();
+  EXPECT_FALSE(WriteCorpusFile(store, "/nonexistent/dir/out.log").ok());
+}
+
+TEST_F(CorpusIoTest, CorruptFileReportsParseError) {
+  {
+    std::FILE* f = std::fopen(path_.string().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a log line\n", f);
+    std::fclose(f);
+  }
+  auto loaded = ReadCorpusFile(path_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace logmine

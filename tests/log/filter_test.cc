@@ -1,0 +1,73 @@
+#include "log/filter.h"
+
+#include <gtest/gtest.h>
+
+namespace logmine {
+namespace {
+
+LogRecord Rec(TimeMs ts, std::string source, std::string user = "") {
+  LogRecord record;
+  record.client_ts = ts;
+  record.server_ts = ts;
+  record.source = std::move(source);
+  record.user = std::move(user);
+  record.message = "x";
+  return record;
+}
+
+class FilterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (TimeMs t : {5, 10, 15, 20, 25}) {
+      ASSERT_TRUE(store_.Append(Rec(t, t % 10 == 5 ? "A" : "B",
+                                    t >= 15 ? "u1" : "")).ok());
+    }
+    store_.BuildIndex();
+  }
+  LogStore store_;
+};
+
+TEST_F(FilterTest, IndicesInRangeHalfOpenAndOrdered) {
+  const auto idx = IndicesInRange(store_, 10, 25);
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(store_.client_ts(idx[0]), 10);
+  EXPECT_EQ(store_.client_ts(idx[1]), 15);
+  EXPECT_EQ(store_.client_ts(idx[2]), 20);
+}
+
+TEST_F(FilterTest, IndicesInRangeEmptyWindow) {
+  EXPECT_TRUE(IndicesInRange(store_, 100, 200).empty());
+  EXPECT_TRUE(IndicesInRange(store_, 11, 11).empty());
+}
+
+TEST_F(FilterTest, IndicesWherePredicate) {
+  const auto with_user = IndicesWhere(
+      store_, [](const LogStore& s, size_t i) {
+        return s.user_id(i) != LogStore::kNoUser;
+      });
+  EXPECT_EQ(with_user.size(), 3u);
+}
+
+TEST_F(FilterTest, SliceByTimeCopiesWindow) {
+  const LogStore slice = SliceByTime(store_, 10, 21);
+  EXPECT_EQ(slice.size(), 3u);
+  EXPECT_TRUE(slice.index_built());
+  EXPECT_EQ(slice.min_ts(), 10);
+  EXPECT_EQ(slice.max_ts(), 20);
+  // Dictionary ids re-interned but names preserved.
+  EXPECT_TRUE(slice.FindSource("A").ok());
+  EXPECT_TRUE(slice.FindSource("B").ok());
+}
+
+TEST_F(FilterTest, CountsPerSource) {
+  const auto counts = CountsPerSource(store_, 0, 100);
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  EXPECT_EQ(total, 5);
+  EXPECT_EQ(counts.size(), store_.num_sources());
+  const auto a = store_.FindSource("A").value();
+  EXPECT_EQ(counts[a], 3);  // 5, 15, 25
+}
+
+}  // namespace
+}  // namespace logmine

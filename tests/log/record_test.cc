@@ -1,0 +1,50 @@
+#include "log/record.h"
+
+#include <gtest/gtest.h>
+
+namespace logmine {
+namespace {
+
+TEST(SeverityTest, NamesAreStable) {
+  EXPECT_EQ(SeverityName(Severity::kDebug), "DEBUG");
+  EXPECT_EQ(SeverityName(Severity::kInfo), "INFO");
+  EXPECT_EQ(SeverityName(Severity::kWarning), "WARN");
+  EXPECT_EQ(SeverityName(Severity::kError), "ERROR");
+}
+
+TEST(LogRecordTest, EqualityComparesAllFields) {
+  LogRecord a;
+  a.client_ts = 1;
+  a.server_ts = 2;
+  a.severity = Severity::kInfo;
+  a.source = "App";
+  a.host = "h";
+  a.user = "u";
+  a.message = "m";
+  LogRecord b = a;
+  EXPECT_EQ(a, b);
+
+  LogRecord c = a;
+  c.client_ts = 99;
+  EXPECT_FALSE(a == c);
+  c = a;
+  c.severity = Severity::kError;
+  EXPECT_FALSE(a == c);
+  c = a;
+  c.message = "other";
+  EXPECT_FALSE(a == c);
+  c = a;
+  c.user = "";
+  EXPECT_FALSE(a == c);
+}
+
+TEST(LogRecordTest, DefaultsAreEmpty) {
+  LogRecord record;
+  EXPECT_EQ(record.client_ts, 0);
+  EXPECT_EQ(record.severity, Severity::kInfo);
+  EXPECT_TRUE(record.source.empty());
+  EXPECT_TRUE(record.user.empty());
+}
+
+}  // namespace
+}  // namespace logmine

@@ -1,0 +1,117 @@
+#include "log/slct.h"
+
+#include <gtest/gtest.h>
+
+namespace logmine {
+namespace {
+
+TEST(SlctTest, ClustersFixedTemplateWithVariablePosition) {
+  std::vector<std::string> owned;
+  for (int i = 0; i < 30; ++i) {
+    owned.push_back("request processed in " + std::to_string(i * 37) + " ms");
+  }
+  std::vector<std::string_view> messages(owned.begin(), owned.end());
+  SlctClusterer clusterer(SlctConfig{.support = 10, .max_words = 32});
+  const SlctResult result = clusterer.Cluster(messages);
+  ASSERT_EQ(result.templates.size(), 1u);
+  EXPECT_EQ(result.templates[0].ToString(), "request processed in * ms");
+  EXPECT_EQ(result.templates[0].count, 30);
+  EXPECT_EQ(result.outliers, 0);
+  EXPECT_EQ(result.messages, 30);
+}
+
+TEST(SlctTest, SeparatesDistinctTemplates) {
+  std::vector<std::string> owned;
+  for (int i = 0; i < 20; ++i) {
+    owned.push_back("cache refresh completed (" + std::to_string(i) +
+                    " entries)");
+    owned.push_back("queue depth " + std::to_string(i));
+  }
+  std::vector<std::string_view> messages(owned.begin(), owned.end());
+  SlctClusterer clusterer(SlctConfig{.support = 10, .max_words = 32});
+  const SlctResult result = clusterer.Cluster(messages);
+  ASSERT_EQ(result.templates.size(), 2u);
+  // Sorted by count descending, ties by token order.
+  EXPECT_EQ(result.templates[0].count, 20);
+  EXPECT_EQ(result.templates[1].count, 20);
+}
+
+TEST(SlctTest, RareMessagesBecomeOutliers) {
+  std::vector<std::string> owned;
+  for (int i = 0; i < 15; ++i) owned.push_back("heartbeat ok");
+  owned.push_back("something unique happened once");
+  owned.push_back("another oddity");
+  std::vector<std::string_view> messages(owned.begin(), owned.end());
+  SlctClusterer clusterer(SlctConfig{.support = 10, .max_words = 32});
+  const SlctResult result = clusterer.Cluster(messages);
+  ASSERT_EQ(result.templates.size(), 1u);
+  EXPECT_EQ(result.templates[0].ToString(), "heartbeat ok");
+  EXPECT_EQ(result.outliers, 2);
+}
+
+TEST(SlctTest, SupportThresholdGates) {
+  std::vector<std::string> owned;
+  for (int i = 0; i < 9; ++i) owned.push_back("just below support");
+  std::vector<std::string_view> messages(owned.begin(), owned.end());
+  SlctClusterer strict(SlctConfig{.support = 10, .max_words = 32});
+  EXPECT_TRUE(strict.Cluster(messages).templates.empty());
+  SlctClusterer loose(SlctConfig{.support = 9, .max_words = 32});
+  EXPECT_EQ(loose.Cluster(messages).templates.size(), 1u);
+}
+
+TEST(SlctTest, EmptyInputAndEmptyMessages) {
+  SlctClusterer clusterer(SlctConfig{.support = 2, .max_words = 32});
+  EXPECT_TRUE(clusterer.Cluster({}).templates.empty());
+  std::vector<std::string_view> blanks = {"", "  ", ""};
+  const SlctResult result = clusterer.Cluster(blanks);
+  EXPECT_TRUE(result.templates.empty());
+  EXPECT_EQ(result.messages, 3);
+}
+
+TEST(SlctTest, DifferentLengthsDoNotMerge) {
+  std::vector<std::string> owned;
+  for (int i = 0; i < 12; ++i) owned.push_back("job started");
+  for (int i = 0; i < 12; ++i) owned.push_back("job started late");
+  std::vector<std::string_view> messages(owned.begin(), owned.end());
+  SlctClusterer clusterer(SlctConfig{.support = 10, .max_words = 32});
+  const SlctResult result = clusterer.Cluster(messages);
+  EXPECT_EQ(result.templates.size(), 2u);
+}
+
+TEST(SlctTest, ClusterSourceFiltersByAppAndWindow) {
+  LogStore store;
+  for (int i = 0; i < 25; ++i) {
+    LogRecord record;
+    record.client_ts = i * 100;
+    record.server_ts = record.client_ts;
+    record.source = i % 2 == 0 ? "A" : "B";
+    record.message = "tick " + std::to_string(i);
+    ASSERT_TRUE(store.Append(record).ok());
+  }
+  store.BuildIndex();
+  SlctClusterer clusterer(SlctConfig{.support = 5, .max_words = 32});
+  const SlctResult a_result = clusterer.ClusterSource(
+      store, store.FindSource("A").value(), 0, 10000);
+  EXPECT_EQ(a_result.messages, 13);
+  ASSERT_EQ(a_result.templates.size(), 1u);
+  EXPECT_EQ(a_result.templates[0].ToString(), "tick *");
+  // Narrow window.
+  const SlctResult windowed = clusterer.ClusterSource(
+      store, store.FindSource("A").value(), 0, 500);
+  EXPECT_EQ(windowed.messages, 3);
+}
+
+TEST(SlctTest, MaxWordsTruncates) {
+  std::vector<std::string> owned;
+  for (int i = 0; i < 12; ++i) {
+    owned.push_back("a b c d e f " + std::to_string(i));
+  }
+  std::vector<std::string_view> messages(owned.begin(), owned.end());
+  SlctClusterer clusterer(SlctConfig{.support = 10, .max_words = 3});
+  const SlctResult result = clusterer.Cluster(messages);
+  ASSERT_EQ(result.templates.size(), 1u);
+  EXPECT_EQ(result.templates[0].ToString(), "a b c");
+}
+
+}  // namespace
+}  // namespace logmine

@@ -1,0 +1,138 @@
+#include "log/store.h"
+
+#include <gtest/gtest.h>
+
+namespace logmine {
+namespace {
+
+LogRecord Rec(TimeMs ts, std::string source, std::string user = "",
+              std::string host = "") {
+  LogRecord record;
+  record.client_ts = ts;
+  record.server_ts = ts + 100;
+  record.source = std::move(source);
+  record.user = std::move(user);
+  record.host = std::move(host);
+  record.message = "m" + std::to_string(ts);
+  return record;
+}
+
+TEST(LogStoreTest, EmptyStore) {
+  LogStore store;
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.num_sources(), 0u);
+  EXPECT_EQ(store.min_ts(), 0);
+  EXPECT_EQ(store.max_ts(), 0);
+  store.BuildIndex();
+  EXPECT_TRUE(store.index_built());
+}
+
+TEST(LogStoreTest, AppendRejectsEmptySource) {
+  LogStore store;
+  LogRecord record = Rec(1, "A");
+  record.source.clear();
+  EXPECT_FALSE(store.Append(record).ok());
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(LogStoreTest, InternsDictionaries) {
+  LogStore store;
+  ASSERT_TRUE(store.Append(Rec(1, "A", "alice", "h1")).ok());
+  ASSERT_TRUE(store.Append(Rec(2, "B", "", "h1")).ok());
+  ASSERT_TRUE(store.Append(Rec(3, "A", "alice", "h2")).ok());
+  EXPECT_EQ(store.num_sources(), 2u);
+  EXPECT_EQ(store.num_hosts(), 2u);
+  EXPECT_EQ(store.num_users(), 1u);
+  EXPECT_EQ(store.source_id(0), store.source_id(2));
+  EXPECT_EQ(store.source_name(store.source_id(0)), "A");
+  EXPECT_EQ(store.user_id(1), LogStore::kNoUser);
+  EXPECT_EQ(store.user_name(store.user_id(0)), "alice");
+}
+
+TEST(LogStoreTest, GetRecordRoundTrips) {
+  LogStore store;
+  const LogRecord original = Rec(42, "App", "u1", "host9");
+  ASSERT_TRUE(store.Append(original).ok());
+  EXPECT_EQ(store.GetRecord(0), original);
+}
+
+TEST(LogStoreTest, FindSource) {
+  LogStore store;
+  ASSERT_TRUE(store.Append(Rec(1, "Alpha")).ok());
+  auto found = store.FindSource("Alpha");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), store.source_id(0));
+  EXPECT_FALSE(store.FindSource("Beta").ok());
+  EXPECT_FALSE(store.FindSource("alpha").ok());  // exact match only
+}
+
+TEST(LogStoreTest, SourceTimestampsSortedEvenWithSkewedAppends) {
+  LogStore store;
+  // Out-of-order appends, as produced by clock skew.
+  ASSERT_TRUE(store.Append(Rec(50, "A")).ok());
+  ASSERT_TRUE(store.Append(Rec(10, "A")).ok());
+  ASSERT_TRUE(store.Append(Rec(30, "B")).ok());
+  ASSERT_TRUE(store.Append(Rec(20, "A")).ok());
+  store.BuildIndex();
+  const auto a = store.FindSource("A");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(store.SourceTimestamps(a.value()),
+            (std::vector<TimeMs>{10, 20, 50}));
+}
+
+TEST(LogStoreTest, TimeOrderIsStable) {
+  LogStore store;
+  ASSERT_TRUE(store.Append(Rec(10, "A")).ok());  // index 0
+  ASSERT_TRUE(store.Append(Rec(10, "B")).ok());  // index 1, same ts
+  ASSERT_TRUE(store.Append(Rec(5, "C")).ok());   // index 2
+  store.BuildIndex();
+  EXPECT_EQ(store.TimeOrder(), (std::vector<uint32_t>{2, 0, 1}));
+}
+
+TEST(LogStoreTest, CountInRangeHalfOpen) {
+  LogStore store;
+  for (TimeMs t : {10, 20, 30, 40}) {
+    ASSERT_TRUE(store.Append(Rec(t, "A")).ok());
+  }
+  store.BuildIndex();
+  const auto a = store.FindSource("A").value();
+  EXPECT_EQ(store.CountInRange(a, 10, 40), 3);  // [10, 40) excludes 40
+  EXPECT_EQ(store.CountInRange(a, 0, 100), 4);
+  EXPECT_EQ(store.CountInRange(a, 41, 100), 0);
+  EXPECT_EQ(store.CountInRange(a, 20, 20), 0);
+}
+
+TEST(LogStoreTest, MinMaxTs) {
+  LogStore store;
+  ASSERT_TRUE(store.Append(Rec(500, "A")).ok());
+  ASSERT_TRUE(store.Append(Rec(100, "B")).ok());
+  ASSERT_TRUE(store.Append(Rec(900, "A")).ok());
+  EXPECT_EQ(store.min_ts(), 100);  // works without index
+  EXPECT_EQ(store.max_ts(), 900);
+  store.BuildIndex();
+  EXPECT_EQ(store.min_ts(), 100);  // and with it
+  EXPECT_EQ(store.max_ts(), 900);
+}
+
+TEST(LogStoreTest, AppendInvalidatesIndex) {
+  LogStore store;
+  ASSERT_TRUE(store.Append(Rec(1, "A")).ok());
+  store.BuildIndex();
+  EXPECT_TRUE(store.index_built());
+  ASSERT_TRUE(store.Append(Rec(2, "A")).ok());
+  EXPECT_FALSE(store.index_built());
+  store.BuildIndex();
+  EXPECT_EQ(store.SourceTimestamps(store.FindSource("A").value()).size(), 2u);
+}
+
+TEST(LogStoreTest, BuildIndexIsIdempotent) {
+  LogStore store;
+  ASSERT_TRUE(store.Append(Rec(1, "A")).ok());
+  store.BuildIndex();
+  store.BuildIndex();
+  EXPECT_EQ(store.TimeOrder().size(), 1u);
+}
+
+}  // namespace
+}  // namespace logmine

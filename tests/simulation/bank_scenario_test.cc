@@ -1,0 +1,73 @@
+#include "simulation/bank_scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace logmine::sim {
+namespace {
+
+class BankScenarioTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BankScenarioConfig config;
+    auto built = BuildBankScenario(config);
+    ASSERT_TRUE(built.ok()) << built.status();
+    scenario_ = new HugScenario(std::move(built).value());
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static HugScenario* scenario_;
+};
+
+HugScenario* BankScenarioTest::scenario_ = nullptr;
+
+TEST_F(BankScenarioTest, ShapeOfTheLandscape) {
+  EXPECT_EQ(scenario_->topology.apps.size(), 18u);
+  EXPECT_EQ(scenario_->directory.size(), 14u);
+  EXPECT_TRUE(scenario_->topology.Validate(scenario_->directory).ok());
+  EXPECT_GE(scenario_->interaction_pairs.size(), 25u);
+  EXPECT_GE(scenario_->app_service_deps.size(), 20u);
+}
+
+TEST_F(BankScenarioTest, ScaledDefectCatalogApplied) {
+  const DefectCatalog expected = BankScenarioConfig::SmallCatalog();
+  EXPECT_EQ(scenario_->defects.unlogged_edges.size(),
+            static_cast<size_t>(expected.unlogged_edges));
+  EXPECT_EQ(scenario_->defects.server_side_apps.size(),
+            static_cast<size_t>(expected.server_side_loggers));
+  EXPECT_EQ(scenario_->defects.coincidences.size(),
+            static_cast<size_t>(expected.coincidence_pairs));
+}
+
+TEST_F(BankScenarioTest, DeterministicPerSeed) {
+  BankScenarioConfig config;
+  auto again = BuildBankScenario(config);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().interaction_pairs, scenario_->interaction_pairs);
+  config.seed = 99;
+  auto other = BuildBankScenario(config);
+  ASSERT_TRUE(other.ok());
+  // Topology edges are hand-written, but defects/citations vary by seed.
+  EXPECT_EQ(other.value().topology.apps.size(), 18u);
+}
+
+TEST_F(BankScenarioTest, SimulatesEndToEnd) {
+  SimulationConfig config = BankSimulationDefaults();
+  config.num_days = 1;
+  config.scale = 0.3;
+  Simulator simulator(scenario_->topology, scenario_->directory, config);
+  LogStore store;
+  SimulationSummary summary;
+  ASSERT_TRUE(simulator.Run(&store, &summary).ok());
+  EXPECT_GT(store.size(), 5000u);
+  EXPECT_EQ(store.num_sources(), 18u);
+  EXPECT_GT(summary.num_identified_sessions, 50);
+  // Banking sessions are context-rich relative to the hospital.
+  const double context = static_cast<double>(summary.context_logs) /
+                         static_cast<double>(summary.total_logs);
+  EXPECT_GT(context, 0.08);
+}
+
+}  // namespace
+}  // namespace logmine::sim

@@ -1,0 +1,96 @@
+#include "simulation/clock_skew.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace logmine::sim {
+namespace {
+
+TEST(ClockSkewTest, NtpHostsWithinOneMillisecond) {
+  ClockSkewModel model(42);
+  for (int day = 0; day < 7; ++day) {
+    const TimeMs skew = model.SkewFor("srv01.hug.ch", false, day);
+    EXPECT_LE(std::abs(skew), 1);
+  }
+}
+
+TEST(ClockSkewTest, NtServersWithinOneSecond) {
+  // §4.2: "we have verified that deviation ... is less than 1 sec".
+  ClockSkewModel model(42);
+  for (int host = 0; host < 50; ++host) {
+    for (int day = 0; day < 7; ++day) {
+      const TimeMs skew = model.SkewFor(
+          "ntsrv" + std::to_string(host), true, day);
+      EXPECT_LT(std::abs(skew), 1000);
+    }
+  }
+}
+
+TEST(ClockSkewTest, WorkstationsMayExceedServersButStayBounded) {
+  ClockSkewModel model(42);
+  TimeMs max_abs = 0;
+  for (int ws = 0; ws < 200; ++ws) {
+    const TimeMs skew =
+        model.SkewFor("ws-" + std::to_string(ws), true, 0);
+    max_abs = std::max<TimeMs>(max_abs, std::abs(skew));
+    EXPECT_LE(std::abs(skew), 1800);
+  }
+  EXPECT_GT(max_abs, 1000);  // some workstations drift beyond the servers
+}
+
+TEST(ClockSkewTest, StableWithinDayDriftsAcrossDays) {
+  ClockSkewModel model(7);
+  const TimeMs day0 = model.SkewFor("ws-001", true, 0);
+  EXPECT_EQ(model.SkewFor("ws-001", true, 0), day0);  // deterministic
+  bool drifted = false;
+  for (int day = 1; day < 7; ++day) {
+    if (model.SkewFor("ws-001", true, day) != day0) drifted = true;
+  }
+  EXPECT_TRUE(drifted);
+}
+
+TEST(ClockSkewTest, DistinctHostsDistinctSkews) {
+  ClockSkewModel model(7);
+  int distinct = 0;
+  const TimeMs base = model.SkewFor("ws-000", true, 0);
+  for (int ws = 1; ws < 20; ++ws) {
+    if (model.SkewFor("ws-" + std::to_string(ws), true, 0) != base) {
+      ++distinct;
+    }
+  }
+  EXPECT_GE(distinct, 18);
+}
+
+TEST(ClockSkewTest, SeedChangesSkews) {
+  ClockSkewModel a(1), b(2);
+  int differing = 0;
+  for (int ws = 0; ws < 20; ++ws) {
+    const std::string host = "ws-" + std::to_string(ws);
+    if (a.SkewFor(host, true, 0) != b.SkewFor(host, true, 0)) ++differing;
+  }
+  EXPECT_GE(differing, 15);
+}
+
+TEST(ClockSkewTest, BufferDelayPositiveAndQuantized) {
+  ClockSkewModel model(11);
+  for (TimeMs t = 0; t < 100000; t += 7777) {
+    const TimeMs delay = model.BufferDelayFor("ws-001", t);
+    EXPECT_GT(delay, 0);
+    EXPECT_LT(delay, 5100);  // max cycle + network
+  }
+}
+
+TEST(ClockSkewTest, BufferDelayAlignsToFlushBoundary) {
+  // Two messages shortly before the same flush must be received at
+  // (nearly) the same wall time.
+  ClockSkewModel model(13);
+  const TimeMs t1 = 100000;
+  const TimeMs t2 = t1 + 1;
+  const TimeMs r1 = t1 + model.BufferDelayFor("ws-001", t1);
+  const TimeMs r2 = t2 + model.BufferDelayFor("ws-001", t2);
+  EXPECT_LE(std::abs(r1 - r2), 40);  // same flush, network jitter only
+}
+
+}  // namespace
+}  // namespace logmine::sim

@@ -1,0 +1,83 @@
+#include "simulation/directory.h"
+
+#include <gtest/gtest.h>
+
+namespace logmine::sim {
+namespace {
+
+ServiceEntry Entry(std::string id) {
+  ServiceEntry entry;
+  entry.id = std::move(id);
+  entry.root_url = "http://srv01.hug.ch:9980/x";
+  entry.server_host = "srv01.hug.ch";
+  entry.num_replicas = 2;
+  return entry;
+}
+
+TEST(ServiceDirectoryTest, AddAndFind) {
+  ServiceDirectory dir;
+  ASSERT_TRUE(dir.Add(Entry("DPINOTIFICATION")).ok());
+  ASSERT_TRUE(dir.Add(Entry("UPSRV2")).ok());
+  EXPECT_EQ(dir.size(), 2u);
+  auto found = dir.FindById("UPSRV2");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), 1u);
+  EXPECT_FALSE(dir.FindById("UPSRV").ok());
+}
+
+TEST(ServiceDirectoryTest, FindIsCaseInsensitive) {
+  ServiceDirectory dir;
+  ASSERT_TRUE(dir.Add(Entry("DPINOTIFICATION")).ok());
+  EXPECT_TRUE(dir.FindById("dpinotification").ok());
+  EXPECT_TRUE(dir.FindById("DpiNotification").ok());
+}
+
+TEST(ServiceDirectoryTest, RejectsDuplicatesAndEmptyIds) {
+  ServiceDirectory dir;
+  ASSERT_TRUE(dir.Add(Entry("A")).ok());
+  EXPECT_FALSE(dir.Add(Entry("A")).ok());
+  EXPECT_FALSE(dir.Add(Entry("a")).ok());  // case-insensitive key
+  EXPECT_FALSE(dir.Add(Entry("")).ok());
+  EXPECT_EQ(dir.size(), 1u);
+}
+
+TEST(ServiceDirectoryTest, XmlRoundTrip) {
+  ServiceDirectory dir;
+  ASSERT_TRUE(dir.Add(Entry("DPINOTIFICATION")).ok());
+  ASSERT_TRUE(dir.Add(Entry("UPSRV2")).ok());
+  auto parsed = ServiceDirectory::FromXml(dir.ToXml());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value().entry(0).id, "DPINOTIFICATION");
+  EXPECT_EQ(parsed.value().entry(0).root_url, "http://srv01.hug.ch:9980/x");
+  EXPECT_EQ(parsed.value().entry(0).server_host, "srv01.hug.ch");
+  EXPECT_EQ(parsed.value().entry(0).num_replicas, 2);
+}
+
+TEST(ServiceDirectoryTest, XmlShapeMatchesHugStyle) {
+  ServiceDirectory dir;
+  ASSERT_TRUE(dir.Add(Entry("X")).ok());
+  const std::string xml = dir.ToXml();
+  EXPECT_NE(xml.find("<directory>"), std::string::npos);
+  EXPECT_NE(xml.find("<group id=\"X\""), std::string::npos);
+  EXPECT_NE(xml.find("</directory>"), std::string::npos);
+}
+
+TEST(ServiceDirectoryTest, FromXmlRejectsMalformedInput) {
+  EXPECT_FALSE(ServiceDirectory::FromXml("<group id=\"A\"/>").ok());  // no root
+  EXPECT_FALSE(ServiceDirectory::FromXml("<directory><group/></directory>")
+                   .ok());  // missing attributes
+  EXPECT_FALSE(
+      ServiceDirectory::FromXml("<directory><oops/></directory>").ok());
+  EXPECT_FALSE(ServiceDirectory::FromXml("<directory").ok());
+}
+
+TEST(ServiceDirectoryTest, EmptyDirectoryRoundTrips) {
+  ServiceDirectory dir;
+  auto parsed = ServiceDirectory::FromXml(dir.ToXml());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().size(), 0u);
+}
+
+}  // namespace
+}  // namespace logmine::sim

@@ -1,0 +1,196 @@
+#include "simulation/hug_scenario.h"
+
+#include <functional>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace logmine::sim {
+namespace {
+
+class HugScenarioTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    HugScenarioConfig config;
+    auto built = BuildHugScenario(config);
+    ASSERT_TRUE(built.ok()) << built.status();
+    scenario_ = new HugScenario(std::move(built).value());
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static HugScenario* scenario_;
+};
+
+HugScenario* HugScenarioTest::scenario_ = nullptr;
+
+TEST_F(HugScenarioTest, FiftyFourApplicationsFortySevenEntries) {
+  EXPECT_EQ(scenario_->topology.apps.size(), 54u);
+  EXPECT_EQ(scenario_->directory.size(), 47u);
+}
+
+TEST_F(HugScenarioTest, TierCensusMatchesDesign) {
+  int clients = 0, services = 0, backends = 0, integrations = 0, daemons = 0;
+  for (const Application& app : scenario_->topology.apps) {
+    switch (app.tier) {
+      case Tier::kClient: ++clients; break;
+      case Tier::kService: ++services; break;
+      case Tier::kBackend: ++backends; break;
+      case Tier::kIntegration: ++integrations; break;
+      case Tier::kDaemon: ++daemons; break;
+    }
+  }
+  EXPECT_EQ(clients, 12);
+  EXPECT_EQ(services, 26);
+  EXPECT_EQ(backends, 8);
+  EXPECT_EQ(integrations, 4);
+  EXPECT_EQ(daemons, 4);
+}
+
+TEST_F(HugScenarioTest, ReferenceModelSizesNearPaper) {
+  // Paper: 178 interacting pairs of 1431; 177 app-service dependencies.
+  EXPECT_GE(scenario_->interaction_pairs.size(), 150u);
+  EXPECT_LE(scenario_->interaction_pairs.size(), 210u);
+  EXPECT_GE(scenario_->app_service_deps.size(), 150u);
+  EXPECT_LE(scenario_->app_service_deps.size(), 210u);
+}
+
+TEST_F(HugScenarioTest, TopologyValidates) {
+  EXPECT_TRUE(
+      scenario_->topology.Validate(scenario_->directory).ok());
+}
+
+TEST_F(HugScenarioTest, PaperIllustrationEdgeExists) {
+  const int formidoc = scenario_->topology.FindApp("DPIFormidoc");
+  const int publication = scenario_->topology.FindApp("DPIPublication");
+  ASSERT_GE(formidoc, 0);
+  ASSERT_GE(publication, 0);
+  EXPECT_TRUE(scenario_->interaction_pairs.count(
+      {"DPIFormidoc", "DPIPublication"}));
+}
+
+TEST_F(HugScenarioTest, DefectCountsMatchCatalog) {
+  const DefectCatalog defaults;
+  const AppliedDefects& defects = scenario_->defects;
+  EXPECT_EQ(defects.unlogged_edges.size(),
+            static_cast<size_t>(defaults.unlogged_edges));
+  EXPECT_EQ(defects.wrong_name_edges.size(),
+            static_cast<size_t>(defaults.wrong_name_edges));
+  EXPECT_EQ(defects.erroneous_id_edges.size(),
+            static_cast<size_t>(defaults.erroneous_id_edges));
+  EXPECT_EQ(defects.server_side_apps.size(),
+            static_cast<size_t>(defaults.server_side_loggers));
+  EXPECT_EQ(defects.uncovered_server_side_apps.size(),
+            static_cast<size_t>(defaults.uncovered_server_side_loggers));
+  EXPECT_EQ(defects.exception_edges.size(),
+            static_cast<size_t>(defaults.exception_edges));
+  EXPECT_EQ(defects.coincidences.size(),
+            static_cast<size_t>(defaults.coincidence_pairs));
+  EXPECT_EQ(defects.rare_edges.size(),
+            static_cast<size_t>(defaults.rare_edges));
+}
+
+TEST_F(HugScenarioTest, UnloggedEdgesConcentrateOnFewApps) {
+  // The paper removes 4 applications "which do not log all of their
+  // invocations" in §4.9.
+  EXPECT_LE(scenario_->defects.apps_with_unlogged_invocations.size(), 5u);
+  EXPECT_GE(scenario_->defects.apps_with_unlogged_invocations.size(), 1u);
+}
+
+TEST_F(HugScenarioTest, WrongNameIdsAreAbsentFromDirectory) {
+  for (int e : scenario_->defects.wrong_name_edges) {
+    const InvocationEdge& edge =
+        scenario_->topology.edges[static_cast<size_t>(e)];
+    ASSERT_FALSE(edge.miscited_id.empty());
+    EXPECT_FALSE(scenario_->directory.FindById(edge.miscited_id).ok())
+        << edge.miscited_id;
+  }
+}
+
+TEST_F(HugScenarioTest, ErroneousIdEdgesCiteValidButWrongEntry) {
+  for (int e : scenario_->defects.erroneous_id_edges) {
+    const InvocationEdge& edge =
+        scenario_->topology.edges[static_cast<size_t>(e)];
+    EXPECT_NE(edge.cited_entry, edge.true_entry);
+    EXPECT_GE(edge.cited_entry, 0);
+    EXPECT_LT(edge.cited_entry, static_cast<int>(scenario_->directory.size()));
+  }
+}
+
+TEST_F(HugScenarioTest, ExceptionEdgesPointToDeeperEntries) {
+  for (int e : scenario_->defects.exception_edges) {
+    const InvocationEdge& edge =
+        scenario_->topology.edges[static_cast<size_t>(e)];
+    EXPECT_GE(edge.exception_deep_entry, 0);
+    EXPECT_NE(edge.exception_deep_entry, edge.cited_entry);
+    EXPECT_GT(edge.failure_prob, 0.0);
+  }
+}
+
+TEST_F(HugScenarioTest, CoincidencesAreNotTrueDependencies) {
+  for (const auto& [app, entry] : scenario_->defects.coincidences) {
+    const std::string& name =
+        scenario_->topology.apps[static_cast<size_t>(app)].name;
+    const std::string& id =
+        scenario_->directory.entry(static_cast<size_t>(entry)).id;
+    EXPECT_FALSE(scenario_->app_service_deps.count({name, id}))
+        << name << " -> " << id;
+  }
+}
+
+TEST_F(HugScenarioTest, EveryNonRareEdgeIsReachableInSomeUseCase) {
+  std::set<int> reachable;
+  std::function<void(const CallStep&)> visit = [&](const CallStep& step) {
+    reachable.insert(step.edge);
+    for (const CallStep& child : step.children) visit(child);
+  };
+  for (const UseCase& uc : scenario_->topology.use_cases) {
+    for (const CallStep& step : uc.steps) visit(step);
+  }
+  for (const UseCase& uc : scenario_->topology.batch_use_cases) {
+    for (const CallStep& step : uc.steps) visit(step);
+  }
+  for (size_t e = 0; e < scenario_->topology.edges.size(); ++e) {
+    EXPECT_TRUE(reachable.count(static_cast<int>(e)))
+        << "edge " << e << " unreachable";
+  }
+}
+
+TEST_F(HugScenarioTest, DeterministicForSameSeed) {
+  HugScenarioConfig config;
+  auto again = BuildHugScenario(config);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().interaction_pairs, scenario_->interaction_pairs);
+  EXPECT_EQ(again.value().app_service_deps, scenario_->app_service_deps);
+  EXPECT_EQ(again.value().topology.edges.size(),
+            scenario_->topology.edges.size());
+}
+
+TEST_F(HugScenarioTest, DifferentSeedDifferentTopology) {
+  HugScenarioConfig config;
+  config.seed = 999;
+  auto other = BuildHugScenario(config);
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(other.value().interaction_pairs, scenario_->interaction_pairs);
+}
+
+TEST_F(HugScenarioTest, NightAndWeekdayFlagsSet) {
+  int night = 0, office = 0;
+  for (const Application& app : scenario_->topology.apps) {
+    night += app.night_active;
+    office += app.weekday_only;
+  }
+  EXPECT_EQ(night, 5);
+  EXPECT_EQ(office, 4);
+}
+
+TEST_F(HugScenarioTest, UpsrvStoryIsPresent) {
+  // The paper's concrete example: UPSRV2 is in the directory; the stale
+  // name UPSRV is not.
+  EXPECT_TRUE(scenario_->directory.FindById("UPSRV2").ok());
+  EXPECT_FALSE(scenario_->directory.FindById("UPSRV").ok());
+}
+
+}  // namespace
+}  // namespace logmine::sim

@@ -1,0 +1,110 @@
+#include "simulation/message_render.h"
+
+#include <gtest/gtest.h>
+
+#include "core/l3_text_miner.h"
+#include "util/string_util.h"
+
+namespace logmine::sim {
+namespace {
+
+bool ContainsToken(const std::string& message, std::string_view token) {
+  for (std::string_view t : TokenizeIdentifiers(message)) {
+    if (EqualsIgnoreCase(t, token)) return true;
+  }
+  return false;
+}
+
+class InvocationStyleTest
+    : public ::testing::TestWithParam<InvocationLogStyle> {};
+
+TEST_P(InvocationStyleTest, EveryStyleCitesTheDirectoryEntry) {
+  Rng rng(1);
+  const std::string message = RenderInvocationMessage(
+      GetParam(), "notify", "DPINOTIFICATION",
+      "http://srv01.hug.ch:9980/dpinotification", &rng);
+  EXPECT_FALSE(message.empty());
+  // Whatever the developer style, the id must be recoverable by the L3
+  // tokenizer — directly or through the URL.
+  EXPECT_TRUE(ContainsToken(message, "DPINOTIFICATION")) << message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Styles, InvocationStyleTest,
+    ::testing::Values(InvocationLogStyle::kBracketedServer,
+                      InvocationLogStyle::kParenGroup,
+                      InvocationLogStyle::kProseCall,
+                      InvocationLogStyle::kArrowUrl,
+                      InvocationLogStyle::kKeyValue));
+
+TEST(ServerSideStyleTest, StopPatternCoverageMatchesDesign) {
+  // Styles 0..4 are covered by the default stop patterns; style 5 is the
+  // idiosyncratic survivor that produces residual inverted dependencies.
+  Rng rng(2);
+  core::L3TextMiner miner(
+      core::ServiceVocabulary{{{"DPINOTIFICATION", "http://x/y"}}},
+      core::L3Config{});
+  for (int style = 0; style < kNumServerSideStyles; ++style) {
+    const std::string message = RenderServerSideMessage(
+        style, "notify", "DPINOTIFICATION", "ws-004", &rng);
+    EXPECT_TRUE(ContainsToken(message, "DPINOTIFICATION")) << message;
+    if (style < kNumServerSideStyles - 1) {
+      EXPECT_TRUE(miner.IsStopped(message)) << style << ": " << message;
+    } else {
+      EXPECT_FALSE(miner.IsStopped(message)) << message;
+    }
+  }
+}
+
+TEST(ExceptionMessageTest, CitesBothIntermediaryAndDeepService) {
+  Rng rng(3);
+  const std::string message =
+      RenderExceptionMessage("LABRES", "PATDB", "query", &rng);
+  EXPECT_TRUE(ContainsToken(message, "LABRES"));
+  EXPECT_TRUE(ContainsToken(message, "PATDB"));
+}
+
+TEST(CoincidenceMessageTest, EmbedsEntryIdAsData) {
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    const std::string message =
+        RenderCoincidenceMessage("AdmissionDesk", "UPSRV2", &rng);
+    EXPECT_TRUE(ContainsToken(message, "UPSRV2")) << message;
+  }
+}
+
+TEST(ProcessingAndBackgroundTest, NoAccidentalCitations) {
+  // Processing/background chatter must never cite service ids — those
+  // citations are what L3 keys on.
+  Rng rng(5);
+  core::L3TextMiner miner(
+      core::ServiceVocabulary{{{"DPINOTIFICATION", "u"},
+                               {"UPSRV2", "u"},
+                               {"LABRES", "u"},
+                               {"PATDB", "u"}}},
+      core::L3Config{});
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(miner.CitedEntries(RenderProcessingMessage("App", &rng))
+                    .empty());
+    EXPECT_TRUE(miner.CitedEntries(RenderBackgroundMessage("App", &rng))
+                    .empty());
+    EXPECT_TRUE(
+        miner.CitedEntries(RenderUserActionMessage("uc-1", &rng)).empty());
+  }
+}
+
+TEST(FunctionNameForTest, DeterministicAndVaried) {
+  EXPECT_EQ(FunctionNameFor("DPINOTIFICATION", 0),
+            FunctionNameFor("DPINOTIFICATION", 0));
+  // Different variants or ids should (usually) give different names.
+  int distinct = 0;
+  const std::string base = FunctionNameFor("AAA", 0);
+  for (int v = 1; v < 6; ++v) {
+    if (FunctionNameFor("AAA", v) != base) ++distinct;
+  }
+  EXPECT_GE(distinct, 3);
+  EXPECT_FALSE(FunctionNameFor("anything", 0).empty());
+}
+
+}  // namespace
+}  // namespace logmine::sim

@@ -1,0 +1,78 @@
+// Property sweep: the scenario generator and simulator must be robust
+// across seeds — every seed must yield a valid topology with the full
+// defect catalog placed, and a simulation that runs to completion with
+// sane volume structure. This guards the seed-dependent generation
+// paths (candidate pools for defects, v2-entry citation choices, ...).
+
+#include <gtest/gtest.h>
+
+#include "simulation/hug_scenario.h"
+#include "simulation/simulator.h"
+
+namespace logmine::sim {
+namespace {
+
+class ScenarioSeedSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScenarioSeedSweepTest, ScenarioInvariantsHoldForAnySeed) {
+  HugScenarioConfig config;
+  config.seed = GetParam();
+  auto built = BuildHugScenario(config);
+  ASSERT_TRUE(built.ok()) << built.status();
+  const HugScenario& scenario = built.value();
+
+  EXPECT_EQ(scenario.topology.apps.size(), 54u);
+  EXPECT_EQ(scenario.directory.size(), 47u);
+  EXPECT_TRUE(scenario.topology.Validate(scenario.directory).ok());
+
+  // Reference models in the paper's ballpark for every seed.
+  EXPECT_GE(scenario.interaction_pairs.size(), 130u);
+  EXPECT_LE(scenario.interaction_pairs.size(), 230u);
+  EXPECT_GE(scenario.app_service_deps.size(), 130u);
+  EXPECT_LE(scenario.app_service_deps.size(), 230u);
+
+  // Full defect catalog placed.
+  const DefectCatalog defaults;
+  EXPECT_EQ(scenario.defects.unlogged_edges.size(),
+            static_cast<size_t>(defaults.unlogged_edges));
+  EXPECT_EQ(scenario.defects.server_side_apps.size(),
+            static_cast<size_t>(defaults.server_side_loggers));
+  EXPECT_EQ(scenario.defects.coincidences.size(),
+            static_cast<size_t>(defaults.coincidence_pairs));
+
+  // Stale ids never collide with the directory, for any seed.
+  for (int e : scenario.defects.wrong_name_edges) {
+    const auto& edge = scenario.topology.edges[static_cast<size_t>(e)];
+    EXPECT_FALSE(scenario.directory.FindById(edge.miscited_id).ok());
+  }
+}
+
+TEST_P(ScenarioSeedSweepTest, SimulationRunsAndKeepsVolumeStructure) {
+  HugScenarioConfig scenario_config;
+  scenario_config.seed = GetParam();
+  auto scenario = BuildHugScenario(scenario_config);
+  ASSERT_TRUE(scenario.ok());
+
+  SimulationConfig config;
+  config.seed = GetParam() * 31 + 7;
+  config.num_days = 1;
+  config.scale = 0.05;
+  Simulator simulator(scenario.value().topology, scenario.value().directory,
+                      config);
+  LogStore store;
+  SimulationSummary summary;
+  ASSERT_TRUE(simulator.Run(&store, &summary).ok());
+  EXPECT_GT(store.size(), 5000u);
+  EXPECT_EQ(store.num_sources(), 54u);
+  // Context share stays in a sane band across seeds.
+  const double context = static_cast<double>(summary.context_logs) /
+                         static_cast<double>(summary.total_logs);
+  EXPECT_GT(context, 0.03);
+  EXPECT_LT(context, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioSeedSweepTest,
+                         ::testing::Values(1, 7, 42, 20051206, 987654321));
+
+}  // namespace
+}  // namespace logmine::sim

@@ -1,0 +1,272 @@
+#include "simulation/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "simulation/hug_scenario.h"
+
+namespace logmine::sim {
+namespace {
+
+// A small, fast configuration shared by the suite.
+SimulationConfig SmallConfig(int days = 2, double scale = 0.05) {
+  SimulationConfig config;
+  config.num_days = days;
+  config.scale = scale;
+  return config;
+}
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    HugScenarioConfig config;
+    auto built = BuildHugScenario(config);
+    ASSERT_TRUE(built.ok());
+    scenario_ = new HugScenario(std::move(built).value());
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static HugScenario* scenario_;
+};
+
+HugScenario* SimulatorTest::scenario_ = nullptr;
+
+TEST_F(SimulatorTest, GeneratesLogsWithBuiltIndex) {
+  Simulator simulator(scenario_->topology, scenario_->directory,
+                      SmallConfig());
+  LogStore store;
+  SimulationSummary summary;
+  ASSERT_TRUE(simulator.Run(&store, &summary).ok());
+  EXPECT_GT(store.size(), 10000u);
+  EXPECT_TRUE(store.index_built());
+  EXPECT_EQ(summary.total_logs, static_cast<int64_t>(store.size()));
+  EXPECT_EQ(summary.logs_per_day.size(), 2u);
+  EXPECT_GT(summary.num_identified_sessions, 0);
+  EXPECT_GT(summary.num_anonymous_executions, 0);
+  EXPECT_GT(summary.num_batch_executions, 0);
+}
+
+TEST_F(SimulatorTest, AllSourcesAreKnownApplications) {
+  Simulator simulator(scenario_->topology, scenario_->directory,
+                      SmallConfig(1));
+  LogStore store;
+  ASSERT_TRUE(simulator.Run(&store, nullptr).ok());
+  for (size_t s = 0; s < store.num_sources(); ++s) {
+    EXPECT_GE(scenario_->topology.FindApp(
+                  store.source_name(static_cast<uint32_t>(s))),
+              0)
+        << store.source_name(static_cast<uint32_t>(s));
+  }
+  // Every application logs something, even at small scale.
+  EXPECT_EQ(store.num_sources(), scenario_->topology.apps.size());
+}
+
+TEST_F(SimulatorTest, DeterministicForSameSeed) {
+  LogStore a, b;
+  SimulationSummary sa, sb;
+  Simulator s1(scenario_->topology, scenario_->directory, SmallConfig(1));
+  ASSERT_TRUE(s1.Run(&a, &sa).ok());
+  Simulator s2(scenario_->topology, scenario_->directory, SmallConfig(1));
+  ASSERT_TRUE(s2.Run(&b, &sb).ok());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(sa.context_logs, sb.context_logs);
+  for (size_t i = 0; i < std::min<size_t>(a.size(), 500); ++i) {
+    EXPECT_EQ(a.client_ts(i), b.client_ts(i));
+    EXPECT_EQ(a.message(i), b.message(i));
+  }
+}
+
+TEST_F(SimulatorTest, SeedChangesTheCorpus) {
+  SimulationConfig config = SmallConfig(1);
+  config.seed = 777;
+  LogStore a, b;
+  Simulator s1(scenario_->topology, scenario_->directory, SmallConfig(1));
+  ASSERT_TRUE(s1.Run(&a, nullptr).ok());
+  Simulator s2(scenario_->topology, scenario_->directory, config);
+  ASSERT_TRUE(s2.Run(&b, nullptr).ok());
+  EXPECT_NE(a.size(), b.size());
+}
+
+TEST_F(SimulatorTest, VolumeScalesRoughlyLinearly) {
+  LogStore small, large;
+  Simulator s1(scenario_->topology, scenario_->directory,
+               SmallConfig(1, 0.05));
+  ASSERT_TRUE(s1.Run(&small, nullptr).ok());
+  Simulator s2(scenario_->topology, scenario_->directory,
+               SmallConfig(1, 0.15));
+  ASSERT_TRUE(s2.Run(&large, nullptr).ok());
+  const double ratio =
+      static_cast<double>(large.size()) / static_cast<double>(small.size());
+  EXPECT_GT(ratio, 2.2);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST_F(SimulatorTest, WeekendVolumeDips) {
+  // Days 5 and 6 of the default start (2005-12-10/11) fall on a weekend.
+  Simulator simulator(scenario_->topology, scenario_->directory,
+                      SmallConfig(7, 0.05));
+  LogStore store;
+  SimulationSummary summary;
+  ASSERT_TRUE(simulator.Run(&store, &summary).ok());
+  const double weekday_mean =
+      static_cast<double>(summary.logs_per_day[0] + summary.logs_per_day[1] +
+                          summary.logs_per_day[2] + summary.logs_per_day[3] +
+                          summary.logs_per_day[6]) /
+      5.0;
+  const double weekend_mean =
+      static_cast<double>(summary.logs_per_day[4] + summary.logs_per_day[5]) /
+      2.0;
+  EXPECT_LT(weekend_mean, 0.6 * weekday_mean);
+  EXPECT_GT(weekend_mean, 0.2 * weekday_mean);
+}
+
+TEST_F(SimulatorTest, ContextFractionInPaperBand) {
+  Simulator simulator(scenario_->topology, scenario_->directory,
+                      SmallConfig(2, 0.3));
+  LogStore store;
+  SimulationSummary summary;
+  ASSERT_TRUE(simulator.Run(&store, &summary).ok());
+  const double fraction = static_cast<double>(summary.context_logs) /
+                          static_cast<double>(summary.total_logs);
+  // Paper: 7.5 - 11% of logs can be assigned to a session. Allow slack
+  // for the small scale.
+  EXPECT_GT(fraction, 0.04);
+  EXPECT_LT(fraction, 0.14);
+}
+
+TEST_F(SimulatorTest, DualTimestampsBehaveLikeTheHugSystem) {
+  Simulator simulator(scenario_->topology, scenario_->directory,
+                      SmallConfig(1));
+  LogStore store;
+  ASSERT_TRUE(simulator.Run(&store, nullptr).ok());
+  int64_t server_after_client = 0;
+  for (size_t i = 0; i < store.size(); ++i) {
+    // Server reception lags creation by buffering; client clocks may
+    // skew either way, but reception minus creation must stay within
+    // buffer cycle + max skew.
+    const TimeMs delta = store.server_ts(i) - store.client_ts(i);
+    EXPECT_GT(delta, -2000);
+    EXPECT_LT(delta, 7000);
+    if (delta > 0) ++server_after_client;
+  }
+  EXPECT_GT(server_after_client, static_cast<int64_t>(store.size() / 2));
+}
+
+TEST_F(SimulatorTest, RejectsBadConfigAndNullOutput) {
+  SimulationConfig bad = SmallConfig();
+  bad.num_days = 0;
+  Simulator s1(scenario_->topology, scenario_->directory, bad);
+  LogStore store;
+  EXPECT_FALSE(s1.Run(&store, nullptr).ok());
+
+  SimulationConfig bad_scale = SmallConfig();
+  bad_scale.scale = 0.0;
+  Simulator s2(scenario_->topology, scenario_->directory, bad_scale);
+  EXPECT_FALSE(s2.Run(&store, nullptr).ok());
+
+  Simulator s3(scenario_->topology, scenario_->directory, SmallConfig());
+  EXPECT_FALSE(s3.Run(nullptr, nullptr).ok());
+}
+
+TEST_F(SimulatorTest, FailureWindowSilencesAppAndRaisesCallerErrors) {
+  const int victim = scenario_->topology.FindApp("PatientDB");
+  ASSERT_GE(victim, 0);
+  SimulationConfig config = SmallConfig(1, 0.2);
+  const TimeMs start = DefaultSimulationStart();
+  const TimeMs outage_begin = start + 10 * kMillisPerHour;
+  const TimeMs outage_end = outage_begin + kMillisPerHour;
+  config.failures.push_back(FailureWindow{victim, outage_begin, outage_end});
+
+  Simulator simulator(scenario_->topology, scenario_->directory, config);
+  LogStore store;
+  ASSERT_TRUE(simulator.Run(&store, nullptr).ok());
+
+  // The victim is (nearly) silent during the outage: only clock skew can
+  // leak a handful of boundary logs into the window.
+  auto source = store.FindSource("PatientDB");
+  ASSERT_TRUE(source.ok());
+  const int64_t during = store.CountInRange(source.value(),
+                                            outage_begin + 5000,
+                                            outage_end - 5000);
+  const int64_t before = store.CountInRange(
+      source.value(), outage_begin - kMillisPerHour, outage_begin);
+  EXPECT_LT(during, before / 10) << "victim logged during its outage";
+
+  // Callers log timeout errors citing the victim's service id during the
+  // window and (essentially) not before.
+  int64_t timeouts_during = 0, timeouts_before = 0;
+  for (size_t i = 0; i < store.size(); ++i) {
+    if (store.message(i).find("timeout waiting for") ==
+        std::string_view::npos) {
+      continue;
+    }
+    const TimeMs t = store.client_ts(i);
+    if (t >= outage_begin && t < outage_end) ++timeouts_during;
+    if (t < outage_begin) ++timeouts_before;
+  }
+  EXPECT_GT(timeouts_during, 10);
+  EXPECT_EQ(timeouts_before, 0);
+}
+
+TEST_F(SimulatorTest, EdgeLifecycleMovesTheLandscape) {
+  // Deactivate the heavy DPIFormidoc -> DPIPublication edge for day 0
+  // and activate it from day 1: the callee's Formidoc-driven traffic
+  // must appear only on day 1.
+  Topology topology = scenario_->topology;  // mutable copy
+  const int formidoc = topology.FindApp("DPIFormidoc");
+  const int publication = topology.FindApp("DPIPublication");
+  for (InvocationEdge& edge : topology.edges) {
+    if (edge.caller == formidoc && edge.callee == publication) {
+      edge.active_from_day = 1;
+    }
+  }
+  Simulator simulator(topology, scenario_->directory, SmallConfig(2, 0.1));
+  LogStore store;
+  ASSERT_TRUE(simulator.Run(&store, nullptr).ok());
+  // Count L3-style citations of the publication service by Formidoc.
+  const auto source = store.FindSource("DPIFormidoc");
+  ASSERT_TRUE(source.ok());
+  const TimeMs start = DefaultSimulationStart();
+  int64_t day0 = 0, day1 = 0;
+  for (size_t i = 0; i < store.size(); ++i) {
+    if (store.source_id(i) != source.value()) continue;
+    if (store.message(i).find("dpipublication") == std::string_view::npos &&
+        store.message(i).find("DPIPUBLICATION") == std::string_view::npos) {
+      continue;
+    }
+    if (store.client_ts(i) < start + kMillisPerDay) {
+      ++day0;
+    } else {
+      ++day1;
+    }
+  }
+  EXPECT_EQ(day0, 0);
+  EXPECT_GT(day1, 0);
+}
+
+TEST_F(SimulatorTest, WeekdayOnlyAppsSilentOnWeekends) {
+  Simulator simulator(scenario_->topology, scenario_->directory,
+                      SmallConfig(7, 0.05));
+  LogStore store;
+  ASSERT_TRUE(simulator.Run(&store, nullptr).ok());
+  const TimeMs start = DefaultSimulationStart();
+  const TimeMs saturday = start + 4 * kMillisPerDay;
+  for (size_t a = 0; a < scenario_->topology.apps.size(); ++a) {
+    const Application& app = scenario_->topology.apps[a];
+    if (!app.weekday_only || app.tier != Tier::kClient) continue;
+    auto source = store.FindSource(app.name);
+    ASSERT_TRUE(source.ok());
+    // Only background chatter remains: interaction logs (which dominate
+    // weekdays) disappear.
+    const int64_t weekend_logs =
+        store.CountInRange(source.value(), saturday,
+                           saturday + 2 * kMillisPerDay);
+    const int64_t weekday_logs =
+        store.CountInRange(source.value(), start, start + 2 * kMillisPerDay);
+    EXPECT_LT(weekend_logs, weekday_logs / 2) << app.name;
+  }
+}
+
+}  // namespace
+}  // namespace logmine::sim

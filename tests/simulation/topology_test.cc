@@ -1,0 +1,142 @@
+#include "simulation/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace logmine::sim {
+namespace {
+
+ServiceDirectory TwoEntryDirectory() {
+  ServiceDirectory dir;
+  ServiceEntry a;
+  a.id = "SRVA";
+  a.root_url = "http://h/srva";
+  a.server_host = "h";
+  EXPECT_TRUE(dir.Add(a).ok());
+  ServiceEntry b;
+  b.id = "SRVB";
+  b.root_url = "http://h/srvb";
+  b.server_host = "h";
+  EXPECT_TRUE(dir.Add(b).ok());
+  return dir;
+}
+
+Topology SmallTopology() {
+  Topology topology;
+  Application client;
+  client.name = "Client";
+  client.tier = Tier::kClient;
+  topology.apps.push_back(client);
+  Application service;
+  service.name = "Service";
+  service.tier = Tier::kService;
+  service.provided_entries = {0};
+  service.host = "h";
+  topology.apps.push_back(service);
+  Application backend;
+  backend.name = "Backend";
+  backend.tier = Tier::kBackend;
+  backend.provided_entries = {1};
+  backend.host = "h";
+  topology.apps.push_back(backend);
+
+  InvocationEdge e1;  // Client -> Service
+  e1.caller = 0;
+  e1.callee = 1;
+  e1.cited_entry = 0;
+  e1.true_entry = 0;
+  topology.edges.push_back(e1);
+  InvocationEdge e2;  // Service -> Backend
+  e2.caller = 1;
+  e2.callee = 2;
+  e2.cited_entry = 1;
+  e2.true_entry = 1;
+  topology.edges.push_back(e2);
+
+  UseCase uc;
+  uc.name = "open";
+  uc.root_app = 0;
+  CallStep step;
+  step.edge = 0;
+  step.children.push_back(CallStep{1, {}});
+  uc.steps.push_back(step);
+  topology.use_cases.push_back(uc);
+  return topology;
+}
+
+TEST(TopologyTest, FindApp) {
+  const Topology topology = SmallTopology();
+  EXPECT_EQ(topology.FindApp("Client"), 0);
+  EXPECT_EQ(topology.FindApp("Backend"), 2);
+  EXPECT_EQ(topology.FindApp("Nope"), -1);
+}
+
+TEST(TopologyTest, InteractionPairsAreUnorderedAndDeduplicated) {
+  Topology topology = SmallTopology();
+  // Add the reverse edge Service -> Client (notification); pair must not
+  // duplicate.
+  InvocationEdge reverse;
+  reverse.caller = 1;
+  reverse.callee = 0;
+  reverse.cited_entry = -1;
+  reverse.true_entry = -1;
+  topology.edges.push_back(reverse);
+  const auto pairs = topology.InteractionPairs();
+  EXPECT_EQ(pairs.size(), 2u);
+  EXPECT_TRUE(pairs.count({"Client", "Service"}));
+  EXPECT_TRUE(pairs.count({"Backend", "Service"}));
+}
+
+TEST(TopologyTest, AppServiceDepsUseTrueEntry) {
+  Topology topology = SmallTopology();
+  // Simulate the erroneous-id defect: cited differs from true.
+  topology.edges[0].cited_entry = 1;
+  const ServiceDirectory dir = TwoEntryDirectory();
+  const auto deps = topology.AppServiceDeps(dir);
+  EXPECT_TRUE(deps.count({"Client", "SRVA"}));   // truth, not citation
+  EXPECT_FALSE(deps.count({"Client", "SRVB"}));
+  EXPECT_TRUE(deps.count({"Service", "SRVB"}));
+}
+
+TEST(TopologyTest, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(SmallTopology().Validate(TwoEntryDirectory()).ok());
+}
+
+TEST(TopologyTest, ValidateRejectsBadEdgeEndpoints) {
+  Topology topology = SmallTopology();
+  topology.edges[0].callee = 99;
+  EXPECT_FALSE(topology.Validate(TwoEntryDirectory()).ok());
+}
+
+TEST(TopologyTest, ValidateRejectsSelfLoop) {
+  Topology topology = SmallTopology();
+  topology.edges[0].callee = topology.edges[0].caller;
+  EXPECT_FALSE(topology.Validate(TwoEntryDirectory()).ok());
+}
+
+TEST(TopologyTest, ValidateRejectsUnknownEntry) {
+  Topology topology = SmallTopology();
+  topology.edges[0].cited_entry = 7;
+  EXPECT_FALSE(topology.Validate(TwoEntryDirectory()).ok());
+}
+
+TEST(TopologyTest, ValidateRejectsMismatchedUseCaseTree) {
+  Topology topology = SmallTopology();
+  // The nested step's edge is rooted at the Service, not at the Backend.
+  topology.use_cases[0].steps[0].children[0].edge = 0;
+  EXPECT_FALSE(topology.Validate(TwoEntryDirectory()).ok());
+}
+
+TEST(TopologyTest, ValidateRejectsEmptyAppName) {
+  Topology topology = SmallTopology();
+  topology.apps[0].name.clear();
+  EXPECT_FALSE(topology.Validate(TwoEntryDirectory()).ok());
+}
+
+TEST(TopologyTest, TierNames) {
+  EXPECT_EQ(TierName(Tier::kClient), "client");
+  EXPECT_EQ(TierName(Tier::kDaemon), "daemon");
+  EXPECT_EQ(TierName(Tier::kIntegration), "integration");
+}
+
+}  // namespace
+}  // namespace logmine::sim

@@ -1,0 +1,115 @@
+#include "simulation/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace logmine::sim {
+namespace {
+
+TEST(DiurnalProfileTest, HospitalShape) {
+  const DiurnalProfile profile = DiurnalProfile::Hospital();
+  // Deep night well below the morning peak.
+  EXPECT_LT(profile.weekday[3], 0.2);
+  EXPECT_GT(profile.weekday[9], 2.0);
+  // Weekend substantially below weekday at every hour.
+  for (size_t h = 0; h < 24; ++h) {
+    EXPECT_LT(profile.weekend[h], profile.weekday[h] + 0.2) << h;
+    EXPECT_GT(profile.weekend[h], 0.0) << h;
+  }
+}
+
+TEST(DiurnalProfileTest, IntensityAtPicksDayType) {
+  const DiurnalProfile profile = DiurnalProfile::Hospital();
+  const TimeMs tue = TimeFromCivil({.year = 2005, .month = 12, .day = 6});
+  const TimeMs sat = TimeFromCivil({.year = 2005, .month = 12, .day = 10});
+  EXPECT_DOUBLE_EQ(profile.IntensityAt(tue + 9 * kMillisPerHour),
+                   profile.weekday[9]);
+  EXPECT_DOUBLE_EQ(profile.IntensityAt(sat + 9 * kMillisPerHour),
+                   profile.weekend[9]);
+}
+
+TEST(LogNormalTest, MedianAndPositivity) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = LogNormal(100.0, 0.8, &rng);
+    EXPECT_GT(x, 0);
+    xs.push_back(x);
+  }
+  std::nth_element(xs.begin(), xs.begin() + 10000, xs.end());
+  EXPECT_NEAR(xs[10000], 100.0, 5.0);
+}
+
+TEST(LogNormalTest, ZeroSigmaIsDegenerate) {
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(LogNormal(42.0, 0.0, &rng), 42.0);
+}
+
+class PlanSessionsTest : public ::testing::Test {
+ protected:
+  DiurnalProfile profile_ = DiurnalProfile::Hospital();
+  WorkloadConfig config_;
+  const TimeMs weekday_ =
+      TimeFromCivil({.year = 2005, .month = 12, .day = 6});
+  const TimeMs weekend_ =
+      TimeFromCivil({.year = 2005, .month = 12, .day = 10});
+};
+
+TEST_F(PlanSessionsTest, CountTracksConfigAndDayType) {
+  Rng rng(7);
+  const auto weekday_plans = PlanDaySessions(weekday_, profile_, config_,
+                                             {0, 1, 2}, {}, &rng);
+  Rng rng2(7);
+  const auto weekend_plans = PlanDaySessions(weekend_, profile_, config_,
+                                             {0, 1, 2}, {}, &rng2);
+  // Weekday count near the configured rate (night floor adds a little).
+  EXPECT_GT(weekday_plans.size(), config_.sessions_per_weekday * 0.8);
+  EXPECT_LT(weekday_plans.size(), config_.sessions_per_weekday * 1.6);
+  // Weekend clearly lower.
+  EXPECT_LT(weekend_plans.size(), weekday_plans.size() * 0.7);
+}
+
+TEST_F(PlanSessionsTest, PlansAreWellFormed) {
+  Rng rng(11);
+  for (const SessionPlan& plan :
+       PlanDaySessions(weekday_, profile_, config_, {5, 6}, {}, &rng)) {
+    EXPECT_GE(plan.start, weekday_);
+    EXPECT_LT(plan.start, weekday_ + kMillisPerDay);
+    EXPECT_GT(plan.end, plan.start);
+    EXPECT_GE(plan.user, 0);
+    EXPECT_LT(plan.user, config_.num_users);
+    EXPECT_GE(plan.workstation, 0);
+    EXPECT_LT(plan.workstation, config_.num_workstations);
+    EXPECT_TRUE(plan.client_app == 5 || plan.client_app == 6);
+  }
+}
+
+TEST_F(PlanSessionsTest, NightRegimeUsesNightClients) {
+  Rng rng(13);
+  const auto plans = PlanDaySessions(weekday_, profile_, config_,
+                                     {1, 2, 3, 4}, {9}, &rng);
+  bool saw_night_session = false;
+  for (const SessionPlan& plan : plans) {
+    const double intensity = profile_.IntensityAt(plan.start);
+    if (intensity < kNightRegimeIntensity) {
+      saw_night_session = true;
+      EXPECT_EQ(plan.client_app, 9);
+    } else {
+      EXPECT_NE(plan.client_app, 9);
+    }
+  }
+  EXPECT_TRUE(saw_night_session);  // the night floor guarantees some
+}
+
+TEST_F(PlanSessionsTest, DeterministicGivenRng) {
+  Rng rng1(17), rng2(17);
+  const auto a = PlanDaySessions(weekday_, profile_, config_, {0}, {}, &rng1);
+  const auto b = PlanDaySessions(weekday_, profile_, config_, {0}, {}, &rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start);
+    EXPECT_EQ(a[i].user, b[i].user);
+  }
+}
+
+}  // namespace
+}  // namespace logmine::sim

@@ -1,0 +1,144 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace logmine::stats {
+namespace {
+
+TEST(LogFactorialTest, SmallValues) {
+  EXPECT_NEAR(LogFactorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogChooseTest, MatchesPascalTriangle) {
+  EXPECT_NEAR(std::exp(LogChoose(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogChoose(10, 5)), 252.0, 1e-7);
+  EXPECT_NEAR(std::exp(LogChoose(52, 5)), 2598960.0, 1e-2);
+  EXPECT_NEAR(std::exp(LogChoose(7, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::exp(LogChoose(7, 7)), 1.0, 1e-12);
+}
+
+TEST(BinomialPmfTest, FairCoin) {
+  // Bin(7, 1/2): P(X = 0) = 1/128.
+  EXPECT_NEAR(BinomialPmf(0, 7, 0.5), 1.0 / 128, 1e-12);
+  EXPECT_NEAR(BinomialPmf(3, 7, 0.5), 35.0 / 128, 1e-12);
+  EXPECT_NEAR(BinomialPmf(7, 7, 0.5), 1.0 / 128, 1e-12);
+}
+
+TEST(BinomialPmfTest, EdgeProbabilities) {
+  EXPECT_EQ(BinomialPmf(0, 5, 0.0), 1.0);
+  EXPECT_EQ(BinomialPmf(1, 5, 0.0), 0.0);
+  EXPECT_EQ(BinomialPmf(5, 5, 1.0), 1.0);
+  EXPECT_EQ(BinomialPmf(-1, 5, 0.5), 0.0);
+  EXPECT_EQ(BinomialPmf(6, 5, 0.5), 0.0);
+}
+
+TEST(BinomialPmfTest, SumsToOne) {
+  double total = 0;
+  for (int k = 0; k <= 20; ++k) total += BinomialPmf(k, 20, 0.3);
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(BinomialCdfTest, ExactSmallN) {
+  // Bin(7, 1/2): P(X <= 0) = 1/128 = 0.0078125 — the paper's 0.984 level.
+  EXPECT_NEAR(BinomialCdf(0, 7, 0.5), 0.0078125, 1e-12);
+  EXPECT_NEAR(BinomialCdf(3, 7, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(BinomialCdf(7, 7, 0.5), 1.0, 1e-12);
+  EXPECT_EQ(BinomialCdf(-1, 7, 0.5), 0.0);
+}
+
+TEST(BinomialCdfTest, LargeNMatchesNormalApprox) {
+  // For n = 5000 the implementation switches to the normal approximation;
+  // check continuity against the exact branch at n = 2000.
+  const double exact = BinomialCdf(1000, 2000, 0.5);
+  EXPECT_NEAR(exact, 0.5089, 5e-3);
+  const double approx = BinomialCdf(2500, 5000, 0.5);
+  EXPECT_NEAR(approx, 0.5056, 5e-3);
+}
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(NormalCdf(-1.959963984540054), 0.025, 1e-9);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-10);
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-10);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.995), 2.5758293035489004, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.84134474606854293), 1.0, 1e-8);
+}
+
+class NormalRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalRoundTripTest, QuantileInvertsCdf) {
+  const double p = GetParam();
+  EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, NormalRoundTripTest,
+                         ::testing::Values(1e-8, 0.001, 0.025, 0.2, 0.5, 0.8,
+                                           0.975, 0.999, 1.0 - 1e-8));
+
+TEST(GammaTest, RegularizedGammaIdentities) {
+  EXPECT_NEAR(RegularizedGammaP(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-10);
+  EXPECT_NEAR(RegularizedGammaQ(1.0, 2.0), std::exp(-2.0), 1e-10);
+  EXPECT_NEAR(RegularizedGammaP(0.5, 0.5) + RegularizedGammaQ(0.5, 0.5), 1.0,
+              1e-12);
+  EXPECT_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+}
+
+TEST(ChiSquareTest, SurvivalKnownValues) {
+  // Critical values: P(X > 3.841) = 0.05 and P(X > 6.635) = 0.01 at 1 df.
+  EXPECT_NEAR(ChiSquareSf(3.841458820694124, 1.0), 0.05, 1e-9);
+  EXPECT_NEAR(ChiSquareSf(6.6348966010212145, 1.0), 0.01, 1e-9);
+  // 2 df: sf(x) = exp(-x/2).
+  EXPECT_NEAR(ChiSquareSf(4.0, 2.0), std::exp(-2.0), 1e-10);
+  EXPECT_EQ(ChiSquareSf(-1.0, 1.0), 1.0);
+}
+
+TEST(ChiSquareTest, QuantileInvertsSf) {
+  for (double p : {0.5, 0.9, 0.95, 0.99}) {
+    for (double df : {1.0, 2.0, 5.0}) {
+      const double x = ChiSquareQuantile(p, df);
+      EXPECT_NEAR(1.0 - ChiSquareSf(x, df), p, 1e-8)
+          << "p=" << p << " df=" << df;
+    }
+  }
+}
+
+TEST(BetaTest, RegularizedBetaKnownValues) {
+  // I_x(1, 1) = x.
+  EXPECT_NEAR(RegularizedBeta(0.3, 1.0, 1.0), 0.3, 1e-10);
+  // I_x(2, 2) = x^2 (3 - 2x).
+  EXPECT_NEAR(RegularizedBeta(0.4, 2.0, 2.0), 0.4 * 0.4 * (3 - 0.8), 1e-10);
+  EXPECT_EQ(RegularizedBeta(0.0, 2.0, 3.0), 0.0);
+  EXPECT_EQ(RegularizedBeta(1.0, 2.0, 3.0), 1.0);
+}
+
+TEST(StudentTTest, CdfKnownValues) {
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0), 0.5, 1e-12);
+  // t distribution with 1 df is Cauchy: CDF(1) = 0.75.
+  EXPECT_NEAR(StudentTCdf(1.0, 1.0), 0.75, 1e-9);
+  // Large df approaches the normal.
+  EXPECT_NEAR(StudentTCdf(1.96, 100000.0), NormalCdf(1.96), 1e-4);
+}
+
+TEST(StudentTTest, QuantileKnownValues) {
+  // Classic t-table values: t_{0.975, 5} = 2.570582, t_{0.975, 166} ~ 1.974.
+  EXPECT_NEAR(StudentTQuantile(0.975, 5.0), 2.5705818366147395, 1e-6);
+  EXPECT_NEAR(StudentTQuantile(0.975, 166.0), 1.9744, 1e-3);
+  EXPECT_NEAR(StudentTQuantile(0.5, 9.0), 0.0, 1e-9);
+  // Symmetry.
+  EXPECT_NEAR(StudentTQuantile(0.05, 7.0), -StudentTQuantile(0.95, 7.0),
+              1e-8);
+}
+
+}  // namespace
+}  // namespace logmine::stats

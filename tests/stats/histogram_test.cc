@@ -1,0 +1,60 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace logmine::stats {
+namespace {
+
+TEST(HistogramTest, BinsValues) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.0);
+  h.Add(1.9);
+  h.Add(2.0);
+  h.Add(9.99);
+  EXPECT_EQ(h.num_bins(), 5);
+  EXPECT_EQ(h.bin_count(0), 2);
+  EXPECT_EQ(h.bin_count(1), 1);
+  EXPECT_EQ(h.bin_count(4), 1);
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_EQ(h.underflow(), 0);
+  EXPECT_EQ(h.overflow(), 0);
+}
+
+TEST(HistogramTest, UnderflowAndOverflow) {
+  Histogram h(0.0, 10.0, 2);
+  h.Add(-0.1);
+  h.Add(10.0);
+  h.Add(5.0);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.total(), 3);
+}
+
+TEST(HistogramTest, BinCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+TEST(BinCountSeriesTest, OneSecondBins) {
+  // Figure 1's transformation: events -> logs per second.
+  const std::vector<int64_t> events = {0, 500, 999, 1000, 2500, 5999};
+  const auto counts = BinCountSeries(events, 0, 6000, 1000);
+  EXPECT_EQ(counts, (std::vector<int64_t>{3, 1, 1, 0, 0, 1}));
+}
+
+TEST(BinCountSeriesTest, IgnoresOutOfWindowEvents) {
+  // -5 is before the window; 200 and 999 are at/after the exclusive end.
+  const std::vector<int64_t> events = {-5, 0, 100, 200, 999};
+  const auto counts = BinCountSeries(events, 0, 200, 100);
+  EXPECT_EQ(counts, (std::vector<int64_t>{1, 1}));
+}
+
+TEST(BinCountSeriesTest, PartialLastBin) {
+  const auto counts = BinCountSeries({240}, 0, 250, 100);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[2], 1);
+}
+
+}  // namespace
+}  // namespace logmine::stats

@@ -1,0 +1,119 @@
+#include "stats/order_stats_ci.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/distributions.h"
+#include "util/rng.h"
+
+namespace logmine::stats {
+namespace {
+
+TEST(MedianCiRanksTest, PaperSevenDayCase) {
+  // With 7 daily values, [x_(1), x_(7)] has exact coverage
+  // 1 - 2 * (1/2)^7 = 0.984375 — the "0.984 level" quoted throughout §4.
+  auto ci = MedianCiRanks(7, 0.98);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_EQ(ci.value().lower_rank, 1);
+  EXPECT_EQ(ci.value().upper_rank, 7);
+  EXPECT_NEAR(ci.value().coverage, 0.984375, 1e-12);
+}
+
+TEST(MedianCiRanksTest, KnownTextbookRanks) {
+  // n = 10, 95%: the classic distribution-free interval is [x_(2), x_(9)]
+  // with coverage 1 - 2 * BinCdf(1; 10, 1/2) = 0.978515625.
+  auto ci = MedianCiRanks(10, 0.95);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_EQ(ci.value().lower_rank, 2);
+  EXPECT_EQ(ci.value().upper_rank, 9);
+  EXPECT_NEAR(ci.value().coverage, 0.978515625, 1e-12);
+}
+
+TEST(MedianCiRanksTest, TooSmallSampleFails) {
+  // n = 5: [x_(1), x_(5)] covers 1 - 2/32 = 0.9375 < 0.98.
+  EXPECT_FALSE(MedianCiRanks(5, 0.98).ok());
+  EXPECT_TRUE(MedianCiRanks(5, 0.9).ok());
+  EXPECT_FALSE(MedianCiRanks(0, 0.5).ok());
+}
+
+TEST(MedianCiRanksTest, InvalidLevelRejected) {
+  EXPECT_FALSE(MedianCiRanks(10, 0.0).ok());
+  EXPECT_FALSE(MedianCiRanks(10, 1.0).ok());
+  EXPECT_FALSE(MedianCiRanks(10, -0.5).ok());
+}
+
+TEST(MedianCiRanksTest, TightestValidInterval) {
+  // The returned j must be maximal: j+1 must undershoot the level.
+  for (int64_t n : {7, 20, 51, 100, 333, 1000}) {
+    auto ci = MedianCiRanks(n, 0.95);
+    ASSERT_TRUE(ci.ok()) << n;
+    const int j = ci.value().lower_rank;
+    EXPECT_GE(ci.value().coverage, 0.95);
+    EXPECT_EQ(ci.value().upper_rank, static_cast<int>(n) + 1 - j);
+    if (j + 1 <= (n + 1) / 2) {
+      const double tighter =
+          1.0 - 2.0 * BinomialCdf(j, n, 0.5);
+      EXPECT_LT(tighter, 0.95) << "n=" << n;
+    }
+  }
+}
+
+TEST(MedianCiRanksTest, SymmetricRanks) {
+  for (int64_t n = 6; n <= 200; n += 13) {
+    auto ci = MedianCiRanks(n, 0.95);
+    ASSERT_TRUE(ci.ok());
+    EXPECT_EQ(ci.value().lower_rank + ci.value().upper_rank,
+              static_cast<int>(n) + 1);
+  }
+}
+
+TEST(MedianConfidenceIntervalTest, ValuesFromSortedSample) {
+  auto ci = MedianConfidenceInterval({7, 1, 5, 3, 9, 2, 8}, 0.98);
+  ASSERT_TRUE(ci.ok());
+  // Ranks (1, 7) on the sorted sample {1,2,3,5,7,8,9}.
+  EXPECT_DOUBLE_EQ(ci.value().lower, 1);
+  EXPECT_DOUBLE_EQ(ci.value().upper, 9);
+  EXPECT_DOUBLE_EQ(ci.value().median, 5);
+}
+
+TEST(MedianConfidenceIntervalTest, EvenSampleMedianAveraged) {
+  auto ci = MedianConfidenceInterval({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.9);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_DOUBLE_EQ(ci.value().median, 5.5);
+  EXPECT_LE(ci.value().lower, ci.value().median);
+  EXPECT_GE(ci.value().upper, ci.value().median);
+}
+
+class MedianCiCoverageTest : public ::testing::TestWithParam<int> {};
+
+// Property: over many synthetic samples from a continuous distribution
+// with known median, the interval must cover the median at a rate no
+// lower than the nominal level (it is conservative by construction).
+TEST_P(MedianCiCoverageTest, EmpiricalCoverageAtLeastNominal) {
+  const int n = GetParam();
+  Rng rng(1234 + static_cast<uint64_t>(n));
+  const double true_median = 0.0;
+  const int trials = 800;
+  int covered = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> xs;
+    xs.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) xs.push_back(rng.Normal(0.0, 3.0));
+    auto ci = MedianConfidenceInterval(xs, 0.95);
+    ASSERT_TRUE(ci.ok());
+    if (ci.value().lower <= true_median && true_median <= ci.value().upper) {
+      ++covered;
+    }
+  }
+  const double rate = static_cast<double>(covered) / trials;
+  // Allow 2.5 standard errors of slack below the nominal level.
+  EXPECT_GE(rate, 0.95 - 2.5 * std::sqrt(0.95 * 0.05 / trials));
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleSizes, MedianCiCoverageTest,
+                         ::testing::Values(8, 15, 40, 150, 400));
+
+}  // namespace
+}  // namespace logmine::stats

@@ -1,0 +1,123 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace logmine::stats {
+namespace {
+
+TEST(FitLinearTest, RecoversExactLine) {
+  const std::vector<double> xs = {0, 1, 2, 3, 4};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.5 * x - 1.0);
+  auto fit = FitLinear(xs, ys, 0.95);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.value().intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.value().r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.value().slope_stderr, 0.0, 1e-9);
+}
+
+TEST(FitLinearTest, KnownNoisyFit) {
+  // Hand-checkable data: x = 1..5, y = {2, 4, 5, 4, 5}.
+  // sxx = 10, sxy = 6 -> slope 0.6, intercept 2.2; residuals
+  // {-0.8, 0.6, 1.0, -0.6, -0.2} -> ss_res = 2.4.
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 5, 4, 5};
+  auto fit = FitLinear(xs, ys, 0.95);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().slope, 0.6, 1e-12);
+  EXPECT_NEAR(fit.value().intercept, 2.2, 1e-12);
+  const double sigma2 = 2.4 / 3.0;
+  EXPECT_NEAR(fit.value().slope_stderr, std::sqrt(sigma2 / 10.0), 1e-12);
+  // t_{0.975, 3} = 3.182446.
+  const double half_width = 3.1824463052842624 * std::sqrt(sigma2 / 10.0);
+  EXPECT_NEAR(fit.value().slope_ci_lo, 0.6 - half_width, 1e-6);
+  EXPECT_NEAR(fit.value().slope_ci_hi, 0.6 + half_width, 1e-6);
+}
+
+TEST(FitLinearTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(FitLinear({1, 2}, {1, 2}, 0.95).ok());        // n < 3
+  EXPECT_FALSE(FitLinear({1, 1, 1}, {1, 2, 3}, 0.95).ok());  // constant x
+  EXPECT_FALSE(FitLinear({1, 2, 3}, {1, 2}, 0.95).ok());     // size mismatch
+  EXPECT_FALSE(FitLinear({1, 2, 3}, {1, 2, 3}, 1.5).ok());   // bad level
+}
+
+TEST(FitLinearTest, CiClassificationHelpers) {
+  LinearFit fit;
+  fit.slope_ci_lo = -0.3;
+  fit.slope_ci_hi = -0.1;
+  EXPECT_TRUE(fit.SlopeCiStrictlyNegative());
+  EXPECT_FALSE(fit.SlopeCiContainsZero());
+  fit.slope_ci_hi = 0.1;
+  EXPECT_FALSE(fit.SlopeCiStrictlyNegative());
+  EXPECT_TRUE(fit.SlopeCiContainsZero());
+}
+
+TEST(FitLinearTest, CoverageOfSlopeCi) {
+  // Property: the 95% CI for the slope covers the true slope ~95% of the
+  // time under Gaussian noise.
+  Rng rng(555);
+  const double true_slope = -0.25;
+  const int trials = 600;
+  int covered = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 50; ++i) {
+      const double x = rng.Uniform(0, 1);
+      xs.push_back(x);
+      ys.push_back(0.6 + true_slope * x + rng.Normal(0, 0.1));
+    }
+    auto fit = FitLinear(xs, ys, 0.95);
+    ASSERT_TRUE(fit.ok());
+    if (fit.value().slope_ci_lo <= true_slope &&
+        true_slope <= fit.value().slope_ci_hi) {
+      ++covered;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(covered) / trials, 0.95, 0.03);
+}
+
+TEST(ResidualsTest, SumToZeroForOlsFit) {
+  Rng rng(77);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 30; ++i) {
+    xs.push_back(rng.Uniform(0, 10));
+    ys.push_back(1 + 2 * xs.back() + rng.Normal(0, 1));
+  }
+  auto fit = FitLinear(xs, ys, 0.95);
+  ASSERT_TRUE(fit.ok());
+  const std::vector<double> res = Residuals(fit.value(), xs, ys);
+  double sum = 0;
+  for (double r : res) sum += r;
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(QqCorrelationTest, NormalResidualsNearOne) {
+  Rng rng(31);
+  std::vector<double> res;
+  for (int i = 0; i < 2000; ++i) res.push_back(rng.Normal(0, 1));
+  EXPECT_GT(QqNormalCorrelation(res), 0.995);
+}
+
+TEST(QqCorrelationTest, HeavyTailedResidualsLower) {
+  Rng rng(37);
+  std::vector<double> res;
+  for (int i = 0; i < 2000; ++i) {
+    // Cauchy-like via ratio of normals.
+    const double denominator = rng.Normal(0, 1);
+    res.push_back(rng.Normal(0, 1) /
+                  (std::fabs(denominator) < 0.05 ? 0.05 : denominator));
+  }
+  EXPECT_LT(QqNormalCorrelation(res), 0.9);
+}
+
+TEST(QqCorrelationTest, TinySampleReturnsZero) {
+  EXPECT_EQ(QqNormalCorrelation({1.0, 2.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace logmine::stats

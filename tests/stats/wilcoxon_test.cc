@@ -1,0 +1,129 @@
+#include "stats/wilcoxon.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace logmine::stats {
+namespace {
+
+TEST(WilcoxonTest, PaperSevenSameSignedCase) {
+  // "The p-value of the signed wilcoxon rank sum test is 0.0156 for any
+  // two samples of size 7, such that the values of the one are always
+  // below the corresponding value of the other" — exact two-sided
+  // p = 2 * (1/2)^7 = 0.015625.
+  const std::vector<double> diffs = {1.1, 2.7, 0.4, 3.3, 5.9, 0.8, 1.6};
+  auto result = WilcoxonSignedRank(diffs, Alternative::kTwoSided);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().exact);
+  EXPECT_EQ(result.value().n_used, 7);
+  EXPECT_DOUBLE_EQ(result.value().w_plus, 28.0);  // all ranks positive
+  EXPECT_NEAR(result.value().p_value, 0.015625, 1e-12);
+}
+
+TEST(WilcoxonTest, AllNegativeMirrorsAllPositive) {
+  const std::vector<double> diffs = {-1, -2, -3, -4, -5, -6, -7};
+  auto result = WilcoxonSignedRank(diffs, Alternative::kTwoSided);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().w_plus, 0.0);
+  EXPECT_NEAR(result.value().p_value, 0.015625, 1e-12);
+}
+
+TEST(WilcoxonTest, OneSidedAlternatives) {
+  const std::vector<double> diffs = {1, 2, 3, 4, 5, 6, 7};
+  auto greater = WilcoxonSignedRank(diffs, Alternative::kGreater);
+  ASSERT_TRUE(greater.ok());
+  EXPECT_NEAR(greater.value().p_value, 0.0078125, 1e-12);  // (1/2)^7
+  auto less = WilcoxonSignedRank(diffs, Alternative::kLess);
+  ASSERT_TRUE(less.ok());
+  EXPECT_NEAR(less.value().p_value, 1.0, 1e-12);
+}
+
+TEST(WilcoxonTest, ZerosAreDropped) {
+  const std::vector<double> diffs = {0, 1, 0, 2, 3, 0};
+  auto result = WilcoxonSignedRank(diffs, Alternative::kTwoSided);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().n_used, 3);
+  EXPECT_DOUBLE_EQ(result.value().w_plus, 6.0);
+  EXPECT_NEAR(result.value().p_value, 0.25, 1e-12);  // 2 * (1/2)^3
+}
+
+TEST(WilcoxonTest, AllZerosIsAnError) {
+  EXPECT_FALSE(
+      WilcoxonSignedRank({0, 0, 0}, Alternative::kTwoSided).ok());
+  EXPECT_FALSE(WilcoxonSignedRank({}, Alternative::kTwoSided).ok());
+}
+
+TEST(WilcoxonTest, KnownSmallExactDistribution) {
+  // n = 3, diffs {+1, -2, +3}: ranks 1, 2, 3; W+ = 1 + 3 = 4.
+  // Null rank sums over the 8 sign patterns: {0,1,2,3,3,4,5,6}, so
+  // P(W+ <= 4) = 6/8 and P(W+ >= 4) = 3/8 -> two-sided p = 2 * 3/8.
+  auto result = WilcoxonSignedRank({1, -2, 3}, Alternative::kTwoSided);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().w_plus, 4.0);
+  EXPECT_NEAR(result.value().p_value, 0.75, 1e-12);
+}
+
+TEST(WilcoxonTest, TiesUseMidranksAndNormalApproximation) {
+  const std::vector<double> diffs = {1, 1, 2, 2, 3, 3, -1, -2};
+  auto result = WilcoxonSignedRank(diffs, Alternative::kTwoSided);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().exact);
+  // |d| ranks: the two 1s and the -1 share midrank 2, etc.
+  EXPECT_GT(result.value().w_plus, 0.0);
+  EXPECT_GT(result.value().p_value, 0.0);
+  EXPECT_LE(result.value().p_value, 1.0);
+}
+
+TEST(WilcoxonTest, LargeSampleUsesNormalApproximation) {
+  std::vector<double> diffs;
+  for (int i = 1; i <= 40; ++i) diffs.push_back(i % 2 == 0 ? i : -i);
+  auto result = WilcoxonSignedRank(diffs, Alternative::kTwoSided);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().exact);
+}
+
+TEST(WilcoxonTest, NullIsUniformPValues) {
+  // Under H0, p-values should be roughly uniform: check the rejection
+  // rate at alpha = 0.1 over repeated symmetric samples.
+  Rng rng(99);
+  const int trials = 2000;
+  int rejected = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> diffs;
+    for (int i = 0; i < 15; ++i) diffs.push_back(rng.Normal(0, 1));
+    auto result = WilcoxonSignedRank(diffs, Alternative::kTwoSided);
+    ASSERT_TRUE(result.ok());
+    if (result.value().p_value < 0.1) ++rejected;
+  }
+  // The exact test is conservative; the rate must not exceed alpha by
+  // more than sampling noise.
+  EXPECT_LT(static_cast<double>(rejected) / trials, 0.12);
+  EXPECT_GT(static_cast<double>(rejected) / trials, 0.04);
+}
+
+TEST(WilcoxonTest, DetectsShiftedMedian) {
+  Rng rng(7);
+  std::vector<double> diffs;
+  for (int i = 0; i < 25; ++i) diffs.push_back(rng.Normal(1.0, 1.0));
+  auto result = WilcoxonSignedRank(diffs, Alternative::kGreater);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.value().p_value, 0.001);
+}
+
+TEST(WilcoxonPairedTest, ComputesDifferences) {
+  const std::vector<double> xs = {5, 6, 7, 8, 9, 10, 11};
+  const std::vector<double> ys = {1, 2, 3, 4, 5, 6, 7};
+  auto result = WilcoxonSignedRankPaired(xs, ys, Alternative::kTwoSided);
+  ASSERT_TRUE(result.ok());
+  // xs - ys is constant +4 -> ties, but all positive.
+  EXPECT_DOUBLE_EQ(result.value().w_plus, 28.0);
+}
+
+TEST(WilcoxonPairedTest, SizeMismatchRejected) {
+  EXPECT_FALSE(
+      WilcoxonSignedRankPaired({1, 2}, {1}, Alternative::kTwoSided).ok());
+}
+
+}  // namespace
+}  // namespace logmine::stats

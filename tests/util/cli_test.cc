@@ -1,0 +1,77 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace logmine {
+namespace {
+
+CliFlags ParseOrDie(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  CliFlags flags;
+  Status s = flags.Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(s.ok()) << s;
+  return flags;
+}
+
+TEST(CliFlagsTest, ParsesNameValuePairs) {
+  CliFlags flags = ParseOrDie({"--scale=0.5", "--days=3", "--name=hug"});
+  EXPECT_TRUE(flags.Has("scale"));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.0), 0.5);
+  EXPECT_EQ(flags.GetInt("days", 7), 3);
+  EXPECT_EQ(flags.GetString("name", ""), "hug");
+}
+
+TEST(CliFlagsTest, BareFlagIsTrue) {
+  CliFlags flags = ParseOrDie({"--verbose"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+}
+
+TEST(CliFlagsTest, FallbacksWhenAbsent) {
+  CliFlags flags = ParseOrDie({});
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 2.5), 2.5);
+  EXPECT_EQ(flags.GetString("missing", "def"), "def");
+  EXPECT_TRUE(flags.GetBool("missing", true));
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(CliFlagsTest, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "positional"};
+  CliFlags flags;
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(CliFlagsTest, RejectsShortOptions) {
+  const char* argv[] = {"prog", "-x"};
+  CliFlags flags;
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(CliFlagsTest, MalformedNumbersFallBack) {
+  CliFlags flags = ParseOrDie({"--n=abc", "--d=1.2.3"});
+  EXPECT_EQ(flags.GetInt("n", 9), 9);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("d", 7.0), 7.0);
+}
+
+TEST(CliFlagsTest, BoolSpellings) {
+  CliFlags flags = ParseOrDie({"--a=TRUE", "--b=0", "--c=Yes", "--d=no",
+                               "--e=weird"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+  EXPECT_TRUE(flags.GetBool("e", true));  // unparseable -> fallback
+}
+
+TEST(CliFlagsTest, ValueMayContainEquals) {
+  CliFlags flags = ParseOrDie({"--expr=a=b"});
+  EXPECT_EQ(flags.GetString("expr", ""), "a=b");
+}
+
+TEST(CliFlagsTest, LastValueWins) {
+  CliFlags flags = ParseOrDie({"--x=1", "--x=2"});
+  EXPECT_EQ(flags.GetInt("x", 0), 2);
+}
+
+}  // namespace
+}  // namespace logmine

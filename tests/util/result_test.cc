@@ -1,0 +1,66 @@
+#include "util/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace logmine {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrReturnsFallbackOnError) {
+  Result<std::string> ok(std::string("hello"));
+  Result<std::string> bad(Status::Internal("x"));
+  EXPECT_EQ(ok.value_or("fallback"), "hello");
+  EXPECT_EQ(bad.value_or("fallback"), "fallback");
+}
+
+TEST(ResultTest, MoveOnlyValueCanBeExtracted) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> extracted = std::move(r).value();
+  ASSERT_NE(extracted, nullptr);
+  EXPECT_EQ(*extracted, 7);
+}
+
+TEST(ResultTest, MutableValueAccess) {
+  Result<std::string> r(std::string("abc"));
+  r.value() += "def";
+  EXPECT_EQ(r.value(), "abcdef");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  LOGMINE_ASSIGN_OR_RETURN(int half, Half(x));
+  return Half(half);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  // 6 / 2 = 3, which is odd -> the inner error propagates.
+  Result<int> bad = Quarter(6);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace logmine

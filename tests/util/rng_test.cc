@@ -1,0 +1,192 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace logmine {
+namespace {
+
+TEST(SplitMix64Test, AdvancesStateAndIsDeterministic) {
+  uint64_t s1 = 123, s2 = 123;
+  const uint64_t a = SplitMix64(&s1);
+  const uint64_t b = SplitMix64(&s2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(s1, 123u);
+  EXPECT_NE(SplitMix64(&s1), a);  // stream moves on
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ZeroSeedIsUsable) {
+  Rng rng(0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 16; ++i) seen.insert(rng.Next());
+  EXPECT_EQ(seen.size(), 16u);  // not stuck at a fixed point
+}
+
+TEST(RngTest, ForkIsIndependentOfParentConsumption) {
+  Rng parent(7);
+  Rng child1 = parent.Fork("worker");
+  parent.Next();  // consuming the parent must not change future forks...
+  Rng parent2(7);
+  Rng child2 = parent2.Fork("worker");
+  EXPECT_EQ(child1.Next(), child2.Next());
+}
+
+TEST(RngTest, ForksWithDifferentLabelsDiffer) {
+  Rng parent(7);
+  Rng a = parent.Fork("a");
+  Rng b = parent.Fork("b");
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformIsInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearOneHalf) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(6, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    const int64_t v = rng.UniformInt(10, 15);
+    ASSERT_GE(v, 10);
+    ASSERT_LE(v, 15);
+    ++counts[static_cast<size_t>(v - 10)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 6, n / 60);  // within 10% of expectation
+  }
+}
+
+TEST(RngTest, UniformIntSinglePoint) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(19);
+  const int n = 100000;
+  double sum = 0, ss = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    sum += x;
+    ss += x * x;
+  }
+  const double mean = sum / n;
+  const double var = ss / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+class RngPoissonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoissonTest, MeanAndVarianceMatchLambda) {
+  const double lambda = GetParam();
+  Rng rng(23);
+  const int n = 50000;
+  double sum = 0, ss = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(rng.Poisson(lambda));
+    EXPECT_GE(x, 0);
+    sum += x;
+    ss += x * x;
+  }
+  const double mean = sum / n;
+  const double var = ss / n - mean * mean;
+  // Poisson: mean = variance = lambda (both branches of the sampler).
+  EXPECT_NEAR(mean, lambda, std::max(0.05, lambda * 0.05));
+  EXPECT_NEAR(var, lambda, std::max(0.1, lambda * 0.1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, RngPoissonTest,
+                         ::testing::Values(0.2, 1.0, 4.0, 20.0, 100.0));
+
+TEST(RngTest, PoissonZeroLambdaIsZero) {
+  Rng rng(29);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(31);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(v, shuffled);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(41);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {9};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{9});
+}
+
+}  // namespace
+}  // namespace logmine

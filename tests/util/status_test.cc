@@ -1,0 +1,79 @@
+#include "util/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace logmine {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryOk) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::NotFound("b"), StatusCode::kNotFound},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists},
+      {Status::OutOfRange("d"), StatusCode::kOutOfRange},
+      {Status::FailedPrecondition("e"), StatusCode::kFailedPrecondition},
+      {Status::ParseError("f"), StatusCode::kParseError},
+      {Status::Internal("g"), StatusCode::kInternal},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  const Status status = Status::NotFound("missing thing");
+  EXPECT_EQ(status.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::ParseError("bad line");
+  EXPECT_EQ(os.str(), "ParseError: bad line");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_EQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+}
+
+Status FailsThenPropagates(bool fail) {
+  LOGMINE_RETURN_IF_ERROR(fail ? Status::Internal("inner") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(FailsThenPropagates(false).ok());
+  const Status failed = FailsThenPropagates(true);
+  EXPECT_EQ(failed.code(), StatusCode::kInternal);
+  EXPECT_EQ(failed.message(), "inner");
+}
+
+}  // namespace
+}  // namespace logmine

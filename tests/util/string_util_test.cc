@@ -1,0 +1,126 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace logmine {
+namespace {
+
+TEST(SplitTest, Basic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a||b", '|'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("|", '|'), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, NoSeparator) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  const std::vector<std::string> parts = {"x", "", "yz", "w"};
+  EXPECT_EQ(Split(Join(parts, ";"), ';'), parts);
+}
+
+TEST(JoinTest, EmptyAndSingle) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(TrimTest, StripsBothEnds) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("hello"), "hello");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" a b "), "a b");
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("DPINotifier-42"), "dpinotifier-42");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(EqualsIgnoreCaseTest, Basics) {
+  EXPECT_TRUE(EqualsIgnoreCase("UPSRV2", "upsrv2"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("UPSRV", "UPSRV2"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(WildcardMatchTest, LiteralMatch) {
+  EXPECT_TRUE(WildcardMatch("abc", "abc"));
+  EXPECT_FALSE(WildcardMatch("abc", "abd"));
+  EXPECT_FALSE(WildcardMatch("abc", "ab"));
+}
+
+TEST(WildcardMatchTest, StarSemantics) {
+  EXPECT_TRUE(WildcardMatch("*", ""));
+  EXPECT_TRUE(WildcardMatch("*", "anything"));
+  EXPECT_TRUE(WildcardMatch("Received call *", "Received call notify from x"));
+  EXPECT_FALSE(WildcardMatch("Received call *", "a Received call notify"));
+  EXPECT_TRUE(WildcardMatch("*incoming request*", "x incoming request y"));
+  EXPECT_TRUE(WildcardMatch("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(WildcardMatch("a*b*c", "aXXcYYb"));
+}
+
+TEST(WildcardMatchTest, QuestionMark) {
+  EXPECT_TRUE(WildcardMatch("a?c", "abc"));
+  EXPECT_FALSE(WildcardMatch("a?c", "ac"));
+  EXPECT_TRUE(WildcardMatch("??", "ab"));
+}
+
+TEST(WildcardMatchTest, BacktrackingCase) {
+  // Requires re-expanding the first '*' after a failed tail match.
+  EXPECT_TRUE(WildcardMatch("*abc", "ababc"));
+  EXPECT_TRUE(WildcardMatch("serve *<-*", "serve DPIX.notify <- ws-004"));
+}
+
+TEST(WildcardMatchTest, PathologicalBacktrackingTerminatesQuickly) {
+  // The classic exponential-blowup input for naive recursive matchers;
+  // the iterative matcher must answer (false) essentially instantly.
+  const std::string text(200, 'a');
+  std::string pattern;
+  for (int i = 0; i < 30; ++i) pattern += "a*";
+  pattern += "b";
+  EXPECT_FALSE(WildcardMatch(pattern, text));
+  pattern.pop_back();
+  EXPECT_TRUE(WildcardMatch(pattern, text));
+}
+
+TEST(TokenizeIdentifiersTest, SplitsOnNonIdentifierChars) {
+  const auto tokens =
+      TokenizeIdentifiers("Invoke [fct [notify] srv.hug.ch:9980/upsrv2]");
+  const std::vector<std::string_view> expected = {
+      "Invoke", "fct", "notify", "srv", "hug", "ch", "9980", "upsrv2"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(TokenizeIdentifiersTest, UnderscoresArePartOfTokens) {
+  const auto tokens = TokenizeIdentifiers("a_b-c");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "a_b");
+  EXPECT_EQ(tokens[1], "c");
+}
+
+TEST(TokenizeIdentifiersTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(TokenizeIdentifiers("").empty());
+  EXPECT_TRUE(TokenizeIdentifiers("... !! ::").empty());
+}
+
+TEST(FormatDoubleTest, Digits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(ReplaceAllTest, Basics) {
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");  // non-overlapping
+  EXPECT_EQ(ReplaceAll("xyz", "q", "r"), "xyz");
+  EXPECT_EQ(ReplaceAll("abc", "", "r"), "abc");  // empty needle is a no-op
+}
+
+}  // namespace
+}  // namespace logmine

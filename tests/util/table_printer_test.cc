@@ -1,0 +1,70 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace logmine {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"day", "#logs"});
+  table.AddRow({"06", "10.3"});
+  table.AddRow({"07", "9.4"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("day | #logs"), std::string::npos);
+  EXPECT_NE(out.find("06  | 10.3"), std::string::npos);
+  EXPECT_NE(out.find("07  | 9.4"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HeaderSeparatorPresent) {
+  TablePrinter table({"a"});
+  table.AddRow({"x"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("-"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  EXPECT_EQ(table.num_rows(), 1u);
+  // Must not crash and must still render 1 row + header.
+  const std::string out = table.ToString();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(TablePrinterTest, LongRowsWidenTable) {
+  TablePrinter table({"a"});
+  table.AddRow({"1", "2", "3"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("1 | 2 | 3"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HeaderlessTable) {
+  TablePrinter table({});
+  table.AddRow({"x", "y"});
+  const std::string out = table.ToString();
+  EXPECT_EQ(out, "x | y\n");
+}
+
+TEST(TablePrinterTest, EmptyTableRendersNothing) {
+  TablePrinter table({});
+  EXPECT_EQ(table.ToString(), "");
+}
+
+TEST(AsciiBarTest, FullAndEmpty) {
+  EXPECT_EQ(AsciiBar(10, 10, 4), "####");
+  EXPECT_EQ(AsciiBar(0, 10, 4), "....");
+}
+
+TEST(AsciiBarTest, ProportionalFill) {
+  EXPECT_EQ(AsciiBar(5, 10, 10), "#####.....");
+}
+
+TEST(AsciiBarTest, ClampsOutOfRange) {
+  EXPECT_EQ(AsciiBar(15, 10, 4), "####");
+  EXPECT_EQ(AsciiBar(-3, 10, 4), "....");
+  EXPECT_EQ(AsciiBar(1, 0, 4), "");
+  EXPECT_EQ(AsciiBar(1, 10, 0), "");
+}
+
+}  // namespace
+}  // namespace logmine
