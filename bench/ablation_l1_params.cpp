@@ -7,8 +7,8 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
-#include "core/l1_activity_miner.h"
 #include "core/evaluation.h"
+#include "core/l1_activity_miner.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 

@@ -8,12 +8,12 @@
 
 #include "core/l1_activity_miner.h"
 #include "core/l2_cooccurrence_miner.h"
-#include "stats/association_tests.h"
 #include "core/l3_text_miner.h"
 #include "eval/dataset.h"
 #include "log/codec.h"
 #include "simulation/hug_scenario.h"
 #include "simulation/simulator.h"
+#include "stats/association_tests.h"
 
 namespace {
 

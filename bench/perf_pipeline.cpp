@@ -1,0 +1,318 @@
+// End-to-end pipeline benchmark with a machine-readable report
+// (BENCH_pipeline.json): per-miner throughput (logs/sec, ns/log) across
+// a thread sweep {1, 2, 4, 8}, plus the speedup of the executor-based
+// L2+L3 hot path against an inline reimplementation of the seed's
+// serial path (std::map bigram counting; ten backtracking wildcard
+// scans per message). Keeping the reference in-tree makes the reported
+// speedup self-contained — it does not depend on checking out the old
+// revision.
+//
+// Usage: perf_pipeline [--scale=1.0] [--days=1] [--seed=N]
+//                      [--reps=3] [--out=BENCH_pipeline.json]
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/l2_session_builder.h"
+#include "core/pipeline.h"
+#include "log/filter.h"
+#include "stats/association_tests.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace logmine;
+
+constexpr int kThreadSweep[] = {1, 2, 4, 8};
+
+double MeasureMs(int reps, const std::function<void()>& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------
+// Seed-style references: the exact algorithms the executor rework
+// replaced, kept serial and allocation-heavy on purpose.
+
+// L2 as seeded: one global std::map keyed by the source pair.
+int64_t ReferenceL2(const eval::Dataset& dataset, TimeMs begin, TimeMs end) {
+  const core::L2Config config;
+  core::SessionBuilder builder(config.session);
+  core::SessionBuildStats stats;
+  const std::vector<core::Session> sessions =
+      builder.Build(dataset.store, begin, end, &stats);
+  std::map<std::pair<uint32_t, uint32_t>, int64_t> joint;
+  for (const core::Session& session : sessions) {
+    for (size_t i = 0; i + 1 < session.entries.size(); ++i) {
+      const core::SessionLogEntry& lhs = session.entries[i];
+      const core::SessionLogEntry& rhs = session.entries[i + 1];
+      if (lhs.source == rhs.source) continue;
+      if (config.timeout > 0 && rhs.ts - lhs.ts > config.timeout) continue;
+      ++joint[{lhs.source, rhs.source}];
+    }
+  }
+  std::map<uint32_t, int64_t> first_marginal, second_marginal;
+  int64_t total = 0;
+  for (const auto& [pair, count] : joint) {
+    first_marginal[pair.first] += count;
+    second_marginal[pair.second] += count;
+    total += count;
+  }
+  const int64_t floor = std::max<int64_t>(
+      config.min_cooccurrence,
+      static_cast<int64_t>(config.min_cooccurrence_per_session *
+                           static_cast<double>(sessions.size())));
+  int64_t dependent = 0;
+  for (const auto& [pair, o11] : joint) {
+    if (o11 < floor) continue;
+    stats::Contingency2x2 table;
+    table.o11 = o11;
+    table.o12 = first_marginal[pair.first] - o11;
+    table.o21 = second_marginal[pair.second] - o11;
+    table.o22 = total - first_marginal[pair.first] -
+                second_marginal[pair.second] + o11;
+    const double score = stats::DunningLogLikelihood(table);
+    if (stats::IsSignificantAttraction(table, score, config.alpha)) {
+      ++dependent;
+    }
+  }
+  return total + dependent;  // consumed so nothing is optimized away
+}
+
+// L3 as seeded: every message runs the generic backtracking matcher
+// against all ten stop patterns, and every token is lower-cased into a
+// fresh std::string before the vocabulary lookup.
+int64_t ReferenceL3(const eval::Dataset& dataset, TimeMs begin, TimeMs end) {
+  const std::vector<std::string> stop_patterns = core::DefaultStopPatterns();
+  std::map<std::string, size_t> token_index;
+  for (size_t i = 0; i < dataset.vocabulary.entries.size(); ++i) {
+    token_index[ToLower(dataset.vocabulary.entries[i].id)] = i;
+  }
+  std::map<std::pair<uint32_t, size_t>, int64_t> citations;
+  int64_t stopped = 0;
+  for (uint32_t idx : IndicesInRange(dataset.store, begin, end)) {
+    const std::string_view message = dataset.store.message(idx);
+    bool is_stopped = false;
+    for (const std::string& pattern : stop_patterns) {
+      if (WildcardMatch(pattern, message)) {
+        is_stopped = true;
+        break;
+      }
+    }
+    if (is_stopped) {
+      ++stopped;
+      continue;
+    }
+    std::vector<size_t> cited;
+    for (std::string_view token : TokenizeIdentifiers(message)) {
+      const std::string lower = ToLower(token);
+      auto it = token_index.find(lower);
+      if (it != token_index.end()) cited.push_back(it->second);
+    }
+    std::sort(cited.begin(), cited.end());
+    cited.erase(std::unique(cited.begin(), cited.end()), cited.end());
+    for (size_t entry : cited) {
+      ++citations[{dataset.store.source_id(idx), entry}];
+    }
+  }
+  int64_t total = stopped;
+  for (const auto& [key, count] : citations) total += count;
+  return total;
+}
+
+// ---------------------------------------------------------------------
+
+struct Sample {
+  double ms = 0.0;
+  double ns_per_log = 0.0;
+  double logs_per_sec = 0.0;
+};
+
+Sample ToSample(double ms, int64_t logs) {
+  Sample sample;
+  sample.ms = ms;
+  sample.ns_per_log = ms * 1e6 / static_cast<double>(logs);
+  sample.logs_per_sec = static_cast<double>(logs) / (ms / 1e3);
+  return sample;
+}
+
+void EmitSample(std::ostream& os, const Sample& sample) {
+  os << "{\"ms\": " << sample.ms << ", \"ns_per_log\": " << sample.ns_per_log
+     << ", \"logs_per_sec\": " << static_cast<int64_t>(sample.logs_per_sec)
+     << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace logmine;
+  CliFlags flags;
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  const int reps = static_cast<int>(flags.GetInt("reps", 3));
+  const std::string out_path =
+      flags.GetString("out", "BENCH_pipeline.json");
+
+  eval::Dataset dataset = bench::BuildDatasetOrDie(argc, argv,
+                                                   /*default_scale=*/1.0,
+                                                   /*default_days=*/1);
+  const TimeMs begin = dataset.day_begin(0);
+  const TimeMs end = dataset.day_end(0);
+  const int64_t logs =
+      static_cast<int64_t>(IndicesInRange(dataset.store, begin, end).size());
+
+  // Seed-style serial reference for the two sharded miners.
+  int64_t ref_l2_checksum = 0, ref_l3_checksum = 0;
+  const double ref_l2_ms = MeasureMs(
+      reps, [&] { ref_l2_checksum = ReferenceL2(dataset, begin, end); });
+  const double ref_l3_ms = MeasureMs(
+      reps, [&] { ref_l3_checksum = ReferenceL3(dataset, begin, end); });
+  std::cerr << "[bench] seed-style serial reference: L2 " << ref_l2_ms
+            << " ms, L3 " << ref_l3_ms << " ms\n";
+
+  // Per-miner and end-to-end sweeps.
+  std::map<int, Sample> l1_sweep, l2_sweep, l3_sweep, pipeline_sweep;
+  int64_t l2_checksum = 0, l3_checksum = 0;
+  for (int threads : kThreadSweep) {
+    {
+      core::L1Config config;
+      config.num_threads = threads;
+      core::L1ActivityMiner miner(config);
+      l1_sweep[threads] = ToSample(
+          MeasureMs(reps,
+                    [&] {
+                      auto result = miner.Mine(dataset.store, begin, end);
+                      if (!result.ok()) std::abort();
+                    }),
+          logs);
+    }
+    {
+      core::L2Config config;
+      config.num_threads = threads;
+      core::L2CooccurrenceMiner miner(config);
+      l2_sweep[threads] = ToSample(
+          MeasureMs(reps,
+                    [&] {
+                      auto result = miner.Mine(dataset.store, begin, end);
+                      if (!result.ok()) std::abort();
+                      int64_t dependent = 0;
+                      for (const auto& s : result.value().scored) {
+                        if (s.dependent) ++dependent;
+                      }
+                      l2_checksum = result.value().num_bigrams + dependent;
+                    }),
+          logs);
+    }
+    {
+      core::L3Config config;
+      config.num_threads = threads;
+      core::L3TextMiner miner(dataset.vocabulary, config);
+      l3_sweep[threads] = ToSample(
+          MeasureMs(reps,
+                    [&] {
+                      auto result = miner.Mine(dataset.store, begin, end);
+                      if (!result.ok()) std::abort();
+                      int64_t total = result.value().logs_stopped;
+                      for (const auto& c : result.value().citations) {
+                        total += c.count;
+                      }
+                      l3_checksum = total;
+                    }),
+          logs);
+    }
+    {
+      core::PipelineConfig config;
+      config.concurrent_miners = threads != 1;
+      config.l1.num_threads = threads;
+      config.l2.num_threads = threads;
+      config.l3.num_threads = threads;
+      core::MiningPipeline pipeline(dataset.vocabulary, config);
+      pipeline_sweep[threads] = ToSample(
+          MeasureMs(reps,
+                    [&] {
+                      auto result = pipeline.Run(dataset.store, begin, end);
+                      if (!result.ok()) std::abort();
+                    }),
+          logs);
+    }
+    std::cerr << "[bench] threads=" << threads << ": pipeline "
+              << pipeline_sweep[threads].ms << " ms, L2 "
+              << l2_sweep[threads].ms << " ms, L3 " << l3_sweep[threads].ms
+              << " ms\n";
+  }
+
+  // The rework must not change what the miners compute.
+  const bool results_match =
+      l2_checksum == ref_l2_checksum && l3_checksum == ref_l3_checksum;
+  if (!results_match) {
+    std::cerr << "[bench] WARNING: executor miners disagree with the "
+                 "seed-style reference (l2 " << l2_checksum << " vs "
+              << ref_l2_checksum << ", l3 " << l3_checksum << " vs "
+              << ref_l3_checksum << ")\n";
+  }
+
+  const double ref_total = ref_l2_ms + ref_l3_ms;
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"perf_pipeline\",\n";
+  out << "  \"corpus\": {\"days\": 1, \"scale\": "
+      << flags.GetDouble("scale", 1.0) << ", \"logs\": " << logs << "},\n";
+  out << "  \"reps\": " << reps << ",\n";
+  out << "  \"results_match_seed_reference\": "
+      << (results_match ? "true" : "false") << ",\n";
+  out << "  \"seed_reference_serial\": {\"l2_ms\": " << ref_l2_ms
+      << ", \"l3_ms\": " << ref_l3_ms << ", \"l2_plus_l3_ms\": " << ref_total
+      << "},\n";
+  auto emit_sweep = [&](const char* name, const std::map<int, Sample>& sweep,
+                        bool last) {
+    out << "  \"" << name << "\": {";
+    bool first = true;
+    for (const auto& [threads, sample] : sweep) {
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << threads << "\": ";
+      EmitSample(out, sample);
+    }
+    out << "}" << (last ? "" : ",") << "\n";
+  };
+  emit_sweep("l1", l1_sweep, false);
+  emit_sweep("l2", l2_sweep, false);
+  emit_sweep("l3", l3_sweep, false);
+  emit_sweep("pipeline", pipeline_sweep, false);
+  out << "  \"l2_l3_speedup_vs_seed_serial\": {";
+  bool first = true;
+  for (int threads : kThreadSweep) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << threads << "\": "
+        << ref_total / (l2_sweep[threads].ms + l3_sweep[threads].ms);
+  }
+  out << "}\n";
+  out << "}\n";
+  out.close();
+  std::cerr << "[bench] wrote " << out_path << " (L2+L3 speedup at 8 "
+               "threads: "
+            << ref_total / (l2_sweep[8].ms + l3_sweep[8].ms) << "x)\n";
+  return 0;
+}

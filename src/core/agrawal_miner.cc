@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
+#include <tuple>
 
 #include "core/slotting.h"
 #include "stats/distributions.h"
 #include "stats/point_process.h"
+#include "util/executor.h"
 #include "util/rng.h"
 
 namespace logmine::core {
@@ -14,8 +17,8 @@ namespace {
 // Delay from each point of `points` back to the most recent element of
 // `antecedent` (sorted); points with no antecedent or delay > max_delay
 // are dropped.
-std::vector<TimeMs> DelaysToPrevious(const std::vector<TimeMs>& points,
-                                     const std::vector<TimeMs>& antecedent,
+std::vector<TimeMs> DelaysToPrevious(std::span<const TimeMs> points,
+                                     std::span<const TimeMs> antecedent,
                                      TimeMs max_delay) {
   std::vector<TimeMs> delays;
   delays.reserve(points.size());
@@ -69,19 +72,10 @@ double TwoSampleChiSquare(const std::vector<TimeMs>& observed,
   return x2;
 }
 
-std::vector<TimeMs> SlotTimestamps(const LogStore& store,
-                                   LogStore::SourceId source, TimeMs begin,
-                                   TimeMs end) {
-  const std::vector<TimeMs>& all = store.SourceTimestamps(source);
-  auto lo = std::lower_bound(all.begin(), all.end(), begin);
-  auto hi = std::lower_bound(lo, all.end(), end);
-  return {lo, hi};
-}
-
 }  // namespace
 
-bool AgrawalDelayMiner::TestSlot(const std::vector<TimeMs>& a,
-                                 const std::vector<TimeMs>& b,
+bool AgrawalDelayMiner::TestSlot(std::span<const TimeMs> a,
+                                 std::span<const TimeMs> b,
                                  TimeMs slot_begin, TimeMs slot_end,
                                  uint64_t salt) const {
   if (a.empty() || b.empty() || slot_begin >= slot_end) return false;
@@ -119,8 +113,11 @@ Result<AgrawalResult> AgrawalDelayMiner::Mine(const LogStore& store,
 
   AgrawalResult result;
   result.slots_total = static_cast<int>(slots.size());
-  std::vector<size_t> pair_index(
-      static_cast<size_t>(num_sources) * num_sources, SIZE_MAX);
+  // O(num_sources^2) merge scratch, thread_local so repeated Mine calls
+  // reuse one buffer (mirrors the L1 accumulator).
+  thread_local std::vector<size_t> pair_index;
+  pair_index.assign(static_cast<size_t>(num_sources) * num_sources,
+                    SIZE_MAX);
   std::vector<AgrawalPairResult> acc;
   auto pair_slot = [&](uint32_t a, uint32_t b) -> AgrawalPairResult& {
     const size_t key = static_cast<size_t>(a) * num_sources + b;
@@ -135,27 +132,45 @@ Result<AgrawalResult> AgrawalDelayMiner::Mine(const LogStore& store,
     return acc[pair_index[key]];
   };
 
-  for (size_t slot_idx = 0; slot_idx < slots.size(); ++slot_idx) {
+  // Per-slot testing on the shared executor: every (slot, pair) test
+  // seeds its RNG from a salt derived only from (slot, a, b), so the
+  // outcome is independent of scheduling and thread count. Outcomes
+  // merge serially in slot order.
+  struct SlotOutcome {
+    std::vector<std::tuple<uint32_t, uint32_t, bool>> pairs;
+  };
+  std::vector<SlotOutcome> outcomes(slots.size());
+  auto process_slot = [&](size_t slot_idx) {
     const TimeSlot& slot = slots[slot_idx];
     std::vector<uint32_t> usable;
-    std::vector<std::vector<TimeMs>> local(num_sources);
+    std::vector<std::span<const TimeMs>> local(num_sources);
     for (uint32_t s = 0; s < num_sources; ++s) {
-      if (store.CountInRange(s, slot.begin, slot.end) >= config_.minlogs) {
-        local[s] = SlotTimestamps(store, s, slot.begin, slot.end);
+      const std::span<const TimeMs> view =
+          store.SourceTimestampsInRange(s, slot.begin, slot.end);
+      if (static_cast<int64_t>(view.size()) >= config_.minlogs) {
+        local[s] = view;
         usable.push_back(s);
       }
     }
     for (uint32_t a : usable) {
       for (uint32_t b : usable) {
         if (a == b) continue;
-        AgrawalPairResult& pr = pair_slot(a, b);
-        ++pr.slots_supported;
         const uint64_t salt = slot_idx * num_sources * num_sources +
                               static_cast<uint64_t>(a) * num_sources + b;
-        if (TestSlot(local[a], local[b], slot.begin, slot.end, salt)) {
-          ++pr.slots_positive;
-        }
+        const bool positive =
+            TestSlot(local[a], local[b], slot.begin, slot.end, salt);
+        outcomes[slot_idx].pairs.emplace_back(a, b, positive);
       }
+    }
+  };
+  Executor::Shared().ParallelFor(slots.size(), process_slot,
+                                 config_.num_threads);
+
+  for (const SlotOutcome& outcome : outcomes) {
+    for (const auto& [a, b, positive] : outcome.pairs) {
+      AgrawalPairResult& pr = pair_slot(a, b);
+      ++pr.slots_supported;
+      if (positive) ++pr.slots_positive;
     }
   }
 

@@ -2,6 +2,7 @@
 #define LOGMINE_CORE_AGRAWAL_MINER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/dependency.h"
@@ -30,6 +31,11 @@ struct AgrawalConfig {
   /// Random baseline sample size per slot.
   size_t sample_size = 400;
   uint64_t seed = 13;
+  /// Parallelism cap for the slot loop, which runs on the shared
+  /// `Executor` pool. Every (slot, pair) test is salt-seeded, so
+  /// results are identical for any thread count.
+  /// 1 = serial on the calling thread; 0 = use the whole pool.
+  int num_threads = 0;
 };
 
 /// Per ordered pair outcome.
@@ -73,8 +79,9 @@ class AgrawalDelayMiner {
   /// The per-slot test for one ordered pair, exposed for unit tests:
   /// returns true when B's delays-to-previous-A deviate significantly
   /// from the random baseline. `a` and `b` are sorted timestamp
-  /// sequences local to the slot.
-  bool TestSlot(const std::vector<TimeMs>& a, const std::vector<TimeMs>& b,
+  /// sequences local to the slot (zero-copy views into the store's
+  /// index; a `std::vector<TimeMs>` converts implicitly).
+  bool TestSlot(std::span<const TimeMs> a, std::span<const TimeMs> b,
                 TimeMs slot_begin, TimeMs slot_end, uint64_t salt) const;
 
  private:

@@ -1,34 +1,22 @@
 #include "core/l1_activity_miner.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
+#include <span>
 #include <tuple>
 
 #include "core/slotting.h"
+#include "util/executor.h"
 #include "util/rng.h"
 
 namespace logmine::core {
-namespace {
-
-// Copies the timestamps of `source` falling in [begin, end) out of the
-// store's sorted per-source index.
-std::vector<int64_t> SlotTimestamps(const LogStore& store,
-                                    LogStore::SourceId source, TimeMs begin,
-                                    TimeMs end) {
-  const std::vector<TimeMs>& all = store.SourceTimestamps(source);
-  auto lo = std::lower_bound(all.begin(), all.end(), begin);
-  auto hi = std::lower_bound(lo, all.end(), end);
-  return {lo, hi};
-}
-
-}  // namespace
 
 stats::MedianDistanceTestResult L1ActivityMiner::TestSlot(
     const LogStore& store, LogStore::SourceId a, LogStore::SourceId b,
     TimeMs begin, TimeMs end, uint64_t salt) const {
-  const std::vector<int64_t> ts_a = SlotTimestamps(store, a, begin, end);
-  const std::vector<int64_t> ts_b = SlotTimestamps(store, b, begin, end);
+  const std::span<const int64_t> ts_a =
+      store.SourceTimestampsInRange(a, begin, end);
+  const std::span<const int64_t> ts_b =
+      store.SourceTimestampsInRange(b, begin, end);
   Rng rng(config_.seed ^ (salt * 0x9e3779b97f4a7c15ULL));
   return stats::MedianDistanceTest(ts_a, ts_b, begin, end, config_.test,
                                    &rng);
@@ -47,9 +35,14 @@ Result<L1Result> L1ActivityMiner::Mine(const LogStore& store, TimeMs begin,
   std::vector<TimeMs> all_events;
   if (config_.adaptive_slots ||
       config_.baseline == L1Baseline::kIntensityProportional) {
+    size_t total = 0;
     for (uint32_t s = 0; s < store.num_sources(); ++s) {
-      const std::vector<TimeMs> local = SlotTimestamps(
-          store, static_cast<LogStore::SourceId>(s), begin, end);
+      total += static_cast<size_t>(store.CountInRange(s, begin, end));
+    }
+    all_events.reserve(total);
+    for (uint32_t s = 0; s < store.num_sources(); ++s) {
+      const std::span<const TimeMs> local = store.SourceTimestampsInRange(
+          static_cast<LogStore::SourceId>(s), begin, end);
       all_events.insert(all_events.end(), local.begin(), local.end());
     }
     std::sort(all_events.begin(), all_events.end());
@@ -62,11 +55,14 @@ Result<L1Result> L1ActivityMiner::Mine(const LogStore& store, TimeMs begin,
 
   L1Result result;
   result.slots_total = static_cast<int>(slots.size());
-  // Accumulators indexed by pair key a * num_sources + b (a < b).
+  // Accumulators indexed by pair key a * num_sources + b (a < b). The
+  // O(num_sources^2) scratch is thread_local so repeated Mine calls
+  // (the daily runner, the hourly load experiment) reuse one buffer.
   std::vector<L1PairResult> acc;
   acc.reserve(static_cast<size_t>(num_sources) * (num_sources - 1) / 2);
-  std::vector<size_t> pair_index(
-      static_cast<size_t>(num_sources) * num_sources, SIZE_MAX);
+  thread_local std::vector<size_t> pair_index;
+  pair_index.assign(static_cast<size_t>(num_sources) * num_sources,
+                    SIZE_MAX);
   auto pair_slot = [&](uint32_t a, uint32_t b) -> L1PairResult& {
     const size_t key = static_cast<size_t>(a) * num_sources + b;
     if (pair_index[key] == SIZE_MAX) {
@@ -80,9 +76,10 @@ Result<L1Result> L1ActivityMiner::Mine(const LogStore& store, TimeMs begin,
     return acc[pair_index[key]];
   };
 
-  // Phase 1 — per-slot testing, parallelizable: every (slot, pair) test
-  // draws from an RNG stream keyed by (seed, slot, a, b), so the outcome
-  // is independent of scheduling.
+  // Phase 1 — per-slot testing on the shared executor: every
+  // (slot, pair) test draws from an RNG stream keyed by
+  // (seed, slot, a, b), so the outcome is independent of scheduling and
+  // thread count.
   struct SlotOutcome {
     // (a, b, both_directions_positive) per supported pair.
     std::vector<std::tuple<uint32_t, uint32_t, bool>> pairs;
@@ -91,26 +88,29 @@ Result<L1Result> L1ActivityMiner::Mine(const LogStore& store, TimeMs begin,
   const Rng master(config_.seed);
   auto process_slot = [&](size_t slot_idx) {
     const TimeSlot& slot = slots[slot_idx];
-    // Sources active enough in this slot, with their local timestamps.
+    // Sources active enough in this slot, with zero-copy views of their
+    // timestamps in the store's sorted index.
     std::vector<uint32_t> usable;
-    std::vector<std::vector<int64_t>> local(num_sources);
+    std::vector<std::span<const int64_t>> local(num_sources);
     for (uint32_t s = 0; s < num_sources; ++s) {
-      if (store.CountInRange(s, slot.begin, slot.end) >= config_.minlogs) {
-        local[s] = SlotTimestamps(store, s, slot.begin, slot.end);
+      const std::span<const int64_t> view =
+          store.SourceTimestampsInRange(s, slot.begin, slot.end);
+      if (static_cast<int64_t>(view.size()) >= config_.minlogs) {
+        local[s] = view;
         usable.push_back(s);
       }
     }
     // Intensity-proportional baseline: the slot's slice of the overall
     // log stream.
-    std::vector<int64_t> slot_events;
+    std::span<const int64_t> slot_events;
     if (config_.baseline == L1Baseline::kIntensityProportional) {
       auto lo = std::lower_bound(all_events.begin(), all_events.end(),
                                  slot.begin);
       auto hi = std::lower_bound(lo, all_events.end(), slot.end);
-      slot_events.assign(lo, hi);
+      slot_events = {lo, hi};
     }
-    auto run_test = [&](const std::vector<int64_t>& from,
-                        const std::vector<int64_t>& to, Rng* rng) {
+    auto run_test = [&](std::span<const int64_t> from,
+                        std::span<const int64_t> to, Rng* rng) {
       if (config_.baseline == L1Baseline::kIntensityProportional) {
         return stats::MedianDistanceTestWithBaseline(
             from, to, slot_events, config_.baseline_jitter, config_.test,
@@ -123,8 +123,10 @@ Result<L1Result> L1ActivityMiner::Mine(const LogStore& store, TimeMs begin,
       for (size_t j = i + 1; j < usable.size(); ++j) {
         const uint32_t a = usable[i];
         const uint32_t b = usable[j];
-        Rng rng_ab = master.Fork("t-" + std::to_string(slot_idx) + "-" +
-                                 std::to_string(a) + "-" + std::to_string(b));
+        const uint64_t fork_key =
+            (static_cast<uint64_t>(slot_idx) * num_sources + a) *
+                num_sources + b;
+        Rng rng_ab = master.Fork(fork_key);
         bool positive = false;
         const auto forward = run_test(local[a], local[b], &rng_ab);
         if (forward.positive) {  // needs both directions
@@ -135,30 +137,8 @@ Result<L1Result> L1ActivityMiner::Mine(const LogStore& store, TimeMs begin,
     }
   };
 
-  int num_threads = config_.num_threads;
-  if (num_threads == 0) {
-    num_threads = static_cast<int>(std::thread::hardware_concurrency());
-  }
-  num_threads = std::max(
-      1, std::min<int>(num_threads, static_cast<int>(slots.size())));
-  if (num_threads == 1) {
-    for (size_t slot_idx = 0; slot_idx < slots.size(); ++slot_idx) {
-      process_slot(slot_idx);
-    }
-  } else {
-    std::atomic<size_t> next_slot{0};
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<size_t>(num_threads));
-    for (int t = 0; t < num_threads; ++t) {
-      workers.emplace_back([&] {
-        for (size_t slot_idx = next_slot.fetch_add(1);
-             slot_idx < slots.size(); slot_idx = next_slot.fetch_add(1)) {
-          process_slot(slot_idx);
-        }
-      });
-    }
-    for (std::thread& worker : workers) worker.join();
-  }
+  Executor::Shared().ParallelFor(slots.size(), process_slot,
+                                 config_.num_threads);
 
   // Phase 2 — serial merge in slot order (deterministic accumulation).
   for (const SlotOutcome& outcome : outcomes) {

@@ -45,9 +45,10 @@ struct L1Config {
   stats::MedianDistanceTestConfig test;
   /// Seed of the random sampling inside the test.
   uint64_t seed = 7;
-  /// Worker threads over the slot loop. Results are bit-identical for
-  /// any thread count: every (slot, pair) test draws from its own keyed
-  /// RNG stream. 0 = hardware concurrency.
+  /// Parallelism cap for the slot loop, which runs on the shared
+  /// `Executor` pool. Results are bit-identical for any thread count:
+  /// every (slot, pair) test draws from its own keyed RNG stream.
+  /// 1 = serial on the calling thread; 0 = use the whole pool.
   int num_threads = 1;
 };
 

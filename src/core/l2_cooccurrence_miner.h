@@ -36,6 +36,11 @@ struct L2Config {
   /// #sessions).
   int64_t min_cooccurrence = 5;
   double min_cooccurrence_per_session = 0.045;
+  /// Parallelism cap for the sharded bigram count, which runs on the
+  /// shared `Executor` pool. Counts are additive and shard boundaries
+  /// fixed, so results are identical for any thread count.
+  /// 1 = serial on the calling thread; 0 = use the whole pool.
+  int num_threads = 0;
 };
 
 /// Score of one *ordered* bigram type (A, B).

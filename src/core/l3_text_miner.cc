@@ -1,12 +1,36 @@
 #include "core/l3_text_miner.h"
 
 #include <algorithm>
-#include <map>
 
 #include "log/filter.h"
+#include "util/executor.h"
+#include "util/flat_counter.h"
 #include "util/string_util.h"
 
 namespace logmine::core {
+namespace {
+
+// Logs per scanning shard: message scanning is cheap per log, so use
+// coarse chunks to keep scheduling overhead negligible.
+constexpr size_t kLogsPerShard = 4096;
+
+uint64_t CitationKey(uint32_t app, size_t entry) {
+  return (static_cast<uint64_t>(app) << 32) |
+         static_cast<uint64_t>(entry & 0xffffffffu);
+}
+
+// The identifier alphabet of TokenizeIdentifiers, inlined so the scan
+// below needs no per-message vector of token views.
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+char LowerChar(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+}  // namespace
 
 std::vector<std::string> DefaultStopPatterns() {
   // One pattern per known provider-side log family, plus a few defensive
@@ -26,35 +50,62 @@ std::vector<std::string> DefaultStopPatterns() {
 }
 
 L3TextMiner::L3TextMiner(ServiceVocabulary vocabulary, L3Config config)
-    : vocabulary_(std::move(vocabulary)), config_(std::move(config)) {
+    : vocabulary_(std::move(vocabulary)),
+      config_(std::move(config)),
+      stop_matcher_(config_.stop_patterns) {
   token_index_.reserve(vocabulary_.entries.size());
   for (size_t i = 0; i < vocabulary_.entries.size(); ++i) {
     token_index_.emplace_back(ToLower(vocabulary_.entries[i].id), i);
   }
   std::sort(token_index_.begin(), token_index_.end());
+  for (const auto& [id, index] : token_index_) {
+    if (id.empty() || id.size() >= 64) continue;  // tokens never match
+    token_length_masks_[static_cast<unsigned char>(id.front())] |=
+        uint64_t{1} << id.size();
+  }
 }
 
 bool L3TextMiner::IsStopped(std::string_view message) const {
   if (!config_.use_stop_patterns) return false;
-  for (const std::string& pattern : config_.stop_patterns) {
-    if (WildcardMatch(pattern, message)) return true;
+  return stop_matcher_.MatchesAny(message);
+}
+
+void L3TextMiner::AppendCitedEntries(std::string_view message,
+                                     std::string* lower_scratch,
+                                     std::vector<size_t>* out) const {
+  const size_t n = message.size();
+  size_t i = 0;
+  while (i < n) {
+    if (!IsIdentChar(message[i])) {
+      ++i;
+      continue;
+    }
+    const size_t begin = i;
+    while (i < n && IsIdentChar(message[i])) ++i;
+    const size_t len = i - begin;
+    // No id shares this token's first byte and length — which is true
+    // of almost every token — so skip it without lower-casing.
+    const auto first = static_cast<unsigned char>(LowerChar(message[begin]));
+    if (len >= 64 || ((token_length_masks_[first] >> len) & 1) == 0) {
+      continue;
+    }
+    lower_scratch->assign(message.substr(begin, len));
+    for (char& c : *lower_scratch) c = LowerChar(c);
+    auto it = std::lower_bound(
+        token_index_.begin(), token_index_.end(), *lower_scratch,
+        [](const auto& entry, const std::string& key) {
+          return entry.first < key;
+        });
+    if (it != token_index_.end() && it->first == *lower_scratch) {
+      out->push_back(it->second);
+    }
   }
-  return false;
 }
 
 std::vector<size_t> L3TextMiner::CitedEntries(std::string_view message) const {
   std::vector<size_t> cited;
-  for (std::string_view token : TokenizeIdentifiers(message)) {
-    const std::string lower = ToLower(token);
-    auto it = std::lower_bound(
-        token_index_.begin(), token_index_.end(), lower,
-        [](const auto& entry, const std::string& key) {
-          return entry.first < key;
-        });
-    if (it != token_index_.end() && it->first == lower) {
-      cited.push_back(it->second);
-    }
-  }
+  std::string scratch;
+  AppendCitedEntries(message, &scratch, &cited);
   std::sort(cited.begin(), cited.end());
   cited.erase(std::unique(cited.begin(), cited.end()), cited.end());
   return cited;
@@ -69,23 +120,59 @@ Result<L3Result> L3TextMiner::Mine(const LogStore& store, TimeMs begin,
     return Status::FailedPrecondition("empty service vocabulary");
   }
   L3Result result;
-  std::map<std::pair<uint32_t, size_t>, int64_t> counts;
-  for (uint32_t idx : IndicesInRange(store, begin, end)) {
-    ++result.logs_scanned;
-    const std::string_view message = store.message(idx);
-    if (IsStopped(message)) {
-      ++result.logs_stopped;
-      continue;
-    }
-    for (size_t entry : CitedEntries(message)) {
-      ++counts[{store.source_id(idx), entry}];
-    }
+  const std::vector<uint32_t> indices = IndicesInRange(store, begin, end);
+
+  // Sharded scan on the shared executor: each shard counts citations
+  // into its own flat table; shard boundaries depend only on the log
+  // count and counting is additive, so the merged result is identical
+  // for any thread count.
+  struct ShardCounts {
+    FlatCounter citations{64};
+    int64_t scanned = 0;
+    int64_t stopped = 0;
+  };
+  const size_t num_shards =
+      (indices.size() + kLogsPerShard - 1) / kLogsPerShard;
+  std::vector<ShardCounts> shards(num_shards);
+  Executor::Shared().ParallelForChunks(
+      indices.size(), kLogsPerShard,
+      [&](size_t shard_begin, size_t shard_end) {
+        ShardCounts& shard = shards[shard_begin / kLogsPerShard];
+        std::string lower_scratch;
+        std::vector<size_t> cited;
+        for (size_t i = shard_begin; i < shard_end; ++i) {
+          const uint32_t idx = indices[i];
+          ++shard.scanned;
+          const std::string_view message = store.message(idx);
+          if (IsStopped(message)) {
+            ++shard.stopped;
+            continue;
+          }
+          cited.clear();
+          AppendCitedEntries(message, &lower_scratch, &cited);
+          std::sort(cited.begin(), cited.end());
+          cited.erase(std::unique(cited.begin(), cited.end()), cited.end());
+          for (size_t entry : cited) {
+            shard.citations.Add(CitationKey(store.source_id(idx), entry), 1);
+          }
+        }
+      },
+      config_.num_threads);
+
+  FlatCounter counts(64);
+  for (const ShardCounts& shard : shards) {
+    result.logs_scanned += shard.scanned;
+    result.logs_stopped += shard.stopped;
+    counts.MergeFrom(shard.citations);
   }
-  result.citations.reserve(counts.size());
-  for (const auto& [key, count] : counts) {
+
+  const std::vector<std::pair<uint64_t, int64_t>> entries =
+      counts.SortedEntries();  // ascending (app, entry) — the map order
+  result.citations.reserve(entries.size());
+  for (const auto& [key, count] : entries) {
     L3Citation citation;
-    citation.app = key.first;
-    citation.entry = key.second;
+    citation.app = static_cast<uint32_t>(key >> 32);
+    citation.entry = static_cast<size_t>(key & 0xffffffffu);
     citation.count = count;
     citation.dependent = count >= config_.min_citations;
     result.citations.push_back(citation);

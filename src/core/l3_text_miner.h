@@ -1,12 +1,15 @@
 #ifndef LOGMINE_CORE_L3_TEXT_MINER_H_
 #define LOGMINE_CORE_L3_TEXT_MINER_H_
 
+#include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/dependency.h"
 #include "log/store.h"
 #include "util/result.h"
+#include "util/wildcard.h"
 
 namespace logmine::core {
 
@@ -34,6 +37,11 @@ struct L3Config {
   /// Citations required before declaring the dependency (paper: one log
   /// suffices — "If, and only if, there are logs from A referring to S").
   int64_t min_citations = 1;
+  /// Parallelism cap for the sharded message scan, which runs on the
+  /// shared `Executor` pool. Citation counts are additive and shard
+  /// boundaries fixed, so results are identical for any thread count.
+  /// 1 = serial on the calling thread; 0 = use the whole pool.
+  int num_threads = 0;
 };
 
 /// Citation counter for one (application, entry) pair.
@@ -74,10 +82,26 @@ class L3TextMiner {
   std::vector<size_t> CitedEntries(std::string_view message) const;
 
  private:
+  // Appends (unsorted, possibly duplicated) cited entry indices to
+  // `out`, lower-casing tokens into `lower_scratch` — the
+  // allocation-free inner loop shared by `CitedEntries` and `Mine`.
+  void AppendCitedEntries(std::string_view message,
+                          std::string* lower_scratch,
+                          std::vector<size_t>* out) const;
+
   ServiceVocabulary vocabulary_;
   L3Config config_;
+  // The stop patterns, precompiled: one prefix/suffix/substring scan
+  // per pattern instead of a generic backtracking wildcard match per
+  // message.
+  WildcardSet stop_matcher_;
   // Lower-cased id -> entry index.
   std::vector<std::pair<std::string, size_t>> token_index_;  // sorted
+  // Prefilter over the token index: bit L of entry c is set when some
+  // id starts with lower-cased byte c and has length L. Almost every
+  // token of a typical message fails this check, skipping the
+  // lower-casing and binary search entirely.
+  std::array<uint64_t, 256> token_length_masks_{};
 };
 
 }  // namespace logmine::core

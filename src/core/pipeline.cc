@@ -1,5 +1,10 @@
 #include "core/pipeline.h"
 
+#include <functional>
+#include <vector>
+
+#include "util/executor.h"
+
 namespace logmine::core {
 
 MiningPipeline::MiningPipeline(ServiceVocabulary vocabulary,
@@ -12,29 +17,57 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
     return Status::FailedPrecondition("LogStore index not built");
   }
   PipelineResult out;
+
+  // One closure per enabled technique. The store is read-only during
+  // mining and each miner is internally deterministic, so the miners
+  // can run concurrently on the shared executor; statuses are checked
+  // afterwards in the fixed L1, L2, L3, Agrawal order, which keeps the
+  // reported error identical to the serial path.
+  std::vector<std::function<Status()>> tasks;
   if (config_.run_l1) {
-    L1ActivityMiner miner(config_.l1);
-    auto result = miner.Mine(store, begin, end);
-    if (!result.ok()) return result.status();
-    out.l1 = std::move(result).value();
+    tasks.push_back([&]() -> Status {
+      L1ActivityMiner miner(config_.l1);
+      auto result = miner.Mine(store, begin, end);
+      if (!result.ok()) return result.status();
+      out.l1 = std::move(result).value();
+      return Status::OK();
+    });
   }
   if (config_.run_l2) {
-    L2CooccurrenceMiner miner(config_.l2);
-    auto result = miner.Mine(store, begin, end);
-    if (!result.ok()) return result.status();
-    out.l2 = std::move(result).value();
+    tasks.push_back([&]() -> Status {
+      L2CooccurrenceMiner miner(config_.l2);
+      auto result = miner.Mine(store, begin, end);
+      if (!result.ok()) return result.status();
+      out.l2 = std::move(result).value();
+      return Status::OK();
+    });
   }
   if (config_.run_l3) {
-    L3TextMiner miner(vocabulary_, config_.l3);
-    auto result = miner.Mine(store, begin, end);
-    if (!result.ok()) return result.status();
-    out.l3 = std::move(result).value();
+    tasks.push_back([&]() -> Status {
+      L3TextMiner miner(vocabulary_, config_.l3);
+      auto result = miner.Mine(store, begin, end);
+      if (!result.ok()) return result.status();
+      out.l3 = std::move(result).value();
+      return Status::OK();
+    });
   }
   if (config_.run_agrawal) {
-    AgrawalDelayMiner miner(config_.agrawal);
-    auto result = miner.Mine(store, begin, end);
-    if (!result.ok()) return result.status();
-    out.agrawal = std::move(result).value();
+    tasks.push_back([&]() -> Status {
+      AgrawalDelayMiner miner(config_.agrawal);
+      auto result = miner.Mine(store, begin, end);
+      if (!result.ok()) return result.status();
+      out.agrawal = std::move(result).value();
+      return Status::OK();
+    });
+  }
+
+  std::vector<Status> statuses(tasks.size(), Status::OK());
+  const int parallelism = config_.concurrent_miners ? 0 : 1;
+  Executor::Shared().ParallelFor(
+      tasks.size(), [&](size_t i) { statuses[i] = tasks[i](); },
+      parallelism);
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
   }
   return out;
 }

@@ -19,6 +19,10 @@ struct PipelineConfig {
   bool run_l3 = true;
   /// The delay-histogram baseline is off by default.
   bool run_agrawal = false;
+  /// Schedule the enabled miners concurrently on the shared `Executor`
+  /// (they only read the store, and each is deterministic regardless of
+  /// scheduling). Set false to run them strictly in sequence.
+  bool concurrent_miners = true;
   L1Config l1;
   L2Config l2;
   L3Config l3;

@@ -84,6 +84,16 @@ const std::vector<uint32_t>& LogStore::TimeOrder() const {
   return time_order_;
 }
 
+std::span<const TimeMs> LogStore::SourceTimestampsInRange(SourceId source,
+                                                          TimeMs begin,
+                                                          TimeMs end) const {
+  assert(index_built_);
+  const std::vector<TimeMs>& ts = source_timestamps_[source];
+  auto lo = std::lower_bound(ts.begin(), ts.end(), begin);
+  auto hi = std::lower_bound(lo, ts.end(), end);
+  return {lo, hi};
+}
+
 int64_t LogStore::CountInRange(SourceId source, TimeMs begin,
                                TimeMs end) const {
   assert(index_built_);

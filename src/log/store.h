@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -83,6 +84,14 @@ class LogStore {
   /// Sorted client timestamps of all logs of `source`.
   /// Pre-condition: BuildIndex() has run.
   const std::vector<TimeMs>& SourceTimestamps(SourceId source) const;
+
+  /// Zero-copy view of `source`'s sorted timestamps with client_ts in
+  /// [begin, end) — the L1/Agrawal per-slot access path. The view stays
+  /// valid until the next Append/BuildIndex.
+  /// Pre-condition: BuildIndex() has run.
+  std::span<const TimeMs> SourceTimestampsInRange(SourceId source,
+                                                  TimeMs begin,
+                                                  TimeMs end) const;
 
   /// Record indices sorted by (client_ts, insertion order).
   /// Pre-condition: BuildIndex() has run.

@@ -6,7 +6,7 @@
 
 namespace logmine::stats {
 
-int64_t NearestDistance(int64_t t, const std::vector<int64_t>& sorted_ref) {
+int64_t NearestDistance(int64_t t, std::span<const int64_t> sorted_ref) {
   assert(!sorted_ref.empty());
   auto it = std::lower_bound(sorted_ref.begin(), sorted_ref.end(), t);
   int64_t best;
@@ -21,9 +21,8 @@ int64_t NearestDistance(int64_t t, const std::vector<int64_t>& sorted_ref) {
   return best;
 }
 
-std::vector<double> DistancesToNearest(
-    const std::vector<int64_t>& points,
-    const std::vector<int64_t>& sorted_ref) {
+std::vector<double> DistancesToNearest(std::span<const int64_t> points,
+                                       std::span<const int64_t> sorted_ref) {
   std::vector<double> out;
   out.reserve(points.size());
   for (int64_t p : points) {
@@ -43,11 +42,11 @@ std::vector<int64_t> UniformPoints(int64_t begin, int64_t end, size_t count,
   return out;
 }
 
-std::vector<int64_t> Subsample(const std::vector<int64_t>& points,
+std::vector<int64_t> Subsample(std::span<const int64_t> points,
                                size_t max_count, logmine::Rng* rng) {
-  if (points.size() <= max_count) return points;
+  if (points.size() <= max_count) return {points.begin(), points.end()};
   // Partial Fisher-Yates: draw max_count distinct elements.
-  std::vector<int64_t> pool = points;
+  std::vector<int64_t> pool(points.begin(), points.end());
   for (size_t i = 0; i < max_count; ++i) {
     const size_t j = static_cast<size_t>(
         rng->UniformInt(static_cast<int64_t>(i),
@@ -62,9 +61,9 @@ namespace {
 
 // Shared tail of both test variants: computes the distance samples and
 // compares the median CIs one-sidedly.
-MedianDistanceTestResult FinishTest(const std::vector<int64_t>& a,
-                                    const std::vector<int64_t>& b_sample,
-                                    const std::vector<int64_t>& reference,
+MedianDistanceTestResult FinishTest(std::span<const int64_t> a,
+                                    std::span<const int64_t> b_sample,
+                                    std::span<const int64_t> reference,
                                     const MedianDistanceTestConfig& config) {
   MedianDistanceTestResult out;
   out.sample_random = DistancesToNearest(reference, a);
@@ -81,7 +80,7 @@ MedianDistanceTestResult FinishTest(const std::vector<int64_t>& a,
 }  // namespace
 
 MedianDistanceTestResult MedianDistanceTest(
-    const std::vector<int64_t>& a, const std::vector<int64_t>& b,
+    std::span<const int64_t> a, std::span<const int64_t> b,
     int64_t interval_begin, int64_t interval_end,
     const MedianDistanceTestConfig& config, logmine::Rng* rng) {
   if (a.empty() || b.empty() || interval_begin >= interval_end) return {};
@@ -93,8 +92,8 @@ MedianDistanceTestResult MedianDistanceTest(
 }
 
 MedianDistanceTestResult MedianDistanceTestWithBaseline(
-    const std::vector<int64_t>& a, const std::vector<int64_t>& b,
-    const std::vector<int64_t>& baseline_points, int64_t baseline_jitter,
+    std::span<const int64_t> a, std::span<const int64_t> b,
+    std::span<const int64_t> baseline_points, int64_t baseline_jitter,
     const MedianDistanceTestConfig& config, logmine::Rng* rng) {
   if (a.empty() || b.empty() || baseline_points.empty()) return {};
   std::vector<int64_t> reference =

@@ -2,6 +2,7 @@
 #define LOGMINE_STATS_POINT_PROCESS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "stats/order_stats_ci.h"
@@ -11,12 +12,16 @@ namespace logmine::stats {
 
 /// dist(t, A) = min_{a in A} |a - t| (equation 1 of the paper).
 /// `sorted_ref` must be sorted ascending and non-empty.
-int64_t NearestDistance(int64_t t, const std::vector<int64_t>& sorted_ref);
+///
+/// All point sequences are taken as `std::span` views so the L1 miner
+/// can pass slices of the store's sorted per-source index without
+/// copying (a `std::vector<int64_t>` converts implicitly).
+int64_t NearestDistance(int64_t t, std::span<const int64_t> sorted_ref);
 
 /// Distances of every point in `points` to its nearest neighbour in
 /// `sorted_ref` (sorted, non-empty).
-std::vector<double> DistancesToNearest(const std::vector<int64_t>& points,
-                                       const std::vector<int64_t>& sorted_ref);
+std::vector<double> DistancesToNearest(std::span<const int64_t> points,
+                                       std::span<const int64_t> sorted_ref);
 
 /// Draws `count` points uniformly from [begin, end).
 std::vector<int64_t> UniformPoints(int64_t begin, int64_t end, size_t count,
@@ -24,7 +29,7 @@ std::vector<int64_t> UniformPoints(int64_t begin, int64_t end, size_t count,
 
 /// Draws a subsample of at most `max_count` elements from `points`
 /// (without replacement, order not preserved).
-std::vector<int64_t> Subsample(const std::vector<int64_t>& points,
+std::vector<int64_t> Subsample(std::span<const int64_t> points,
                                size_t max_count, logmine::Rng* rng);
 
 /// Configuration of the one-sided median-distance test.
@@ -52,7 +57,7 @@ struct MedianDistanceTestResult {
 /// result when either sequence is empty or the samples are too small for
 /// the requested level.
 MedianDistanceTestResult MedianDistanceTest(
-    const std::vector<int64_t>& a, const std::vector<int64_t>& b,
+    std::span<const int64_t> a, std::span<const int64_t> b,
     int64_t interval_begin, int64_t interval_end,
     const MedianDistanceTestConfig& config, logmine::Rng* rng);
 
@@ -63,8 +68,8 @@ MedianDistanceTestResult MedianDistanceTest(
 /// they are subsampled to `config.sample_size` and jittered by
 /// +-`baseline_jitter` so that B's own logs do not trivially collide.
 MedianDistanceTestResult MedianDistanceTestWithBaseline(
-    const std::vector<int64_t>& a, const std::vector<int64_t>& b,
-    const std::vector<int64_t>& baseline_points, int64_t baseline_jitter,
+    std::span<const int64_t> a, std::span<const int64_t> b,
+    std::span<const int64_t> baseline_points, int64_t baseline_jitter,
     const MedianDistanceTestConfig& config, logmine::Rng* rng);
 
 }  // namespace logmine::stats

@@ -1,0 +1,146 @@
+#include "util/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace logmine {
+
+// State shared between the caller of a ParallelFor and the helper tasks
+// it enqueues. Helpers hold a shared_ptr, so stale helpers that wake up
+// after the loop finished (and the caller returned) only touch live
+// memory and exit immediately.
+struct Executor::ForLoop {
+  size_t count = 0;
+  const std::function<void(size_t)>* fn = nullptr;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable all_done;
+  std::exception_ptr error;  // first failure, guarded by mu
+
+  // Claims and runs indices until none remain. Returns when the claimed
+  // range is exhausted (other participants may still be running).
+  void Drain() {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < count;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        std::lock_guard<std::mutex> lock(mu);  // pairs with the wait
+        all_done.notify_all();
+      }
+    }
+  }
+};
+
+Executor::Executor(int num_workers) {
+  if (num_workers <= 0) {
+    num_workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_workers <= 0) num_workers = 1;
+  }
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+Executor& Executor::Shared() {
+  static Executor* shared = [] {
+    int workers = 0;
+    if (const char* env = std::getenv("LOGMINE_EXECUTOR_THREADS")) {
+      workers = std::atoi(env);
+    }
+    return new Executor(workers);
+  }();
+  return *shared;
+}
+
+void Executor::WorkerMain() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> Executor::Submit(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> future = task->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back([task] { (*task)(); });
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void Executor::ParallelFor(size_t count,
+                           const std::function<void(size_t)>& fn,
+                           int max_parallelism) const {
+  if (count == 0) return;
+  int helpers = num_workers();
+  if (max_parallelism > 0) helpers = std::min(helpers, max_parallelism - 1);
+  helpers = std::min<int>(helpers, static_cast<int>(count) - 1);
+  if (helpers <= 0) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  auto loop = std::make_shared<ForLoop>();
+  loop->count = count;
+  loop->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int h = 0; h < helpers; ++h) {
+      queue_.emplace_back([loop] { loop->Drain(); });
+    }
+  }
+  cv_.notify_all();
+  loop->Drain();  // the caller always participates — no nesting deadlock
+  {
+    std::unique_lock<std::mutex> lock(loop->mu);
+    loop->all_done.wait(lock, [&] {
+      return loop->done.load(std::memory_order_acquire) == count;
+    });
+    if (loop->error) std::rethrow_exception(loop->error);
+  }
+}
+
+void Executor::ParallelForChunks(
+    size_t count, size_t grain,
+    const std::function<void(size_t, size_t)>& fn,
+    int max_parallelism) const {
+  if (count == 0) return;
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = (count + grain - 1) / grain;
+  ParallelFor(
+      num_chunks,
+      [&](size_t chunk) {
+        const size_t begin = chunk * grain;
+        fn(begin, std::min(begin + grain, count));
+      },
+      max_parallelism);
+}
+
+}  // namespace logmine

@@ -1,0 +1,117 @@
+#ifndef LOGMINE_UTIL_FLAT_COUNTER_H_
+#define LOGMINE_UTIL_FLAT_COUNTER_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace logmine {
+
+/// Open-addressing uint64 -> int64 counter for the miners' hot counting
+/// loops (L2 bigram types, L3 citation pairs). Replaces the
+/// node-per-key `std::map<std::pair<...>, int64_t>` accumulators: one
+/// flat array, linear probing, power-of-two capacity, no allocation per
+/// key. Each worker shard owns one counter; shards merge with
+/// `MergeFrom` in shard order and iterate deterministically via
+/// `SortedEntries` (counts are additive, so any shard count yields the
+/// same totals).
+///
+/// The key UINT64_MAX is reserved as the empty-slot sentinel; packed
+/// (id_a << 32 | id_b) keys from dense dictionary ids never reach it.
+class FlatCounter {
+ public:
+  static constexpr uint64_t kEmpty = UINT64_MAX;
+
+  explicit FlatCounter(size_t expected_keys = 16) {
+    size_t capacity = 16;
+    while (capacity < expected_keys * 2) capacity <<= 1;
+    keys_.assign(capacity, kEmpty);
+    values_.assign(capacity, 0);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Add(uint64_t key, int64_t delta) {
+    assert(key != kEmpty);
+    size_t slot = Probe(key);
+    if (keys_[slot] == kEmpty) {
+      keys_[slot] = key;
+      ++size_;
+      if (size_ * 10 >= keys_.size() * 7) {
+        Grow();
+        slot = Probe(key);
+      }
+    }
+    values_[slot] += delta;
+  }
+
+  /// 0 for absent keys.
+  int64_t Get(uint64_t key) const {
+    assert(key != kEmpty);
+    const size_t slot = Probe(key);
+    return keys_[slot] == kEmpty ? 0 : values_[slot];
+  }
+
+  /// Adds every entry of `other` into this counter.
+  void MergeFrom(const FlatCounter& other) {
+    for (size_t i = 0; i < other.keys_.size(); ++i) {
+      if (other.keys_[i] != kEmpty) Add(other.keys_[i], other.values_[i]);
+    }
+  }
+
+  /// All (key, count) entries in ascending key order — the
+  /// deterministic iteration order, matching what a `std::map` keyed by
+  /// (hi, lo) id pairs would produce.
+  std::vector<std::pair<uint64_t, int64_t>> SortedEntries() const {
+    std::vector<std::pair<uint64_t, int64_t>> entries;
+    entries.reserve(size_);
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmpty) entries.emplace_back(keys_[i], values_[i]);
+    }
+    std::sort(entries.begin(), entries.end());
+    return entries;
+  }
+
+ private:
+  // SplitMix64 finalizer — full-avalanche spread of packed id pairs.
+  static size_t Hash(uint64_t key) {
+    uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+
+  // First slot holding `key` or the empty slot where it would go.
+  size_t Probe(uint64_t key) const {
+    const size_t mask = keys_.size() - 1;
+    size_t slot = Hash(key) & mask;
+    while (keys_[slot] != kEmpty && keys_[slot] != key) {
+      slot = (slot + 1) & mask;
+    }
+    return slot;
+  }
+
+  void Grow() {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<int64_t> old_values = std::move(values_);
+    keys_.assign(old_keys.size() * 2, kEmpty);
+    values_.assign(old_keys.size() * 2, 0);
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmpty) continue;
+      const size_t slot = Probe(old_keys[i]);
+      keys_[slot] = old_keys[i];
+      values_[slot] = old_values[i];
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<int64_t> values_;
+  size_t size_ = 0;
+};
+
+}  // namespace logmine
+
+#endif  // LOGMINE_UTIL_FLAT_COUNTER_H_

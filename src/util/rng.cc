@@ -42,6 +42,16 @@ Rng Rng::Fork(std::string_view label) const {
   return Rng(SplitMix64(&sm));
 }
 
+Rng Rng::Fork(uint64_t key) const {
+  uint64_t sm = s_[0] ^ Rotl(s_[1], 17) ^ Rotl(s_[2], 31) ^ s_[3];
+  // Avalanche the key before mixing so that dense keys (0, 1, 2, ...)
+  // land in unrelated streams; the extra constant keeps integer fork 0
+  // distinct from the label-keyed forks.
+  uint64_t avalanche = key + 0x6a09e667f3bcc909ULL;
+  sm ^= SplitMix64(&avalanche);
+  return Rng(SplitMix64(&sm));
+}
+
 uint64_t Rng::Next() {
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;

@@ -25,6 +25,12 @@ class Rng {
   /// Derives an independent child stream keyed on `label`.
   Rng Fork(std::string_view label) const;
 
+  /// Derives an independent child stream keyed on an integer — the
+  /// allocation-free fork for hot loops that already have a dense
+  /// (slot, pair) key. Streams for distinct keys are independent of
+  /// each other and of every label-keyed fork.
+  Rng Fork(uint64_t key) const;
+
   /// Next raw 64 bits.
   uint64_t Next();
 

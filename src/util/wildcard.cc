@@ -1,0 +1,138 @@
+#include "util/wildcard.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace logmine {
+namespace {
+
+constexpr size_t kNpos = std::string_view::npos;
+
+// Does `segment` ('?'-wildcards, no '*') match `text` at `pos`?
+// Pre-condition: pos + segment.size() <= text.size().
+bool SegmentMatchesAt(const std::string& segment, std::string_view text,
+                      size_t pos) {
+  for (size_t i = 0; i < segment.size(); ++i) {
+    if (segment[i] != '?' && segment[i] != text[pos + i]) return false;
+  }
+  return true;
+}
+
+// Leftmost position >= from where `segment` matches inside
+// text[0, end_limit). Leftmost is optimal for in-order segment
+// placement: every segment has fixed length, so the earliest feasible
+// end position dominates all later ones.
+size_t FindSegment(const std::string& segment, std::string_view text,
+                   size_t from, size_t end_limit) {
+  if (segment.size() > end_limit) return kNpos;
+  if (segment.find('?') == std::string::npos) {
+    const size_t found = text.substr(0, end_limit).find(segment, from);
+    return found;
+  }
+  for (size_t pos = from; pos + segment.size() <= end_limit; ++pos) {
+    if (SegmentMatchesAt(segment, text, pos)) return pos;
+  }
+  return kNpos;
+}
+
+}  // namespace
+
+CompiledWildcard::CompiledWildcard(std::string_view pattern)
+    : pattern_(pattern) {
+  anchored_front_ = !pattern.empty() && pattern.front() != '*';
+  anchored_back_ = !pattern.empty() && pattern.back() != '*';
+  size_t i = 0;
+  while (i < pattern.size()) {
+    if (pattern[i] == '*') {
+      ++i;
+      continue;
+    }
+    size_t begin = i;
+    while (i < pattern.size() && pattern[i] != '*') ++i;
+    segments_.emplace_back(pattern.substr(begin, i - begin));
+    min_length_ += i - begin;
+  }
+  if (pattern.empty()) {
+    // "" matches only the empty text; model as anchored with no
+    // segments (the segment-free unanchored case means "*").
+    anchored_front_ = anchored_back_ = true;
+  }
+}
+
+bool CompiledWildcard::Matches(std::string_view text) const {
+  if (segments_.empty()) {
+    return anchored_front_ ? text.empty() : true;  // "" vs "*", "**", ...
+  }
+  if (text.size() < min_length_) return false;
+  size_t first = 0;
+  size_t last = segments_.size();
+  size_t pos = 0;
+  size_t end_limit = text.size();
+  if (anchored_back_) {
+    const std::string& tail = segments_.back();
+    const size_t at = text.size() - tail.size();
+    if (!SegmentMatchesAt(tail, text, at)) return false;
+    --last;
+    end_limit = at;  // earlier segments may not overlap the tail
+  }
+  if (anchored_front_) {
+    if (first == last) {
+      // Pattern without '*': the tail check above already matched at
+      // the end, so only the exact length is left to verify.
+      return text.size() == min_length_;
+    }
+    const std::string& head = segments_.front();
+    if (head.size() > end_limit || !SegmentMatchesAt(head, text, 0)) {
+      return false;
+    }
+    pos = head.size();
+    ++first;
+  }
+  for (size_t i = first; i < last; ++i) {
+    const size_t found = FindSegment(segments_[i], text, pos, end_limit);
+    if (found == kNpos) return false;
+    pos = found + segments_[i].size();
+  }
+  return true;
+}
+
+WildcardSet::WildcardSet(const std::vector<std::string>& patterns) {
+  for (const std::string& pattern : patterns) {
+    // "*literal*": exactly one segment, no '?', unanchored both sides.
+    const bool pure_infix =
+        pattern.size() >= 3 && pattern.front() == '*' &&
+        pattern.back() == '*' &&
+        pattern.find_first_of("*?", 1) == pattern.size() - 1;
+    if (pure_infix && needles_.size() < 32) {
+      const std::string needle = pattern.substr(1, pattern.size() - 2);
+      table_[static_cast<unsigned char>(needle.front())] |=
+          uint32_t{1} << needles_.size();
+      needles_.push_back(needle);
+    } else {
+      patterns_.emplace_back(pattern);
+    }
+  }
+}
+
+bool WildcardSet::MatchesAny(std::string_view text) const {
+  for (const CompiledWildcard& pattern : patterns_) {
+    if (pattern.Matches(text)) return true;
+  }
+  if (!needles_.empty()) {
+    for (size_t pos = 0; pos < text.size(); ++pos) {
+      uint32_t mask = table_[static_cast<unsigned char>(text[pos])];
+      while (mask != 0) {
+        const int idx = std::countr_zero(mask);
+        mask &= mask - 1;
+        const std::string& needle = needles_[static_cast<size_t>(idx)];
+        if (needle.size() <= text.size() - pos &&
+            text.compare(pos, needle.size(), needle) == 0) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace logmine

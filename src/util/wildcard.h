@@ -1,0 +1,62 @@
+#ifndef LOGMINE_UTIL_WILDCARD_H_
+#define LOGMINE_UTIL_WILDCARD_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace logmine {
+
+/// One glob pattern ('*' = any run, '?' = any one char) compiled into
+/// its literal segments, so matching is a prefix check, a suffix check
+/// and in-order segment searches instead of the generic backtracking
+/// scan of `WildcardMatch`. Semantics are identical to `WildcardMatch`.
+///
+/// The fast paths matter because L3 evaluates its stop patterns against
+/// *every* log message: a leading literal ("Received call *") rejects
+/// on the first mismatching byte, and a pure-infix pattern
+/// ("*keepalive*") reduces to one substring search.
+class CompiledWildcard {
+ public:
+  explicit CompiledWildcard(std::string_view pattern);
+
+  bool Matches(std::string_view text) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  std::string pattern_;
+  // Maximal '*'-free pieces of the pattern, in order (may contain '?').
+  std::vector<std::string> segments_;
+  bool anchored_front_ = false;  // pattern does not start with '*'
+  bool anchored_back_ = false;   // pattern does not end with '*'
+  size_t min_length_ = 0;        // sum of segment lengths
+};
+
+/// A set of compiled patterns with any-match semantics — the shape of
+/// L3's `IsStopped`. Pure-infix patterns ("*literal*") are additionally
+/// grouped into one single-pass multi-substring scan with a first-byte
+/// dispatch table, so a set dominated by infix patterns (like the
+/// default stop list) costs one traversal of the text instead of one
+/// substring search per pattern.
+class WildcardSet {
+ public:
+  explicit WildcardSet(const std::vector<std::string>& patterns);
+
+  bool MatchesAny(std::string_view text) const;
+
+  size_t size() const { return patterns_.size() + needles_.size(); }
+
+ private:
+  std::vector<CompiledWildcard> patterns_;  // everything not groupable
+  // The literal cores of grouped "*literal*" patterns; table_[byte] is
+  // the bitmask of needles whose first byte is `byte`.
+  std::vector<std::string> needles_;
+  std::array<uint32_t, 256> table_{};
+};
+
+}  // namespace logmine
+
+#endif  // LOGMINE_UTIL_WILDCARD_H_

@@ -61,11 +61,13 @@ TEST(AgrawalMinerTest, TestSlotNegativeOnIndependentStreams) {
 
 TEST(AgrawalMinerTest, TestSlotDegeneratesGracefully) {
   AgrawalDelayMiner miner(FastConfig());
-  EXPECT_FALSE(miner.TestSlot({}, {1, 2, 3}, 0, 1000, 0));
-  EXPECT_FALSE(miner.TestSlot({1, 2, 3}, {}, 0, 1000, 0));
-  EXPECT_FALSE(miner.TestSlot({5}, {6}, 0, 0, 0));
+  const std::vector<TimeMs> none, five{5}, six{6}, one{1};
+  const std::vector<TimeMs> triple{1, 2, 3}, sparse{2, 100000};
+  EXPECT_FALSE(miner.TestSlot(none, triple, 0, 1000, 0));
+  EXPECT_FALSE(miner.TestSlot(triple, none, 0, 1000, 0));
+  EXPECT_FALSE(miner.TestSlot(five, six, 0, 0, 0));
   // Too few delays within the window.
-  EXPECT_FALSE(miner.TestSlot({1}, {2, 100000}, 0, kMillisPerHour, 0));
+  EXPECT_FALSE(miner.TestSlot(one, sparse, 0, kMillisPerHour, 0));
 }
 
 TEST(AgrawalMinerTest, MineFindsDependentPair) {

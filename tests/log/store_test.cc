@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <utility>
+#include <vector>
+
 namespace logmine {
 namespace {
 
@@ -101,6 +105,34 @@ TEST(LogStoreTest, CountInRangeHalfOpen) {
   EXPECT_EQ(store.CountInRange(a, 0, 100), 4);
   EXPECT_EQ(store.CountInRange(a, 41, 100), 0);
   EXPECT_EQ(store.CountInRange(a, 20, 20), 0);
+}
+
+TEST(LogStoreTest, SourceTimestampsInRangeIsAZeroCopyViewOfTheIndex) {
+  LogStore store;
+  for (TimeMs t : {10, 20, 30, 40}) {
+    ASSERT_TRUE(store.Append(Rec(t, "A")).ok());
+  }
+  store.BuildIndex();
+  const auto a = store.FindSource("A").value();
+  const std::vector<TimeMs>& all = store.SourceTimestamps(a);
+  for (const auto& [begin, end] : std::vector<std::pair<TimeMs, TimeMs>>{
+           {10, 40}, {0, 100}, {41, 100}, {20, 20}, {15, 35}}) {
+    const std::span<const TimeMs> view =
+        store.SourceTimestampsInRange(a, begin, end);
+    // The view agrees with CountInRange and with a filtered copy...
+    EXPECT_EQ(static_cast<int64_t>(view.size()),
+              store.CountInRange(a, begin, end));
+    std::vector<TimeMs> expected;
+    for (TimeMs t : all) {
+      if (t >= begin && t < end) expected.push_back(t);
+    }
+    EXPECT_EQ(std::vector<TimeMs>(view.begin(), view.end()), expected);
+    // ...and aliases the sorted per-source index, copying nothing.
+    if (!view.empty()) {
+      EXPECT_GE(view.data(), all.data());
+      EXPECT_LE(view.data() + view.size(), all.data() + all.size());
+    }
+  }
 }
 
 TEST(LogStoreTest, MinMaxTs) {

@@ -30,7 +30,8 @@ TEST(NearestDistanceTest, SingleElement) {
 
 TEST(DistancesToNearestTest, PerPoint) {
   const std::vector<int64_t> ref = {0, 100};
-  const std::vector<double> d = DistancesToNearest({0, 10, 60, 100}, ref);
+  const std::vector<double> d =
+      DistancesToNearest(std::vector<int64_t>{0, 10, 60, 100}, ref);
   EXPECT_EQ(d, (std::vector<double>{0, 10, 40, 0}));
 }
 
@@ -109,12 +110,10 @@ TEST(MedianDistanceTestTest, RejectsIndependentProcess) {
 TEST(MedianDistanceTestTest, EmptySequencesAreNegative) {
   Rng rng(3);
   MedianDistanceTestConfig config;
-  EXPECT_FALSE(
-      MedianDistanceTest({}, {1, 2}, 0, 100, config, &rng).positive);
-  EXPECT_FALSE(
-      MedianDistanceTest({1, 2}, {}, 0, 100, config, &rng).positive);
-  EXPECT_FALSE(
-      MedianDistanceTest({1}, {2}, 100, 100, config, &rng).positive);
+  const std::vector<int64_t> none, one{1}, two{2}, pair{1, 2};
+  EXPECT_FALSE(MedianDistanceTest(none, pair, 0, 100, config, &rng).positive);
+  EXPECT_FALSE(MedianDistanceTest(pair, none, 0, 100, config, &rng).positive);
+  EXPECT_FALSE(MedianDistanceTest(one, two, 100, 100, config, &rng).positive);
 }
 
 TEST(MedianDistanceTestTest, TinySamplesCannotReachLevel) {
@@ -180,11 +179,12 @@ TEST(MedianDistanceTestWithBaselineTest, DetectsAgainstIntensityBaseline) {
 TEST(MedianDistanceTestWithBaselineTest, EmptyInputsNegative) {
   Rng rng(3);
   MedianDistanceTestConfig config;
-  EXPECT_FALSE(MedianDistanceTestWithBaseline({}, {1}, {1}, 0, config, &rng)
+  const std::vector<int64_t> none, one{1}, two{2};
+  EXPECT_FALSE(MedianDistanceTestWithBaseline(none, one, one, 0, config, &rng)
                    .positive);
-  EXPECT_FALSE(MedianDistanceTestWithBaseline({1}, {}, {1}, 0, config, &rng)
+  EXPECT_FALSE(MedianDistanceTestWithBaseline(one, none, one, 0, config, &rng)
                    .positive);
-  EXPECT_FALSE(MedianDistanceTestWithBaseline({1}, {2}, {}, 0, config, &rng)
+  EXPECT_FALSE(MedianDistanceTestWithBaseline(one, two, none, 0, config, &rng)
                    .positive);
 }
 

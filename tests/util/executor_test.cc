@@ -1,0 +1,145 @@
+#include "util/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace logmine {
+namespace {
+
+TEST(ExecutorTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  Executor executor(3);
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> visits(kCount);
+  executor.ParallelFor(kCount, [&](size_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << i;
+  }
+}
+
+TEST(ExecutorTest, PerIndexOutputsMergeInIndexOrder) {
+  // The determinism contract: workers race, but each index writes its
+  // own slot, so the merged sequence is the identity regardless of
+  // scheduling.
+  Executor executor(4);
+  std::vector<size_t> out(500, SIZE_MAX);
+  executor.ParallelFor(out.size(), [&](size_t i) { out[i] = i; });
+  for (size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], i);
+  }
+}
+
+TEST(ExecutorTest, MaxParallelismOneRunsOnTheCallingThread) {
+  Executor executor(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(64);
+  executor.ParallelFor(
+      ran.size(), [&](size_t i) { ran[i] = std::this_thread::get_id(); },
+      /*max_parallelism=*/1);
+  for (const std::thread::id& id : ran) {
+    EXPECT_EQ(id, caller);
+  }
+}
+
+TEST(ExecutorTest, ExceptionPropagatesAndLoopStillDrains) {
+  Executor executor(2);
+  std::atomic<size_t> completed{0};
+  EXPECT_THROW(
+      executor.ParallelFor(100,
+                           [&](size_t i) {
+                             if (i == 17) throw std::runtime_error("boom");
+                             completed.fetch_add(1);
+                           }),
+      std::runtime_error);
+  // Every non-throwing index still ran: no index is abandoned mid-loop.
+  EXPECT_EQ(completed.load(), 99u);
+}
+
+TEST(ExecutorTest, ReusableAcrossManyCalls) {
+  Executor executor(2);
+  int64_t total = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<int64_t> parts(16, 0);
+    executor.ParallelFor(parts.size(), [&](size_t i) {
+      parts[i] = static_cast<int64_t>(i) + round;
+    });
+    total += std::accumulate(parts.begin(), parts.end(), int64_t{0});
+  }
+  // sum over rounds of (sum i) + 16 * round
+  int64_t expected = 0;
+  for (int round = 0; round < 200; ++round) expected += 120 + 16 * round;
+  EXPECT_EQ(total, expected);
+}
+
+TEST(ExecutorTest, NestedParallelForDoesNotDeadlock) {
+  Executor executor(1);  // worst case: a single worker
+  std::atomic<int64_t> sum{0};
+  executor.ParallelFor(4, [&](size_t outer) {
+    executor.ParallelFor(50, [&](size_t inner) {
+      sum.fetch_add(static_cast<int64_t>(outer * 1000 + inner));
+    });
+  });
+  int64_t expected = 0;
+  for (size_t outer = 0; outer < 4; ++outer) {
+    for (size_t inner = 0; inner < 50; ++inner) {
+      expected += static_cast<int64_t>(outer * 1000 + inner);
+    }
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ExecutorTest, ChunksPartitionTheRangeWithFixedBoundaries) {
+  Executor executor(3);
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  executor.ParallelForChunks(103, 10, [&](size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(begin, end);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_EQ(chunks.size(), 11u);
+  size_t expected_begin = 0;
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_LE(end - begin, 10u);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, 103u);
+}
+
+TEST(ExecutorTest, SubmitRunsTaskAndPropagatesException) {
+  Executor executor(2);
+  std::atomic<bool> ran{false};
+  auto ok = executor.Submit([&] { ran.store(true); });
+  ok.get();
+  EXPECT_TRUE(ran.load());
+  auto bad = executor.Submit([] { throw std::logic_error("bad task"); });
+  EXPECT_THROW(bad.get(), std::logic_error);
+}
+
+TEST(ExecutorTest, SharedPoolIsAProcessWideSingleton) {
+  Executor& a = Executor::Shared();
+  Executor& b = Executor::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_workers(), 1);
+}
+
+TEST(ExecutorTest, EmptyLoopReturnsImmediately) {
+  Executor executor(2);
+  bool touched = false;
+  executor.ParallelFor(0, [&](size_t) { touched = true; });
+  executor.ParallelForChunks(0, 8, [&](size_t, size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+}  // namespace
+}  // namespace logmine

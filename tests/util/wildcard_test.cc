@@ -1,0 +1,109 @@
+#include "util/wildcard.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace logmine {
+namespace {
+
+// The compiled matcher must agree with the reference backtracking
+// matcher on every input — it is a pure compilation of the same
+// semantics.
+void ExpectAgreement(const std::string& pattern, const std::string& text) {
+  const CompiledWildcard compiled(pattern);
+  EXPECT_EQ(compiled.Matches(text), WildcardMatch(pattern, text))
+      << "pattern=\"" << pattern << "\" text=\"" << text << "\"";
+}
+
+TEST(CompiledWildcardTest, AnchorsAndInfixes) {
+  ExpectAgreement("Received call *", "Received call foo");
+  ExpectAgreement("Received call *", "Received call ");
+  ExpectAgreement("Received call *", "received call foo");
+  ExpectAgreement("*keepalive*", "sent keepalive ping");
+  ExpectAgreement("*keepalive*", "keepalive");
+  ExpectAgreement("*keepalive*", "keep alive");
+  ExpectAgreement("serve *<-*", "serve request <- worker 3");
+  ExpectAgreement("serve *<-*", "serve request -> worker 3");
+  ExpectAgreement("ACK *", "ACK 123");
+  ExpectAgreement("ACK *", "NACK 123");
+}
+
+TEST(CompiledWildcardTest, EdgeCases) {
+  ExpectAgreement("", "");
+  ExpectAgreement("", "x");
+  ExpectAgreement("*", "");
+  ExpectAgreement("*", "anything");
+  ExpectAgreement("**", "anything");
+  ExpectAgreement("?", "");
+  ExpectAgreement("?", "a");
+  ExpectAgreement("?", "ab");
+  ExpectAgreement("a?c", "abc");
+  ExpectAgreement("a?c", "ac");
+  ExpectAgreement("a?c", "axxc");
+  ExpectAgreement("abc", "abc");
+  ExpectAgreement("abc", "abcd");
+  ExpectAgreement("abc", "ab");
+}
+
+TEST(CompiledWildcardTest, OverlapTraps) {
+  // Head/middle/tail segments must not overlap each other in the text.
+  ExpectAgreement("aa*aa", "aaa");
+  ExpectAgreement("aa*aa", "aaaa");
+  ExpectAgreement("aa*aa", "aaaaa");
+  ExpectAgreement("ab*ab", "abab");
+  ExpectAgreement("ab*ab", "abcab");
+  ExpectAgreement("ab*ab", "abc");
+  ExpectAgreement("*aba*aba*", "abaaba");
+  ExpectAgreement("*aba*aba*", "abaxaba");
+  ExpectAgreement("*aba*aba*", "ababa");  // middles may not overlap
+  ExpectAgreement("a*a?a", "aaa");
+  ExpectAgreement("a*a?a", "aaaa");
+  ExpectAgreement("a*b*c", "abc");
+  ExpectAgreement("a*b*c", "acb");
+}
+
+TEST(CompiledWildcardTest, FuzzAgainstReferenceMatcher) {
+  // Random patterns over {a, b, *, ?} against random texts over {a, b}:
+  // small alphabets maximize collisions, stars and overlaps.
+  Rng rng(20051206);
+  const char pattern_alphabet[] = {'a', 'b', '*', '?'};
+  const char text_alphabet[] = {'a', 'b'};
+  for (int round = 0; round < 20000; ++round) {
+    std::string pattern;
+    const int64_t pattern_len = rng.UniformInt(0, 8);
+    for (int64_t i = 0; i < pattern_len; ++i) {
+      pattern += pattern_alphabet[rng.UniformInt(0, 3)];
+    }
+    std::string text;
+    const int64_t text_len = rng.UniformInt(0, 10);
+    for (int64_t i = 0; i < text_len; ++i) {
+      text += text_alphabet[rng.UniformInt(0, 1)];
+    }
+    const CompiledWildcard compiled(pattern);
+    ASSERT_EQ(compiled.Matches(text), WildcardMatch(pattern, text))
+        << "pattern=\"" << pattern << "\" text=\"" << text << "\"";
+  }
+}
+
+TEST(WildcardSetTest, MatchesAnyMirrorsTheStopPatternLoop) {
+  const std::vector<std::string> patterns = {
+      "Received call *",
+      "*incoming request*",
+      "ACK *",
+  };
+  const WildcardSet set(patterns);
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.MatchesAny("Received call transfer"));
+  EXPECT_TRUE(set.MatchesAny("queued incoming request #4"));
+  EXPECT_TRUE(set.MatchesAny("ACK 99"));
+  EXPECT_FALSE(set.MatchesAny("calling BillingService"));
+  EXPECT_FALSE(set.MatchesAny(""));
+}
+
+}  // namespace
+}  // namespace logmine
