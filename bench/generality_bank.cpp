@@ -63,6 +63,10 @@ int main(int argc, char** argv) {
     std::cerr << result.status() << "\n";
     return 1;
   }
+  if (!result.value().all_ok()) {
+    std::cerr << result.value().first_error() << "\n";
+    return 1;
+  }
 
   std::cout << "Generality: the HUG-calibrated miners on the e-banking "
                "preset ("

@@ -248,7 +248,9 @@ int main(int argc, char** argv) {
           MeasureMs(reps,
                     [&] {
                       auto result = pipeline.Run(dataset.store, begin, end);
-                      if (!result.ok()) std::abort();
+                      if (!result.ok() || !result.value().all_ok()) {
+                        std::abort();
+                      }
                     }),
           logs);
     }

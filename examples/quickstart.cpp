@@ -56,6 +56,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   const core::PipelineResult& result = result_or.value();
+  if (!result.all_ok()) {  // fail-safe runs report per-miner statuses
+    std::cerr << result.first_error() << "\n";
+    return 1;
+  }
 
   // 3. Evaluate each technique against its reference model.
   const core::DependencyModel l1 =

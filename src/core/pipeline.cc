@@ -1,29 +1,50 @@
 #include "core/pipeline.h"
 
+#include <chrono>
+#include <exception>
 #include <functional>
 #include <vector>
 
 #include "util/executor.h"
 
 namespace logmine::core {
+namespace {
+
+// Runs one miner closure with full containment: a thrown exception
+// becomes an Internal status instead of escaping into the executor loop
+// and poisoning sibling miners.
+Status RunContained(const std::function<Status()>& task) {
+  try {
+    return task();
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("miner threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("miner threw a non-std exception");
+  }
+}
+
+}  // namespace
 
 MiningPipeline::MiningPipeline(ServiceVocabulary vocabulary,
                                PipelineConfig config)
     : vocabulary_(std::move(vocabulary)), config_(std::move(config)) {}
 
 Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
-                                           TimeMs end) const {
+                                           TimeMs end,
+                                           const CancelToken* cancel) const {
   if (!store.index_built()) {
     return Status::FailedPrecondition("LogStore index not built");
   }
   PipelineResult out;
 
-  // One closure per enabled technique. The store is read-only during
-  // mining and each miner is internally deterministic, so the miners
-  // can run concurrently on the shared executor; statuses are checked
-  // afterwards in the fixed L1, L2, L3, Agrawal order, which keeps the
-  // reported error identical to the serial path.
+  // One (closure, status slot) pair per enabled technique. The store is
+  // read-only during mining and each miner is internally deterministic,
+  // so the miners can run concurrently on the shared executor. Each
+  // status lands in its own slot, so one failing, throwing or skipped
+  // miner never discards a sibling's model: callers get partial results
+  // plus a per-miner Status.
   std::vector<std::function<Status()>> tasks;
+  std::vector<Status*> slots;
   if (config_.run_l1) {
     tasks.push_back([&]() -> Status {
       L1ActivityMiner miner(config_.l1);
@@ -32,6 +53,7 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
       out.l1 = std::move(result).value();
       return Status::OK();
     });
+    slots.push_back(&out.l1_status);
   }
   if (config_.run_l2) {
     tasks.push_back([&]() -> Status {
@@ -41,6 +63,7 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
       out.l2 = std::move(result).value();
       return Status::OK();
     });
+    slots.push_back(&out.l2_status);
   }
   if (config_.run_l3) {
     tasks.push_back([&]() -> Status {
@@ -50,6 +73,7 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
       out.l3 = std::move(result).value();
       return Status::OK();
     });
+    slots.push_back(&out.l3_status);
   }
   if (config_.run_agrawal) {
     tasks.push_back([&]() -> Status {
@@ -59,16 +83,32 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
       out.agrawal = std::move(result).value();
       return Status::OK();
     });
+    slots.push_back(&out.agrawal_status);
   }
 
-  std::vector<Status> statuses(tasks.size(), Status::OK());
-  const int parallelism = config_.concurrent_miners ? 0 : 1;
+  // Cooperative stop: a miner that has not started when the token fires
+  // or the budget expires is skipped (its status says so); a miner that
+  // already started runs to completion.
+  const bool has_deadline = config_.deadline_ms != 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.deadline_ms);
+  RunOptions options;
+  options.max_parallelism = config_.concurrent_miners ? 0 : 1;
   Executor::Shared().ParallelFor(
-      tasks.size(), [&](size_t i) { statuses[i] = tasks[i](); },
-      parallelism);
-  for (const Status& status : statuses) {
-    if (!status.ok()) return status;
-  }
+      tasks.size(),
+      [&](size_t i) {
+        if (cancel != nullptr && cancel->cancelled()) {
+          *slots[i] = Status::Cancelled("miner skipped: run cancelled");
+          return;
+        }
+        if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+          *slots[i] =
+              Status::DeadlineExceeded("miner skipped: run deadline expired");
+          return;
+        }
+        *slots[i] = RunContained(tasks[i]);
+      },
+      options);
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include "core/l2_cooccurrence_miner.h"
 #include "core/l3_text_miner.h"
 #include "log/store.h"
+#include "util/executor.h"
 #include "util/result.h"
 
 namespace logmine::core {
@@ -23,33 +24,72 @@ struct PipelineConfig {
   /// (they only read the store, and each is deterministic regardless of
   /// scheduling). Set false to run them strictly in sequence.
   bool concurrent_miners = true;
+  /// Wall-clock budget for the whole run in milliseconds; 0 = none, and
+  /// a negative budget has already expired when the run starts.
+  /// Cooperative: miners that have not *started* when the budget expires
+  /// are skipped with DeadlineExceeded status; a running miner finishes.
+  int64_t deadline_ms = 0;
   L1Config l1;
   L2Config l2;
   L3Config l3;
   AgrawalConfig agrawal;
 };
 
-/// Combined output of one pipeline run.
+/// Combined output of one pipeline run. Each enabled miner contributes a
+/// (result, status) pair: exactly one of "result present, status OK" or
+/// "result absent, status explains why" holds. Disabled miners have an
+/// absent result and an OK status.
 struct PipelineResult {
   std::optional<L1Result> l1;
   std::optional<L2Result> l2;
   std::optional<L3Result> l3;
   std::optional<AgrawalResult> agrawal;
+
+  Status l1_status;
+  Status l2_status;
+  Status l3_status;
+  Status agrawal_status;
+
+  /// True when every enabled miner produced a result.
+  bool all_ok() const {
+    return l1_status.ok() && l2_status.ok() && l3_status.ok() &&
+           agrawal_status.ok();
+  }
+
+  /// First non-OK miner status in L1, L2, L3, Agrawal order (matching
+  /// the historical fail-fast error), or OK when all succeeded.
+  Status first_error() const {
+    if (!l1_status.ok()) return l1_status;
+    if (!l2_status.ok()) return l2_status;
+    if (!l3_status.ok()) return l3_status;
+    return agrawal_status;
+  }
 };
 
 /// Façade running any subset of the three techniques over one interval —
 /// the one-call public entry point used by the examples.
 ///
+/// Fail-safe semantics: a miner that fails (or is skipped by
+/// cancellation / the run deadline) does not abort the run. `Run`
+/// returns a non-OK Result only for run-level preconditions (index not
+/// built); per-miner failures land in `PipelineResult::*_status` next to
+/// whatever sibling models did succeed, so one broken technique still
+/// yields a partial dependency model. A miner that throws is contained
+/// the same way (Internal status) and cannot poison its siblings.
+///
 /// Example:
 ///   MiningPipeline pipeline(vocabulary, PipelineConfig{});
 ///   auto result = pipeline.Run(store, store.min_ts(), store.max_ts() + 1);
+///   if (result.ok() && result.value().all_ok()) { ... }
 class MiningPipeline {
  public:
   MiningPipeline(ServiceVocabulary vocabulary, PipelineConfig config);
 
   /// Pre-condition: store.index_built().
-  Result<PipelineResult> Run(const LogStore& store, TimeMs begin,
-                             TimeMs end) const;
+  /// `cancel`, when non-null, cooperatively stops the run: miners that
+  /// have not started when it fires are skipped with Cancelled status.
+  Result<PipelineResult> Run(const LogStore& store, TimeMs begin, TimeMs end,
+                             const CancelToken* cancel = nullptr) const;
 
   const PipelineConfig& config() const { return config_; }
   const ServiceVocabulary& vocabulary() const { return vocabulary_; }

@@ -70,7 +70,60 @@ Result<Severity> ParseSeverity(std::string_view name) {
   return Status::ParseError("unknown severity: " + std::string(name));
 }
 
+void SetClass(IngestErrorClass* out, IngestErrorClass value) {
+  if (out != nullptr) *out = value;
+}
+
 }  // namespace
+
+std::string_view IngestErrorClassName(IngestErrorClass error_class) {
+  switch (error_class) {
+    case IngestErrorClass::kBadEscape:
+      return "BadEscape";
+    case IngestErrorClass::kFieldCount:
+      return "FieldCount";
+    case IngestErrorClass::kBadTimestamp:
+      return "BadTimestamp";
+    case IngestErrorClass::kBadSeverity:
+      return "BadSeverity";
+    case IngestErrorClass::kEmptySource:
+      return "EmptySource";
+  }
+  return "Unknown";
+}
+
+double IngestStats::bad_fraction() const {
+  if (lines_total == 0) return 0.0;
+  return static_cast<double>(lines_quarantined) /
+         static_cast<double>(lines_total);
+}
+
+std::string IngestStats::ToString() const {
+  std::string out = "ingest: " + std::to_string(records_decoded) +
+                    " decoded, " + std::to_string(lines_quarantined) +
+                    " quarantined of " + std::to_string(lines_total) +
+                    " lines";
+  if (lines_quarantined > 0) {
+    out += " (";
+    bool first = true;
+    for (size_t c = 0; c < kNumIngestErrorClasses; ++c) {
+      if (by_class[c] == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += std::string(
+                 IngestErrorClassName(static_cast<IngestErrorClass>(c))) +
+             "=" + std::to_string(by_class[c]);
+    }
+    out += ")";
+  }
+  for (const QuarantinedLine& sample : samples) {
+    out += "\n  line " + std::to_string(sample.line_number) + " (byte " +
+           std::to_string(sample.byte_offset) + ") [" +
+           std::string(IngestErrorClassName(sample.error_class)) +
+           "]: " + sample.error;
+  }
+  return out;
+}
 
 std::string LineCodec::Encode(const LogRecord& record) {
   std::string out;
@@ -92,28 +145,47 @@ std::string LineCodec::Encode(const LogRecord& record) {
 }
 
 Result<LogRecord> LineCodec::Decode(std::string_view line) {
+  return Decode(line, nullptr);
+}
+
+Result<LogRecord> LineCodec::Decode(std::string_view line,
+                                    IngestErrorClass* error_class) {
   auto fields_or = SplitEscaped(line);
-  if (!fields_or.ok()) return fields_or.status();
+  if (!fields_or.ok()) {
+    SetClass(error_class, IngestErrorClass::kBadEscape);
+    return fields_or.status();
+  }
   const std::vector<std::string>& fields = fields_or.value();
   if (fields.size() != 7) {
+    SetClass(error_class, IngestErrorClass::kFieldCount);
     return Status::ParseError("expected 7 fields, got " +
                               std::to_string(fields.size()));
   }
   LogRecord record;
   auto client = ParseTime(fields[0]);
-  if (!client.ok()) return client.status();
+  if (!client.ok()) {
+    SetClass(error_class, IngestErrorClass::kBadTimestamp);
+    return client.status();
+  }
   record.client_ts = client.value();
   auto server = ParseTime(fields[1]);
-  if (!server.ok()) return server.status();
+  if (!server.ok()) {
+    SetClass(error_class, IngestErrorClass::kBadTimestamp);
+    return server.status();
+  }
   record.server_ts = server.value();
   auto severity = ParseSeverity(fields[2]);
-  if (!severity.ok()) return severity.status();
+  if (!severity.ok()) {
+    SetClass(error_class, IngestErrorClass::kBadSeverity);
+    return severity.status();
+  }
   record.severity = severity.value();
   record.source = fields[3];
   record.host = fields[4];
   record.user = fields[5];
   record.message = fields[6];
   if (record.source.empty()) {
+    SetClass(error_class, IngestErrorClass::kEmptySource);
     return Status::ParseError("empty source field");
   }
   return record;
@@ -129,7 +201,15 @@ std::string LineCodec::EncodeAll(const std::vector<LogRecord>& records) {
 }
 
 Result<std::vector<LogRecord>> LineCodec::DecodeAll(std::string_view text) {
+  return DecodeAll(text, DecodeOptions{}, nullptr);
+}
+
+Result<std::vector<LogRecord>> LineCodec::DecodeAll(
+    std::string_view text, const DecodeOptions& options, IngestStats* stats) {
   std::vector<LogRecord> out;
+  IngestStats local;
+  IngestStats* tally = stats != nullptr ? stats : &local;
+  *tally = IngestStats{};
   size_t line_no = 0;
   size_t start = 0;
   while (start <= text.size()) {
@@ -138,15 +218,37 @@ Result<std::vector<LogRecord>> LineCodec::DecodeAll(std::string_view text) {
     std::string_view line = text.substr(start, end - start);
     ++line_no;
     if (!Trim(line).empty()) {
-      auto record = Decode(line);
-      if (!record.ok()) {
-        return Status::ParseError("line " + std::to_string(line_no) + ": " +
-                                  record.status().message());
+      ++tally->lines_total;
+      IngestErrorClass error_class = IngestErrorClass::kFieldCount;
+      auto record = Decode(line, &error_class);
+      if (record.ok()) {
+        ++tally->records_decoded;
+        out.push_back(std::move(record).value());
+      } else {
+        ++tally->lines_quarantined;
+        ++tally->by_class[static_cast<size_t>(error_class)];
+        if (tally->samples.size() < options.max_samples) {
+          tally->samples.push_back({line_no, start, error_class,
+                                    record.status().message(),
+                                    std::string(line)});
+        }
+        if (options.policy == DecodePolicy::kFailFast) {
+          return Status::ParseError("line " + std::to_string(line_no) +
+                                    " (byte " + std::to_string(start) +
+                                    "): " + record.status().message());
+        }
       }
-      out.push_back(std::move(record).value());
     }
     if (end == text.size()) break;
     start = end + 1;
+  }
+  if (tally->bad_fraction() > options.max_bad_fraction &&
+      tally->lines_quarantined > 0) {
+    return Status::ParseError(
+        "quarantined " + std::to_string(tally->lines_quarantined) + " of " +
+        std::to_string(tally->lines_total) +
+        " lines; bad fraction exceeds budget " +
+        std::to_string(options.max_bad_fraction));
   }
   return out;
 }

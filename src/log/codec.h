@@ -1,6 +1,8 @@
 #ifndef LOGMINE_LOG_CODEC_H_
 #define LOGMINE_LOG_CODEC_H_
 
+#include <array>
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -9,6 +11,68 @@
 #include "util/result.h"
 
 namespace logmine {
+
+/// What DecodeAll does when it meets a malformed line.
+enum class DecodePolicy {
+  /// Abort the whole decode on the first malformed line (the historical
+  /// behaviour; the default).
+  kFailFast,
+  /// Skip malformed lines, recording each in `IngestStats`, and fail only
+  /// when the bad-line fraction exceeds `DecodeOptions::max_bad_fraction`.
+  kQuarantine,
+};
+
+/// Machine-readable class of a single-line decode failure, used to
+/// aggregate `IngestStats` per error kind.
+enum class IngestErrorClass {
+  kBadEscape = 0,   ///< dangling or unknown backslash escape
+  kFieldCount,      ///< not exactly 7 unescaped-pipe-separated fields
+  kBadTimestamp,    ///< client or server timestamp failed to parse
+  kBadSeverity,     ///< severity name outside DEBUG/INFO/WARN/ERROR
+  kEmptySource,     ///< structurally valid line with an empty source field
+};
+inline constexpr size_t kNumIngestErrorClasses = 5;
+
+/// Stable human-readable name for an error class (e.g. "BadEscape").
+std::string_view IngestErrorClassName(IngestErrorClass error_class);
+
+/// Knobs of a lenient (or strict) corpus decode.
+struct DecodeOptions {
+  DecodePolicy policy = DecodePolicy::kFailFast;
+  /// Quarantine mode only: maximum tolerated ratio of malformed to total
+  /// non-blank lines. Exceeding it fails the decode (the corpus is too
+  /// dirty to trust), but `IngestStats` is still fully populated.
+  double max_bad_fraction = 0.0;
+  /// How many offending lines to keep verbatim in `IngestStats::samples`.
+  size_t max_samples = 10;
+};
+
+/// One quarantined line, kept for the first-K sample in `IngestStats`.
+struct QuarantinedLine {
+  size_t line_number = 0;  ///< 1-based
+  size_t byte_offset = 0;  ///< offset of the line start in the input
+  IngestErrorClass error_class = IngestErrorClass::kFieldCount;
+  std::string error;  ///< the per-line decode error message
+  std::string text;   ///< the offending line, verbatim
+};
+
+/// Report of one corpus decode: how many lines were seen, decoded and
+/// quarantined, broken down by error class, plus a first-K sample of the
+/// offending lines. Populated by `LineCodec::DecodeAll` (and by
+/// `ReadCorpusFile`) under either policy.
+struct IngestStats {
+  size_t lines_total = 0;        ///< non-blank lines seen
+  size_t records_decoded = 0;    ///< lines that produced a record
+  size_t lines_quarantined = 0;  ///< malformed lines skipped
+  std::array<size_t, kNumIngestErrorClasses> by_class{};
+  std::vector<QuarantinedLine> samples;  ///< first-K offenders
+
+  /// lines_quarantined / lines_total; 0 on an empty input.
+  double bad_fraction() const;
+
+  /// Multi-line human-readable report (counts per class + samples).
+  std::string ToString() const;
+};
 
 /// Serializes log records to/from the pipe-separated line format used for
 /// on-disk corpora and the example binaries:
@@ -24,12 +88,27 @@ class LineCodec {
   static std::string Encode(const LogRecord& record);
   static Result<LogRecord> Decode(std::string_view line);
 
+  /// As `Decode`, but on failure also reports which error class the line
+  /// falls into (when `error_class` is non-null).
+  static Result<LogRecord> Decode(std::string_view line,
+                                  IngestErrorClass* error_class);
+
   /// Encodes many records, one line each, with trailing newline per line.
   static std::string EncodeAll(const std::vector<LogRecord>& records);
 
   /// Decodes a whole text buffer; empty lines are skipped. Fails on the
-  /// first malformed line, reporting its 1-based line number.
+  /// first malformed line, reporting its 1-based line number and byte
+  /// offset (fail-fast policy).
   static Result<std::vector<LogRecord>> DecodeAll(std::string_view text);
+
+  /// Policy-driven variant. Under kFailFast it behaves exactly like the
+  /// overload above; under kQuarantine malformed lines are skipped and
+  /// tallied, and the decode fails only when the bad-line fraction
+  /// exceeds `options.max_bad_fraction`. `stats`, when non-null, is
+  /// populated under both policies (under kFailFast up to the failure).
+  static Result<std::vector<LogRecord>> DecodeAll(std::string_view text,
+                                                  const DecodeOptions& options,
+                                                  IngestStats* stats);
 };
 
 }  // namespace logmine

@@ -1,5 +1,7 @@
 #include "log/corpus_io.h"
 
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -8,31 +10,53 @@
 namespace logmine {
 
 Status WriteCorpusFile(const LogStore& store, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    return Status::InvalidArgument("cannot open for writing: " + path);
+  // Write to a sibling temp file and rename into place: rename within a
+  // directory is atomic, so readers never observe a truncated corpus.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) {
+      return Status::InvalidArgument("cannot open for writing: " + tmp_path);
+    }
+    auto write_record = [&out](const LogRecord& record) {
+      out << LineCodec::Encode(record) << '\n';
+    };
+    if (store.index_built()) {
+      for (uint32_t idx : store.TimeOrder()) write_record(store.GetRecord(idx));
+    } else {
+      for (size_t i = 0; i < store.size(); ++i)
+        write_record(store.GetRecord(i));
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp_path.c_str());
+      return Status::Internal("write failed: " + tmp_path);
+    }
   }
-  auto write_record = [&out](const LogRecord& record) {
-    out << LineCodec::Encode(record) << '\n';
-  };
-  if (store.index_built()) {
-    for (uint32_t idx : store.TimeOrder()) write_record(store.GetRecord(idx));
-  } else {
-    for (size_t i = 0; i < store.size(); ++i) write_record(store.GetRecord(i));
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("rename to " + path + " failed: " + ec.message());
   }
-  out.flush();
-  if (!out) return Status::Internal("write failed: " + path);
   return Status::OK();
 }
 
 Result<LogStore> ReadCorpusFile(const std::string& path) {
+  return ReadCorpusFile(path, DecodeOptions{}, nullptr);
+}
+
+Result<LogStore> ReadCorpusFile(const std::string& path,
+                                const DecodeOptions& options,
+                                IngestStats* stats) {
   std::ifstream in(path);
   if (!in) {
     return Status::NotFound("cannot open for reading: " + path);
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  auto records = LineCodec::DecodeAll(buffer.str());
+  auto records = LineCodec::DecodeAll(buffer.str(), options, stats);
   if (!records.ok()) return records.status();
   LogStore store;
   for (const LogRecord& record : records.value()) {

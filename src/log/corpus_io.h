@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "log/codec.h"
 #include "log/store.h"
 #include "util/result.h"
 
@@ -11,11 +12,24 @@ namespace logmine {
 /// Writes all records of `store` to `path` in the line format
 /// (LineCodec), one record per line, in time order when the index is
 /// built (insertion order otherwise).
+///
+/// Crash-safe: the data is written to a temporary file in the same
+/// directory and renamed into place, so an interrupted run leaves either
+/// the previous corpus or the complete new one — never a truncated file
+/// that a later lenient read would silently half-load.
 Status WriteCorpusFile(const LogStore& store, const std::string& path);
 
 /// Reads a corpus written by `WriteCorpusFile` (or any line-format file)
-/// into a fresh store with its index built.
+/// into a fresh store with its index built. Fail-fast: the first
+/// malformed line aborts the read.
 Result<LogStore> ReadCorpusFile(const std::string& path);
+
+/// Policy-driven variant: under `DecodePolicy::kQuarantine` malformed
+/// lines are skipped (within `options.max_bad_fraction`) and tallied into
+/// `stats` (optional) instead of aborting the read.
+Result<LogStore> ReadCorpusFile(const std::string& path,
+                                const DecodeOptions& options,
+                                IngestStats* stats = nullptr);
 
 }  // namespace logmine
 

@@ -1,0 +1,232 @@
+#include "simulation/corruptor.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace logmine::sim {
+namespace {
+
+std::vector<std::string> SplitLines(std::string_view text) {
+  std::vector<std::string> segments;
+  size_t start = 0;
+  for (;;) {
+    const size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) {
+      segments.emplace_back(text.substr(start));
+      return segments;
+    }
+    segments.emplace_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+bool IsBlank(std::string_view line) { return Trim(line).empty(); }
+
+// Most recent index j < i whose current content is non-blank, or -1.
+int64_t PreviousNonBlank(const std::vector<std::string>& lines, size_t i) {
+  for (int64_t j = static_cast<int64_t>(i) - 1; j >= 0; --j) {
+    if (!IsBlank(lines[static_cast<size_t>(j)])) return j;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string_view CorruptionKindName(CorruptionKind kind) {
+  switch (kind) {
+    case CorruptionKind::kTruncate:
+      return "Truncate";
+    case CorruptionKind::kMangleEscape:
+      return "MangleEscape";
+    case CorruptionKind::kGarbageBytes:
+      return "GarbageBytes";
+    case CorruptionKind::kReorder:
+      return "Reorder";
+    case CorruptionKind::kDuplicate:
+      return "Duplicate";
+    case CorruptionKind::kClockJump:
+      return "ClockJump";
+    case CorruptionKind::kBlankContext:
+      return "BlankContext";
+  }
+  return "Unknown";
+}
+
+std::string CorruptionReport::ToString() const {
+  std::string out = "corruptor: hit " + std::to_string(lines_corrupted) +
+                    " of " + std::to_string(lines_total) + " lines";
+  if (lines_corrupted > 0) {
+    out += " (";
+    bool first = true;
+    for (size_t k = 0; k < kNumCorruptionKinds; ++k) {
+      if (by_kind[k] == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += std::string(CorruptionKindName(static_cast<CorruptionKind>(k))) +
+             "=" + std::to_string(by_kind[k]);
+    }
+    out += ")";
+  }
+  out += "\n  expected ingest: " + std::to_string(expected_records) +
+         " records, " + std::to_string(expected_quarantined) + " quarantined";
+  for (size_t c = 0; c < kNumIngestErrorClasses; ++c) {
+    if (expected_by_class[c] == 0) continue;
+    out += "\n    " +
+           std::string(IngestErrorClassName(static_cast<IngestErrorClass>(c))) +
+           "=" + std::to_string(expected_by_class[c]);
+  }
+  return out;
+}
+
+std::string CorruptCorpusText(std::string_view clean_text,
+                              const CorruptorConfig& config, Rng* rng,
+                              CorruptionReport* report) {
+  std::vector<std::string> lines = SplitLines(clean_text);
+  std::vector<int> extra_copies(lines.size(), 0);
+  CorruptionReport local;
+  CorruptionReport* tally = report != nullptr ? report : &local;
+  *tally = CorruptionReport{};
+
+  const std::vector<double> weights = {
+      config.truncate_weight,     config.mangle_escape_weight,
+      config.garbage_weight,      config.reorder_weight,
+      config.duplicate_weight,    config.clock_jump_weight,
+      config.blank_context_weight};
+  double weight_sum = 0;
+  for (double w : weights) weight_sum += w;
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (IsBlank(lines[i])) continue;
+    ++tally->lines_total;
+    if (config.rate <= 0.0 || weight_sum <= 0.0) continue;
+    if (!rng->Bernoulli(config.rate)) continue;
+    // Refuse to double-corrupt: a line that is already malformed in the
+    // input is left alone, so every injected fault is attributable.
+    auto clean = LineCodec::Decode(lines[i]);
+    if (!clean.ok()) continue;
+
+    const auto kind = static_cast<CorruptionKind>(rng->WeightedIndex(weights));
+    std::string& line = lines[i];
+    bool applied = true;
+    switch (kind) {
+      case CorruptionKind::kTruncate: {
+        const auto new_len = static_cast<size_t>(
+            rng->UniformInt(0, static_cast<int64_t>(line.size()) - 1));
+        line.resize(new_len);
+        break;
+      }
+      case CorruptionKind::kMangleEscape: {
+        if (rng->Bernoulli(0.5)) {
+          line += '\\';  // dangling escape at end of line
+        } else {
+          const auto pos = static_cast<size_t>(
+              rng->UniformInt(0, static_cast<int64_t>(line.size())));
+          line.insert(pos, "\\q");  // unknown escape
+        }
+        break;
+      }
+      case CorruptionKind::kGarbageBytes: {
+        const auto pos = static_cast<size_t>(
+            rng->UniformInt(0, static_cast<int64_t>(line.size()) - 1));
+        const auto span =
+            static_cast<size_t>(rng->UniformInt(1, 12));
+        for (size_t p = pos; p < std::min(pos + span, line.size()); ++p) {
+          char c;
+          do {
+            c = static_cast<char>(rng->UniformInt(1, 255));
+          } while (c == '\n');
+          line[p] = c;
+        }
+        break;
+      }
+      case CorruptionKind::kReorder: {
+        const int64_t j = PreviousNonBlank(lines, i);
+        if (j < 0) {
+          applied = false;  // nothing earlier to swap with
+          break;
+        }
+        std::swap(lines[static_cast<size_t>(j)], line);
+        break;
+      }
+      case CorruptionKind::kDuplicate: {
+        ++extra_copies[i];
+        break;
+      }
+      case CorruptionKind::kClockJump: {
+        LogRecord record = std::move(clean).value();
+        const TimeMs magnitude =
+            rng->UniformInt(1, std::max<TimeMs>(config.max_clock_jump_ms, 1));
+        const TimeMs jump = rng->Bernoulli(0.5) ? magnitude : -magnitude;
+        record.client_ts += jump;
+        record.server_ts += jump;
+        line = LineCodec::Encode(record);
+        break;
+      }
+      case CorruptionKind::kBlankContext: {
+        LogRecord record = std::move(clean).value();
+        record.host.clear();
+        record.user.clear();
+        line = LineCodec::Encode(record);
+        break;
+      }
+    }
+    if (applied) {
+      ++tally->lines_corrupted;
+      ++tally->by_kind[static_cast<size_t>(kind)];
+    }
+  }
+
+  // Reassemble (duplicates emitted right after their original) and
+  // recompute the exact ingest outcome by re-decoding every output line:
+  // the report's expectations are guaranteed to match what a
+  // quarantine-mode DecodeAll will tally.
+  std::string out;
+  out.reserve(clean_text.size() + 64);
+  bool first_segment = true;
+  auto emit = [&](const std::string& segment) {
+    if (!first_segment) out += '\n';
+    first_segment = false;
+    out += segment;
+    if (IsBlank(segment)) return;
+    IngestErrorClass error_class = IngestErrorClass::kFieldCount;
+    if (LineCodec::Decode(segment, &error_class).ok()) {
+      ++tally->expected_records;
+    } else {
+      ++tally->expected_quarantined;
+      ++tally->expected_by_class[static_cast<size_t>(error_class)];
+    }
+  };
+  for (size_t i = 0; i < lines.size(); ++i) {
+    emit(lines[i]);
+    for (int c = 0; c < extra_copies[i]; ++c) emit(lines[i]);
+  }
+  return out;
+}
+
+Status CorruptCorpusFile(const std::string& input_path,
+                         const std::string& output_path,
+                         const CorruptorConfig& config, Rng* rng,
+                         CorruptionReport* report) {
+  std::ifstream in(input_path);
+  if (!in) {
+    return Status::NotFound("cannot open for reading: " + input_path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string corrupted =
+      CorruptCorpusText(buffer.str(), config, rng, report);
+  std::ofstream out(output_path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + output_path);
+  }
+  out << corrupted;
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + output_path);
+  return Status::OK();
+}
+
+}  // namespace logmine::sim

@@ -1,0 +1,89 @@
+#ifndef LOGMINE_SIMULATION_CORRUPTOR_H_
+#define LOGMINE_SIMULATION_CORRUPTOR_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "log/codec.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/time_util.h"
+
+namespace logmine::sim {
+
+/// The catalog of *corpus-level* faults the corruptor can inject into a
+/// clean line-format corpus — the transport/storage analogue of the
+/// logging defects in `defects.h` (which corrupt the topology, not the
+/// bytes). Syntactic kinds break the line so lenient ingest must
+/// quarantine it; semantic kinds keep the line well-formed but wrong
+/// (the miners must absorb those).
+enum class CorruptionKind {
+  kTruncate = 0,   ///< line cut short mid-field (syntactic)
+  kMangleEscape,   ///< dangling or unknown backslash escape (syntactic)
+  kGarbageBytes,   ///< random bytes splatted over a span (syntactic)
+  kReorder,        ///< record swapped out of time order (semantic)
+  kDuplicate,      ///< record emitted twice (semantic)
+  kClockJump,      ///< client/server timestamps jumped by hours (semantic)
+  kBlankContext,   ///< user and host fields blanked (semantic)
+};
+inline constexpr size_t kNumCorruptionKinds = 7;
+
+/// Stable human-readable name for a corruption kind (e.g. "Truncate").
+std::string_view CorruptionKindName(CorruptionKind kind);
+
+/// Injection knobs. Kinds draw proportionally to their weight; a zero
+/// weight disables the kind.
+struct CorruptorConfig {
+  /// Probability that any given non-blank line is corrupted.
+  double rate = 0.01;
+  double truncate_weight = 1.0;
+  double mangle_escape_weight = 1.0;
+  double garbage_weight = 1.0;
+  double reorder_weight = 1.0;
+  double duplicate_weight = 1.0;
+  double clock_jump_weight = 1.0;
+  double blank_context_weight = 1.0;
+  /// Maximum magnitude of a clock jump (either direction).
+  TimeMs max_clock_jump_ms = 6 * kMillisPerHour;
+};
+
+/// What the corruptor did, plus the exact lenient-ingest outcome the
+/// corrupted text must produce. The expectations are computed by
+/// re-decoding every emitted line with `LineCodec`, so a quarantine-mode
+/// `DecodeAll` over the output is guaranteed to report identical counts —
+/// tests assert injected == reported per error class.
+struct CorruptionReport {
+  size_t lines_total = 0;      ///< non-blank input lines
+  size_t lines_corrupted = 0;  ///< input lines selected for corruption
+  std::array<size_t, kNumCorruptionKinds> by_kind{};
+
+  // Expected quarantine-mode ingest outcome on the corrupted text.
+  size_t expected_records = 0;      ///< lines that still decode
+  size_t expected_quarantined = 0;  ///< lines lenient ingest must skip
+  std::array<size_t, kNumIngestErrorClasses> expected_by_class{};
+
+  /// Multi-line human-readable summary.
+  std::string ToString() const;
+};
+
+/// Corrupts a clean line-format corpus deterministically: given the same
+/// text, config and Rng seed, the output is byte-identical. At rate 0
+/// the output equals the input byte for byte (blank lines and trailing
+/// newline structure are preserved in every case). Lines that fail to
+/// decode *before* corruption are never selected (the corruptor refuses
+/// to double-corrupt; feed it clean corpora). `report` is optional.
+std::string CorruptCorpusText(std::string_view clean_text,
+                              const CorruptorConfig& config, Rng* rng,
+                              CorruptionReport* report = nullptr);
+
+/// File-to-file convenience wrapper around `CorruptCorpusText`.
+Status CorruptCorpusFile(const std::string& input_path,
+                         const std::string& output_path,
+                         const CorruptorConfig& config, Rng* rng,
+                         CorruptionReport* report = nullptr);
+
+}  // namespace logmine::sim
+
+#endif  // LOGMINE_SIMULATION_CORRUPTOR_H_

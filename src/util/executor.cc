@@ -16,20 +16,42 @@ struct Executor::ForLoop {
   const std::function<void(size_t)>* fn = nullptr;
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
+  std::atomic<size_t> skipped{0};
+  // Cooperative stop controls (null/zero when unused).
+  const CancelToken* cancel = nullptr;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
   std::mutex mu;
   std::condition_variable all_done;
   std::exception_ptr error;  // first failure, guarded by mu
 
+  // True once the loop should stop claiming fresh indices. Checked
+  // between indices only — a running fn(i) is never preempted.
+  bool Stopped() const {
+    if (cancel != nullptr && cancel->cancelled()) return true;
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      return true;
+    }
+    return false;
+  }
+
   // Claims and runs indices until none remain. Returns when the claimed
-  // range is exhausted (other participants may still be running).
+  // range is exhausted (other participants may still be running). Once
+  // stopped, remaining indices are claimed and counted as skipped so the
+  // completion count still reaches `count` and waiters wake.
   void Drain() {
+    const bool stoppable = cancel != nullptr || has_deadline;
     for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < count;
          i = next.fetch_add(1, std::memory_order_relaxed)) {
-      try {
-        (*fn)(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (!error) error = std::current_exception();
+      if (stoppable && Stopped()) {
+        skipped.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        try {
+          (*fn)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!error) error = std::current_exception();
+        }
       }
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
         std::lock_guard<std::mutex> lock(mu);  // pairs with the wait
@@ -98,33 +120,57 @@ std::future<void> Executor::Submit(std::function<void()> fn) {
 void Executor::ParallelFor(size_t count,
                            const std::function<void(size_t)>& fn,
                            int max_parallelism) const {
-  if (count == 0) return;
-  int helpers = num_workers();
-  if (max_parallelism > 0) helpers = std::min(helpers, max_parallelism - 1);
-  helpers = std::min<int>(helpers, static_cast<int>(count) - 1);
-  if (helpers <= 0) {
-    for (size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
+  RunOptions options;
+  options.max_parallelism = max_parallelism;
+  ParallelFor(count, fn, options);  // cannot cancel: status is always OK
+}
+
+Status Executor::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn,
+                             const RunOptions& options) const {
+  if (count == 0) return Status::OK();
 
   auto loop = std::make_shared<ForLoop>();
   loop->count = count;
   loop->fn = &fn;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (int h = 0; h < helpers; ++h) {
-      queue_.emplace_back([loop] { loop->Drain(); });
-    }
+  loop->cancel = options.cancel;
+  if (options.deadline.count() > 0) {
+    loop->has_deadline = true;
+    loop->deadline = std::chrono::steady_clock::now() + options.deadline;
   }
-  cv_.notify_all();
-  loop->Drain();  // the caller always participates — no nesting deadlock
-  {
+
+  int helpers = num_workers();
+  if (options.max_parallelism > 0) {
+    helpers = std::min(helpers, options.max_parallelism - 1);
+  }
+  helpers = std::min<int>(helpers, static_cast<int>(count) - 1);
+  if (helpers <= 0) {
+    loop->Drain();  // serial on the caller, same stop/skip semantics
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (int h = 0; h < helpers; ++h) {
+        queue_.emplace_back([loop] { loop->Drain(); });
+      }
+    }
+    cv_.notify_all();
+    loop->Drain();  // the caller always participates — no nesting deadlock
     std::unique_lock<std::mutex> lock(loop->mu);
     loop->all_done.wait(lock, [&] {
       return loop->done.load(std::memory_order_acquire) == count;
     });
-    if (loop->error) std::rethrow_exception(loop->error);
   }
+  if (loop->error) std::rethrow_exception(loop->error);
+  const size_t skipped = loop->skipped.load(std::memory_order_relaxed);
+  if (skipped > 0) {
+    const std::string detail = "skipped " + std::to_string(skipped) + " of " +
+                               std::to_string(count) + " indices";
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      return Status::Cancelled("ParallelFor cancelled: " + detail);
+    }
+    return Status::DeadlineExceeded("ParallelFor deadline expired: " + detail);
+  }
+  return Status::OK();
 }
 
 void Executor::ParallelForChunks(

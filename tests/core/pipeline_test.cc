@@ -74,6 +74,10 @@ TEST(PipelineTest, SelectiveExecution) {
   EXPECT_FALSE(result.value().l1.has_value());
   EXPECT_FALSE(result.value().l2.has_value());
   EXPECT_TRUE(result.value().l3.has_value());
+  // Disabled miners report OK status (nothing to do, nothing failed).
+  EXPECT_TRUE(result.value().l1_status.ok());
+  EXPECT_TRUE(result.value().l2_status.ok());
+  EXPECT_TRUE(result.value().all_ok());
 }
 
 TEST(PipelineTest, RequiresBuiltIndex) {
@@ -85,13 +89,59 @@ TEST(PipelineTest, RequiresBuiltIndex) {
   EXPECT_FALSE(pipeline.Run(store, 0, 100).ok());
 }
 
-TEST(PipelineTest, PropagatesMinerErrors) {
+TEST(PipelineTest, FailingMinerYieldsPartialResults) {
+  // Fail-safe contract: an empty vocabulary sinks L3, but L1 and L2
+  // still deliver their models; the failure is reported per-miner.
   const LogStore store = TinyStore();
   PipelineConfig config;
-  config.run_l1 = false;
-  config.run_l2 = false;
+  config.l1.minlogs = 1;
+  config.l1.test.sample_size = 5;
+  config.l2.min_cooccurrence = 1;
+  config.l2.min_cooccurrence_per_session = 0;
+  config.l2.session.min_logs = 2;
   MiningPipeline pipeline(ServiceVocabulary{}, config);  // empty vocabulary
-  EXPECT_FALSE(pipeline.Run(store, 0, 10000).ok());
+  auto result = pipeline.Run(store, 0, 10000);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result.value().l1.has_value());
+  EXPECT_TRUE(result.value().l2.has_value());
+  EXPECT_FALSE(result.value().l3.has_value());
+  EXPECT_TRUE(result.value().l1_status.ok());
+  EXPECT_TRUE(result.value().l2_status.ok());
+  EXPECT_FALSE(result.value().l3_status.ok());
+  EXPECT_FALSE(result.value().all_ok());
+  EXPECT_EQ(result.value().first_error().code(),
+            result.value().l3_status.code());
+}
+
+TEST(PipelineTest, PreCancelledRunSkipsEveryMiner) {
+  const LogStore store = TinyStore();
+  MiningPipeline pipeline(TinyVocab(), PipelineConfig{});
+  CancelToken token;
+  token.Cancel();
+  auto result = pipeline.Run(store, 0, 10000, &token);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result.value().l1.has_value());
+  EXPECT_FALSE(result.value().l2.has_value());
+  EXPECT_FALSE(result.value().l3.has_value());
+  EXPECT_EQ(result.value().l1_status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(result.value().l2_status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(result.value().l3_status.code(), StatusCode::kCancelled);
+  EXPECT_FALSE(result.value().all_ok());
+}
+
+TEST(PipelineTest, ExpiredDeadlineSkipsEveryMiner) {
+  // A deadline of 0 means "no deadline"; a negative budget has already
+  // expired by the time the miners are scheduled.
+  const LogStore store = TinyStore();
+  PipelineConfig config;
+  config.deadline_ms = -1;
+  MiningPipeline pipeline(TinyVocab(), config);
+  auto result = pipeline.Run(store, 0, 10000);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result.value().l1.has_value());
+  EXPECT_EQ(result.value().l1_status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(result.value().l3_status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(result.value().all_ok());
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "util/rng.h"
 #include "util/string_util.h"
 #include "util/time_util.h"
@@ -144,6 +146,165 @@ TEST(LineCodecTest, DecodeAllSkipsBlankLinesAndReportsLineNumbers) {
   auto failed = LineCodec::DecodeAll("\n\ngarbage\n");
   ASSERT_FALSE(failed.ok());
   EXPECT_NE(failed.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(LineCodecTest, DecodeAllReportsByteOffsetAlongsideLineNumber) {
+  const std::string good = LineCodec::Encode(MakeRecord());
+  const std::string text = good + "\n\ngarbage\n";
+  auto failed = LineCodec::DecodeAll(text);
+  ASSERT_FALSE(failed.ok());
+  const size_t offset = text.find("garbage");
+  EXPECT_NE(failed.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(failed.status().message().find(
+                "(byte " + std::to_string(offset) + ")"),
+            std::string::npos) << failed.status();
+}
+
+TEST(LineCodecTest, DecodeAllFailsFastOnEmptySourceField) {
+  LogRecord no_source = MakeRecord();
+  no_source.source.clear();
+  const std::string text = LineCodec::Encode(MakeRecord()) + "\n" +
+                           LineCodec::Encode(no_source) + "\n";
+  auto failed = LineCodec::DecodeAll(text);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(failed.status().message().find("empty source field"),
+            std::string::npos);
+}
+
+TEST(LineCodecTest, DecodeAllFailsFastOnDanglingEscape) {
+  const std::string text = LineCodec::Encode(MakeRecord()) + "\\\n";
+  auto failed = LineCodec::DecodeAll(text);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(failed.status().message().find("dangling escape"),
+            std::string::npos);
+}
+
+TEST(LineCodecTest, DecodeClassifiesEveryErrorClass) {
+  const std::string good = LineCodec::Encode(MakeRecord());
+  LogRecord no_source = MakeRecord();
+  no_source.source.clear();
+  const std::vector<std::pair<std::string, IngestErrorClass>> cases = {
+      {good + "\\", IngestErrorClass::kBadEscape},
+      {good + "\\q", IngestErrorClass::kBadEscape},
+      {"a|b|c", IngestErrorClass::kFieldCount},
+      {ReplaceAll(good, "2005", "20xx"), IngestErrorClass::kBadTimestamp},
+      {ReplaceAll(good, "WARN", "LOUD"), IngestErrorClass::kBadSeverity},
+      {LineCodec::Encode(no_source), IngestErrorClass::kEmptySource},
+  };
+  for (const auto& [line, expected] : cases) {
+    IngestErrorClass error_class = IngestErrorClass::kFieldCount;
+    auto result = LineCodec::Decode(line, &error_class);
+    ASSERT_FALSE(result.ok()) << line;
+    EXPECT_EQ(error_class, expected) << line;
+  }
+}
+
+TEST(LineCodecTest, QuarantineDecodeSkipsBadLinesAndTalliesStats) {
+  LogRecord no_source = MakeRecord();
+  no_source.source.clear();
+  const std::string good = LineCodec::Encode(MakeRecord());
+  const std::string text = good + "\n" +                       // ok
+                           "garbage\n" +                       // field count
+                           good + "\\\n" +                     // bad escape
+                           LineCodec::Encode(no_source) +      // empty source
+                           "\n\n" +                            // blank
+                           ReplaceAll(good, "WARN", "LOUD") +  // bad severity
+                           "\n" +
+                           ReplaceAll(good, "2005", "20xx") +  // bad ts
+                           "\n" + good + "\n";                 // ok
+
+  DecodeOptions options;
+  options.policy = DecodePolicy::kQuarantine;
+  options.max_bad_fraction = 1.0;
+  IngestStats stats;
+  auto decoded = LineCodec::DecodeAll(text, options, &stats);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded.value().size(), 2u);
+
+  EXPECT_EQ(stats.lines_total, 7u);
+  EXPECT_EQ(stats.records_decoded, 2u);
+  EXPECT_EQ(stats.lines_quarantined, 5u);
+  EXPECT_DOUBLE_EQ(stats.bad_fraction(), 5.0 / 7.0);
+  using C = IngestErrorClass;
+  EXPECT_EQ(stats.by_class[static_cast<size_t>(C::kFieldCount)], 1u);
+  EXPECT_EQ(stats.by_class[static_cast<size_t>(C::kBadEscape)], 1u);
+  EXPECT_EQ(stats.by_class[static_cast<size_t>(C::kEmptySource)], 1u);
+  EXPECT_EQ(stats.by_class[static_cast<size_t>(C::kBadSeverity)], 1u);
+  EXPECT_EQ(stats.by_class[static_cast<size_t>(C::kBadTimestamp)], 1u);
+
+  ASSERT_EQ(stats.samples.size(), 5u);
+  EXPECT_EQ(stats.samples[0].line_number, 2u);
+  EXPECT_EQ(stats.samples[0].byte_offset, text.find("garbage"));
+  EXPECT_EQ(stats.samples[0].error_class, C::kFieldCount);
+  EXPECT_EQ(stats.samples[0].text, "garbage");
+  const std::string report = stats.ToString();
+  EXPECT_NE(report.find("FieldCount=1"), std::string::npos) << report;
+  EXPECT_NE(report.find("quarantined"), std::string::npos) << report;
+}
+
+TEST(LineCodecTest, QuarantineCapsTheSampleList) {
+  std::string text;
+  for (int i = 0; i < 20; ++i) text += "bad line " + std::to_string(i) + "\n";
+  DecodeOptions options;
+  options.policy = DecodePolicy::kQuarantine;
+  options.max_bad_fraction = 1.0;
+  options.max_samples = 3;
+  IngestStats stats;
+  ASSERT_TRUE(LineCodec::DecodeAll(text, options, &stats).ok());
+  EXPECT_EQ(stats.lines_quarantined, 20u);
+  ASSERT_EQ(stats.samples.size(), 3u);
+  EXPECT_EQ(stats.samples[2].line_number, 3u);
+}
+
+TEST(LineCodecTest, QuarantineEnforcesTheBadFractionBudget) {
+  const std::string good = LineCodec::Encode(MakeRecord());
+  std::string text;
+  for (int i = 0; i < 8; ++i) text += good + "\n";
+  text += "garbage one\ngarbage two\n";  // 2 of 10 bad
+
+  DecodeOptions options;
+  options.policy = DecodePolicy::kQuarantine;
+  options.max_bad_fraction = 0.25;
+  IngestStats stats;
+  auto ok = LineCodec::DecodeAll(text, options, &stats);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().size(), 8u);
+
+  options.max_bad_fraction = 0.1;  // 20% bad > 10% budget
+  auto over = LineCodec::DecodeAll(text, options, &stats);
+  ASSERT_FALSE(over.ok());
+  EXPECT_NE(over.status().message().find("exceeds budget"),
+            std::string::npos);
+  // Stats are still fully populated so callers can report what was seen.
+  EXPECT_EQ(stats.lines_total, 10u);
+  EXPECT_EQ(stats.lines_quarantined, 2u);
+
+  // A zero budget (the default) quarantines nothing silently.
+  options.max_bad_fraction = 0.0;
+  EXPECT_FALSE(LineCodec::DecodeAll(text, options, &stats).ok());
+}
+
+TEST(LineCodecTest, QuarantineOnCleanInputMatchesFailFast) {
+  std::vector<LogRecord> records;
+  for (int i = 0; i < 10; ++i) {
+    LogRecord record = MakeRecord();
+    record.client_ts += i * 777;
+    record.message = "clean " + std::to_string(i);
+    records.push_back(record);
+  }
+  const std::string text = LineCodec::EncodeAll(records);
+  auto strict = LineCodec::DecodeAll(text);
+  DecodeOptions options;
+  options.policy = DecodePolicy::kQuarantine;
+  IngestStats stats;
+  auto lenient = LineCodec::DecodeAll(text, options, &stats);
+  ASSERT_TRUE(strict.ok());
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_EQ(strict.value(), lenient.value());
+  EXPECT_EQ(stats.lines_quarantined, 0u);
+  EXPECT_EQ(stats.records_decoded, 10u);
 }
 
 }  // namespace

@@ -85,5 +85,75 @@ TEST_F(CorpusIoTest, CorruptFileReportsParseError) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
 }
 
+TEST_F(CorpusIoTest, WriteLeavesNoTempFileBehind) {
+  LogStore store;
+  ASSERT_TRUE(store.Append(Rec(100, "A", "one")).ok());
+  store.BuildIndex();
+  ASSERT_TRUE(WriteCorpusFile(store, path_.string()).ok());
+  EXPECT_TRUE(std::filesystem::exists(path_));
+  EXPECT_FALSE(std::filesystem::exists(path_.string() + ".tmp"));
+}
+
+TEST_F(CorpusIoTest, WriteReplacesExistingCorpusAtomically) {
+  // An existing corpus must survive intact up to the rename; after a
+  // successful write the file holds exactly the new content.
+  LogStore old_store;
+  ASSERT_TRUE(old_store.Append(Rec(100, "OLD", "old corpus")).ok());
+  old_store.BuildIndex();
+  ASSERT_TRUE(WriteCorpusFile(old_store, path_.string()).ok());
+
+  LogStore new_store;
+  ASSERT_TRUE(new_store.Append(Rec(200, "NEW", "new corpus")).ok());
+  ASSERT_TRUE(new_store.Append(Rec(300, "NEW", "second")).ok());
+  new_store.BuildIndex();
+  ASSERT_TRUE(WriteCorpusFile(new_store, path_.string()).ok());
+
+  auto loaded = ReadCorpusFile(path_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value().GetRecord(0).source, "NEW");
+  EXPECT_FALSE(std::filesystem::exists(path_.string() + ".tmp"));
+}
+
+TEST_F(CorpusIoTest, QuarantineReadSkipsBadLinesAndReportsStats) {
+  {
+    std::FILE* f = std::fopen(path_.string().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    LogStore store;
+    ASSERT_TRUE(store.Append(Rec(100, "A", "first")).ok());
+    ASSERT_TRUE(store.Append(Rec(200, "B", "second")).ok());
+    store.BuildIndex();
+    std::fputs(LineCodec::Encode(store.GetRecord(0)).c_str(), f);
+    std::fputs("\nnot a log line\n", f);
+    std::fputs(LineCodec::Encode(store.GetRecord(1)).c_str(), f);
+    std::fputs("\n", f);
+    std::fclose(f);
+  }
+
+  // Fail-fast still rejects the file ...
+  ASSERT_FALSE(ReadCorpusFile(path_.string()).ok());
+
+  // ... while quarantine mode loads the two good records.
+  DecodeOptions options;
+  options.policy = DecodePolicy::kQuarantine;
+  options.max_bad_fraction = 0.5;
+  IngestStats stats;
+  auto loaded = ReadCorpusFile(path_.string(), options, &stats);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_TRUE(loaded.value().index_built());
+  EXPECT_EQ(stats.lines_total, 3u);
+  EXPECT_EQ(stats.lines_quarantined, 1u);
+  EXPECT_EQ(stats.by_class[static_cast<size_t>(
+                IngestErrorClass::kFieldCount)],
+            1u);
+
+  // A tighter budget rejects the same file, stats intact.
+  options.max_bad_fraction = 0.1;
+  auto rejected = ReadCorpusFile(path_.string(), options, &stats);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(stats.lines_quarantined, 1u);
+}
+
 }  // namespace
 }  // namespace logmine
