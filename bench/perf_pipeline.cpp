@@ -7,11 +7,16 @@
 // speedup self-contained — it does not depend on checking out the old
 // revision.
 //
+// Also reports the cost of the checkpoint/recovery layer: the same
+// L2+L3 daily sweep with checkpointing off vs snapshotting after every
+// day, as absolute ms and as a fraction of the uncheckpointed run.
+//
 // Usage: perf_pipeline [--scale=1.0] [--days=1] [--seed=N]
 //                      [--reps=3] [--out=BENCH_pipeline.json]
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -22,6 +27,7 @@
 #include "bench/bench_common.h"
 #include "core/l2_session_builder.h"
 #include "core/pipeline.h"
+#include "eval/resumable_runner.h"
 #include "log/filter.h"
 #include "stats/association_tests.h"
 #include "util/string_util.h"
@@ -260,6 +266,32 @@ int main(int argc, char** argv) {
               << " ms\n";
   }
 
+  // Checkpoint overhead: the L2+L3 daily sweep (the resumable runner's
+  // unit of work) with checkpointing disabled vs one snapshot generation
+  // per day. L1 is excluded so the denominator is the two fast miners —
+  // the conservative (largest) overhead fraction.
+  eval::SweepConfig sweep_config;
+  sweep_config.run_l1 = false;
+  const double ckpt_off_ms = MeasureMs(reps, [&] {
+    auto result =
+        eval::RunSweepResumable(dataset, sweep_config, eval::ResumableOptions{});
+    if (!result.ok()) std::abort();
+  });
+  const std::string ckpt_dir =
+      (std::filesystem::temp_directory_path() / "logmine_bench_ckpt").string();
+  eval::ResumableOptions ckpt_options;
+  ckpt_options.checkpoint.dir = ckpt_dir;
+  const double ckpt_on_ms = MeasureMs(reps, [&] {
+    std::filesystem::remove_all(ckpt_dir);  // every rep runs fresh
+    auto result = eval::RunSweepResumable(dataset, sweep_config, ckpt_options);
+    if (!result.ok()) std::abort();
+  });
+  std::filesystem::remove_all(ckpt_dir);
+  const double ckpt_overhead_ms = ckpt_on_ms - ckpt_off_ms;
+  std::cerr << "[bench] checkpoint overhead: " << ckpt_off_ms
+            << " ms off, " << ckpt_on_ms << " ms on ("
+            << ckpt_overhead_ms / ckpt_off_ms * 100.0 << "%)\n";
+
   // The rework must not change what the miners compute.
   const bool results_match =
       l2_checksum == ref_l2_checksum && l3_checksum == ref_l3_checksum;
@@ -302,6 +334,11 @@ int main(int argc, char** argv) {
   emit_sweep("l2", l2_sweep, false);
   emit_sweep("l3", l3_sweep, false);
   emit_sweep("pipeline", pipeline_sweep, false);
+  out << "  \"checkpoint\": {\"off_ms\": " << ckpt_off_ms
+      << ", \"on_ms\": " << ckpt_on_ms
+      << ", \"overhead_ms\": " << ckpt_overhead_ms
+      << ", \"overhead_fraction\": " << ckpt_overhead_ms / ckpt_off_ms
+      << "},\n";
   out << "  \"l2_l3_speedup_vs_seed_serial\": {";
   bool first = true;
   for (int threads : kThreadSweep) {

@@ -63,6 +63,16 @@ class ModelTracker {
  public:
   explicit ModelTracker(ModelTrackerConfig config) : config_(config) {}
 
+  /// Restores a tracker from externally persisted state (the checkpoint
+  /// layer, see core/serialization.h). Continuing a restored tracker is
+  /// indistinguishable from never having stopped.
+  ModelTracker(ModelTrackerConfig config,
+               std::map<NamePair, TrackedDependency> tracked,
+               int64_t num_observations)
+      : config_(config),
+        tracked_(std::move(tracked)),
+        observation_(num_observations) {}
+
   /// Feeds the next period's mined model; returns what changed.
   ModelUpdate Observe(const DependencyModel& observed);
 
@@ -71,6 +81,8 @@ class ModelTracker {
 
   /// Number of observations fed so far.
   int64_t num_observations() const { return observation_; }
+
+  const ModelTrackerConfig& config() const { return config_; }
 
   /// Full bookkeeping, for inspection.
   const std::map<NamePair, TrackedDependency>& tracked() const {

@@ -1,0 +1,324 @@
+#include "core/serialization.h"
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace logmine::core {
+namespace {
+
+// Guards against absurd counts from a corrupt-but-CRC-valid payload
+// (only reachable with a hand-built file) so decoders never attempt a
+// multi-gigabyte reserve.
+Status CheckCount(uint64_t count, uint64_t limit, const char* what) {
+  if (count > limit) {
+    return Status::ParseError(std::string("implausible ") + what +
+                              " count: " + std::to_string(count));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeDependencyModel(const DependencyModel& model, SnapshotWriter* w) {
+  w->PutU64(model.size());
+  for (const NamePair& pair : model.pairs()) {
+    w->PutString(pair.first);
+    w->PutString(pair.second);
+  }
+}
+
+Result<DependencyModel> DecodeDependencyModel(SectionCursor* c) {
+  LOGMINE_ASSIGN_OR_RETURN(uint64_t count, c->ReadU64());
+  LOGMINE_RETURN_IF_ERROR(CheckCount(count, 1u << 26, "dependency pair"));
+  std::set<NamePair> pairs;
+  for (uint64_t i = 0; i < count; ++i) {
+    LOGMINE_ASSIGN_OR_RETURN(std::string first, c->ReadString());
+    LOGMINE_ASSIGN_OR_RETURN(std::string second, c->ReadString());
+    pairs.emplace(std::move(first), std::move(second));
+  }
+  return DependencyModel(std::move(pairs));
+}
+
+void EncodeConfusionCounts(const ConfusionCounts& counts, SnapshotWriter* w) {
+  w->PutI64(counts.true_positives);
+  w->PutI64(counts.false_positives);
+  w->PutI64(counts.false_negatives);
+  w->PutI64(counts.universe);
+}
+
+Result<ConfusionCounts> DecodeConfusionCounts(SectionCursor* c) {
+  ConfusionCounts counts;
+  LOGMINE_ASSIGN_OR_RETURN(counts.true_positives, c->ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(counts.false_positives, c->ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(counts.false_negatives, c->ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(counts.universe, c->ReadI64());
+  return counts;
+}
+
+void EncodeDailySeries(const DailySeries& series, SnapshotWriter* w) {
+  w->PutU64(series.days.size());
+  for (size_t i = 0; i < series.days.size(); ++i) {
+    w->PutString(i < series.day_labels.size() ? series.day_labels[i] : "");
+    EncodeConfusionCounts(series.days[i], w);
+  }
+}
+
+Result<DailySeries> DecodeDailySeries(SectionCursor* c) {
+  LOGMINE_ASSIGN_OR_RETURN(uint64_t count, c->ReadU64());
+  LOGMINE_RETURN_IF_ERROR(CheckCount(count, 1u << 22, "daily series row"));
+  DailySeries series;
+  series.day_labels.reserve(count);
+  series.days.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    LOGMINE_ASSIGN_OR_RETURN(std::string label, c->ReadString());
+    LOGMINE_ASSIGN_OR_RETURN(ConfusionCounts counts, DecodeConfusionCounts(c));
+    series.day_labels.push_back(std::move(label));
+    series.days.push_back(counts);
+  }
+  return series;
+}
+
+void EncodeSessionBuildStats(const SessionBuildStats& stats,
+                             SnapshotWriter* w) {
+  w->PutU64(stats.num_sessions);
+  w->PutI64(stats.logs_considered);
+  w->PutI64(stats.logs_with_context);
+  w->PutI64(stats.logs_assigned);
+  w->PutDouble(stats.assigned_fraction);
+}
+
+Result<SessionBuildStats> DecodeSessionBuildStats(SectionCursor* c) {
+  SessionBuildStats stats;
+  LOGMINE_ASSIGN_OR_RETURN(uint64_t num_sessions, c->ReadU64());
+  stats.num_sessions = static_cast<size_t>(num_sessions);
+  LOGMINE_ASSIGN_OR_RETURN(stats.logs_considered, c->ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(stats.logs_with_context, c->ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(stats.logs_assigned, c->ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(stats.assigned_fraction, c->ReadDouble());
+  return stats;
+}
+
+void EncodeModelTracker(const ModelTracker& tracker, SnapshotWriter* w) {
+  const ModelTrackerConfig& config = tracker.config();
+  w->PutI64(config.confirm_after);
+  w->PutI64(config.stale_after);
+  w->PutI64(config.retire_after);
+  w->PutI64(tracker.num_observations());
+  w->PutU64(tracker.tracked().size());
+  for (const auto& [pair, dep] : tracker.tracked()) {
+    w->PutString(pair.first);
+    w->PutString(pair.second);
+    w->PutU32(static_cast<uint32_t>(dep.state));
+    w->PutI64(dep.first_seen);
+    w->PutI64(dep.last_seen);
+    w->PutI64(dep.times_seen);
+    w->PutI64(dep.confirm_streak);
+  }
+}
+
+Result<ModelTracker> DecodeModelTracker(SectionCursor* c) {
+  ModelTrackerConfig config;
+  LOGMINE_ASSIGN_OR_RETURN(config.confirm_after, c->ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(config.stale_after, c->ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(config.retire_after, c->ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(int64_t observations, c->ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(uint64_t count, c->ReadU64());
+  LOGMINE_RETURN_IF_ERROR(CheckCount(count, 1u << 26, "tracked dependency"));
+  std::map<NamePair, TrackedDependency> tracked;
+  for (uint64_t i = 0; i < count; ++i) {
+    LOGMINE_ASSIGN_OR_RETURN(std::string first, c->ReadString());
+    LOGMINE_ASSIGN_OR_RETURN(std::string second, c->ReadString());
+    TrackedDependency dep;
+    LOGMINE_ASSIGN_OR_RETURN(uint32_t state, c->ReadU32());
+    if (state > static_cast<uint32_t>(DependencyState::kRetired)) {
+      return Status::ParseError("tracked dependency state out of range: " +
+                                std::to_string(state));
+    }
+    dep.state = static_cast<DependencyState>(state);
+    LOGMINE_ASSIGN_OR_RETURN(dep.first_seen, c->ReadI64());
+    LOGMINE_ASSIGN_OR_RETURN(dep.last_seen, c->ReadI64());
+    LOGMINE_ASSIGN_OR_RETURN(dep.times_seen, c->ReadI64());
+    LOGMINE_ASSIGN_OR_RETURN(dep.confirm_streak, c->ReadI64());
+    tracked.emplace(NamePair(std::move(first), std::move(second)), dep);
+  }
+  return ModelTracker(config, std::move(tracked), observations);
+}
+
+void EncodeL1Config(const L1Config& config, SnapshotWriter* w) {
+  w->PutI64(config.slot_length);
+  w->PutBool(config.adaptive_slots);
+  w->PutI64(config.adaptive.min_slot);
+  w->PutI64(config.adaptive.max_slot);
+  w->PutDouble(config.adaptive.alpha);
+  w->PutU32(static_cast<uint32_t>(config.adaptive.probe_bins));
+  w->PutI64(config.adaptive.min_events);
+  w->PutU32(static_cast<uint32_t>(config.baseline));
+  w->PutI64(config.baseline_jitter);
+  w->PutI64(config.minlogs);
+  w->PutDouble(config.th_pr);
+  w->PutDouble(config.th_s);
+  w->PutU64(config.test.sample_size);
+  w->PutDouble(config.test.level);
+  w->PutU64(config.seed);
+  w->PutU32(static_cast<uint32_t>(config.num_threads));
+}
+
+Result<L1Config> DecodeL1Config(SectionCursor* c) {
+  L1Config config;
+  LOGMINE_ASSIGN_OR_RETURN(config.slot_length, c->ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(config.adaptive_slots, c->ReadBool());
+  LOGMINE_ASSIGN_OR_RETURN(config.adaptive.min_slot, c->ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(config.adaptive.max_slot, c->ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(config.adaptive.alpha, c->ReadDouble());
+  LOGMINE_ASSIGN_OR_RETURN(uint32_t probe_bins, c->ReadU32());
+  config.adaptive.probe_bins = static_cast<int>(probe_bins);
+  LOGMINE_ASSIGN_OR_RETURN(config.adaptive.min_events, c->ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(uint32_t baseline, c->ReadU32());
+  if (baseline > static_cast<uint32_t>(L1Baseline::kIntensityProportional)) {
+    return Status::ParseError("L1 baseline out of range: " +
+                              std::to_string(baseline));
+  }
+  config.baseline = static_cast<L1Baseline>(baseline);
+  LOGMINE_ASSIGN_OR_RETURN(config.baseline_jitter, c->ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(config.minlogs, c->ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(config.th_pr, c->ReadDouble());
+  LOGMINE_ASSIGN_OR_RETURN(config.th_s, c->ReadDouble());
+  LOGMINE_ASSIGN_OR_RETURN(uint64_t sample_size, c->ReadU64());
+  config.test.sample_size = static_cast<size_t>(sample_size);
+  LOGMINE_ASSIGN_OR_RETURN(config.test.level, c->ReadDouble());
+  LOGMINE_ASSIGN_OR_RETURN(config.seed, c->ReadU64());
+  LOGMINE_ASSIGN_OR_RETURN(uint32_t num_threads, c->ReadU32());
+  config.num_threads = static_cast<int>(num_threads);
+  return config;
+}
+
+void EncodeL2Config(const L2Config& config, SnapshotWriter* w) {
+  w->PutI64(config.session.max_gap);
+  w->PutU64(config.session.min_logs);
+  w->PutI64(config.timeout);
+  w->PutU32(static_cast<uint32_t>(config.test));
+  w->PutDouble(config.alpha);
+  w->PutI64(config.min_cooccurrence);
+  w->PutDouble(config.min_cooccurrence_per_session);
+  w->PutU32(static_cast<uint32_t>(config.num_threads));
+}
+
+Result<L2Config> DecodeL2Config(SectionCursor* c) {
+  L2Config config;
+  LOGMINE_ASSIGN_OR_RETURN(config.session.max_gap, c->ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(uint64_t min_logs, c->ReadU64());
+  config.session.min_logs = static_cast<size_t>(min_logs);
+  LOGMINE_ASSIGN_OR_RETURN(config.timeout, c->ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(uint32_t test, c->ReadU32());
+  if (test > static_cast<uint32_t>(AssociationTest::kPearson)) {
+    return Status::ParseError("L2 association test out of range: " +
+                              std::to_string(test));
+  }
+  config.test = static_cast<AssociationTest>(test);
+  LOGMINE_ASSIGN_OR_RETURN(config.alpha, c->ReadDouble());
+  LOGMINE_ASSIGN_OR_RETURN(config.min_cooccurrence, c->ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(config.min_cooccurrence_per_session,
+                           c->ReadDouble());
+  LOGMINE_ASSIGN_OR_RETURN(uint32_t num_threads, c->ReadU32());
+  config.num_threads = static_cast<int>(num_threads);
+  return config;
+}
+
+void EncodeL3Config(const L3Config& config, SnapshotWriter* w) {
+  w->PutU64(config.stop_patterns.size());
+  for (const std::string& pattern : config.stop_patterns) {
+    w->PutString(pattern);
+  }
+  w->PutBool(config.use_stop_patterns);
+  w->PutI64(config.min_citations);
+  w->PutU32(static_cast<uint32_t>(config.num_threads));
+}
+
+Result<L3Config> DecodeL3Config(SectionCursor* c) {
+  L3Config config;
+  LOGMINE_ASSIGN_OR_RETURN(uint64_t count, c->ReadU64());
+  LOGMINE_RETURN_IF_ERROR(CheckCount(count, 1u << 16, "stop pattern"));
+  config.stop_patterns.clear();
+  config.stop_patterns.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    LOGMINE_ASSIGN_OR_RETURN(std::string pattern, c->ReadString());
+    config.stop_patterns.push_back(std::move(pattern));
+  }
+  LOGMINE_ASSIGN_OR_RETURN(config.use_stop_patterns, c->ReadBool());
+  LOGMINE_ASSIGN_OR_RETURN(config.min_citations, c->ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(uint32_t num_threads, c->ReadU32());
+  config.num_threads = static_cast<int>(num_threads);
+  return config;
+}
+
+void Fingerprinter::MixU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    hash_ ^= (v >> (8 * i)) & 0xFF;
+    hash_ *= 0x100000001B3ULL;  // FNV-1a prime
+  }
+}
+
+void Fingerprinter::MixDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  MixU64(bits);
+}
+
+void Fingerprinter::MixString(std::string_view s) {
+  MixU64(s.size());
+  for (unsigned char byte : s) {
+    hash_ ^= byte;
+    hash_ *= 0x100000001B3ULL;
+  }
+}
+
+uint64_t ConfigFingerprint(const L1Config& config) {
+  Fingerprinter fp;
+  fp.MixString("L1");
+  fp.MixI64(config.slot_length);
+  fp.MixBool(config.adaptive_slots);
+  fp.MixI64(config.adaptive.min_slot);
+  fp.MixI64(config.adaptive.max_slot);
+  fp.MixDouble(config.adaptive.alpha);
+  fp.MixI64(config.adaptive.probe_bins);
+  fp.MixI64(config.adaptive.min_events);
+  fp.MixU64(static_cast<uint64_t>(config.baseline));
+  fp.MixI64(config.baseline_jitter);
+  fp.MixI64(config.minlogs);
+  fp.MixDouble(config.th_pr);
+  fp.MixDouble(config.th_s);
+  fp.MixU64(config.test.sample_size);
+  fp.MixDouble(config.test.level);
+  fp.MixU64(config.seed);
+  return fp.digest();
+}
+
+uint64_t ConfigFingerprint(const L2Config& config) {
+  Fingerprinter fp;
+  fp.MixString("L2");
+  fp.MixI64(config.session.max_gap);
+  fp.MixU64(config.session.min_logs);
+  fp.MixI64(config.timeout);
+  fp.MixU64(static_cast<uint64_t>(config.test));
+  fp.MixDouble(config.alpha);
+  fp.MixI64(config.min_cooccurrence);
+  fp.MixDouble(config.min_cooccurrence_per_session);
+  return fp.digest();
+}
+
+uint64_t ConfigFingerprint(const L3Config& config) {
+  Fingerprinter fp;
+  fp.MixString("L3");
+  fp.MixU64(config.stop_patterns.size());
+  for (const std::string& pattern : config.stop_patterns) {
+    fp.MixString(pattern);
+  }
+  fp.MixBool(config.use_stop_patterns);
+  fp.MixI64(config.min_citations);
+  return fp.digest();
+}
+
+}  // namespace logmine::core

@@ -1,11 +1,62 @@
 #include "eval/daily_runner.h"
 
+#include <chrono>
+
 #include "util/time_util.h"
 
 namespace logmine::eval {
 namespace {
 
 std::string DayLabel(TimeMs day_begin) { return FormatDate(day_begin); }
+
+Status CheckDay(const Dataset& dataset, int day) {
+  if (day < 0 || day >= dataset.num_days()) {
+    return Status::OutOfRange("day " + std::to_string(day) +
+                              " outside [0, " +
+                              std::to_string(dataset.num_days()) + ")");
+  }
+  return Status::OK();
+}
+
+/// Shared sweep loop: runs `day_fn` for every day under the options'
+/// cancel/deadline budget and accumulates the outcomes.
+template <typename DayFn>
+Result<DailyRunResult> RunDaily(
+    const Dataset& dataset, const DailyRunOptions& options,
+    std::vector<core::SessionBuildStats>* session_stats,
+    const DayFn& day_fn) {
+  const auto start = std::chrono::steady_clock::now();
+  if (session_stats != nullptr) session_stats->clear();
+  DailyRunResult out;
+  for (int day = 0; day < dataset.num_days(); ++day) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      return Status::Cancelled("daily sweep cancelled after " +
+                               std::to_string(day) + " of " +
+                               std::to_string(dataset.num_days()) + " days");
+    }
+    if (options.deadline_ms != 0) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      if (options.deadline_ms < 0 || elapsed >= options.deadline_ms) {
+        return Status::DeadlineExceeded(
+            "daily sweep deadline expired after " + std::to_string(day) +
+            " of " + std::to_string(dataset.num_days()) + " days");
+      }
+    }
+    auto outcome = day_fn(day);
+    if (!outcome.ok()) return outcome.status();
+    DayOutcome& value = outcome.value();
+    if (session_stats != nullptr) {
+      session_stats->push_back(value.session_stats);
+    }
+    out.series.day_labels.push_back(std::move(value.label));
+    out.series.days.push_back(value.counts);
+    out.daily_models.push_back(std::move(value.model));
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -21,61 +72,75 @@ core::DependencyModel DailyRunResult::UnionModel() const {
   return out;
 }
 
-Result<DailyRunResult> RunL1Daily(const Dataset& dataset,
-                                  const core::L1Config& config) {
-  DailyRunResult out;
+Result<DayOutcome> RunL1Day(const Dataset& dataset,
+                            const core::L1Config& config, int day) {
+  LOGMINE_RETURN_IF_ERROR(CheckDay(dataset, day));
   core::L1ActivityMiner miner(config);
-  for (int day = 0; day < dataset.num_days(); ++day) {
-    auto mined =
-        miner.Mine(dataset.store, dataset.day_begin(day), dataset.day_end(day));
-    if (!mined.ok()) return mined.status();
-    core::DependencyModel model = mined.value().Dependencies(dataset.store);
-    out.series.day_labels.push_back(DayLabel(dataset.day_begin(day)));
-    out.series.days.push_back(core::Evaluate(model, dataset.reference_pairs,
-                                             dataset.universe_pairs));
-    out.daily_models.push_back(std::move(model));
-  }
+  auto mined =
+      miner.Mine(dataset.store, dataset.day_begin(day), dataset.day_end(day));
+  if (!mined.ok()) return mined.status();
+  DayOutcome out;
+  out.model = mined.value().Dependencies(dataset.store);
+  out.label = DayLabel(dataset.day_begin(day));
+  out.counts = core::Evaluate(out.model, dataset.reference_pairs,
+                              dataset.universe_pairs);
   return out;
+}
+
+Result<DayOutcome> RunL2Day(const Dataset& dataset,
+                            const core::L2Config& config, int day) {
+  LOGMINE_RETURN_IF_ERROR(CheckDay(dataset, day));
+  core::L2CooccurrenceMiner miner(config);
+  auto mined =
+      miner.Mine(dataset.store, dataset.day_begin(day), dataset.day_end(day));
+  if (!mined.ok()) return mined.status();
+  DayOutcome out;
+  out.session_stats = mined.value().session_stats;
+  out.model = mined.value().Dependencies(dataset.store);
+  out.label = DayLabel(dataset.day_begin(day));
+  out.counts = core::Evaluate(out.model, dataset.reference_pairs,
+                              dataset.universe_pairs);
+  return out;
+}
+
+Result<DayOutcome> RunL3Day(const Dataset& dataset,
+                            const core::L3Config& config, int day) {
+  LOGMINE_RETURN_IF_ERROR(CheckDay(dataset, day));
+  core::L3TextMiner miner(dataset.vocabulary, config);
+  auto mined =
+      miner.Mine(dataset.store, dataset.day_begin(day), dataset.day_end(day));
+  if (!mined.ok()) return mined.status();
+  DayOutcome out;
+  out.model = mined.value().Dependencies(dataset.store, dataset.vocabulary);
+  out.label = DayLabel(dataset.day_begin(day));
+  out.counts = core::Evaluate(out.model, dataset.reference_services,
+                              dataset.universe_services);
+  return out;
+}
+
+Result<DailyRunResult> RunL1Daily(const Dataset& dataset,
+                                  const core::L1Config& config,
+                                  const DailyRunOptions& options) {
+  return RunDaily(dataset, options, nullptr, [&](int day) {
+    return RunL1Day(dataset, config, day);
+  });
 }
 
 Result<DailyRunResult> RunL2Daily(
     const Dataset& dataset, const core::L2Config& config,
-    std::vector<core::SessionBuildStats>* session_stats) {
-  DailyRunResult out;
-  if (session_stats != nullptr) session_stats->clear();
-  core::L2CooccurrenceMiner miner(config);
-  for (int day = 0; day < dataset.num_days(); ++day) {
-    auto mined =
-        miner.Mine(dataset.store, dataset.day_begin(day), dataset.day_end(day));
-    if (!mined.ok()) return mined.status();
-    if (session_stats != nullptr) {
-      session_stats->push_back(mined.value().session_stats);
-    }
-    core::DependencyModel model = mined.value().Dependencies(dataset.store);
-    out.series.day_labels.push_back(DayLabel(dataset.day_begin(day)));
-    out.series.days.push_back(core::Evaluate(model, dataset.reference_pairs,
-                                             dataset.universe_pairs));
-    out.daily_models.push_back(std::move(model));
-  }
-  return out;
+    std::vector<core::SessionBuildStats>* session_stats,
+    const DailyRunOptions& options) {
+  return RunDaily(dataset, options, session_stats, [&](int day) {
+    return RunL2Day(dataset, config, day);
+  });
 }
 
 Result<DailyRunResult> RunL3Daily(const Dataset& dataset,
-                                  const core::L3Config& config) {
-  DailyRunResult out;
-  core::L3TextMiner miner(dataset.vocabulary, config);
-  for (int day = 0; day < dataset.num_days(); ++day) {
-    auto mined =
-        miner.Mine(dataset.store, dataset.day_begin(day), dataset.day_end(day));
-    if (!mined.ok()) return mined.status();
-    core::DependencyModel model =
-        mined.value().Dependencies(dataset.store, dataset.vocabulary);
-    out.series.day_labels.push_back(DayLabel(dataset.day_begin(day)));
-    out.series.days.push_back(core::Evaluate(
-        model, dataset.reference_services, dataset.universe_services));
-    out.daily_models.push_back(std::move(model));
-  }
-  return out;
+                                  const core::L3Config& config,
+                                  const DailyRunOptions& options) {
+  return RunDaily(dataset, options, nullptr, [&](int day) {
+    return RunL3Day(dataset, config, day);
+  });
 }
 
 }  // namespace logmine::eval

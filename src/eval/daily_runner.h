@@ -1,6 +1,8 @@
 #ifndef LOGMINE_EVAL_DAILY_RUNNER_H_
 #define LOGMINE_EVAL_DAILY_RUNNER_H_
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/evaluation.h"
@@ -9,6 +11,7 @@
 #include "core/l3_text_miner.h"
 #include "eval/dataset.h"
 #include "stats/order_stats_ci.h"
+#include "util/executor.h"
 #include "util/result.h"
 
 namespace logmine::eval {
@@ -29,18 +32,52 @@ struct DailyRunResult {
   core::DependencyModel UnionModel() const;
 };
 
+/// Optional controls of a multi-day sweep. Checks run at day
+/// granularity (the cooperative unit of the sweep): once `cancel` fires
+/// or the wall-clock budget is spent, no further day starts and the
+/// sweep returns Cancelled / DeadlineExceeded naming how far it got. A
+/// day already mining finishes — no state is ever torn mid-day.
+struct DailyRunOptions {
+  const CancelToken* cancel = nullptr;
+  /// Wall-clock budget in milliseconds, measured from the call; 0 =
+  /// none, and a negative budget has already expired when the sweep
+  /// starts (matching PipelineConfig::deadline_ms).
+  int64_t deadline_ms = 0;
+};
+
+/// One day's worth of a technique sweep — the checkpointable unit the
+/// resumable runner (eval/resumable_runner.h) persists.
+struct DayOutcome {
+  std::string label;
+  core::ConfusionCounts counts;
+  core::DependencyModel model;
+  core::SessionBuildStats session_stats;  ///< L2 only; default elsewhere
+};
+
+/// Mines a single day with each technique. Pre-condition:
+/// 0 <= day < dataset.num_days().
+Result<DayOutcome> RunL1Day(const Dataset& dataset,
+                            const core::L1Config& config, int day);
+Result<DayOutcome> RunL2Day(const Dataset& dataset,
+                            const core::L2Config& config, int day);
+Result<DayOutcome> RunL3Day(const Dataset& dataset,
+                            const core::L3Config& config, int day);
+
 /// Runs L1 per day against the app-pair reference.
 Result<DailyRunResult> RunL1Daily(const Dataset& dataset,
-                                  const core::L1Config& config);
+                                  const core::L1Config& config,
+                                  const DailyRunOptions& options = {});
 
 /// Runs L2 per day; `session_stats` (optional) receives one entry per day.
 Result<DailyRunResult> RunL2Daily(
     const Dataset& dataset, const core::L2Config& config,
-    std::vector<core::SessionBuildStats>* session_stats);
+    std::vector<core::SessionBuildStats>* session_stats,
+    const DailyRunOptions& options = {});
 
 /// Runs L3 per day against the app-service reference.
 Result<DailyRunResult> RunL3Daily(const Dataset& dataset,
-                                  const core::L3Config& config);
+                                  const core::L3Config& config,
+                                  const DailyRunOptions& options = {});
 
 }  // namespace logmine::eval
 

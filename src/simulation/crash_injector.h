@@ -1,0 +1,81 @@
+#ifndef LOGMINE_SIMULATION_CRASH_INJECTOR_H_
+#define LOGMINE_SIMULATION_CRASH_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace logmine::sim {
+
+/// The named instants at which the kill-point harness can terminate a
+/// resumable mining run — chosen to cover every distinct durability
+/// state a real crash can leave behind.
+enum class KillPoint : uint32_t {
+  kNone = 0,
+  /// A day is mined but its snapshot was never written: the resumed run
+  /// must re-mine that day and still converge to the same bytes.
+  kAfterDayMined,
+  /// The process dies while the snapshot bytes are leaving the buffer:
+  /// the harness leaves a *truncated* file at the final checkpoint path
+  /// (simulating torn I/O / on-disk corruption), so recovery must
+  /// discard the newest generation and fall back.
+  kMidSnapshotWrite,
+  /// The snapshot is durable but the next day never starts — the
+  /// cleanest crash; recovery should mine only the remaining days.
+  kAfterCheckpoint,
+  /// Between two techniques of a multi-miner sweep (after L1 completes,
+  /// before L2 starts, and so on).
+  kBetweenMiners,
+};
+
+/// Stable name used in flags, logs and test output (e.g.
+/// "mid-snapshot-write").
+std::string_view KillPointName(KillPoint point);
+
+/// Parses the result of KillPointName back; InvalidArgument otherwise.
+Result<KillPoint> KillPointFromName(std::string_view name);
+
+/// Where to kill: a point plus its occurrence index — the day number
+/// for day-scoped points, or the number of completed techniques for
+/// kBetweenMiners (0 = after the first technique).
+struct CrashPlan {
+  KillPoint point = KillPoint::kNone;
+  int index = 0;
+};
+
+/// Draws a uniformly random plan over every kill point a sweep of
+/// `num_days` days and `num_techniques` techniques exposes — all
+/// randomness from the caller's seeded Rng, so a fuzzing sweep over
+/// seeds is exactly reproducible.
+CrashPlan RandomCrashPlan(Rng* rng, int num_days, int num_techniques);
+
+/// Arms one crash plan. The runner under test asks `ShouldKill` at each
+/// named point; the injector fires exactly once, when the armed
+/// (point, index) comes up. A fired injector reports `fired()` so tests
+/// can assert the plan was actually reachable.
+class CrashInjector {
+ public:
+  explicit CrashInjector(CrashPlan plan) : plan_(plan) {}
+
+  /// True exactly once, when (point, index) matches the armed plan.
+  bool ShouldKill(KillPoint point, int index);
+
+  bool fired() const { return fired_; }
+  const CrashPlan& plan() const { return plan_; }
+
+  /// The status a killed run returns — Internal, carrying the kill
+  /// point's name, so tests can tell a simulated death from a real bug.
+  static Status KilledStatus(KillPoint point, int index);
+
+ private:
+  CrashPlan plan_;
+  bool fired_ = false;
+};
+
+}  // namespace logmine::sim
+
+#endif  // LOGMINE_SIMULATION_CRASH_INJECTOR_H_

@@ -55,12 +55,19 @@ class Result {
   std::optional<T> value_;
 };
 
+#define LOGMINE_INTERNAL_CONCAT2(a, b) a##b
+#define LOGMINE_INTERNAL_CONCAT(a, b) LOGMINE_INTERNAL_CONCAT2(a, b)
+#define LOGMINE_INTERNAL_ASSIGN_OR_RETURN(var, lhs, rexpr) \
+  auto var = (rexpr);                                      \
+  if (!var.ok()) return var.status();                      \
+  lhs = std::move(var).value()
+
 /// Evaluates `rexpr` (a Result<T>), propagating failure; otherwise binds the
-/// value to `lhs`.
-#define LOGMINE_ASSIGN_OR_RETURN(lhs, rexpr)         \
-  auto _res_##__LINE__ = (rexpr);                    \
-  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
-  lhs = std::move(_res_##__LINE__).value()
+/// value to `lhs`. The temporary's name is unique per line, so multiple
+/// uses in one scope do not collide.
+#define LOGMINE_ASSIGN_OR_RETURN(lhs, rexpr)                           \
+  LOGMINE_INTERNAL_ASSIGN_OR_RETURN(                                   \
+      LOGMINE_INTERNAL_CONCAT(_logmine_res_, __LINE__), lhs, rexpr)
 
 }  // namespace logmine
 

@@ -1,0 +1,296 @@
+#include "util/snapshot.h"
+
+#include <array>
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace logmine {
+namespace {
+
+constexpr uint32_t kHeaderMagic = 0x4E534D4C;  // "LMSN" little-endian
+constexpr uint32_t kFooterMagic = 0x534E4150;  // "PANS" little-endian
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (unsigned char byte : bytes) {
+    c = table[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+SnapshotWriter::SnapshotWriter(uint32_t version) {
+  AppendU32(&out_, kHeaderMagic);
+  AppendU32(&out_, version);
+}
+
+void SnapshotWriter::BeginSection(std::string_view name) {
+  assert(!in_section_ && "BeginSection inside an open section");
+  AppendU32(&out_, static_cast<uint32_t>(name.size()));
+  out_.append(name);
+  payload_len_at_ = out_.size();
+  AppendU64(&out_, 0);  // patched by EndSection
+  in_section_ = true;
+}
+
+void SnapshotWriter::EndSection() {
+  assert(in_section_ && "EndSection without BeginSection");
+  const uint64_t payload_len =
+      static_cast<uint64_t>(out_.size() - payload_len_at_ - 8);
+  std::memcpy(out_.data() + payload_len_at_, &payload_len, 8);
+  in_section_ = false;
+}
+
+void SnapshotWriter::PutU32(uint32_t v) {
+  assert(in_section_);
+  AppendU32(&out_, v);
+}
+
+void SnapshotWriter::PutU64(uint64_t v) {
+  assert(in_section_);
+  AppendU64(&out_, v);
+}
+
+void SnapshotWriter::PutI64(int64_t v) {
+  PutU64(static_cast<uint64_t>(v));
+}
+
+void SnapshotWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutU64(bits);
+}
+
+void SnapshotWriter::PutBool(bool v) { PutU32(v ? 1 : 0); }
+
+void SnapshotWriter::PutString(std::string_view s) {
+  assert(in_section_);
+  AppendU64(&out_, s.size());
+  out_.append(s);
+}
+
+std::string SnapshotWriter::Finish() && {
+  assert(!in_section_ && "Finish with an open section");
+  AppendU32(&out_, kFooterMagic);
+  AppendU32(&out_, Crc32(out_));
+  return std::move(out_);
+}
+
+Result<std::string_view> SectionCursor::Take(size_t n) {
+  if (payload_.size() - pos_ < n) {
+    return Status::ParseError("snapshot section truncated: need " +
+                              std::to_string(n) + " bytes, have " +
+                              std::to_string(remaining()));
+  }
+  std::string_view view = payload_.substr(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+Result<uint32_t> SectionCursor::ReadU32() {
+  LOGMINE_ASSIGN_OR_RETURN(std::string_view bytes, Take(4));
+  return LoadU32(bytes.data());
+}
+
+Result<uint64_t> SectionCursor::ReadU64() {
+  LOGMINE_ASSIGN_OR_RETURN(std::string_view bytes, Take(8));
+  return LoadU64(bytes.data());
+}
+
+Result<int64_t> SectionCursor::ReadI64() {
+  LOGMINE_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> SectionCursor::ReadDouble() {
+  LOGMINE_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+Result<bool> SectionCursor::ReadBool() {
+  LOGMINE_ASSIGN_OR_RETURN(uint32_t v, ReadU32());
+  if (v > 1) {
+    return Status::ParseError("snapshot bool out of range: " +
+                              std::to_string(v));
+  }
+  return v == 1;
+}
+
+Result<std::string> SectionCursor::ReadString() {
+  LOGMINE_ASSIGN_OR_RETURN(uint64_t len, ReadU64());
+  if (len > remaining()) {
+    return Status::ParseError("snapshot string truncated: length " +
+                              std::to_string(len) + " exceeds " +
+                              std::to_string(remaining()) +
+                              " remaining bytes");
+  }
+  LOGMINE_ASSIGN_OR_RETURN(std::string_view bytes,
+                           Take(static_cast<size_t>(len)));
+  return std::string(bytes);
+}
+
+Status SectionCursor::ExpectEnd() const {
+  if (pos_ != payload_.size()) {
+    return Status::ParseError("snapshot section has " +
+                              std::to_string(remaining()) +
+                              " undecoded trailing bytes");
+  }
+  return Status::OK();
+}
+
+Result<SnapshotReader> SnapshotReader::Parse(std::string bytes,
+                                             uint32_t expected_version) {
+  // Header (8) + footer (8) is the smallest valid snapshot.
+  if (bytes.size() < 16) {
+    return Status::ParseError("snapshot too short: " +
+                              std::to_string(bytes.size()) + " bytes");
+  }
+  if (LoadU32(bytes.data()) != kHeaderMagic) {
+    return Status::ParseError("snapshot header magic mismatch");
+  }
+  const uint32_t version = LoadU32(bytes.data() + 4);
+  if (version != expected_version) {
+    return Status::FailedPrecondition(
+        "snapshot version " + std::to_string(version) + ", expected " +
+        std::to_string(expected_version));
+  }
+  const size_t footer_at = bytes.size() - 8;
+  if (LoadU32(bytes.data() + footer_at) != kFooterMagic) {
+    return Status::ParseError("snapshot footer magic mismatch (truncated?)");
+  }
+  const uint32_t stored_crc = LoadU32(bytes.data() + footer_at + 4);
+  const uint32_t actual_crc =
+      Crc32(std::string_view(bytes).substr(0, footer_at + 4));
+  if (stored_crc != actual_crc) {
+    return Status::ParseError("snapshot CRC mismatch (corrupt)");
+  }
+
+  SnapshotReader reader;
+  reader.bytes_ = std::move(bytes);
+  reader.version_ = version;
+  size_t pos = 8;
+  const std::string_view view = reader.bytes_;
+  while (pos < footer_at) {
+    if (footer_at - pos < 4) {
+      return Status::ParseError("snapshot section header truncated");
+    }
+    const uint32_t name_len = LoadU32(view.data() + pos);
+    pos += 4;
+    if (footer_at - pos < name_len + 8) {
+      return Status::ParseError("snapshot section truncated");
+    }
+    std::string name(view.substr(pos, name_len));
+    pos += name_len;
+    const uint64_t payload_len = LoadU64(view.data() + pos);
+    pos += 8;
+    if (payload_len > footer_at - pos) {
+      return Status::ParseError("snapshot section payload overruns file");
+    }
+    reader.sections_.emplace_back(
+        std::move(name),
+        std::make_pair(pos, static_cast<size_t>(payload_len)));
+    pos += static_cast<size_t>(payload_len);
+  }
+  return reader;
+}
+
+bool SnapshotReader::HasSection(std::string_view name) const {
+  for (const auto& [section_name, span] : sections_) {
+    if (section_name == name) return true;
+  }
+  return false;
+}
+
+Result<SectionCursor> SnapshotReader::Section(std::string_view name) const {
+  for (const auto& [section_name, span] : sections_) {
+    if (section_name == name) {
+      return SectionCursor(
+          std::string_view(bytes_).substr(span.first, span.second));
+    }
+  }
+  return Status::NotFound("snapshot has no section '" + std::string(name) +
+                          "'");
+}
+
+Status WriteSnapshotFile(const std::string& path, std::string_view bytes) {
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc | std::ios::binary);
+    if (!out) {
+      return Status::Internal("cannot open for writing: " + tmp_path);
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp_path.c_str());
+      return Status::Internal("write failed: " + tmp_path);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("rename to " + path + " failed: " + ec.message());
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::Internal("read failed: " + path);
+  }
+  return std::move(buffer).str();
+}
+
+}  // namespace logmine

@@ -1,0 +1,133 @@
+#ifndef LOGMINE_UTIL_SNAPSHOT_H_
+#define LOGMINE_UTIL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace logmine {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib variant) of `bytes`.
+uint32_t Crc32(std::string_view bytes);
+
+/// Current version of the snapshot container format. Bump when the
+/// *container* layout changes; section payload layouts are versioned by
+/// the writers (see core/serialization.h).
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Builds one snapshot: a versioned, sectioned, CRC-protected byte
+/// string — the on-disk unit of the checkpoint/recovery layer.
+///
+/// Layout (all integers little-endian, fixed width):
+///   u32 magic "LMSN" | u32 version
+///   per section: u32 name_len | name | u64 payload_len | payload
+///   footer: u32 magic "PANS" | u32 crc32(everything before the footer)
+///
+/// The per-section length prefixes let a reader skip unknown sections,
+/// and the footer CRC turns any truncation or bit rot anywhere in the
+/// file into a detectable parse failure instead of silently wrong state.
+///
+/// Example:
+///   SnapshotWriter w;
+///   w.BeginSection("meta");
+///   w.PutU64(fingerprint);
+///   w.EndSection();
+///   std::string bytes = std::move(w).Finish();
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(uint32_t version = kSnapshotVersion);
+
+  /// Starts a named section; every Put* call lands in it.
+  void BeginSection(std::string_view name);
+  /// Closes the current section, patching its length prefix.
+  void EndSection();
+
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v);
+  void PutDouble(double v);
+  void PutBool(bool v);
+  /// Length-prefixed (u64) byte string.
+  void PutString(std::string_view s);
+
+  /// Appends the CRC footer and returns the finished snapshot. The
+  /// writer is spent afterwards. Pre-condition: no open section.
+  std::string Finish() &&;
+
+ private:
+  std::string out_;
+  size_t payload_len_at_ = 0;  ///< offset of the open section's length prefix
+  bool in_section_ = false;
+};
+
+/// Bounds-checked reader over one section's payload. Views into the
+/// owning SnapshotReader's buffer — keep the reader alive while cursors
+/// are in use. Every read fails with ParseError instead of walking off
+/// the end, so a payload truncated *inside* a section (CRC collisions
+/// aside, only possible with a hand-built file) still cannot crash.
+class SectionCursor {
+ public:
+  SectionCursor(std::string_view payload) : payload_(payload) {}
+
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadDouble();
+  Result<bool> ReadBool();
+  Result<std::string> ReadString();
+
+  size_t remaining() const { return payload_.size() - pos_; }
+  /// ParseError when payload bytes remain — catches layout drift where
+  /// the decoder read less than the encoder wrote.
+  Status ExpectEnd() const;
+
+ private:
+  Result<std::string_view> Take(size_t n);
+
+  std::string_view payload_;
+  size_t pos_ = 0;
+};
+
+/// Parses and validates a snapshot produced by SnapshotWriter.
+///
+/// Validation order: container magic -> version -> footer magic -> CRC
+/// -> section structure. A version mismatch is FailedPrecondition (the
+/// recovery layer treats it as a stale generation); every other defect
+/// is ParseError.
+class SnapshotReader {
+ public:
+  static Result<SnapshotReader> Parse(std::string bytes,
+                                      uint32_t expected_version =
+                                          kSnapshotVersion);
+
+  uint32_t version() const { return version_; }
+  bool HasSection(std::string_view name) const;
+  /// Cursor over the named section's payload; NotFound when absent.
+  Result<SectionCursor> Section(std::string_view name) const;
+
+ private:
+  SnapshotReader() = default;
+
+  std::string bytes_;
+  uint32_t version_ = 0;
+  /// name -> (offset, length) into bytes_.
+  std::vector<std::pair<std::string, std::pair<size_t, size_t>>> sections_;
+};
+
+/// Writes `bytes` to `path` atomically (sibling tmp file + rename, the
+/// WriteCorpusFile pattern): a crash mid-write leaves either the old
+/// snapshot or the complete new one at `path`, never a torn file.
+/// Failures are Internal (retryable, see util/retry.h).
+Status WriteSnapshotFile(const std::string& path, std::string_view bytes);
+
+/// Reads a whole file. NotFound when it does not exist; Internal on I/O
+/// failure.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace logmine
+
+#endif  // LOGMINE_UTIL_SNAPSHOT_H_

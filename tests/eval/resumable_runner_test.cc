@@ -1,0 +1,309 @@
+// Unit-level behavior of the checkpoint/resume layer on a small corpus.
+// The exhaustive kill-point sweep lives in
+// tests/integration/crash_recovery_test.cc.
+
+#include "eval/resumable_runner.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/serialization.h"
+#include "eval/daily_runner.h"
+#include "eval/dataset.h"
+
+namespace logmine::eval {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ResumableRunnerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetConfig config;
+    config.simulation.num_days = 2;
+    config.simulation.scale = 0.1;
+    auto built = BuildDataset(config);
+    ASSERT_TRUE(built.ok()) << built.status();
+    dataset_ = new Dataset(std::move(built).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  /// A fresh empty checkpoint directory under the test tmpdir.
+  static std::string FreshDir(const std::string& name) {
+    const fs::path dir = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+  }
+
+  static uint64_t L3Hash(const core::L3Config& config,
+                         const core::ModelTrackerConfig& tracker) {
+    return CheckpointStateHash(core::ConfigFingerprint(config), *dataset_,
+                               tracker);
+  }
+
+  /// Byte-level fingerprint of a run — the identity the whole layer
+  /// guarantees.
+  static std::string Bytes(const core::L3Config& config,
+                           const ResumableOptions& options,
+                           const ResumableDailyResult& run) {
+    return CheckpointBytes(Technique::kL3, L3Hash(config, options.tracker),
+                           dataset_->num_days(), run);
+  }
+
+  static Dataset* dataset_;
+};
+
+Dataset* ResumableRunnerTest::dataset_ = nullptr;
+
+TEST_F(ResumableRunnerTest, NoCheckpointDirMatchesPlainDailyRunner) {
+  const core::L3Config config;
+  auto plain = RunL3Daily(*dataset_, config);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+
+  ResumableOptions options;  // checkpoint.dir empty => disabled
+  auto resumable = RunL3DailyResumable(*dataset_, config, options);
+  ASSERT_TRUE(resumable.ok()) << resumable.status();
+
+  const ResumableDailyResult& run = resumable.value();
+  EXPECT_EQ(run.resume.days_loaded, 0);
+  EXPECT_EQ(run.resume.days_mined, 2);
+  EXPECT_EQ(run.resume.snapshots_written, 0);
+  EXPECT_EQ(run.resume.resumed_from, "");
+  ASSERT_EQ(run.result.daily_models.size(),
+            plain.value().daily_models.size());
+  for (size_t d = 0; d < run.result.daily_models.size(); ++d) {
+    EXPECT_EQ(run.result.daily_models[d].pairs(),
+              plain.value().daily_models[d].pairs());
+    EXPECT_EQ(run.result.series.days[d].true_positives,
+              plain.value().series.days[d].true_positives);
+    EXPECT_EQ(run.result.series.days[d].false_positives,
+              plain.value().series.days[d].false_positives);
+  }
+  EXPECT_EQ(run.tracker.num_observations(), 2);
+}
+
+TEST_F(ResumableRunnerTest, SecondRunLoadsEverythingAndMinesNothing) {
+  const core::L3Config config;
+  ResumableOptions options;
+  options.checkpoint.dir = FreshDir("resume_full");
+
+  auto first = RunL3DailyResumable(*dataset_, config, options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first.value().resume.days_mined, 2);
+  EXPECT_EQ(first.value().resume.snapshots_written, 2);
+
+  auto second = RunL3DailyResumable(*dataset_, config, options);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second.value().resume.days_loaded, 2);
+  EXPECT_EQ(second.value().resume.days_mined, 0);
+  EXPECT_EQ(second.value().resume.snapshots_written, 0);
+  EXPECT_NE(second.value().resume.resumed_from, "");
+
+  EXPECT_EQ(Bytes(config, options, first.value()),
+            Bytes(config, options, second.value()));
+}
+
+TEST_F(ResumableRunnerTest, KeepsOnlyConfiguredGenerations) {
+  const core::L3Config config;
+  ResumableOptions options;
+  options.checkpoint.dir = FreshDir("resume_prune");
+  options.checkpoint.keep_generations = 2;
+
+  auto run = RunL3DailyResumable(*dataset_, config, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(options.checkpoint.dir)) {
+    files.push_back(entry.path().filename().string());
+  }
+  // 2 days => generations 1 and 2, both within the keep window.
+  EXPECT_EQ(files.size(), 2u);
+}
+
+TEST_F(ResumableRunnerTest, ConfigChangeRefusesToResume) {
+  core::L3Config config;
+  ResumableOptions options;
+  options.checkpoint.dir = FreshDir("resume_config_mismatch");
+  ASSERT_TRUE(RunL3DailyResumable(*dataset_, config, options).ok());
+
+  config.min_citations += 1;  // result-relevant change
+  auto resumed = RunL3DailyResumable(*dataset_, config, options);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ResumableRunnerTest, ThreadCountChangeResumesFine) {
+  core::L3Config config;
+  config.num_threads = 1;
+  ResumableOptions options;
+  options.checkpoint.dir = FreshDir("resume_threads");
+  auto first = RunL3DailyResumable(*dataset_, config, options);
+  ASSERT_TRUE(first.ok());
+
+  config.num_threads = 0;  // excluded from the fingerprint (PR 1 contract)
+  auto second = RunL3DailyResumable(*dataset_, config, options);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second.value().resume.days_loaded, 2);
+}
+
+TEST_F(ResumableRunnerTest, TrackerConfigChangeRefusesToResume) {
+  const core::L3Config config;
+  ResumableOptions options;
+  options.checkpoint.dir = FreshDir("resume_tracker_mismatch");
+  ASSERT_TRUE(RunL3DailyResumable(*dataset_, config, options).ok());
+
+  options.tracker.confirm_after += 1;
+  auto resumed = RunL3DailyResumable(*dataset_, config, options);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ResumableRunnerTest, TruncatedNewestGenerationFallsBack) {
+  const core::L3Config config;
+  ResumableOptions options;
+  options.checkpoint.dir = FreshDir("resume_truncated");
+
+  auto reference = RunL3DailyResumable(*dataset_, config, options);
+  ASSERT_TRUE(reference.ok());
+
+  // Truncate the newest generation in place (simulated torn write that
+  // somehow reached the final path).
+  const fs::path newest = fs::path(options.checkpoint.dir) / "ckpt-000002.snap";
+  ASSERT_TRUE(fs::exists(newest));
+  const auto full_size = fs::file_size(newest);
+  fs::resize_file(newest, full_size / 2);
+
+  auto recovered = RunL3DailyResumable(*dataset_, config, options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_GE(recovered.value().resume.generations_discarded, 1);
+  EXPECT_EQ(recovered.value().resume.days_loaded, 1);  // fell back to gen 1
+  EXPECT_EQ(recovered.value().resume.days_mined, 1);   // re-mined day 2
+  EXPECT_EQ(Bytes(config, options, reference.value()),
+            Bytes(config, options, recovered.value()));
+}
+
+TEST_F(ResumableRunnerTest, GarbageNewestGenerationFallsBack) {
+  const core::L3Config config;
+  ResumableOptions options;
+  options.checkpoint.dir = FreshDir("resume_garbage");
+  auto reference = RunL3DailyResumable(*dataset_, config, options);
+  ASSERT_TRUE(reference.ok());
+
+  {
+    std::ofstream out(
+        fs::path(options.checkpoint.dir) / "ckpt-000099.snap",
+        std::ios::binary);
+    out << "this is not a snapshot";
+  }
+  auto recovered = RunL3DailyResumable(*dataset_, config, options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_GE(recovered.value().resume.generations_discarded, 1);
+  EXPECT_EQ(recovered.value().resume.days_loaded, 2);
+  EXPECT_EQ(Bytes(config, options, reference.value()),
+            Bytes(config, options, recovered.value()));
+}
+
+TEST_F(ResumableRunnerTest, PreCancelledTokenReturnsCancelled) {
+  CancelToken cancel;
+  cancel.Cancel();
+  ResumableOptions options;
+  options.cancel = &cancel;
+  auto run = RunL3DailyResumable(*dataset_, core::L3Config{}, options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kCancelled);
+
+  DailyRunOptions daily;
+  daily.cancel = &cancel;
+  auto plain = RunL3Daily(*dataset_, core::L3Config{}, daily);
+  ASSERT_FALSE(plain.ok());
+  EXPECT_EQ(plain.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(ResumableRunnerTest, ExpiredDeadlineReturnsDeadlineExceeded) {
+  ResumableOptions options;
+  options.deadline_ms = -1;
+  auto run = RunL3DailyResumable(*dataset_, core::L3Config{}, options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kDeadlineExceeded);
+
+  DailyRunOptions daily;
+  daily.deadline_ms = -1;
+  for (auto technique : {1, 2, 3}) {
+    Status status = Status::OK();
+    if (technique == 1) {
+      status = RunL1Daily(*dataset_, core::L1Config{}, daily).status();
+    } else if (technique == 2) {
+      status =
+          RunL2Daily(*dataset_, core::L2Config{}, nullptr, daily).status();
+    } else {
+      status = RunL3Daily(*dataset_, core::L3Config{}, daily).status();
+    }
+    EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded)
+        << "technique L" << technique;
+  }
+}
+
+TEST_F(ResumableRunnerTest, CancelledProgressIsCheckpointedAndResumable) {
+  // Kill after day 1's checkpoint via the injector, then finish without
+  // it: the second run loads day 1 and mines only day 2.
+  const core::L3Config config;
+  ResumableOptions options;
+  options.checkpoint.dir = FreshDir("resume_partial");
+  sim::CrashInjector injector(
+      sim::CrashPlan{sim::KillPoint::kAfterCheckpoint, 0});
+  options.crash = &injector;
+
+  auto killed = RunL3DailyResumable(*dataset_, config, options);
+  ASSERT_FALSE(killed.ok());
+  EXPECT_TRUE(injector.fired());
+  EXPECT_EQ(killed.status().code(), StatusCode::kInternal);
+
+  options.crash = nullptr;
+  auto finished = RunL3DailyResumable(*dataset_, config, options);
+  ASSERT_TRUE(finished.ok()) << finished.status();
+  EXPECT_EQ(finished.value().resume.days_loaded, 1);
+  EXPECT_EQ(finished.value().resume.days_mined, 1);
+
+  ResumableOptions clean;
+  auto uninterrupted = RunL3DailyResumable(*dataset_, config, clean);
+  ASSERT_TRUE(uninterrupted.ok());
+  EXPECT_EQ(Bytes(config, options, uninterrupted.value()),
+            Bytes(config, options, finished.value()));
+}
+
+TEST_F(ResumableRunnerTest, SweepRunsSelectedTechniques) {
+  SweepConfig config;
+  config.run_l1 = false;  // L1 is the slow one; unit-level skips it
+  config.l1.minlogs = 8;
+  ResumableOptions options;
+  options.checkpoint.dir = FreshDir("resume_sweep");
+
+  auto sweep = RunSweepResumable(*dataset_, config, options);
+  ASSERT_TRUE(sweep.ok()) << sweep.status();
+  EXPECT_FALSE(sweep.value().l1.has_value());
+  ASSERT_TRUE(sweep.value().l2.has_value());
+  ASSERT_TRUE(sweep.value().l3.has_value());
+  EXPECT_EQ(sweep.value().l2->resume.days_mined, 2);
+  EXPECT_TRUE(
+      fs::exists(fs::path(options.checkpoint.dir) / "l2" / "ckpt-000002.snap"));
+  EXPECT_TRUE(
+      fs::exists(fs::path(options.checkpoint.dir) / "l3" / "ckpt-000002.snap"));
+
+  // A re-run loads both techniques wholesale.
+  auto again = RunSweepResumable(*dataset_, config, options);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again.value().l2->resume.days_loaded, 2);
+  EXPECT_EQ(again.value().l3->resume.days_loaded, 2);
+  EXPECT_EQ(again.value().l2->resume.days_mined, 0);
+  EXPECT_EQ(again.value().l3->resume.days_mined, 0);
+}
+
+}  // namespace
+}  // namespace logmine::eval

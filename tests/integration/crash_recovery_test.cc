@@ -1,0 +1,226 @@
+// The tentpole acceptance property of the checkpoint/recovery layer: a
+// multi-technique sweep killed at *every* named kill point — after a day
+// is mined, mid-snapshot-write (torn file on disk), after a durable
+// checkpoint, and between miners — and then restarted, converges to a
+// final result byte-identical to an uninterrupted run. Identity is
+// asserted on CheckpointBytes, the exact serialized form the runner
+// itself persists, so any drift in models, series rows, session stats
+// or tracker state anywhere in the stack fails the test.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/serialization.h"
+#include "eval/dataset.h"
+#include "eval/resumable_runner.h"
+#include "simulation/crash_injector.h"
+
+namespace logmine::eval {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CrashRecoveryTest : public ::testing::Test {
+ public:
+  static void SetUpTestSuite() {
+    DatasetConfig config;
+    config.simulation.num_days = 2;
+    config.simulation.scale = 0.1;
+    auto built = BuildDataset(config);
+    ASSERT_TRUE(built.ok()) << built.status();
+    dataset_ = new Dataset(std::move(built).value());
+
+    ResumableOptions options;
+    options.checkpoint.dir = FreshDir("crash_reference");
+    auto reference = RunSweepResumable(*dataset_, Config(), options);
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    reference_ = new SweepResult(std::move(reference).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+    delete reference_;
+    reference_ = nullptr;
+  }
+
+  static SweepConfig Config() {
+    SweepConfig config;
+    // Scaled-down corpus (0.1 of production volume): proportionally
+    // lower L1 support floor, coarser slots to keep the test fast.
+    config.l1.minlogs = 8;
+    config.l1.slot_length = 2 * kMillisPerHour;
+    return config;
+  }
+
+  static std::string FreshDir(const std::string& name) {
+    const fs::path dir = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+  }
+
+  /// The serialized form of one technique's run — the byte string whose
+  /// equality the recovery contract promises.
+  static std::string Bytes(Technique technique, uint64_t config_fp,
+                           const ResumableOptions& options,
+                           const ResumableDailyResult& run) {
+    return CheckpointBytes(
+        technique, CheckpointStateHash(config_fp, *dataset_, options.tracker),
+        dataset_->num_days(), run);
+  }
+
+  /// Asserts `sweep` is byte-identical to the uninterrupted reference,
+  /// technique by technique.
+  static void ExpectIdenticalToReference(const SweepResult& sweep,
+                                         const ResumableOptions& options,
+                                         const std::string& context) {
+    const SweepConfig config = Config();
+    ASSERT_TRUE(sweep.l1.has_value()) << context;
+    ASSERT_TRUE(sweep.l2.has_value()) << context;
+    ASSERT_TRUE(sweep.l3.has_value()) << context;
+    EXPECT_EQ(Bytes(Technique::kL1, core::ConfigFingerprint(config.l1),
+                    options, *sweep.l1),
+              Bytes(Technique::kL1, core::ConfigFingerprint(config.l1),
+                    options, *reference_->l1))
+        << context << ": L1 diverged";
+    EXPECT_EQ(Bytes(Technique::kL2, core::ConfigFingerprint(config.l2),
+                    options, *sweep.l2),
+              Bytes(Technique::kL2, core::ConfigFingerprint(config.l2),
+                    options, *reference_->l2))
+        << context << ": L2 diverged";
+    EXPECT_EQ(Bytes(Technique::kL3, core::ConfigFingerprint(config.l3),
+                    options, *sweep.l3),
+              Bytes(Technique::kL3, core::ConfigFingerprint(config.l3),
+                    options, *reference_->l3))
+        << context << ": L3 diverged";
+  }
+
+  static Dataset* dataset_;
+  static SweepResult* reference_;
+};
+
+Dataset* CrashRecoveryTest::dataset_ = nullptr;
+SweepResult* CrashRecoveryTest::reference_ = nullptr;
+
+/// Kills one sweep at `plan`, asserts the death was the simulated one,
+/// reruns without the injector and checks byte-identity.
+void KillAndRecover(const Dataset& dataset, const SweepConfig& config,
+                    sim::CrashPlan plan, ResumableOptions options,
+                    const std::string& context,
+                    SweepResult* recovered_out = nullptr) {
+  sim::CrashInjector injector(plan);
+  options.crash = &injector;
+  auto killed = RunSweepResumable(dataset, config, options);
+  ASSERT_FALSE(killed.ok()) << context << ": injector never reached";
+  ASSERT_TRUE(injector.fired()) << context;
+  EXPECT_EQ(killed.status().code(), StatusCode::kInternal) << context;
+  EXPECT_NE(killed.status().message().find("simulated crash"),
+            std::string::npos)
+      << context << ": " << killed.status();
+
+  options.crash = nullptr;
+  auto recovered = RunSweepResumable(dataset, config, options);
+  ASSERT_TRUE(recovered.ok()) << context << ": " << recovered.status();
+  if (recovered_out != nullptr) *recovered_out = recovered.value();
+  CrashRecoveryTest::ExpectIdenticalToReference(recovered.value(), options,
+                                                context);
+}
+
+TEST_F(CrashRecoveryTest, EveryKillPointRecoversToIdenticalBytes) {
+  for (const sim::KillPoint point :
+       {sim::KillPoint::kAfterDayMined, sim::KillPoint::kMidSnapshotWrite,
+        sim::KillPoint::kAfterCheckpoint}) {
+    for (int day = 0; day < dataset_->num_days(); ++day) {
+      const std::string context = std::string(sim::KillPointName(point)) +
+                                  " #" + std::to_string(day);
+      ResumableOptions options;
+      options.checkpoint.dir = FreshDir("crash_" + std::to_string(
+                                            static_cast<int>(point)) +
+                                        "_" + std::to_string(day));
+      SweepResult recovered;
+      KillAndRecover(*dataset_, Config(), sim::CrashPlan{point, day},
+                     options, context, &recovered);
+      if (HasFatalFailure()) return;
+      if (point == sim::KillPoint::kMidSnapshotWrite) {
+        // The torn file reached the final checkpoint path; recovery must
+        // have discarded it and fallen back (or restarted fresh).
+        ASSERT_TRUE(recovered.l1.has_value());
+        EXPECT_GE(recovered.l1->resume.generations_discarded, 1) << context;
+        EXPECT_EQ(recovered.l1->resume.days_loaded, day) << context;
+      }
+    }
+  }
+}
+
+TEST_F(CrashRecoveryTest, TechniqueBoundaryKillsRecoverToIdenticalBytes) {
+  // index = completed techniques - 1: 0 kills after L1, 1 after L2.
+  for (int boundary = 0; boundary < 2; ++boundary) {
+    const std::string context =
+        "between-miners #" + std::to_string(boundary);
+    ResumableOptions options;
+    options.checkpoint.dir = FreshDir("crash_boundary_" +
+                                      std::to_string(boundary));
+    SweepResult recovered;
+    KillAndRecover(*dataset_, Config(),
+                   sim::CrashPlan{sim::KillPoint::kBetweenMiners, boundary},
+                   options, context, &recovered);
+    if (HasFatalFailure()) return;
+    // Techniques finished before the boundary are loaded wholesale.
+    ASSERT_TRUE(recovered.l1.has_value());
+    EXPECT_EQ(recovered.l1->resume.days_loaded, dataset_->num_days())
+        << context;
+    EXPECT_EQ(recovered.l1->resume.days_mined, 0) << context;
+    if (boundary >= 1) {
+      ASSERT_TRUE(recovered.l2.has_value());
+      EXPECT_EQ(recovered.l2->resume.days_mined, 0) << context;
+    }
+  }
+}
+
+TEST_F(CrashRecoveryTest, RandomSeededPlansAllRecover) {
+  // The fuzzing entry point of the harness: a handful of seeded random
+  // plans, each exactly reproducible from its seed.
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    const sim::CrashPlan plan =
+        sim::RandomCrashPlan(&rng, dataset_->num_days(), /*num_techniques=*/3);
+    const std::string context = "seed " + std::to_string(seed) + ": " +
+                                std::string(sim::KillPointName(plan.point)) +
+                                " #" + std::to_string(plan.index);
+    ResumableOptions options;
+    options.checkpoint.dir = FreshDir("crash_seed_" + std::to_string(seed));
+    KillAndRecover(*dataset_, Config(), plan, options, context);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST_F(CrashRecoveryTest, DoubleCrashStillConverges) {
+  // Two successive deaths — one torn write, then a clean kill later —
+  // followed by a final recovery.
+  ResumableOptions options;
+  options.checkpoint.dir = FreshDir("crash_double");
+  const SweepConfig config = Config();
+
+  sim::CrashInjector first(
+      sim::CrashPlan{sim::KillPoint::kMidSnapshotWrite, 0});
+  options.crash = &first;
+  ASSERT_FALSE(RunSweepResumable(*dataset_, config, options).ok());
+  ASSERT_TRUE(first.fired());
+
+  sim::CrashInjector second(
+      sim::CrashPlan{sim::KillPoint::kBetweenMiners, 1});
+  options.crash = &second;
+  ASSERT_FALSE(RunSweepResumable(*dataset_, config, options).ok());
+  ASSERT_TRUE(second.fired());
+
+  options.crash = nullptr;
+  auto recovered = RunSweepResumable(*dataset_, config, options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ExpectIdenticalToReference(recovered.value(), options, "double crash");
+}
+
+}  // namespace
+}  // namespace logmine::eval
