@@ -11,8 +11,16 @@
 // L2+L3 daily sweep with checkpointing off vs snapshotting after every
 // day, as absolute ms and as a fraction of the uncheckpointed run.
 //
+// Finally, the observability tax: the same end-to-end run with a fully
+// wired ObsContext vs none, reported as a fraction (the budget is 3%),
+// plus one instrumented pass over every stage — ingest decode, the
+// three miners, and a checkpointed sweep — whose metrics snapshot is
+// embedded in the report and whose spans are exported as Chrome-trace
+// JSON (load in chrome://tracing or ui.perfetto.dev).
+//
 // Usage: perf_pipeline [--scale=1.0] [--days=1] [--seed=N]
 //                      [--reps=3] [--out=BENCH_pipeline.json]
+//                      [--trace=trace.json]
 
 #include <algorithm>
 #include <chrono>
@@ -28,7 +36,9 @@
 #include "core/l2_session_builder.h"
 #include "core/pipeline.h"
 #include "eval/resumable_runner.h"
+#include "log/codec.h"
 #include "log/filter.h"
+#include "obs/obs.h"
 #include "stats/association_tests.h"
 #include "util/string_util.h"
 
@@ -292,6 +302,67 @@ int main(int argc, char** argv) {
             << " ms off, " << ckpt_on_ms << " ms on ("
             << ckpt_overhead_ms / ckpt_off_ms * 100.0 << "%)\n";
 
+  // Observability tax on the end-to-end run: best-of-N with a fully
+  // wired context (metrics + trace, installed globally so every layer
+  // reports) against the already-measured plain run at 8 threads.
+  core::PipelineConfig obs_pipeline_config;
+  obs_pipeline_config.l1.num_threads = 8;
+  obs_pipeline_config.l2.num_threads = 8;
+  obs_pipeline_config.l3.num_threads = 8;
+  core::MiningPipeline obs_pipeline(dataset.vocabulary, obs_pipeline_config);
+  const double obs_off_ms = pipeline_sweep[8].ms;
+  const double obs_on_ms = MeasureMs(reps, [&] {
+    obs::ObsContext context;
+    obs::ScopedGlobalObs scoped(&context);
+    auto result = obs_pipeline.Run(dataset.store, begin, end, nullptr,
+                                   &context);
+    if (!result.ok() || !result.value().all_ok()) std::abort();
+  });
+  const double obs_overhead_fraction = (obs_on_ms - obs_off_ms) / obs_off_ms;
+  std::cerr << "[bench] observability overhead: " << obs_off_ms
+            << " ms off, " << obs_on_ms << " ms on ("
+            << obs_overhead_fraction * 100.0 << "%)\n";
+
+  // One instrumented pass over every stage — ingest decode, the three
+  // miners, a checkpointed sweep — so the report carries a per-stage
+  // metrics snapshot and a flight-recorder trace of the whole flow.
+  obs::ObsContext obs_context;
+  std::string obs_metrics_json;
+  {
+    obs::ScopedGlobalObs scoped(&obs_context);
+    std::vector<LogRecord> records;
+    records.reserve(dataset.store.size());
+    for (size_t i = 0; i < dataset.store.size(); ++i) {
+      records.push_back(dataset.store.GetRecord(i));
+    }
+    const std::string text = LineCodec::EncodeAll(records);
+    if (!LineCodec::DecodeAll(text).ok()) std::abort();
+
+    auto run = obs_pipeline.Run(dataset.store, begin, end, nullptr,
+                                &obs_context);
+    if (!run.ok() || !run.value().all_ok()) std::abort();
+
+    std::filesystem::remove_all(ckpt_dir);
+    eval::ResumableOptions obs_ckpt_options = ckpt_options;
+    obs_ckpt_options.obs = &obs_context;
+    auto sweep =
+        eval::RunSweepResumable(dataset, sweep_config, obs_ckpt_options);
+    if (!sweep.ok()) std::abort();
+    std::filesystem::remove_all(ckpt_dir);
+
+    obs_metrics_json = obs_context.metrics().Snapshot().ToJson();
+  }
+  const std::string trace_path = flags.GetString("trace", "trace.json");
+  if (!trace_path.empty()) {
+    if (Status s = obs_context.trace().WriteChromeTrace(trace_path); !s.ok()) {
+      std::cerr << "cannot write " << trace_path << ": " << s << "\n";
+      return 1;
+    }
+    std::cerr << "[bench] wrote " << trace_path << " ("
+              << obs_context.trace().Events().size() << " spans, "
+              << obs_context.trace().dropped() << " dropped)\n";
+  }
+
   // The rework must not change what the miners compute.
   const bool results_match =
       l2_checksum == ref_l2_checksum && l3_checksum == ref_l3_checksum;
@@ -339,6 +410,12 @@ int main(int argc, char** argv) {
       << ", \"overhead_ms\": " << ckpt_overhead_ms
       << ", \"overhead_fraction\": " << ckpt_overhead_ms / ckpt_off_ms
       << "},\n";
+  out << "  \"obs\": {\"off_ms\": " << obs_off_ms
+      << ", \"on_ms\": " << obs_on_ms
+      << ", \"overhead_fraction\": " << obs_overhead_fraction
+      << ", \"trace_spans\": " << obs_context.trace().total_recorded()
+      << ", \"trace_dropped\": " << obs_context.trace().dropped()
+      << ",\n  \"metrics\": " << obs_metrics_json << "},\n";
   out << "  \"l2_l3_speedup_vs_seed_serial\": {";
   bool first = true;
   for (int threads : kThreadSweep) {

@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "core/slotting.h"
+#include "obs/obs.h"
 #include "stats/distributions.h"
 #include "stats/point_process.h"
 #include "util/executor.h"
@@ -107,6 +108,8 @@ Result<AgrawalResult> AgrawalDelayMiner::Mine(const LogStore& store,
   if (begin >= end) {
     return Status::InvalidArgument("empty mining interval");
   }
+  LOGMINE_SPAN_GLOBAL("agrawal/mine", obs::Metric::kAgrawalMineNs);
+  obs::Count(obs::Metric::kAgrawalRuns);
   const std::vector<TimeSlot> slots = MakeSlots(begin, end,
                                                 config_.slot_length);
   const auto num_sources = static_cast<uint32_t>(store.num_sources());

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "core/slotting.h"
+#include "obs/obs.h"
 #include "util/executor.h"
 #include "util/rng.h"
 
@@ -30,6 +31,8 @@ Result<L1Result> L1ActivityMiner::Mine(const LogStore& store, TimeMs begin,
   if (begin >= end) {
     return Status::InvalidArgument("empty mining interval");
   }
+  LOGMINE_SPAN_GLOBAL("l1/mine", obs::Metric::kL1MineNs);
+  obs::Count(obs::Metric::kL1Runs);
   // All-source timestamps in the window, needed by both the adaptive
   // slotting and the intensity-proportional baseline.
   std::vector<TimeMs> all_events;
@@ -141,7 +144,10 @@ Result<L1Result> L1ActivityMiner::Mine(const LogStore& store, TimeMs begin,
                                  config_.num_threads);
 
   // Phase 2 — serial merge in slot order (deterministic accumulation).
+  obs::Count(obs::Metric::kL1SlotsTotal, static_cast<int64_t>(slots.size()));
   for (const SlotOutcome& outcome : outcomes) {
+    obs::Count(obs::Metric::kL1SlotTests,
+               static_cast<int64_t>(outcome.pairs.size()));
     for (const auto& [a, b, positive] : outcome.pairs) {
       L1PairResult& pr = pair_slot(a, b);
       ++pr.slots_supported;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/obs.h"
 #include "stats/association_tests.h"
 #include "util/executor.h"
 #include "util/flat_counter.h"
@@ -41,6 +42,8 @@ Result<L2Result> L2CooccurrenceMiner::MineSessions(
   if (config_.alpha <= 0.0 || config_.alpha >= 1.0) {
     return Status::InvalidArgument("alpha must be in (0, 1)");
   }
+  LOGMINE_SPAN_GLOBAL("l2/mine", obs::Metric::kL2MineNs);
+  obs::Count(obs::Metric::kL2Runs);
   L2Result result;
 
   // First pass: joint bigram frequencies, sharded over sessions on the
@@ -118,6 +121,9 @@ Result<L2Result> L2CooccurrenceMiner::MineSessions(
                                                      config_.alpha);
     result.scored.push_back(score);
   }
+  obs::Count(obs::Metric::kL2BigramsCounted, result.num_bigrams);
+  obs::Count(obs::Metric::kL2PairsScored,
+             static_cast<int64_t>(result.scored.size()));
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "log/filter.h"
+#include "obs/obs.h"
 
 namespace logmine::core {
 
@@ -11,6 +12,7 @@ std::vector<Session> SessionBuilder::Build(const LogStore& store,
                                            TimeMs begin, TimeMs end,
                                            SessionBuildStats* stats) const {
   assert(store.index_built());
+  LOGMINE_SPAN_GLOBAL("l2/build_sessions", obs::Metric::kL2SessionBuildNs);
   std::vector<Session> sessions;
   std::map<LogStore::UserId, Session> open;
   SessionBuildStats local;
@@ -52,6 +54,9 @@ std::vector<Session> SessionBuilder::Build(const LogStore& store,
           ? 0.0
           : static_cast<double>(local.logs_assigned) /
                 static_cast<double>(local.logs_considered);
+  obs::Count(obs::Metric::kL2SessionsBuilt,
+             static_cast<int64_t>(local.num_sessions));
+  obs::Count(obs::Metric::kL2SessionLogsAssigned, local.logs_assigned);
   if (stats != nullptr) *stats = local;
   return sessions;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "log/filter.h"
+#include "obs/obs.h"
 #include "util/executor.h"
 #include "util/flat_counter.h"
 #include "util/string_util.h"
@@ -119,6 +120,8 @@ Result<L3Result> L3TextMiner::Mine(const LogStore& store, TimeMs begin,
   if (vocabulary_.entries.empty()) {
     return Status::FailedPrecondition("empty service vocabulary");
   }
+  LOGMINE_SPAN_GLOBAL("l3/mine", obs::Metric::kL3MineNs);
+  obs::Count(obs::Metric::kL3Runs);
   L3Result result;
   const std::vector<uint32_t> indices = IndicesInRange(store, begin, end);
 
@@ -177,6 +180,13 @@ Result<L3Result> L3TextMiner::Mine(const LogStore& store, TimeMs begin,
     citation.dependent = count >= config_.min_citations;
     result.citations.push_back(citation);
   }
+  obs::Count(obs::Metric::kL3LogsScanned, result.logs_scanned);
+  obs::Count(obs::Metric::kL3LogsStopped, result.logs_stopped);
+  int64_t total_citations = 0;
+  for (const L3Citation& citation : result.citations) {
+    total_citations += citation.count;
+  }
+  obs::Count(obs::Metric::kL3CitationsCounted, total_citations);
   return result;
 }
 

@@ -31,10 +31,16 @@ MiningPipeline::MiningPipeline(ServiceVocabulary vocabulary,
 
 Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
                                            TimeMs end,
-                                           const CancelToken* cancel) const {
+                                           const CancelToken* cancel,
+                                           obs::ObsContext* obs_context) const {
   if (!store.index_built()) {
     return Status::FailedPrecondition("LogStore index not built");
   }
+  // Pipeline-level spans and counters go to the explicit context when one
+  // was handed in, else to the ambient global one; the miners themselves
+  // always record into the global context.
+  obs::ObsContext* ctx = obs::Effective(obs_context);
+  obs::Count(ctx, obs::Metric::kPipelineRuns);
   PipelineResult out;
 
   // One (closure, status slot) pair per enabled technique. The store is
@@ -47,6 +53,7 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
   std::vector<Status*> slots;
   if (config_.run_l1) {
     tasks.push_back([&]() -> Status {
+      LOGMINE_SPAN(ctx, "pipeline/l1");
       L1ActivityMiner miner(config_.l1);
       auto result = miner.Mine(store, begin, end);
       if (!result.ok()) return result.status();
@@ -57,6 +64,7 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
   }
   if (config_.run_l2) {
     tasks.push_back([&]() -> Status {
+      LOGMINE_SPAN(ctx, "pipeline/l2");
       L2CooccurrenceMiner miner(config_.l2);
       auto result = miner.Mine(store, begin, end);
       if (!result.ok()) return result.status();
@@ -67,6 +75,7 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
   }
   if (config_.run_l3) {
     tasks.push_back([&]() -> Status {
+      LOGMINE_SPAN(ctx, "pipeline/l3");
       L3TextMiner miner(vocabulary_, config_.l3);
       auto result = miner.Mine(store, begin, end);
       if (!result.ok()) return result.status();
@@ -77,6 +86,7 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
   }
   if (config_.run_agrawal) {
     tasks.push_back([&]() -> Status {
+      LOGMINE_SPAN(ctx, "pipeline/agrawal");
       AgrawalDelayMiner miner(config_.agrawal);
       auto result = miner.Mine(store, begin, end);
       if (!result.ok()) return result.status();
@@ -94,21 +104,32 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
                         std::chrono::milliseconds(config_.deadline_ms);
   RunOptions options;
   options.max_parallelism = config_.concurrent_miners ? 0 : 1;
-  Executor::Shared().ParallelFor(
-      tasks.size(),
-      [&](size_t i) {
-        if (cancel != nullptr && cancel->cancelled()) {
-          *slots[i] = Status::Cancelled("miner skipped: run cancelled");
-          return;
-        }
-        if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
-          *slots[i] =
-              Status::DeadlineExceeded("miner skipped: run deadline expired");
-          return;
-        }
-        *slots[i] = RunContained(tasks[i]);
-      },
-      options);
+  {
+    LOGMINE_SPAN(ctx, "pipeline/run", obs::Metric::kPipelineRunNs);
+    Executor::Shared().ParallelFor(
+        tasks.size(),
+        [&](size_t i) {
+          if (cancel != nullptr && cancel->cancelled()) {
+            *slots[i] = Status::Cancelled("miner skipped: run cancelled");
+            return;
+          }
+          if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+            *slots[i] =
+                Status::DeadlineExceeded("miner skipped: run deadline expired");
+            return;
+          }
+          *slots[i] = RunContained(tasks[i]);
+        },
+        options);
+  }
+  for (const Status* slot : slots) {
+    obs::Count(ctx, slot->ok() ? obs::Metric::kPipelineMinersOk
+                               : obs::Metric::kPipelineMinersFailed);
+  }
+  // Snapshot after the run span closed, so the snapshot sees it.
+  if (obs_context != nullptr) {
+    out.metrics = obs_context->metrics().Snapshot();
+  }
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include "core/l2_cooccurrence_miner.h"
 #include "core/l3_text_miner.h"
 #include "log/store.h"
+#include "obs/obs.h"
 #include "util/executor.h"
 #include "util/result.h"
 
@@ -50,6 +51,10 @@ struct PipelineResult {
   Status l3_status;
   Status agrawal_status;
 
+  /// Merged metrics of the run's explicit `ObsContext`, taken after the
+  /// miners quiesced. Absent when `Run` was not handed a context.
+  std::optional<obs::MetricsSnapshot> metrics;
+
   /// True when every enabled miner produced a result.
   bool all_ok() const {
     return l1_status.ok() && l2_status.ok() && l3_status.ok() &&
@@ -88,8 +93,13 @@ class MiningPipeline {
   /// Pre-condition: store.index_built().
   /// `cancel`, when non-null, cooperatively stops the run: miners that
   /// have not started when it fires are skipped with Cancelled status.
+  /// `obs_context`, when non-null, receives the run's spans and counters
+  /// (in addition to whatever global context the low layers see), and
+  /// `PipelineResult::metrics` carries its merged snapshot; when null the
+  /// run records into the global context only and the snapshot is absent.
   Result<PipelineResult> Run(const LogStore& store, TimeMs begin, TimeMs end,
-                             const CancelToken* cancel = nullptr) const;
+                             const CancelToken* cancel = nullptr,
+                             obs::ObsContext* obs_context = nullptr) const;
 
   const PipelineConfig& config() const { return config_; }
   const ServiceVocabulary& vocabulary() const { return vocabulary_; }

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/obs.h"
 #include "util/time_util.h"
 
 namespace logmine::eval {
@@ -75,6 +76,8 @@ core::DependencyModel DailyRunResult::UnionModel() const {
 Result<DayOutcome> RunL1Day(const Dataset& dataset,
                             const core::L1Config& config, int day) {
   LOGMINE_RETURN_IF_ERROR(CheckDay(dataset, day));
+  LOGMINE_SPAN_GLOBAL("eval/l1_day", obs::Metric::kEvalDayNs);
+  obs::Count(obs::Metric::kEvalDaysMined);
   core::L1ActivityMiner miner(config);
   auto mined =
       miner.Mine(dataset.store, dataset.day_begin(day), dataset.day_end(day));
@@ -90,6 +93,8 @@ Result<DayOutcome> RunL1Day(const Dataset& dataset,
 Result<DayOutcome> RunL2Day(const Dataset& dataset,
                             const core::L2Config& config, int day) {
   LOGMINE_RETURN_IF_ERROR(CheckDay(dataset, day));
+  LOGMINE_SPAN_GLOBAL("eval/l2_day", obs::Metric::kEvalDayNs);
+  obs::Count(obs::Metric::kEvalDaysMined);
   core::L2CooccurrenceMiner miner(config);
   auto mined =
       miner.Mine(dataset.store, dataset.day_begin(day), dataset.day_end(day));
@@ -106,6 +111,8 @@ Result<DayOutcome> RunL2Day(const Dataset& dataset,
 Result<DayOutcome> RunL3Day(const Dataset& dataset,
                             const core::L3Config& config, int day) {
   LOGMINE_RETURN_IF_ERROR(CheckDay(dataset, day));
+  LOGMINE_SPAN_GLOBAL("eval/l3_day", obs::Metric::kEvalDayNs);
+  obs::Count(obs::Metric::kEvalDaysMined);
   core::L3TextMiner miner(dataset.vocabulary, config);
   auto mined =
       miner.Mine(dataset.store, dataset.day_begin(day), dataset.day_end(day));

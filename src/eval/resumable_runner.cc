@@ -171,9 +171,12 @@ Status DecodeCheckpoint(const std::string& bytes, Technique technique,
 Status LoadNewestValid(const ResumableOptions& options, Technique technique,
                        uint64_t state_hash, int num_days,
                        ResumableDailyResult* run) {
+  obs::ObsContext* ctx = obs::Effective(options.obs);
   for (const auto& [generation, path] :
        ListGenerations(options.checkpoint.dir)) {
     std::string bytes;
+    const int64_t read_start_ns =
+        ctx != nullptr ? obs::MonotonicNowNs() : 0;
     const Status read = RetryWithBackoff(
         options.checkpoint.retry, "read:" + path, [&] {
           auto bytes_or = ReadFileToString(path);
@@ -184,8 +187,16 @@ Status LoadNewestValid(const ResumableOptions& options, Technique technique,
     if (!read.ok()) {
       // Vanished (pruned by a racing writer) or persistently unreadable:
       // either way this generation cannot help; fall back.
+      obs::Count(ctx, obs::Metric::kCheckpointGenerationsDiscarded);
       ++run->resume.generations_discarded;
       continue;
+    }
+    obs::Count(ctx, obs::Metric::kCheckpointSnapshotsRead);
+    obs::Count(ctx, obs::Metric::kCheckpointBytesRead,
+               static_cast<int64_t>(bytes.size()));
+    if (ctx != nullptr) {
+      obs::Observe(ctx, obs::Metric::kCheckpointReadNs,
+                   obs::MonotonicNowNs() - read_start_ns);
     }
     ResumableDailyResult candidate;
     candidate.tracker = core::ModelTracker(options.tracker);
@@ -197,6 +208,7 @@ Status LoadNewestValid(const ResumableOptions& options, Technique technique,
       return decoded;  // config/dataset mismatch: refuse, do not fall back
     }
     if (!decoded.ok()) {
+      obs::Count(ctx, obs::Metric::kCheckpointGenerationsDiscarded);
       ++run->resume.generations_discarded;
       continue;
     }
@@ -293,6 +305,9 @@ Result<ResumableDailyResult> RunResumable(const Dataset& dataset,
         options.crash->ShouldKill(KillPoint::kAfterCheckpoint, day)) {
       return CrashInjector::KilledStatus(KillPoint::kAfterCheckpoint, day);
     }
+  }
+  if (options.obs != nullptr) {
+    run.metrics = options.obs->metrics().Snapshot();
   }
   return run;
 }

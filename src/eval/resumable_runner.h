@@ -9,6 +9,7 @@
 
 #include "core/model_tracker.h"
 #include "eval/daily_runner.h"
+#include "obs/obs.h"
 #include "simulation/crash_injector.h"
 #include "util/retry.h"
 
@@ -47,6 +48,11 @@ struct ResumableOptions {
   int64_t deadline_ms = 0;
   /// Test-only kill-point harness; null in production.
   sim::CrashInjector* crash = nullptr;
+  /// Observability context, optional. When non-null the run's checkpoint
+  /// reads and per-day mining record into it (in addition to any global
+  /// context the low layers consult) and the final
+  /// `ResumableDailyResult::metrics` carries its merged snapshot.
+  obs::ObsContext* obs = nullptr;
 };
 
 /// How a resumable run got to its result.
@@ -66,6 +72,10 @@ struct ResumableDailyResult {
   /// Fed one Observe(model) per completed day, surviving restarts.
   core::ModelTracker tracker{core::ModelTrackerConfig{}};
   ResumeInfo resume;
+  /// Merged metrics of `ResumableOptions::obs`, taken after the sweep
+  /// finished; absent when no context was provided. Never serialized
+  /// into checkpoints (snapshot byte-identity is observability-blind).
+  std::optional<obs::MetricsSnapshot> metrics;
 };
 
 /// Checkpointed variants of RunL{1,2,3}Daily: the sweep writes one

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "obs/obs.h"
 #include "util/string_util.h"
 
 namespace logmine {
@@ -74,6 +75,35 @@ void SetClass(IngestErrorClass* out, IngestErrorClass value) {
   if (out != nullptr) *out = value;
 }
 
+// The per-class quarantine metrics sit adjacent in the Metric enum, in
+// IngestErrorClass order, so class c maps to kIngestQuarantinedBadEscape+c.
+static_assert(
+    static_cast<uint32_t>(obs::Metric::kIngestQuarantinedEmptySource) -
+        static_cast<uint32_t>(obs::Metric::kIngestQuarantinedBadEscape) ==
+    kNumIngestErrorClasses - 1);
+
+// Publishes one call's tally into the ambient metrics registry.
+void EmitIngestMetrics(const IngestStats& tally, size_t bytes) {
+  obs::ObsContext* ctx = obs::Global();
+  if (ctx == nullptr) return;
+  obs::MetricsRegistry& metrics = ctx->metrics();
+  metrics.Add(obs::Metric::kIngestLinesTotal,
+              static_cast<int64_t>(tally.lines_total));
+  metrics.Add(obs::Metric::kIngestRecordsDecoded,
+              static_cast<int64_t>(tally.records_decoded));
+  metrics.Add(obs::Metric::kIngestLinesQuarantined,
+              static_cast<int64_t>(tally.lines_quarantined));
+  metrics.Add(obs::Metric::kIngestBytesDecoded, static_cast<int64_t>(bytes));
+  for (size_t c = 0; c < kNumIngestErrorClasses; ++c) {
+    if (tally.by_class[c] == 0) continue;
+    metrics.Add(static_cast<obs::Metric>(
+                    static_cast<uint32_t>(
+                        obs::Metric::kIngestQuarantinedBadEscape) +
+                    c),
+                static_cast<int64_t>(tally.by_class[c]));
+  }
+}
+
 }  // namespace
 
 std::string_view IngestErrorClassName(IngestErrorClass error_class) {
@@ -96,6 +126,19 @@ double IngestStats::bad_fraction() const {
   if (lines_total == 0) return 0.0;
   return static_cast<double>(lines_quarantined) /
          static_cast<double>(lines_total);
+}
+
+void IngestStats::MergeFrom(const IngestStats& other, size_t max_samples) {
+  lines_total += other.lines_total;
+  records_decoded += other.records_decoded;
+  lines_quarantined += other.lines_quarantined;
+  for (size_t c = 0; c < kNumIngestErrorClasses; ++c) {
+    by_class[c] += other.by_class[c];
+  }
+  for (const QuarantinedLine& sample : other.samples) {
+    if (samples.size() >= max_samples) break;
+    samples.push_back(sample);
+  }
 }
 
 std::string IngestStats::ToString() const {
@@ -204,12 +247,15 @@ Result<std::vector<LogRecord>> LineCodec::DecodeAll(std::string_view text) {
   return DecodeAll(text, DecodeOptions{}, nullptr);
 }
 
-Result<std::vector<LogRecord>> LineCodec::DecodeAll(
-    std::string_view text, const DecodeOptions& options, IngestStats* stats) {
+namespace {
+
+// The decode loop proper, tallying into a fresh per-call report so the
+// budget check judges this input alone even when the caller's stats
+// carry counts from earlier calls.
+Result<std::vector<LogRecord>> DecodeAllImpl(std::string_view text,
+                                             const DecodeOptions& options,
+                                             IngestStats* tally) {
   std::vector<LogRecord> out;
-  IngestStats local;
-  IngestStats* tally = stats != nullptr ? stats : &local;
-  *tally = IngestStats{};
   size_t line_no = 0;
   size_t start = 0;
   while (start <= text.size()) {
@@ -220,7 +266,7 @@ Result<std::vector<LogRecord>> LineCodec::DecodeAll(
     if (!Trim(line).empty()) {
       ++tally->lines_total;
       IngestErrorClass error_class = IngestErrorClass::kFieldCount;
-      auto record = Decode(line, &error_class);
+      auto record = LineCodec::Decode(line, &error_class);
       if (record.ok()) {
         ++tally->records_decoded;
         out.push_back(std::move(record).value());
@@ -251,6 +297,18 @@ Result<std::vector<LogRecord>> LineCodec::DecodeAll(
         std::to_string(options.max_bad_fraction));
   }
   return out;
+}
+
+}  // namespace
+
+Result<std::vector<LogRecord>> LineCodec::DecodeAll(
+    std::string_view text, const DecodeOptions& options, IngestStats* stats) {
+  LOGMINE_SPAN_GLOBAL("ingest/decode_all", obs::Metric::kIngestDecodeNs);
+  IngestStats local;
+  auto result = DecodeAllImpl(text, options, &local);
+  EmitIngestMetrics(local, text.size());
+  if (stats != nullptr) stats->MergeFrom(local, options.max_samples);
+  return result;
 }
 
 }  // namespace logmine

@@ -56,10 +56,13 @@ struct QuarantinedLine {
   std::string text;   ///< the offending line, verbatim
 };
 
-/// Report of one corpus decode: how many lines were seen, decoded and
+/// Report of a corpus decode: how many lines were seen, decoded and
 /// quarantined, broken down by error class, plus a first-K sample of the
 /// offending lines. Populated by `LineCodec::DecodeAll` (and by
-/// `ReadCorpusFile`) under either policy.
+/// `ReadCorpusFile`) under either policy. Repeated `DecodeAll` calls
+/// against the same struct *accumulate* (counts add, samples keep
+/// filling up to the call's `max_samples`), so a multi-file ingest can
+/// report one combined health summary; zero-initialize to start fresh.
 struct IngestStats {
   size_t lines_total = 0;        ///< non-blank lines seen
   size_t records_decoded = 0;    ///< lines that produced a record
@@ -69,6 +72,10 @@ struct IngestStats {
 
   /// lines_quarantined / lines_total; 0 on an empty input.
   double bad_fraction() const;
+
+  /// Adds `other`'s counts into this report; `other`'s samples are
+  /// appended until `samples` holds `max_samples` entries.
+  void MergeFrom(const IngestStats& other, size_t max_samples);
 
   /// Multi-line human-readable report (counts per class + samples).
   std::string ToString() const;
@@ -104,8 +111,9 @@ class LineCodec {
   /// Policy-driven variant. Under kFailFast it behaves exactly like the
   /// overload above; under kQuarantine malformed lines are skipped and
   /// tallied, and the decode fails only when the bad-line fraction
-  /// exceeds `options.max_bad_fraction`. `stats`, when non-null, is
-  /// populated under both policies (under kFailFast up to the failure).
+  /// exceeds `options.max_bad_fraction` (judged on this call's lines
+  /// alone). `stats`, when non-null, is *accumulated into* under both
+  /// policies (under kFailFast up to the failure) — see IngestStats.
   static Result<std::vector<LogRecord>> DecodeAll(std::string_view text,
                                                   const DecodeOptions& options,
                                                   IngestStats* stats);

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "obs/obs.h"
+
 namespace logmine {
 
 uint32_t LogStore::Intern(std::string_view name,
@@ -58,6 +60,9 @@ Result<LogStore::SourceId> LogStore::FindSource(std::string_view name) const {
 
 void LogStore::BuildIndex() {
   if (index_built_) return;
+  LOGMINE_SPAN_GLOBAL("store/build_index", obs::Metric::kStoreIndexBuildNs);
+  obs::Count(obs::Metric::kStoreIndexBuilds);
+  obs::Count(obs::Metric::kStoreRecordsIndexed, static_cast<int64_t>(size()));
   source_timestamps_.assign(source_names_.size(), {});
   for (size_t i = 0; i < size(); ++i) {
     source_timestamps_[source_ids_[i]].push_back(client_ts_[i]);
@@ -88,6 +93,7 @@ std::span<const TimeMs> LogStore::SourceTimestampsInRange(SourceId source,
                                                           TimeMs begin,
                                                           TimeMs end) const {
   assert(index_built_);
+  obs::Count(obs::Metric::kStoreRangeQueries);
   const std::vector<TimeMs>& ts = source_timestamps_[source];
   auto lo = std::lower_bound(ts.begin(), ts.end(), begin);
   auto hi = std::lower_bound(lo, ts.end(), end);
@@ -97,6 +103,7 @@ std::span<const TimeMs> LogStore::SourceTimestampsInRange(SourceId source,
 int64_t LogStore::CountInRange(SourceId source, TimeMs begin,
                                TimeMs end) const {
   assert(index_built_);
+  obs::Count(obs::Metric::kStoreRangeQueries);
   const std::vector<TimeMs>& ts = source_timestamps_[source];
   auto lo = std::lower_bound(ts.begin(), ts.end(), begin);
   auto hi = std::lower_bound(ts.begin(), ts.end(), end);

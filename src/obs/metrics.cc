@@ -1,0 +1,427 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "util/table_printer.h"
+
+namespace logmine::obs {
+namespace {
+
+struct MetricDef {
+  std::string_view name;
+  MetricKind kind;
+};
+
+// Must mirror the Metric enum exactly; VerifyMetricTable() below checks
+// the count, and the unit test checks a few names by position.
+constexpr MetricDef kMetricDefs[] = {
+    {"ingest.lines_total", MetricKind::kCounter},
+    {"ingest.records_decoded", MetricKind::kCounter},
+    {"ingest.lines_quarantined", MetricKind::kCounter},
+    {"ingest.bytes_decoded", MetricKind::kCounter},
+    {"ingest.quarantined.bad_escape", MetricKind::kCounter},
+    {"ingest.quarantined.field_count", MetricKind::kCounter},
+    {"ingest.quarantined.bad_timestamp", MetricKind::kCounter},
+    {"ingest.quarantined.bad_severity", MetricKind::kCounter},
+    {"ingest.quarantined.empty_source", MetricKind::kCounter},
+    {"ingest.decode_ns", MetricKind::kHistogram},
+    {"store.index_builds", MetricKind::kCounter},
+    {"store.records_indexed", MetricKind::kCounter},
+    {"store.index_build_ns", MetricKind::kHistogram},
+    {"store.range_queries", MetricKind::kCounter},
+    {"l1.runs", MetricKind::kCounter},
+    {"l1.slots_total", MetricKind::kCounter},
+    {"l1.slot_tests", MetricKind::kCounter},
+    {"l1.mine_ns", MetricKind::kHistogram},
+    {"l2.runs", MetricKind::kCounter},
+    {"l2.sessions_built", MetricKind::kCounter},
+    {"l2.session_logs_assigned", MetricKind::kCounter},
+    {"l2.bigrams_counted", MetricKind::kCounter},
+    {"l2.pairs_scored", MetricKind::kCounter},
+    {"l2.session_build_ns", MetricKind::kHistogram},
+    {"l2.mine_ns", MetricKind::kHistogram},
+    {"l3.runs", MetricKind::kCounter},
+    {"l3.logs_scanned", MetricKind::kCounter},
+    {"l3.logs_stopped", MetricKind::kCounter},
+    {"l3.citations_counted", MetricKind::kCounter},
+    {"l3.mine_ns", MetricKind::kHistogram},
+    {"agrawal.runs", MetricKind::kCounter},
+    {"agrawal.mine_ns", MetricKind::kHistogram},
+    {"executor.tasks_submitted", MetricKind::kCounter},
+    {"executor.tasks_completed", MetricKind::kCounter},
+    {"executor.parallel_loops", MetricKind::kCounter},
+    {"executor.indices_skipped", MetricKind::kCounter},
+    {"executor.queue_depth", MetricKind::kGauge},
+    {"executor.task_ns", MetricKind::kHistogram},
+    {"pipeline.runs", MetricKind::kCounter},
+    {"pipeline.miners_ok", MetricKind::kCounter},
+    {"pipeline.miners_failed", MetricKind::kCounter},
+    {"pipeline.run_ns", MetricKind::kHistogram},
+    {"eval.days_mined", MetricKind::kCounter},
+    {"eval.day_ns", MetricKind::kHistogram},
+    {"checkpoint.snapshots_written", MetricKind::kCounter},
+    {"checkpoint.bytes_written", MetricKind::kCounter},
+    {"checkpoint.write_ns", MetricKind::kHistogram},
+    {"checkpoint.snapshots_read", MetricKind::kCounter},
+    {"checkpoint.bytes_read", MetricKind::kCounter},
+    {"checkpoint.read_ns", MetricKind::kHistogram},
+    {"checkpoint.generations_discarded", MetricKind::kCounter},
+    {"retry.attempts", MetricKind::kCounter},
+    {"retry.backoff_ms_total", MetricKind::kCounter},
+};
+
+static_assert(std::size(kMetricDefs) == kNumWellKnownMetrics,
+              "kMetricDefs must mirror the Metric enum");
+
+constexpr uint32_t kKindShift = 24;
+constexpr uint32_t kSlotMask = (1u << kKindShift) - 1;
+
+constexpr MetricsRegistry::MetricId EncodeId(MetricKind kind, size_t slot) {
+  return (static_cast<uint32_t>(kind) << kKindShift) |
+         static_cast<uint32_t>(slot);
+}
+
+// Precomputed enum -> encoded id table: scalar slots and histogram
+// slots each count up in enum order.
+constexpr auto kWellKnownIds = [] {
+  std::array<MetricsRegistry::MetricId, kNumWellKnownMetrics> ids{};
+  size_t scalars = 0;
+  size_t histograms = 0;
+  for (size_t i = 0; i < kNumWellKnownMetrics; ++i) {
+    const MetricKind kind = kMetricDefs[i].kind;
+    ids[i] = EncodeId(kind, kind == MetricKind::kHistogram ? histograms++
+                                                          : scalars++);
+  }
+  return ids;
+}();
+
+constexpr size_t kWellKnownScalars = [] {
+  size_t n = 0;
+  for (const MetricDef& def : kMetricDefs) {
+    if (def.kind != MetricKind::kHistogram) ++n;
+  }
+  return n;
+}();
+constexpr size_t kWellKnownHistograms =
+    kNumWellKnownMetrics - kWellKnownScalars;
+
+static_assert(kWellKnownScalars <= MetricsRegistry::kMaxScalars);
+static_assert(kWellKnownHistograms <= MetricsRegistry::kMaxHistograms);
+
+std::atomic<uint64_t> g_next_registry_id{1};
+
+std::string FormatNs(int64_t ns) {
+  std::ostringstream os;
+  if (ns >= 1'000'000'000) {
+    os << static_cast<double>(ns) / 1e9 << "s";
+  } else if (ns >= 1'000'000) {
+    os << static_cast<double>(ns) / 1e6 << "ms";
+  } else if (ns >= 1'000) {
+    os << static_cast<double>(ns) / 1e3 << "us";
+  } else {
+    os << ns << "ns";
+  }
+  return std::move(os).str();
+}
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+std::string_view MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+std::string_view MetricName(Metric metric) {
+  return kMetricDefs[static_cast<size_t>(metric)].name;
+}
+
+MetricKind MetricKindOf(Metric metric) {
+  return kMetricDefs[static_cast<size_t>(metric)].kind;
+}
+
+MetricsRegistry::MetricId WellKnownId(Metric metric) {
+  return kWellKnownIds[static_cast<size_t>(metric)];
+}
+
+size_t HistogramSnapshot::BucketOf(int64_t value) {
+  if (value <= 1) return 0;
+  const auto width =
+      static_cast<size_t>(std::bit_width(static_cast<uint64_t>(value - 1)));
+  return std::min(width, kNumBuckets - 1);
+}
+
+int64_t HistogramSnapshot::BucketUpperBound(size_t i) {
+  if (i + 1 >= kNumBuckets) return INT64_MAX;
+  return int64_t{1} << i;
+}
+
+int64_t HistogramSnapshot::QuantileUpperBound(double q) const {
+  if (count == 0) return 0;
+  // Nearest-rank: the first bucket whose cumulative count covers
+  // ceil(q * count) observations (clamped to [1, count]).
+  const auto rank = std::clamp<int64_t>(
+      static_cast<int64_t>(std::ceil(q * static_cast<double>(count))), 1,
+      count);
+  int64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+const MetricsSnapshot::Entry* MetricsSnapshot::Find(
+    std::string_view name) const {
+  for (const Entry& entry : entries) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+int64_t MetricsSnapshot::Value(std::string_view name) const {
+  const Entry* entry = Find(name);
+  if (entry == nullptr) return 0;
+  return entry->kind == MetricKind::kHistogram ? entry->hist.count
+                                               : entry->value;
+}
+
+std::string MetricsSnapshot::ToText(bool include_zero) const {
+  TablePrinter table({"metric", "kind", "value", "mean", "p99"});
+  for (const Entry& entry : entries) {
+    if (entry.kind == MetricKind::kHistogram) {
+      if (!include_zero && entry.hist.count == 0) continue;
+      table.AddRow({entry.name, std::string(MetricKindName(entry.kind)),
+                    std::to_string(entry.hist.count),
+                    FormatNs(static_cast<int64_t>(entry.hist.mean())),
+                    FormatNs(entry.hist.QuantileUpperBound(0.99))});
+    } else {
+      if (!include_zero && entry.value == 0) continue;
+      table.AddRow({entry.name, std::string(MetricKindName(entry.kind)),
+                    std::to_string(entry.value), "", ""});
+    }
+  }
+  return table.ToString();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Entry& entry : entries) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(entry.name, &out);
+    out += ": ";
+    if (entry.kind == MetricKind::kHistogram) {
+      out += "{\"count\": " + std::to_string(entry.hist.count) +
+             ", \"sum\": " + std::to_string(entry.hist.sum) +
+             ", \"mean\": " + std::to_string(entry.hist.mean()) +
+             ", \"p50\": " +
+             std::to_string(entry.hist.QuantileUpperBound(0.5)) +
+             ", \"p99\": " +
+             std::to_string(entry.hist.QuantileUpperBound(0.99)) +
+             ", \"buckets\": [";
+      for (size_t i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+        if (i > 0) out += ", ";
+        out += std::to_string(entry.hist.buckets[i]);
+      }
+      out += "]}";
+    } else {
+      out += std::to_string(entry.value);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+// One thread's private slice of every metric. Relaxed atomics: the
+// owning thread is the only writer, snapshots only need eventual sums
+// (exact once writers quiesce), and int64 addition commutes.
+struct MetricsRegistry::Shard {
+  std::array<std::atomic<int64_t>, kMaxScalars> scalars{};
+  struct Hist {
+    std::array<std::atomic<int64_t>, HistogramSnapshot::kNumBuckets>
+        buckets{};
+    std::atomic<int64_t> count{0};
+    std::atomic<int64_t> sum{0};
+  };
+  std::array<Hist, kMaxHistograms> histograms{};
+};
+
+MetricsRegistry::MetricsRegistry()
+    : registry_id_(g_next_registry_id.fetch_add(1,
+                                                std::memory_order_relaxed)) {
+  scalar_names_.reserve(kMaxScalars);
+  scalar_kinds_.reserve(kMaxScalars);
+  histogram_names_.reserve(kMaxHistograms);
+  for (const MetricDef& def : kMetricDefs) {
+    if (def.kind == MetricKind::kHistogram) {
+      histogram_names_.emplace_back(def.name);
+    } else {
+      scalar_names_.emplace_back(def.name);
+      scalar_kinds_.push_back(def.kind);
+    }
+  }
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard* MetricsRegistry::LocalShard() const {
+  // Per-thread (registry -> shard) cache, keyed by the process-unique
+  // registry id so a destroyed registry's entry can never alias a new
+  // one at the same address.
+  struct TlsEntry {
+    uint64_t registry_id;
+    Shard* shard;
+  };
+  thread_local std::vector<TlsEntry> tls;
+  for (const TlsEntry& entry : tls) {
+    if (entry.registry_id == registry_id_) return entry.shard;
+  }
+  auto owned = std::make_unique<Shard>();
+  Shard* shard = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::move(owned));
+  }
+  tls.push_back({registry_id_, shard});
+  return shard;
+}
+
+MetricsRegistry::MetricId MetricsRegistry::RegisterNamed(
+    std::string_view name, MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (kind == MetricKind::kHistogram) {
+    for (size_t i = 0; i < histogram_names_.size(); ++i) {
+      if (histogram_names_[i] == name) return EncodeId(kind, i);
+    }
+    for (const std::string& scalar : scalar_names_) {
+      if (scalar == name) return kInvalidMetricId;  // exists, wrong kind
+    }
+    if (histogram_names_.size() >= kMaxHistograms) return kInvalidMetricId;
+    histogram_names_.emplace_back(name);
+    return EncodeId(kind, histogram_names_.size() - 1);
+  }
+  for (size_t i = 0; i < scalar_names_.size(); ++i) {
+    if (scalar_names_[i] == name) {
+      return scalar_kinds_[i] == kind ? EncodeId(kind, i) : kInvalidMetricId;
+    }
+  }
+  for (const std::string& histogram : histogram_names_) {
+    if (histogram == name) return kInvalidMetricId;  // exists, wrong kind
+  }
+  if (scalar_names_.size() >= kMaxScalars) return kInvalidMetricId;
+  scalar_names_.emplace_back(name);
+  scalar_kinds_.push_back(kind);
+  return EncodeId(kind, scalar_names_.size() - 1);
+}
+
+MetricsRegistry::MetricId MetricsRegistry::RegisterCounter(
+    std::string_view name) {
+  return RegisterNamed(name, MetricKind::kCounter);
+}
+
+MetricsRegistry::MetricId MetricsRegistry::RegisterGauge(
+    std::string_view name) {
+  return RegisterNamed(name, MetricKind::kGauge);
+}
+
+MetricsRegistry::MetricId MetricsRegistry::RegisterHistogram(
+    std::string_view name) {
+  return RegisterNamed(name, MetricKind::kHistogram);
+}
+
+void MetricsRegistry::Add(MetricId id, int64_t delta) {
+  if (id == kInvalidMetricId) return;
+  const size_t slot = id & kSlotMask;
+  assert(slot < kMaxScalars);
+  LocalShard()->scalars[slot].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Add(Metric metric, int64_t delta) {
+  Add(WellKnownId(metric), delta);
+}
+
+void MetricsRegistry::Observe(MetricId id, int64_t value) {
+  if (id == kInvalidMetricId) return;
+  const size_t slot = id & kSlotMask;
+  assert(slot < kMaxHistograms);
+  Shard::Hist& hist = LocalShard()->histograms[slot];
+  hist.buckets[HistogramSnapshot::BucketOf(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  hist.count.fetch_add(1, std::memory_order_relaxed);
+  hist.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Observe(Metric metric, int64_t value) {
+  Observe(WellKnownId(metric), value);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.entries.reserve(scalar_names_.size() + histogram_names_.size());
+  std::vector<int64_t> scalars(scalar_names_.size(), 0);
+  std::vector<HistogramSnapshot> histograms(histogram_names_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (size_t i = 0; i < scalars.size(); ++i) {
+      scalars[i] += shard->scalars[i].load(std::memory_order_relaxed);
+    }
+    for (size_t i = 0; i < histograms.size(); ++i) {
+      const Shard::Hist& hist = shard->histograms[i];
+      histograms[i].count += hist.count.load(std::memory_order_relaxed);
+      histograms[i].sum += hist.sum.load(std::memory_order_relaxed);
+      for (size_t b = 0; b < HistogramSnapshot::kNumBuckets; ++b) {
+        histograms[i].buckets[b] +=
+            hist.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+  for (size_t i = 0; i < scalars.size(); ++i) {
+    MetricsSnapshot::Entry entry;
+    entry.name = scalar_names_[i];
+    entry.kind = scalar_kinds_[i];
+    entry.value = scalars[i];
+    snapshot.entries.push_back(std::move(entry));
+  }
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    MetricsSnapshot::Entry entry;
+    entry.name = histogram_names_[i];
+    entry.kind = MetricKind::kHistogram;
+    entry.hist = histograms[i];
+    snapshot.entries.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
+}  // namespace logmine::obs

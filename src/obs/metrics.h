@@ -1,0 +1,220 @@
+#ifndef LOGMINE_OBS_METRICS_H_
+#define LOGMINE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace logmine::obs {
+
+/// What a metric measures. Counters are monotonic sums, gauges are
+/// up/down sums (e.g. a queue depth maintained by +1/-1 deltas), and
+/// histograms are fixed-bucket latency distributions.
+enum class MetricKind : uint32_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+std::string_view MetricKindName(MetricKind kind);
+
+/// Every built-in instrumentation point in the library, one per line of
+/// the naming scheme `<layer>.<what>[_ns]` (DESIGN.md §10). The enum is
+/// the fast path: `Add(Metric::k...)` compiles to an array index with
+/// no name lookup. Dynamic metrics registered at runtime live in the
+/// same registry after these.
+enum class Metric : uint32_t {
+  // --- ingest / decode (log/codec.cc) ---
+  kIngestLinesTotal = 0,
+  kIngestRecordsDecoded,
+  kIngestLinesQuarantined,
+  kIngestBytesDecoded,
+  // Per-class quarantine tallies; order mirrors IngestErrorClass.
+  kIngestQuarantinedBadEscape,
+  kIngestQuarantinedFieldCount,
+  kIngestQuarantinedBadTimestamp,
+  kIngestQuarantinedBadSeverity,
+  kIngestQuarantinedEmptySource,
+  kIngestDecodeNs,
+  // --- log store (log/store.cc) ---
+  kStoreIndexBuilds,
+  kStoreRecordsIndexed,
+  kStoreIndexBuildNs,
+  kStoreRangeQueries,
+  // --- miners (core/) ---
+  kL1Runs,
+  kL1SlotsTotal,
+  kL1SlotTests,
+  kL1MineNs,
+  kL2Runs,
+  kL2SessionsBuilt,
+  kL2SessionLogsAssigned,
+  kL2BigramsCounted,
+  kL2PairsScored,
+  kL2SessionBuildNs,
+  kL2MineNs,
+  kL3Runs,
+  kL3LogsScanned,
+  kL3LogsStopped,
+  kL3CitationsCounted,
+  kL3MineNs,
+  kAgrawalRuns,
+  kAgrawalMineNs,
+  // --- executor (util/executor.cc) ---
+  kExecutorTasksSubmitted,
+  kExecutorTasksCompleted,
+  kExecutorParallelLoops,
+  kExecutorIndicesSkipped,
+  kExecutorQueueDepth,
+  kExecutorTaskNs,
+  // --- pipeline (core/pipeline.cc) ---
+  kPipelineRuns,
+  kPipelineMinersOk,
+  kPipelineMinersFailed,
+  kPipelineRunNs,
+  // --- daily / resumable runners (eval/) ---
+  kEvalDaysMined,
+  kEvalDayNs,
+  // --- checkpoint I/O (util/snapshot.cc, eval/resumable_runner.cc) ---
+  kCheckpointSnapshotsWritten,
+  kCheckpointBytesWritten,
+  kCheckpointWriteNs,
+  kCheckpointSnapshotsRead,
+  kCheckpointBytesRead,
+  kCheckpointReadNs,
+  kCheckpointGenerationsDiscarded,
+  // --- retry (util/retry.cc) ---
+  kRetryAttempts,
+  kRetryBackoffMsTotal,
+
+  kNumMetrics,
+};
+
+inline constexpr size_t kNumWellKnownMetrics =
+    static_cast<size_t>(Metric::kNumMetrics);
+
+/// Stable export name (e.g. "l2.bigrams_counted") and kind of a
+/// well-known metric.
+std::string_view MetricName(Metric metric);
+MetricKind MetricKindOf(Metric metric);
+
+/// One histogram's merged state: log2 buckets (bucket 0 holds values
+/// <= 1, bucket i holds [2^(i-1), 2^i), the last bucket everything
+/// larger), plus exact count and sum, so averages are not bucketed.
+struct HistogramSnapshot {
+  static constexpr size_t kNumBuckets = 32;
+
+  int64_t count = 0;
+  int64_t sum = 0;
+  std::array<int64_t, kNumBuckets> buckets{};
+
+  /// Bucket a value falls into (shared with the live registry).
+  static size_t BucketOf(int64_t value);
+  /// Inclusive upper bound of bucket `i` (INT64_MAX for the last).
+  static int64_t BucketUpperBound(size_t i);
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Upper bound of the bucket holding quantile `q` in [0, 1]; an
+  /// upper estimate good to one power of two. 0 when empty.
+  int64_t QuantileUpperBound(double q) const;
+};
+
+/// Point-in-time merged view of a registry, in registration order
+/// (well-known metrics first), so exports are deterministic for any
+/// thread count.
+struct MetricsSnapshot {
+  struct Entry {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    int64_t value = 0;         ///< counters and gauges
+    HistogramSnapshot hist;    ///< histograms only
+  };
+
+  std::vector<Entry> entries;
+
+  /// Entry by export name; nullptr when absent.
+  const Entry* Find(std::string_view name) const;
+  /// Scalar value by name; 0 when absent (histograms: the count).
+  int64_t Value(std::string_view name) const;
+
+  /// Aligned table (util/table_printer) of every non-zero metric:
+  /// metric | kind | value | mean_ns | p99_ns.
+  std::string ToText(bool include_zero = false) const;
+  /// One JSON object: scalars as numbers, histograms as
+  /// {"count","sum","mean","p50","p99","buckets":[...]}.
+  std::string ToJson() const;
+};
+
+/// Thread-safe metrics registry with a lock-free fast path: every
+/// thread writes to its own shard of relaxed atomics (the FlatCounter
+/// discipline — contention-free accumulation, merge on read), and
+/// `Snapshot` sums the shards. Well-known `Metric`s are pre-registered;
+/// `Register*` adds dynamically named metrics until the fixed shard
+/// capacity is exhausted, after which registration returns
+/// `kInvalidMetricId` and writes to that id are dropped — the registry
+/// never grows mid-flight, which is what keeps the fast path free of
+/// locks and resize races.
+///
+/// Determinism: addition over int64 commutes, so a snapshot taken
+/// after the instrumented work quiesces is byte-identical for any
+/// thread count or schedule.
+class MetricsRegistry {
+ public:
+  /// Encoded metric handle: kind in the top byte, shard slot below.
+  using MetricId = uint32_t;
+  static constexpr MetricId kInvalidMetricId = 0xffffffffu;
+  /// Fixed per-shard capacity; well-known metrics use the low slots.
+  static constexpr size_t kMaxScalars = 128;
+  static constexpr size_t kMaxHistograms = 32;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds, by name) a dynamic metric. Thread-safe;
+  /// returns kInvalidMetricId when the capacity is exhausted or the
+  /// name exists with a different kind.
+  MetricId RegisterCounter(std::string_view name);
+  MetricId RegisterGauge(std::string_view name);
+  MetricId RegisterHistogram(std::string_view name);
+
+  /// Adds `delta` to a counter or gauge. Lock-free; invalid ids are
+  /// dropped silently.
+  void Add(MetricId id, int64_t delta);
+  void Add(Metric metric, int64_t delta = 1);
+
+  /// Records one histogram observation (latencies: nanoseconds).
+  void Observe(MetricId id, int64_t value);
+  void Observe(Metric metric, int64_t value);
+
+  /// Merged view of all shards. Safe to call concurrently with
+  /// writers; exact once writers have quiesced.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Shard;
+
+  Shard* LocalShard() const;
+  MetricId RegisterNamed(std::string_view name, MetricKind kind);
+
+  const uint64_t registry_id_;  ///< process-unique, for thread-local lookup
+
+  mutable std::mutex mu_;
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
+  /// Slot -> name/kind tables, pre-filled with the well-known metrics.
+  std::vector<std::string> scalar_names_;
+  std::vector<MetricKind> scalar_kinds_;
+  std::vector<std::string> histogram_names_;
+};
+
+/// The encoded id of a well-known metric (constant-time, no lookup).
+MetricsRegistry::MetricId WellKnownId(Metric metric);
+
+}  // namespace logmine::obs
+
+#endif  // LOGMINE_OBS_METRICS_H_

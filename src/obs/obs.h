@@ -1,0 +1,142 @@
+#ifndef LOGMINE_OBS_OBS_H_
+#define LOGMINE_OBS_OBS_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace logmine::obs {
+
+/// Knobs of one observability context.
+struct ObsOptions {
+  size_t trace_capacity = TraceRecorder::kDefaultCapacity;
+};
+
+/// One metrics registry plus one trace flight recorder — the unit a
+/// pipeline run (or a whole process) records into. Thread-safe; cheap
+/// to pass by pointer, with nullptr meaning "observability off".
+class ObsContext {
+ public:
+  explicit ObsContext(const ObsOptions& options = {})
+      : trace_(options.trace_capacity) {}
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+
+ private:
+  MetricsRegistry metrics_;
+  TraceRecorder trace_;
+};
+
+/// The ambient process-wide context low-level layers (codec, store,
+/// executor, snapshot I/O) record into; nullptr (the default) disables
+/// them at the cost of one relaxed atomic load per instrumentation
+/// point. Set it before concurrent work starts and clear it only after
+/// that work quiesces — layers cache nothing, but a context swapped
+/// mid-run splits its counts across the old and new registries.
+ObsContext* Global();
+void SetGlobal(ObsContext* context);
+
+/// Pins the installed global context (may return null). Unlike a bare
+/// `Global()` load, the returned pointer stays valid until the matching
+/// `ReleaseGlobal()`: `SetGlobal` blocks until every pin is released
+/// before letting the installer proceed (and, typically, destroy the
+/// context). Required wherever a write can outlast the synchronization
+/// point the context owner waits on — e.g. an executor worker timing a
+/// task whose completion was already signalled inside the task. A null
+/// return is already unpinned; call `ReleaseGlobal()` only for non-null.
+ObsContext* AcquireGlobal();
+void ReleaseGlobal();
+
+/// RAII installer: sets the global context, restores the previous one
+/// on destruction.
+class ScopedGlobalObs {
+ public:
+  explicit ScopedGlobalObs(ObsContext* context) : previous_(Global()) {
+    SetGlobal(context);
+  }
+  ~ScopedGlobalObs() { SetGlobal(previous_); }
+  ScopedGlobalObs(const ScopedGlobalObs&) = delete;
+  ScopedGlobalObs& operator=(const ScopedGlobalObs&) = delete;
+
+ private:
+  ObsContext* previous_;
+};
+
+/// The context a layer should record into when handed an explicit one:
+/// the explicit context if non-null, else the global one (may be null).
+inline ObsContext* Effective(ObsContext* explicit_context) {
+  return explicit_context != nullptr ? explicit_context : Global();
+}
+
+// --- null-safe convenience wrappers -----------------------------------
+
+inline void Count(ObsContext* context, Metric metric, int64_t delta = 1) {
+  if (context != nullptr) context->metrics().Add(metric, delta);
+}
+inline void Observe(ObsContext* context, Metric metric, int64_t value) {
+  if (context != nullptr) context->metrics().Observe(metric, value);
+}
+/// Into the global context (no-ops while it is unset).
+inline void Count(Metric metric, int64_t delta = 1) {
+  Count(Global(), metric, delta);
+}
+inline void Observe(Metric metric, int64_t value) {
+  Observe(Global(), metric, value);
+}
+
+/// RAII trace span: starts timing at construction and, at scope exit,
+/// records one TraceEvent into the context's flight recorder — and,
+/// when `latency` names a histogram metric, one latency observation.
+/// A null context makes the whole object a no-op. `name` must be a
+/// string literal (TraceEvent stores the pointer).
+class TraceSpan {
+ public:
+  TraceSpan(ObsContext* context, const char* name,
+            std::optional<Metric> latency = std::nullopt)
+      : context_(context),
+        name_(name),
+        latency_(latency),
+        start_ns_(context != nullptr ? MonotonicNowNs() : 0) {}
+
+  ~TraceSpan() {
+    if (context_ == nullptr) return;
+    TraceEvent event;
+    event.name = name_;
+    event.tid = CurrentTraceThreadId();
+    event.start_ns = start_ns_;
+    event.dur_ns = MonotonicNowNs() - start_ns_;
+    context_->trace().Record(event);
+    if (latency_.has_value()) {
+      context_->metrics().Observe(*latency_, event.dur_ns);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  ObsContext* context_;
+  const char* name_;
+  std::optional<Metric> latency_;
+  int64_t start_ns_;
+};
+
+// Scoped span over the rest of the enclosing block. Usage:
+//   LOGMINE_SPAN(ctx, "l2/mine", obs::Metric::kL2MineNs);
+//   LOGMINE_SPAN_GLOBAL("store/build_index");
+#define LOGMINE_SPAN_CONCAT_IMPL(a, b) a##b
+#define LOGMINE_SPAN_CONCAT(a, b) LOGMINE_SPAN_CONCAT_IMPL(a, b)
+#define LOGMINE_SPAN(context, ...)                          \
+  ::logmine::obs::TraceSpan LOGMINE_SPAN_CONCAT(            \
+      logmine_span_, __LINE__)((context), __VA_ARGS__)
+#define LOGMINE_SPAN_GLOBAL(...) \
+  LOGMINE_SPAN(::logmine::obs::Global(), __VA_ARGS__)
+
+}  // namespace logmine::obs
+
+#endif  // LOGMINE_OBS_OBS_H_

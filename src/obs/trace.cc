@@ -1,0 +1,131 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+
+namespace logmine::obs {
+namespace {
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void AppendEscaped(const char* s, std::string* out) {
+  for (; *s != '\0'; ++s) {
+    switch (*s) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += *s;
+    }
+  }
+}
+
+void AppendMicros(int64_t ns, std::string* out) {
+  // Fixed-point microseconds with 3 decimals, avoiding float rounding.
+  *out += std::to_string(ns / 1000);
+  *out += '.';
+  const auto frac = static_cast<int>(ns % 1000);
+  *out += static_cast<char>('0' + frac / 100);
+  *out += static_cast<char>('0' + (frac / 10) % 10);
+  *out += static_cast<char>('0' + frac % 10);
+}
+
+}  // namespace
+
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - ProcessEpoch())
+      .count();
+}
+
+uint32_t CurrentTraceThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRecorder::Record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[total_ % capacity_] = event;  // overwrite the oldest
+  }
+  ++total_;
+}
+
+uint64_t TraceRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> events;
+  events.reserve(ring_.size());
+  const size_t oldest = total_ > capacity_ ? total_ % capacity_ : 0;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    events.push_back(ring_[(oldest + i) % ring_.size()]);
+  }
+  return events;
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Events();
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\": \"";
+    AppendEscaped(event.name, &out);
+    out += "\", \"cat\": \"logmine\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
+    out += std::to_string(event.tid);
+    out += ", \"ts\": ";
+    AppendMicros(event.start_ns, &out);
+    out += ", \"dur\": ";
+    AppendMicros(event.dur_ns, &out);
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  const std::string json = ToChromeTraceJson();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.flush();
+  if (!out) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace logmine::obs

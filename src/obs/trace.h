@@ -1,0 +1,69 @@
+#ifndef LOGMINE_OBS_TRACE_H_
+#define LOGMINE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace logmine::obs {
+
+/// Nanoseconds on the process-wide steady clock, relative to the first
+/// call (so trace timestamps are small and monotonic). Thread-safe.
+int64_t MonotonicNowNs();
+
+/// Small dense id of the calling thread (assigned on first use, stable
+/// for the thread's lifetime) — the `tid` of every trace event.
+uint32_t CurrentTraceThreadId();
+
+/// One completed span. `name` must be a string literal (or outlive the
+/// recorder): events store the pointer, not a copy, so recording stays
+/// allocation-free.
+struct TraceEvent {
+  const char* name = "";
+  uint32_t tid = 0;
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;
+};
+
+/// Bounded in-memory flight recorder: a fixed-capacity ring that keeps
+/// the most recent `capacity` events and counts the rest as dropped —
+/// tracing a long run can never exhaust memory, only forget the oldest
+/// spans. Recording takes one short mutex hold (~a 32-byte copy); spans
+/// are stage/task-granular, not per-log, so the lock is cold
+/// (DESIGN.md §10 overhead budget).
+class TraceRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 16384;
+
+  explicit TraceRecorder(size_t capacity = kDefaultCapacity);
+
+  void Record(const TraceEvent& event);
+
+  size_t capacity() const { return capacity_; }
+  /// Events ever recorded (including overwritten ones).
+  uint64_t total_recorded() const;
+  /// Events lost to ring overflow: total_recorded() - retained.
+  uint64_t dropped() const;
+
+  /// The retained window, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  /// Chrome/Perfetto `trace_event` JSON (complete "X" events; load via
+  /// chrome://tracing or ui.perfetto.dev). Timestamps in microseconds.
+  std::string ToChromeTraceJson() const;
+  /// Writes `ToChromeTraceJson()` to `path` (truncating).
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace logmine::obs
+
+#endif  // LOGMINE_OBS_TRACE_H_

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <memory>
 
+#include "obs/obs.h"
+
 namespace logmine {
 
 // State shared between the caller of a ParallelFor and the helper tasks
@@ -102,13 +104,34 @@ void Executor::WorkerMain() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // The queue-depth gauge and per-task latency use whatever context
+    // is globally installed at execution time; per-task timing is cheap
+    // here because tasks are coarse (whole ParallelFor drains, Submit
+    // closures), never per-index work.
+    // Pinned, not just loaded: a ParallelFor task signals its waiters
+    // from inside task(), so the context owner can uninstall and destroy
+    // the context before the post-task writes below run. The pin makes
+    // that teardown wait for us.
+    obs::ObsContext* ctx = obs::AcquireGlobal();
+    obs::Count(ctx, obs::Metric::kExecutorQueueDepth, -1);
+    if (ctx != nullptr) {
+      const int64_t start_ns = obs::MonotonicNowNs();
+      task();
+      obs::Observe(ctx, obs::Metric::kExecutorTaskNs,
+                   obs::MonotonicNowNs() - start_ns);
+      obs::Count(ctx, obs::Metric::kExecutorTasksCompleted);
+      obs::ReleaseGlobal();
+    } else {
+      task();
+    }
   }
 }
 
 std::future<void> Executor::Submit(std::function<void()> fn) {
   auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
   std::future<void> future = task->get_future();
+  obs::Count(obs::Metric::kExecutorTasksSubmitted);
+  obs::Count(obs::Metric::kExecutorQueueDepth, 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.emplace_back([task] { (*task)(); });
@@ -139,6 +162,7 @@ Status Executor::ParallelFor(size_t count,
     loop->deadline = std::chrono::steady_clock::now() + options.deadline;
   }
 
+  obs::Count(obs::Metric::kExecutorParallelLoops);
   int helpers = num_workers();
   if (options.max_parallelism > 0) {
     helpers = std::min(helpers, options.max_parallelism - 1);
@@ -147,6 +171,7 @@ Status Executor::ParallelFor(size_t count,
   if (helpers <= 0) {
     loop->Drain();  // serial on the caller, same stop/skip semantics
   } else {
+    obs::Count(obs::Metric::kExecutorQueueDepth, helpers);
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (int h = 0; h < helpers; ++h) {
@@ -163,6 +188,8 @@ Status Executor::ParallelFor(size_t count,
   if (loop->error) std::rethrow_exception(loop->error);
   const size_t skipped = loop->skipped.load(std::memory_order_relaxed);
   if (skipped > 0) {
+    obs::Count(obs::Metric::kExecutorIndicesSkipped,
+               static_cast<int64_t>(skipped));
     const std::string detail = "skipped " + std::to_string(skipped) + " of " +
                                std::to_string(count) + " indices";
     if (options.cancel != nullptr && options.cancel->cancelled()) {

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/obs.h"
 #include "util/rng.h"
 
 namespace logmine {
@@ -39,6 +40,8 @@ Status RetryWithBackoff(const RetryPolicy& policy, std::string_view op_name,
     }
     backoff *= policy.backoff_multiplier;
   }
+  obs::Count(obs::Metric::kRetryAttempts, local.attempts);
+  obs::Count(obs::Metric::kRetryBackoffMsTotal, local.total_backoff_ms);
   if (stats != nullptr) *stats = local;
   return last;
 }

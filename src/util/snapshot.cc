@@ -8,6 +8,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace logmine {
 namespace {
 
@@ -257,6 +259,7 @@ Result<SectionCursor> SnapshotReader::Section(std::string_view name) const {
 }
 
 Status WriteSnapshotFile(const std::string& path, std::string_view bytes) {
+  LOGMINE_SPAN_GLOBAL("checkpoint/write", obs::Metric::kCheckpointWriteNs);
   const std::string tmp_path = path + ".tmp";
   {
     std::ofstream out(tmp_path, std::ios::trunc | std::ios::binary);
@@ -277,6 +280,9 @@ Status WriteSnapshotFile(const std::string& path, std::string_view bytes) {
     std::remove(tmp_path.c_str());
     return Status::Internal("rename to " + path + " failed: " + ec.message());
   }
+  obs::Count(obs::Metric::kCheckpointSnapshotsWritten);
+  obs::Count(obs::Metric::kCheckpointBytesWritten,
+             static_cast<int64_t>(bytes.size()));
   return Status::OK();
 }
 

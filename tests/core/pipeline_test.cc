@@ -144,5 +144,62 @@ TEST(PipelineTest, ExpiredDeadlineSkipsEveryMiner) {
   EXPECT_FALSE(result.value().all_ok());
 }
 
+TEST(PipelineTest, RunWithoutObsContextAttachesNoSnapshot) {
+  const LogStore store = TinyStore();
+  MiningPipeline pipeline(TinyVocab(), PipelineConfig{});
+  auto result = pipeline.Run(store, 0, 10000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().metrics.has_value());
+}
+
+TEST(PipelineTest, RunAttachesMetricsSnapshotToResult) {
+  const LogStore store = TinyStore();
+  PipelineConfig config;
+  config.l1.minlogs = 1;
+  config.l1.test.sample_size = 5;
+  config.l2.min_cooccurrence = 1;
+  config.l2.min_cooccurrence_per_session = 0;
+  config.l2.session.min_logs = 2;
+  MiningPipeline pipeline(TinyVocab(), config);
+
+  obs::ObsContext context;
+  // Install globally too, so the miners' own layer counters land in the
+  // same registry the pipeline snapshots — the way the demo and bench
+  // binaries run.
+  obs::ScopedGlobalObs scoped(&context);
+  auto result = pipeline.Run(store, 0, 10000, nullptr, &context);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value().metrics.has_value());
+
+  const obs::MetricsSnapshot& snap = *result.value().metrics;
+  EXPECT_EQ(snap.Value("pipeline.runs"), 1);
+  EXPECT_EQ(snap.Value("pipeline.miners_ok"), 3);
+  EXPECT_EQ(snap.Value("pipeline.miners_failed"), 0);
+  EXPECT_EQ(snap.Value("l1.runs"), 1);
+  EXPECT_EQ(snap.Value("l2.runs"), 1);
+  EXPECT_EQ(snap.Value("l3.runs"), 1);
+  EXPECT_GT(snap.Value("l3.logs_scanned"), 0);
+  const obs::MetricsSnapshot::Entry* run_ns = snap.Find("pipeline.run_ns");
+  ASSERT_NE(run_ns, nullptr);
+  EXPECT_EQ(run_ns->hist.count, 1);
+  // The flight recorder saw the run span plus the per-miner spans.
+  EXPECT_GE(context.trace().total_recorded(), 4u);
+}
+
+TEST(PipelineTest, ExplicitObsContextWorksWithoutGlobalInstall) {
+  const LogStore store = TinyStore();
+  MiningPipeline pipeline(TinyVocab(), PipelineConfig{});
+  obs::ObsContext context;
+  ASSERT_EQ(obs::Global(), nullptr);
+  auto result = pipeline.Run(store, 0, 10000, nullptr, &context);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value().metrics.has_value());
+  // Pipeline-level counters land in the explicit context even though no
+  // global context is installed; layer counters (l1.runs & co) go to the
+  // global context and are dropped here.
+  EXPECT_EQ(result.value().metrics->Value("pipeline.runs"), 1);
+  EXPECT_EQ(result.value().metrics->Value("pipeline.miners_ok"), 3);
+}
+
 }  // namespace
 }  // namespace logmine::core

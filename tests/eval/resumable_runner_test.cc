@@ -278,6 +278,48 @@ TEST_F(ResumableRunnerTest, CancelledProgressIsCheckpointedAndResumable) {
             Bytes(config, options, finished.value()));
 }
 
+TEST_F(ResumableRunnerTest, ObsContextReceivesCheckpointMetricsAndSnapshot) {
+  const core::L3Config config;
+  ResumableOptions options;
+  options.checkpoint.dir = FreshDir("resume_obs");
+  obs::ObsContext context;
+  // The snapshot writer and the day runners report through the global
+  // context; install it the way the demo and bench binaries do.
+  obs::ScopedGlobalObs scoped(&context);
+  options.obs = &context;
+
+  auto first = RunL3DailyResumable(*dataset_, config, options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(first.value().metrics.has_value());
+  const obs::MetricsSnapshot& cold = *first.value().metrics;
+  EXPECT_EQ(cold.Value("checkpoint.snapshots_written"), 2);
+  EXPECT_GT(cold.Value("checkpoint.bytes_written"), 0);
+  EXPECT_EQ(cold.Value("checkpoint.snapshots_read"), 0);
+  EXPECT_EQ(cold.Value("eval.days_mined"), 2);
+
+  auto second = RunL3DailyResumable(*dataset_, config, options);
+  ASSERT_TRUE(second.ok()) << second.status();
+  ASSERT_TRUE(second.value().metrics.has_value());
+  const obs::MetricsSnapshot& warm = *second.value().metrics;
+  // The context accumulates across runs; the resume shows up as a read.
+  EXPECT_EQ(warm.Value("checkpoint.snapshots_read"), 1);
+  EXPECT_GT(warm.Value("checkpoint.bytes_read"), 0);
+  EXPECT_EQ(warm.Value("eval.days_mined"), 2);  // nothing re-mined
+  EXPECT_EQ(second.value().resume.days_loaded, 2);
+
+  // Observability never leaks into the checkpoint identity.
+  EXPECT_EQ(Bytes(config, options, first.value()),
+            Bytes(config, options, second.value()));
+}
+
+TEST_F(ResumableRunnerTest, NoObsContextMeansNoSnapshotAttached) {
+  const core::L3Config config;
+  ResumableOptions options;  // obs left null
+  auto run = RunL3DailyResumable(*dataset_, config, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_FALSE(run.value().metrics.has_value());
+}
+
 TEST_F(ResumableRunnerTest, SweepRunsSelectedTechniques) {
   SweepConfig config;
   config.run_l1 = false;  // L1 is the slow one; unit-level skips it

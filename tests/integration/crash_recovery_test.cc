@@ -7,6 +7,8 @@
 // itself persists, so any drift in models, series rows, session stats
 // or tracker state anywhere in the stack fails the test.
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -56,7 +58,11 @@ class CrashRecoveryTest : public ::testing::Test {
   }
 
   static std::string FreshDir(const std::string& name) {
-    const fs::path dir = fs::path(::testing::TempDir()) / name;
+    // Suffixed with the pid: ctest runs each case of this suite as its
+    // own parallel process, and every process rebuilds the suite-level
+    // reference dir in SetUpTestSuite — fixed names would collide.
+    const fs::path dir = fs::path(::testing::TempDir()) /
+                         (name + "_" + std::to_string(::getpid()));
     fs::remove_all(dir);
     fs::create_directories(dir);
     return dir.string();

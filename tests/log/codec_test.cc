@@ -277,13 +277,53 @@ TEST(LineCodecTest, QuarantineEnforcesTheBadFractionBudget) {
   ASSERT_FALSE(over.ok());
   EXPECT_NE(over.status().message().find("exceeds budget"),
             std::string::npos);
-  // Stats are still fully populated so callers can report what was seen.
-  EXPECT_EQ(stats.lines_total, 10u);
-  EXPECT_EQ(stats.lines_quarantined, 2u);
+  // Stats accumulate across calls (two decodes of the same text by now)
+  // and are fully populated even on a rejected decode.
+  EXPECT_EQ(stats.lines_total, 20u);
+  EXPECT_EQ(stats.lines_quarantined, 4u);
 
   // A zero budget (the default) quarantines nothing silently.
   options.max_bad_fraction = 0.0;
   EXPECT_FALSE(LineCodec::DecodeAll(text, options, &stats).ok());
+}
+
+TEST(LineCodecTest, IngestStatsAccumulateAcrossDecodeAllCalls) {
+  const std::string good = LineCodec::Encode(MakeRecord());
+  const std::string dirty = good + "\nbroken line\n" + good + "\n";
+
+  DecodeOptions options;
+  options.policy = DecodePolicy::kQuarantine;
+  options.max_bad_fraction = 0.5;
+  options.max_samples = 3;
+  IngestStats stats;
+  ASSERT_TRUE(LineCodec::DecodeAll(dirty, options, &stats).ok());
+  EXPECT_EQ(stats.lines_total, 3u);
+  EXPECT_EQ(stats.lines_quarantined, 1u);
+  ASSERT_EQ(stats.samples.size(), 1u);
+
+  // A second decode into the same struct adds on top of the first —
+  // a multi-file ingest reports one combined health summary.
+  ASSERT_TRUE(LineCodec::DecodeAll(dirty, options, &stats).ok());
+  EXPECT_EQ(stats.lines_total, 6u);
+  EXPECT_EQ(stats.records_decoded, 4u);
+  EXPECT_EQ(stats.lines_quarantined, 2u);
+  EXPECT_EQ(stats.by_class[static_cast<size_t>(IngestErrorClass::kFieldCount)],
+            2u);
+  EXPECT_EQ(stats.samples.size(), 2u);
+
+  // The budget is judged per call: a clean decode succeeds under a zero
+  // budget even though the accumulated stats carry earlier quarantines.
+  options.max_bad_fraction = 0.0;
+  ASSERT_TRUE(LineCodec::DecodeAll(good + "\n", options, &stats).ok());
+  EXPECT_EQ(stats.lines_total, 7u);
+  EXPECT_EQ(stats.lines_quarantined, 2u);
+
+  // Samples stop accumulating at the call's max_samples cap.
+  options.max_bad_fraction = 0.5;
+  ASSERT_TRUE(LineCodec::DecodeAll(dirty, options, &stats).ok());
+  ASSERT_TRUE(LineCodec::DecodeAll(dirty, options, &stats).ok());
+  EXPECT_EQ(stats.lines_quarantined, 4u);
+  EXPECT_EQ(stats.samples.size(), 3u);
 }
 
 TEST(LineCodecTest, QuarantineOnCleanInputMatchesFailFast) {

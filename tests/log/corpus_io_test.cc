@@ -148,11 +148,13 @@ TEST_F(CorpusIoTest, QuarantineReadSkipsBadLinesAndReportsStats) {
                 IngestErrorClass::kFieldCount)],
             1u);
 
-  // A tighter budget rejects the same file, stats intact.
+  // A tighter budget rejects the same file; the reused stats struct
+  // accumulates the second read's tallies on top of the first.
   options.max_bad_fraction = 0.1;
   auto rejected = ReadCorpusFile(path_.string(), options, &stats);
   ASSERT_FALSE(rejected.ok());
-  EXPECT_EQ(stats.lines_quarantined, 1u);
+  EXPECT_EQ(stats.lines_total, 6u);
+  EXPECT_EQ(stats.lines_quarantined, 2u);
 }
 
 }  // namespace

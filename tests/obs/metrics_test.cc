@@ -1,0 +1,218 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.h"
+
+namespace logmine::obs {
+namespace {
+
+TEST(MetricsRegistryTest, WellKnownMetricsStartAtZeroAndAdd) {
+  MetricsRegistry registry;
+  registry.Add(Metric::kIngestLinesTotal, 7);
+  registry.Add(Metric::kIngestLinesTotal, 3);
+  registry.Add(Metric::kExecutorQueueDepth, 5);
+  registry.Add(Metric::kExecutorQueueDepth, -2);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.Value("ingest.lines_total"), 10);
+  EXPECT_EQ(snap.Value("executor.queue_depth"), 3);
+  EXPECT_EQ(snap.Value("l2.bigrams_counted"), 0);
+
+  const MetricsSnapshot::Entry* gauge = snap.Find("executor.queue_depth");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->kind, MetricKind::kGauge);
+}
+
+TEST(MetricsRegistryTest, EveryWellKnownMetricHasANameAndAnEntry) {
+  MetricsRegistry registry;
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_GE(snap.entries.size(), kNumWellKnownMetrics);
+  for (size_t i = 0; i < kNumWellKnownMetrics; ++i) {
+    const Metric metric = static_cast<Metric>(i);
+    EXPECT_FALSE(MetricName(metric).empty()) << i;
+    EXPECT_NE(snap.Find(MetricName(metric)), nullptr) << MetricName(metric);
+  }
+}
+
+TEST(MetricsRegistryTest, HistogramTracksCountSumAndQuantiles) {
+  MetricsRegistry registry;
+  for (int64_t v : {1, 2, 4, 100, 1000}) {
+    registry.Observe(Metric::kIngestDecodeNs, v);
+  }
+  const MetricsSnapshot snap = registry.Snapshot();
+  const MetricsSnapshot::Entry* entry = snap.Find("ingest.decode_ns");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->kind, MetricKind::kHistogram);
+  EXPECT_EQ(entry->hist.count, 5);
+  EXPECT_EQ(entry->hist.sum, 1107);
+  EXPECT_DOUBLE_EQ(entry->hist.mean(), 1107.0 / 5.0);
+  // The p100 upper bound covers the largest observation.
+  EXPECT_GE(entry->hist.QuantileUpperBound(1.0), 1000);
+  EXPECT_LE(entry->hist.QuantileUpperBound(0.0), 1);
+}
+
+TEST(MetricsRegistryTest, QuantileUsesNearestRankNotInterpolation) {
+  // Two observations, far apart: a high quantile must report the large
+  // one. (A truncating rank formula returned the small bucket here.)
+  MetricsRegistry registry;
+  registry.Observe(Metric::kExecutorTaskNs, 100);
+  registry.Observe(Metric::kExecutorTaskNs, 10'000'000);
+  const MetricsSnapshot::Entry* entry =
+      registry.Snapshot().Find("executor.task_ns");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_GE(entry->hist.QuantileUpperBound(0.99), 10'000'000);
+  EXPECT_GE(entry->hist.QuantileUpperBound(0.51), 10'000'000);
+  EXPECT_LE(entry->hist.QuantileUpperBound(0.50), 128);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsArePowersOfTwo) {
+  EXPECT_EQ(HistogramSnapshot::BucketOf(0), 0u);
+  EXPECT_EQ(HistogramSnapshot::BucketOf(1), 0u);
+  EXPECT_EQ(HistogramSnapshot::BucketOf(2), 1u);
+  EXPECT_EQ(HistogramSnapshot::BucketOf(3), 2u);
+  EXPECT_EQ(HistogramSnapshot::BucketOf(4), 2u);
+  // Every bucket's upper bound contains the bucket of its own value.
+  for (size_t i = 0; i + 1 < HistogramSnapshot::kNumBuckets; ++i) {
+    EXPECT_EQ(HistogramSnapshot::BucketOf(HistogramSnapshot::BucketUpperBound(i)),
+              i);
+  }
+}
+
+TEST(MetricsRegistryTest, DynamicRegistrationFindsExistingNames) {
+  MetricsRegistry registry;
+  const auto id1 = registry.RegisterCounter("custom.widgets");
+  const auto id2 = registry.RegisterCounter("custom.widgets");
+  ASSERT_NE(id1, MetricsRegistry::kInvalidMetricId);
+  EXPECT_EQ(id1, id2);
+  // Same name with a different kind is refused.
+  EXPECT_EQ(registry.RegisterHistogram("custom.widgets"),
+            MetricsRegistry::kInvalidMetricId);
+
+  registry.Add(id1, 42);
+  EXPECT_EQ(registry.Snapshot().Value("custom.widgets"), 42);
+}
+
+TEST(MetricsRegistryTest, ExhaustedCapacityDropsWritesSilently) {
+  MetricsRegistry registry;
+  MetricsRegistry::MetricId last = MetricsRegistry::kInvalidMetricId;
+  for (size_t i = 0; i < MetricsRegistry::kMaxScalars + 8; ++i) {
+    last = registry.RegisterCounter("overflow." + std::to_string(i));
+  }
+  EXPECT_EQ(last, MetricsRegistry::kInvalidMetricId);
+  registry.Add(last, 999);  // must not crash or corrupt anything
+  EXPECT_EQ(registry.Snapshot().Value("overflow.999"), 0);
+}
+
+// The tentpole concurrency property: writers on many threads, each with
+// its own shard, and a sum-merged snapshot that is exact once they
+// quiesce. Run under the tsan preset this also proves the fast path is
+// race-free.
+TEST(MetricsRegistryTest, ConcurrentHammeringSumsExactly) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        registry.Add(Metric::kIngestLinesTotal, 1);
+        registry.Add(Metric::kExecutorQueueDepth, (i % 2 == 0) ? 1 : -1);
+        registry.Observe(Metric::kIngestDecodeNs, t * kIterations + i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.Value("ingest.lines_total"),
+            static_cast<int64_t>(kThreads) * kIterations);
+  EXPECT_EQ(snap.Value("executor.queue_depth"), 0);
+  const MetricsSnapshot::Entry* hist = snap.Find("ingest.decode_ns");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->hist.count, static_cast<int64_t>(kThreads) * kIterations);
+}
+
+// Merging is a sum over shards, so the snapshot must be identical no
+// matter how the same logical writes were spread across threads.
+TEST(MetricsRegistryTest, SnapshotIsDeterministicForAnyThreadCount) {
+  constexpr int64_t kTotalWrites = 12000;
+  std::vector<std::string> rendered;
+  for (int num_threads : {1, 2, 3, 8}) {
+    MetricsRegistry registry;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&registry, t, num_threads] {
+        for (int64_t i = t; i < kTotalWrites; i += num_threads) {
+          registry.Add(Metric::kL2BigramsCounted, 2);
+          registry.Observe(Metric::kL2MineNs, i % 4096);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    rendered.push_back(registry.Snapshot().ToJson());
+  }
+  for (size_t i = 1; i < rendered.size(); ++i) {
+    EXPECT_EQ(rendered[0], rendered[i]) << "thread-count variant " << i;
+  }
+}
+
+TEST(MetricsSnapshotTest, TextReportSkipsZeroRowsByDefault) {
+  MetricsRegistry registry;
+  registry.Add(Metric::kL1Runs, 2);
+  const MetricsSnapshot snap = registry.Snapshot();
+  const std::string text = snap.ToText();
+  EXPECT_NE(text.find("l1.runs"), std::string::npos);
+  EXPECT_EQ(text.find("l3.runs"), std::string::npos);
+  const std::string full = snap.ToText(/*include_zero=*/true);
+  EXPECT_NE(full.find("l3.runs"), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, JsonExportIsWellFormedAndComplete) {
+  MetricsRegistry registry;
+  registry.Add(Metric::kPipelineRuns, 1);
+  registry.Observe(Metric::kPipelineRunNs, 12345);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"pipeline.runs\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"pipeline.run_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  // Balanced braces (no raw metric value can inject structure).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ObsContextTest, NullSafeHelpersAndScopedGlobal) {
+  // All helpers are no-ops on a null context.
+  Count(nullptr, Metric::kL1Runs);
+  Observe(nullptr, Metric::kL1MineNs, 1);
+  ASSERT_EQ(Global(), nullptr);
+
+  ObsContext context;
+  {
+    ScopedGlobalObs scoped(&context);
+    EXPECT_EQ(Global(), &context);
+    Count(Metric::kL1Runs);
+    { LOGMINE_SPAN_GLOBAL("test/span", Metric::kL1MineNs); }
+  }
+  EXPECT_EQ(Global(), nullptr);
+  Count(Metric::kL1Runs);  // dropped: no global context
+
+  const MetricsSnapshot snap = context.metrics().Snapshot();
+  EXPECT_EQ(snap.Value("l1.runs"), 1);
+  const MetricsSnapshot::Entry* span_hist = snap.Find("l1.mine_ns");
+  ASSERT_NE(span_hist, nullptr);
+  EXPECT_EQ(span_hist->hist.count, 1);
+  EXPECT_EQ(context.trace().total_recorded(), 1u);
+}
+
+}  // namespace
+}  // namespace logmine::obs

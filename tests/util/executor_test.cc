@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/obs.h"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -261,6 +263,20 @@ TEST(ExecutorTest, PoolIsReusableAfterACancelledLoop) {
   std::atomic<size_t> visited{0};
   executor.ParallelFor(64, [&](size_t) { visited.fetch_add(1); });
   EXPECT_EQ(visited.load(), 64u);
+}
+
+// Regression: a worker's post-task metric writes happen after the task
+// has already signalled its waiters, so a global context destroyed
+// right after ParallelFor returns was a use-after-free until workers
+// pinned the context. Tight install/run/teardown cycles make the race
+// window land under TSan.
+TEST(ExecutorTest, GlobalObsContextCanBeTornDownRightAfterAWait) {
+  Executor executor(4);
+  for (int round = 0; round < 200; ++round) {
+    obs::ObsContext context;
+    obs::ScopedGlobalObs scoped(&context);
+    executor.ParallelFor(16, [](size_t) {});
+  }
 }
 
 }  // namespace
