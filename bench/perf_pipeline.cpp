@@ -27,6 +27,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <utility>
@@ -206,6 +207,7 @@ int main(int argc, char** argv) {
   // Per-miner and end-to-end sweeps.
   std::map<int, Sample> l1_sweep, l2_sweep, l3_sweep, pipeline_sweep;
   int64_t l2_checksum = 0, l3_checksum = 0;
+  core::L1Result l1_result;
   for (int threads : kThreadSweep) {
     {
       core::L1Config config;
@@ -216,6 +218,7 @@ int main(int argc, char** argv) {
                     [&] {
                       auto result = miner.Mine(dataset.store, begin, end);
                       if (!result.ok()) std::abort();
+                      l1_result = std::move(result).value();
                     }),
           logs);
     }
@@ -275,6 +278,42 @@ int main(int argc, char** argv) {
               << l2_sweep[threads].ms << " ms, L3 " << l3_sweep[threads].ms
               << " ms\n";
   }
+
+  // L1 support pruning: skipping under-supported pairs must be free of
+  // observable effect, so an unpruned run (same thread count as the
+  // last sweep point) must produce identical pair results; the report
+  // records the prune counters and both timings.
+  const int max_threads = kThreadSweep[std::size(kThreadSweep) - 1];
+  core::L1Result l1_unpruned_result;
+  double l1_unpruned_ms = 0;
+  {
+    core::L1Config config;
+    config.num_threads = max_threads;
+    config.prune_support = false;
+    core::L1ActivityMiner miner(config);
+    l1_unpruned_ms = MeasureMs(reps, [&] {
+      auto result = miner.Mine(dataset.store, begin, end);
+      if (!result.ok()) std::abort();
+      l1_unpruned_result = std::move(result).value();
+    });
+  }
+  bool pruned_matches_unpruned =
+      l1_unpruned_result.pairs.size() == l1_result.pairs.size();
+  for (size_t i = 0; pruned_matches_unpruned && i < l1_result.pairs.size();
+       ++i) {
+    const core::L1PairResult& p = l1_result.pairs[i];
+    const core::L1PairResult& u = l1_unpruned_result.pairs[i];
+    pruned_matches_unpruned =
+        p.a == u.a && p.b == u.b && p.slots_supported == u.slots_supported &&
+        p.slots_positive == u.slots_positive && p.dependent == u.dependent;
+  }
+  const int64_t prune_candidates = l1_result.pairs_tested +
+                                   l1_result.pairs_pruned;
+  std::cerr << "[bench] l1 pruning: " << l1_result.pairs_pruned << "/"
+            << prune_candidates << " pairs pruned, pruned run "
+            << l1_sweep[max_threads].ms << " ms vs unpruned "
+            << l1_unpruned_ms << " ms, results "
+            << (pruned_matches_unpruned ? "identical" : "DIFFER") << "\n";
 
   // Checkpoint overhead: the L2+L3 daily sweep (the resumable runner's
   // unit of work) with checkpointing disabled vs one snapshot generation
@@ -405,6 +444,17 @@ int main(int argc, char** argv) {
   emit_sweep("l2", l2_sweep, false);
   emit_sweep("l3", l3_sweep, false);
   emit_sweep("pipeline", pipeline_sweep, false);
+  out << "  \"l1_pruning\": {\"pairs_tested\": " << l1_result.pairs_tested
+      << ", \"pairs_pruned\": " << l1_result.pairs_pruned
+      << ", \"pruned_fraction\": "
+      << (prune_candidates == 0
+              ? 0.0
+              : static_cast<double>(l1_result.pairs_pruned) /
+                    static_cast<double>(prune_candidates))
+      << ", \"pruned_ms\": " << l1_sweep[max_threads].ms
+      << ", \"unpruned_ms\": " << l1_unpruned_ms
+      << ", \"pruned_matches_unpruned\": "
+      << (pruned_matches_unpruned ? "true" : "false") << "},\n";
   out << "  \"checkpoint\": {\"off_ms\": " << ckpt_off_ms
       << ", \"on_ms\": " << ckpt_on_ms
       << ", \"overhead_ms\": " << ckpt_overhead_ms

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Fails CI when the L1 hot path regresses against the checked-in baseline.
+
+Compares ``l1.ns_per_log`` at 8 threads from a fresh ``perf_pipeline``
+report against ``ci/bench_baseline.json``. Raw ns/log is machine
+dependent, so the comparison is normalized by the seed-style serial
+reference time measured in the *same* run on both sides: a runner that
+is 2x slower overall is 2x slower on the reference too, and the ratio
+cancels the machine out. The guard trips only when the normalized L1
+cost grew by more than ``--tolerance`` (default 20%).
+
+Also asserts the two correctness flags the bench computes:
+``results_match_seed_reference`` and
+``l1_pruning.pruned_matches_unpruned`` must both be true — a fast but
+wrong hot path must never pass.
+
+Usage: check_bench_regression.py --current BENCH_pipeline.json \
+           [--baseline ci/bench_baseline.json] [--tolerance 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+
+def l1_cost(report: dict) -> float:
+    """Normalized L1 cost: ns/log at 8 threads over the serial reference."""
+    ns_per_log = report["l1"]["8"]["ns_per_log"]
+    reference_ms = report["seed_reference_serial"]["l2_plus_l3_ms"]
+    if reference_ms <= 0:
+        raise SystemExit("baseline reference time is not positive")
+    return ns_per_log / reference_ms
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--baseline", default="ci/bench_baseline.json")
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    failures = []
+    if not current.get("results_match_seed_reference"):
+        failures.append("results_match_seed_reference is false")
+    pruning = current.get("l1_pruning", {})
+    if not pruning.get("pruned_matches_unpruned"):
+        failures.append("l1_pruning.pruned_matches_unpruned is false")
+
+    base = l1_cost(baseline)
+    cur = l1_cost(current)
+    growth = cur / base - 1.0
+    print(
+        f"l1.ns_per_log@8 (reference-normalized): baseline {base:.4f}, "
+        f"current {cur:.4f}, growth {growth * 100.0:+.1f}% "
+        f"(tolerance {args.tolerance * 100.0:.0f}%)"
+    )
+    if growth > args.tolerance:
+        failures.append(
+            f"normalized l1.ns_per_log at 8 threads regressed "
+            f"{growth * 100.0:.1f}% > {args.tolerance * 100.0:.0f}%"
+        )
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

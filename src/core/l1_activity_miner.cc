@@ -1,11 +1,15 @@
 #include "core/l1_activity_miner.h"
 
 #include <algorithm>
+#include <array>
+#include <bit>
+#include <optional>
 #include <span>
-#include <tuple>
+#include <utility>
 
 #include "core/slotting.h"
 #include "obs/obs.h"
+#include "stats/order_stats_ci.h"
 #include "util/executor.h"
 #include "util/rng.h"
 
@@ -22,6 +26,77 @@ stats::MedianDistanceTestResult L1ActivityMiner::TestSlot(
   return stats::MedianDistanceTest(ts_a, ts_b, begin, end, config_.test,
                                    &rng);
 }
+
+namespace {
+
+// Per-(slot, source) products of the precompute fan-out, shared by every
+// test in the slot that involves the source (DESIGN.md §11): the sorted
+// subsample of the source's own timestamps (its S_b when it is the
+// target), the merged "near set" — the timestamps within distance
+// < lower(CI_r) of some log of this source, as disjoint closed integer
+// intervals (all a test against this reference reads of CI_r), and the
+// upper CI rank for |S_b| (all it reads of CI_b — see the rank-count
+// identity at the phase-1b loop).
+struct SlotSourceRef {
+  std::vector<int64_t> sub_sorted;
+  /// The near set's interval boundaries, flattened: strictly increasing
+  /// values s_0, e_0+1, s_1, e_1+1, ..., INT64_MAX (sentinel), where
+  /// the disjoint closed intervals [s_i, e_i] cover exactly the
+  /// timestamps whose nearest log of this source is closer than the
+  /// baseline CI lower endpoint. p is inside iff #{ boundaries <= p }
+  /// is odd — the flat form the phase-1b merge-walk consumes. Empty
+  /// when the endpoint could not be computed (or is <= 1 ms) — every
+  /// test against this reference is negative then.
+  std::vector<int64_t> near_bounds;
+  /// Total width of the near intervals — a proxy for how likely a test
+  /// against this reference is positive. Phase 1b evaluates the
+  /// narrower-reference direction first so the short-circuit AND
+  /// usually stops after the direction more likely to be negative.
+  int64_t near_total = 0;
+  int test_upper_rank = 0;  ///< upper rank at n = |sub_sorted|; 0 = no CI
+};
+
+// One (slot, pair) test of the fine-grained fan-out.
+struct PairTest {
+  uint32_t slot = 0;
+  uint32_t a = 0;
+  uint32_t b = 0;
+};
+
+// Sorts `v`, whose values all lie in [lo, hi): one bucket pass on the
+// top eight bits of the offset leaves the array nearly sorted (about
+// one element per bucket at baseline sample sizes), and one insertion
+// pass finishes it — several times cheaper than introsort for the
+// uniform baseline draw, with identical output (any correct sort of
+// the same multiset yields the same array).
+void SortBounded(std::vector<int64_t>* v, int64_t lo, int64_t hi) {
+  const size_t n = v->size();
+  if (n < 64) {
+    std::sort(v->begin(), v->end());
+    return;
+  }
+  const auto width = static_cast<uint64_t>(hi - lo);
+  const int bits = std::bit_width(width > 1 ? width - 1 : uint64_t{1});
+  const int shift = bits > 8 ? bits - 8 : 0;
+  std::array<uint32_t, 257> counts{};
+  for (const int64_t p : *v) {
+    ++counts[(static_cast<uint64_t>(p - lo) >> shift) + 1];
+  }
+  for (size_t c = 1; c < counts.size(); ++c) counts[c] += counts[c - 1];
+  std::vector<int64_t> scratch(n);
+  for (const int64_t p : *v) {
+    scratch[counts[static_cast<uint64_t>(p - lo) >> shift]++] = p;
+  }
+  for (size_t i = 1; i < n; ++i) {
+    const int64_t x = scratch[i];
+    size_t j = i;
+    for (; j > 0 && scratch[j - 1] > x; --j) scratch[j] = scratch[j - 1];
+    scratch[j] = x;
+  }
+  v->swap(scratch);
+}
+
+}  // namespace
 
 Result<L1Result> L1ActivityMiner::Mine(const LogStore& store, TimeMs begin,
                                        TimeMs end) const {
@@ -55,117 +130,323 @@ Result<L1Result> L1ActivityMiner::Mine(const LogStore& store, TimeMs begin,
           ? MakeAdaptiveSlots(all_events, begin, end, config_.adaptive)
           : MakeSlots(begin, end, config_.slot_length);
   const auto num_sources = static_cast<uint32_t>(store.num_sources());
+  const size_t ns = num_sources;
+  const size_t num_slots = slots.size();
 
   L1Result result;
-  result.slots_total = static_cast<int>(slots.size());
-  // Accumulators indexed by pair key a * num_sources + b (a < b). The
-  // O(num_sources^2) scratch is thread_local so repeated Mine calls
-  // (the daily runner, the hourly load experiment) reuse one buffer.
-  std::vector<L1PairResult> acc;
-  acc.reserve(static_cast<size_t>(num_sources) * (num_sources - 1) / 2);
-  thread_local std::vector<size_t> pair_index;
-  pair_index.assign(static_cast<size_t>(num_sources) * num_sources,
-                    SIZE_MAX);
-  auto pair_slot = [&](uint32_t a, uint32_t b) -> L1PairResult& {
-    const size_t key = static_cast<size_t>(a) * num_sources + b;
-    if (pair_index[key] == SIZE_MAX) {
-      pair_index[key] = acc.size();
-      L1PairResult fresh;
-      fresh.a = a;
-      fresh.b = b;
-      fresh.slots_total = static_cast<int>(slots.size());
-      acc.push_back(fresh);
-    }
-    return acc[pair_index[key]];
-  };
+  result.slots_total = static_cast<int>(num_slots);
+  obs::Count(obs::Metric::kL1SlotsTotal, static_cast<int64_t>(num_slots));
+  if (num_sources == 0) return result;
 
-  // Phase 1 — per-slot testing on the shared executor: every
-  // (slot, pair) test draws from an RNG stream keyed by
-  // (seed, slot, a, b), so the outcome is independent of scheduling and
-  // thread count.
-  struct SlotOutcome {
-    // (a, b, both_directions_positive) per supported pair.
-    std::vector<std::tuple<uint32_t, uint32_t, bool>> pairs;
-  };
-  std::vector<SlotOutcome> outcomes(slots.size());
-  const Rng master(config_.seed);
-  auto process_slot = [&](size_t slot_idx) {
+  // Phase 0 — activity census (cheap): zero-copy views of every
+  // (slot, source) slice of the store's sorted index, the per-slot
+  // usable-source lists, and, from those, the exact per-pair support —
+  // the number of slots where both sources clear `minlogs`. Support
+  // depends on counts only, never on test outcomes, so it is known
+  // before a single test runs; that is what pruning keys off.
+  std::vector<std::span<const int64_t>> views(num_slots * ns);
+  std::vector<std::vector<uint32_t>> usable(num_slots);
+  std::vector<std::span<const int64_t>> slot_events(num_slots);
+  std::vector<int32_t> support(ns * ns, 0);
+  for (size_t slot_idx = 0; slot_idx < num_slots; ++slot_idx) {
     const TimeSlot& slot = slots[slot_idx];
-    // Sources active enough in this slot, with zero-copy views of their
-    // timestamps in the store's sorted index.
-    std::vector<uint32_t> usable;
-    std::vector<std::span<const int64_t>> local(num_sources);
     for (uint32_t s = 0; s < num_sources; ++s) {
       const std::span<const int64_t> view =
           store.SourceTimestampsInRange(s, slot.begin, slot.end);
       if (static_cast<int64_t>(view.size()) >= config_.minlogs) {
-        local[s] = view;
-        usable.push_back(s);
+        views[slot_idx * ns + s] = view;
+        usable[slot_idx].push_back(s);
       }
     }
-    // Intensity-proportional baseline: the slot's slice of the overall
-    // log stream.
-    std::span<const int64_t> slot_events;
     if (config_.baseline == L1Baseline::kIntensityProportional) {
       auto lo = std::lower_bound(all_events.begin(), all_events.end(),
                                  slot.begin);
       auto hi = std::lower_bound(lo, all_events.end(), slot.end);
-      slot_events = {lo, hi};
+      slot_events[slot_idx] = {lo, hi};
     }
-    auto run_test = [&](std::span<const int64_t> from,
-                        std::span<const int64_t> to, Rng* rng) {
-      if (config_.baseline == L1Baseline::kIntensityProportional) {
-        return stats::MedianDistanceTestWithBaseline(
-            from, to, slot_events, config_.baseline_jitter, config_.test,
-            rng);
+    for (size_t i = 0; i < usable[slot_idx].size(); ++i) {
+      for (size_t j = i + 1; j < usable[slot_idx].size(); ++j) {
+        ++support[usable[slot_idx][i] * ns + usable[slot_idx][j]];
       }
-      return stats::MedianDistanceTest(from, to, slot.begin, slot.end,
-                                       config_.test, rng);
-    };
-    for (size_t i = 0; i < usable.size(); ++i) {
-      for (size_t j = i + 1; j < usable.size(); ++j) {
-        const uint32_t a = usable[i];
-        const uint32_t b = usable[j];
-        const uint64_t fork_key =
-            (static_cast<uint64_t>(slot_idx) * num_sources + a) *
-                num_sources + b;
-        Rng rng_ab = master.Fork(fork_key);
-        bool positive = false;
-        const auto forward = run_test(local[a], local[b], &rng_ab);
-        if (forward.positive) {  // needs both directions
-          positive = run_test(local[b], local[a], &rng_ab).positive;
-        }
-        outcomes[slot_idx].pairs.emplace_back(a, b, positive);
-      }
-    }
-  };
-
-  Executor::Shared().ParallelFor(slots.size(), process_slot,
-                                 config_.num_threads);
-
-  // Phase 2 — serial merge in slot order (deterministic accumulation).
-  obs::Count(obs::Metric::kL1SlotsTotal, static_cast<int64_t>(slots.size()));
-  for (const SlotOutcome& outcome : outcomes) {
-    obs::Count(obs::Metric::kL1SlotTests,
-               static_cast<int64_t>(outcome.pairs.size()));
-    for (const auto& [a, b, positive] : outcome.pairs) {
-      L1PairResult& pr = pair_slot(a, b);
-      ++pr.slots_supported;
-      if (positive) ++pr.slots_positive;
     }
   }
 
-  const double min_support = config_.th_s * static_cast<double>(slots.size());
-  for (L1PairResult& pr : acc) {
+  // A pair can only be dependent when its support reaches th_s * n; a
+  // pair whose *maximum attainable* support (= its exact support, known
+  // from the census) falls short is skipped entirely when pruning is on.
+  const double min_support =
+      config_.th_s * static_cast<double>(num_slots);
+  auto reaches_support = [&](int32_t supported) {
+    return static_cast<double>(supported) >= min_support;
+  };
+  std::vector<uint8_t> tested(ns * ns, 0);
+  for (uint32_t a = 0; a < num_sources; ++a) {
+    for (uint32_t b = a + 1; b < num_sources; ++b) {
+      const size_t key = a * ns + b;
+      if (support[key] == 0) continue;
+      tested[key] = !config_.prune_support || reaches_support(support[key]);
+      if (tested[key]) {
+        ++result.pairs_tested;
+      } else {
+        ++result.pairs_pruned;
+      }
+    }
+  }
+  obs::Count(obs::Metric::kL1PairsTested, result.pairs_tested);
+  obs::Count(obs::Metric::kL1PairsPruned, result.pairs_pruned);
+
+  // Flatten the surviving work: one PairTest per (slot, tested pair),
+  // in (slot, a, b) order, and one precompute job per (slot, source)
+  // that at least one surviving test touches.
+  std::vector<PairTest> items;
+  std::vector<std::pair<uint32_t, uint32_t>> ref_jobs;
+  {
+    std::vector<uint8_t> needed(ns, 0);
+    for (size_t slot_idx = 0; slot_idx < num_slots; ++slot_idx) {
+      std::fill(needed.begin(), needed.end(), 0);
+      for (size_t i = 0; i < usable[slot_idx].size(); ++i) {
+        for (size_t j = i + 1; j < usable[slot_idx].size(); ++j) {
+          const uint32_t a = usable[slot_idx][i];
+          const uint32_t b = usable[slot_idx][j];
+          if (!tested[a * ns + b]) continue;
+          items.push_back({static_cast<uint32_t>(slot_idx), a, b});
+          needed[a] = needed[b] = 1;
+        }
+      }
+      for (uint32_t s : usable[slot_idx]) {
+        if (needed[s]) {
+          ref_jobs.emplace_back(static_cast<uint32_t>(slot_idx), s);
+        }
+      }
+    }
+  }
+  obs::Count(obs::Metric::kL1SlotTests, static_cast<int64_t>(items.size()));
+
+  // Median-CI ranks depend only on (n, level); every sample here has at
+  // most `sample_size` points, so one serial pass caches them all.
+  // Entries are nullopt when the level is unreachable at that n (the
+  // test is negative then).
+  const size_t sample_size = config_.test.sample_size;
+  std::vector<std::optional<stats::MedianCi>> ranks_by_n;
+  ranks_by_n.resize(std::min<size_t>(sample_size, 4096) + 1);
+  for (size_t n = 1; n < ranks_by_n.size(); ++n) {
+    auto ranks =
+        stats::MedianCiRanks(static_cast<int64_t>(n), config_.test.level);
+    if (ranks.ok()) ranks_by_n[n] = ranks.value();
+  }
+  auto ranks_for = [&](size_t n) -> std::optional<stats::MedianCi> {
+    if (n == 0) return std::nullopt;
+    if (n < ranks_by_n.size()) return ranks_by_n[n];
+    auto ranks =
+        stats::MedianCiRanks(static_cast<int64_t>(n), config_.test.level);
+    if (!ranks.ok()) return std::nullopt;
+    return ranks.value();
+  };
+
+  // Phase 1a — per-(slot, source) precompute on the shared executor:
+  // each job draws from an RNG stream keyed by (seed, slot, source) via
+  // Rng::Fork, so its products are independent of scheduling, thread
+  // count, and of which *other* jobs pruning kept. Per job: the
+  // baseline points (uniform, or a jittered subsample of the slot's
+  // overall stream), their distances to the source via one merged
+  // sweep, the lower CI endpoint of those distances (one nth_element,
+  // not a sort) expanded into the merged near-interval set every test
+  // against this reference scans, and the sorted reservoir subsample of
+  // the source's own timestamps (the S_b every test of this target
+  // reuses). Distances and the CI endpoint are integral millisecond
+  // values, so "distance < lower" is exactly "inside [t-(L-1), t+(L-1)]
+  // for some log t" and the interval form loses nothing.
+  std::vector<SlotSourceRef> refs(num_slots * ns);
+  const Rng master(config_.seed);
+  Executor::Shared().ParallelFor(
+      ref_jobs.size(),
+      [&](size_t job_idx) {
+        const auto [slot_idx, s] = ref_jobs[job_idx];
+        const TimeSlot& slot = slots[slot_idx];
+        const std::span<const int64_t> view = views[slot_idx * ns + s];
+        SlotSourceRef& ref = refs[slot_idx * ns + s];
+        Rng rng = master.Fork(static_cast<uint64_t>(slot_idx) * ns + s);
+        std::vector<int64_t> baseline;
+        if (config_.baseline == L1Baseline::kIntensityProportional) {
+          baseline =
+              stats::Subsample(slot_events[slot_idx], sample_size, &rng);
+          if (config_.baseline_jitter > 0) {
+            for (int64_t& point : baseline) {
+              point += rng.UniformInt(-config_.baseline_jitter,
+                                      config_.baseline_jitter);
+            }
+          }
+        } else {
+          baseline =
+              stats::UniformPoints(slot.begin, slot.end, sample_size, &rng);
+        }
+        if (!view.empty() && !baseline.empty()) {
+          if (config_.baseline == L1Baseline::kIntensityProportional) {
+            // Jittered subsamples arrive nearly (or fully) sorted.
+            if (!std::is_sorted(baseline.begin(), baseline.end())) {
+              std::sort(baseline.begin(), baseline.end());
+            }
+          } else {
+            SortBounded(&baseline, slot.begin, slot.end);
+          }
+          std::vector<int64_t> dists;
+          stats::DistancesToNearestSorted(baseline, view, &dists);
+          if (auto ranks = ranks_for(dists.size())) {
+            const auto lo = static_cast<size_t>(ranks->lower_rank);
+            std::nth_element(dists.begin(),
+                             dists.begin() + static_cast<ptrdiff_t>(lo - 1),
+                             dists.end());
+            // dist < lower <=> dist <= radius, with closed intervals
+            // merged whenever they touch or overlap so the flattened
+            // boundary list is strictly increasing.
+            const int64_t radius = dists[lo - 1] - 1;
+            if (radius >= 0) {
+              int64_t cur_start = view.front() - radius;
+              int64_t cur_end = view.front() + radius;
+              for (int64_t t : view.subspan(1)) {
+                if (t - radius <= cur_end + 1) {
+                  cur_end = t + radius;
+                } else {
+                  ref.near_bounds.push_back(cur_start);
+                  ref.near_bounds.push_back(cur_end + 1);
+                  ref.near_total += cur_end + 1 - cur_start;
+                  cur_start = t - radius;
+                  cur_end = t + radius;
+                }
+              }
+              ref.near_bounds.push_back(cur_start);
+              ref.near_bounds.push_back(cur_end + 1);
+              ref.near_total += cur_end + 1 - cur_start;
+              ref.near_bounds.push_back(INT64_MAX);  // merge sentinel
+            }
+          }
+        }
+        ref.sub_sorted = stats::Subsample(view, sample_size, &rng);
+        // Selection-sampled subsamples of the (sorted) view come back in
+        // pool order; only the reservoir path needs the sort.
+        if (!std::is_sorted(ref.sub_sorted.begin(), ref.sub_sorted.end())) {
+          std::sort(ref.sub_sorted.begin(), ref.sub_sorted.end());
+        }
+        if (auto ranks = ranks_for(ref.sub_sorted.size())) {
+          ref.test_upper_rank = ranks->upper_rank;
+        }
+        // Sentinel for the phase-1b walk: both inner loops terminate on
+        // it without an index bounds check (every interval bound is
+        // below INT64_MAX).
+        ref.sub_sorted.push_back(INT64_MAX);
+      },
+      config_.num_threads);
+
+  // Phase 1b — the tests, resharded to (slot, pair-range) work items:
+  // `pair_chunk` consecutive PairTests per item, so a handful of heavy
+  // slots spread across the whole pool instead of serializing it. No
+  // RNG draws happen here at all (every sample was fixed in phase 1a),
+  // and each item writes only its own outcome slot, so any schedule
+  // produces the same bytes. A pair is positive when B's subsample sits
+  // closer to A than the baseline does (upper CI_b < lower CI_r) in
+  // *both* directions. The comparison uses the order-statistic identity
+  //   x_(r) < L  <=>  #{ x_i < L } >= r,
+  // so each direction is one merge-walk of S_b's points against A's
+  // flattened near intervals — no distance array, no selection, no
+  // touching A's view — that short-circuits the moment the outcome is
+  // decided (`need` hits, or more misses than the budget allows).
+  auto direction_positive = [](const SlotSourceRef& target,
+                               const SlotSourceRef& reference) {
+    if (reference.near_bounds.empty() || target.test_upper_rank == 0) {
+      return false;
+    }
+    const int64_t* pts = target.sub_sorted.data();  // sentinel-terminated
+    const int64_t* bounds = reference.near_bounds.data();
+    const size_t need = static_cast<size_t>(target.test_upper_rank);
+    const size_t n = target.sub_sorted.size() - 1;  // minus the sentinel
+    // Merge-walk points and boundary pairs, each touched once; resolves
+    // as soon as `need` points hit (positive) or more than n - need
+    // points miss (negative) — whichever comes first. Both arrays end
+    // in an INT64_MAX sentinel, so neither inner loop needs an index
+    // bounds check: the point sentinel compares ≥ every bound and the
+    // bound sentinel ends the outer loop.
+    size_t misses_left = n - need;
+    size_t count = 0;
+    size_t i = 0;
+    for (size_t j = 0; bounds[j] != INT64_MAX; j += 2) {
+      const int64_t start = bounds[j];
+      const int64_t past = bounds[j + 1];
+      while (pts[i] < start) {
+        if (misses_left == 0) return false;
+        --misses_left;
+        ++i;
+      }
+      while (pts[i] < past) {
+        ++count;
+        ++i;
+      }
+      if (count >= need) return true;
+      if (pts[i] == INT64_MAX) break;
+    }
+    return false;  // the points after the last interval are all misses
+  };
+  std::vector<uint8_t> positive(items.size(), 0);
+  Executor::Shared().ParallelForChunks(
+      items.size(), std::max<size_t>(config_.pair_chunk, 1),
+      [&](size_t chunk_begin, size_t chunk_end) {
+        for (size_t k = chunk_begin; k < chunk_end; ++k) {
+          const PairTest& item = items[k];
+          const size_t base = static_cast<size_t>(item.slot) * ns;
+          const SlotSourceRef& ref_a = refs[base + item.a];
+          const SlotSourceRef& ref_b = refs[base + item.b];
+          // Evaluate the narrower-reference direction first: it is the
+          // one more likely negative, so the short-circuit AND usually
+          // skips the other walk. && is commutative here, so the
+          // outcome (and the result bytes) do not depend on the order.
+          const bool positive_both =
+              ref_a.near_total <= ref_b.near_total
+                  ? direction_positive(ref_b, ref_a) &&
+                        direction_positive(ref_a, ref_b)
+                  : direction_positive(ref_a, ref_b) &&
+                        direction_positive(ref_b, ref_a);
+          if (positive_both) positive[k] = 1;
+        }
+      },
+      config_.num_threads);
+
+  // Phase 2 — serial merge in (a, b) order. Support comes straight from
+  // the census (identical for tested and pruned pairs); positives
+  // accumulate from the outcome array in item order.
+  std::vector<size_t> pair_index(ns * ns, SIZE_MAX);
+  result.pairs.reserve(
+      static_cast<size_t>(result.pairs_tested + result.pairs_pruned));
+  for (uint32_t a = 0; a < num_sources; ++a) {
+    for (uint32_t b = a + 1; b < num_sources; ++b) {
+      const size_t key = a * ns + b;
+      if (support[key] == 0) continue;
+      pair_index[key] = result.pairs.size();
+      L1PairResult pr;
+      pr.a = a;
+      pr.b = b;
+      pr.slots_total = static_cast<int>(num_slots);
+      pr.slots_supported = support[key];
+      result.pairs.push_back(pr);
+    }
+  }
+  for (size_t k = 0; k < items.size(); ++k) {
+    if (positive[k]) {
+      ++result.pairs[pair_index[items[k].a * ns + items[k].b]]
+            .slots_positive;
+    }
+  }
+  for (L1PairResult& pr : result.pairs) {
+    // Positivity is only defined for pairs that can reach the support
+    // threshold; zeroing the rest here keeps the pruned and unpruned
+    // paths byte-identical (the unpruned path may have tested them).
+    if (!reaches_support(pr.slots_supported)) pr.slots_positive = 0;
     pr.positive_ratio =
         pr.slots_supported == 0
             ? 0.0
             : static_cast<double>(pr.slots_positive) /
                   static_cast<double>(pr.slots_supported);
-    pr.dependent = static_cast<double>(pr.slots_supported) >= min_support &&
+    pr.dependent = reaches_support(pr.slots_supported) &&
                    pr.positive_ratio >= config_.th_pr;
   }
-  result.pairs = std::move(acc);
   return result;
 }
 

@@ -45,11 +45,25 @@ struct L1Config {
   stats::MedianDistanceTestConfig test;
   /// Seed of the random sampling inside the test.
   uint64_t seed = 7;
-  /// Parallelism cap for the slot loop, which runs on the shared
+  /// Parallelism cap for the mining fan-out, which runs on the shared
   /// `Executor` pool. Results are bit-identical for any thread count:
-  /// every (slot, pair) test draws from its own keyed RNG stream.
+  /// every random draw comes from an RNG stream keyed by
+  /// (seed, slot, source), never by thread or schedule.
   /// 1 = serial on the calling thread; 0 = use the whole pool.
   int num_threads = 1;
+  /// Support pruning (DESIGN.md §11): pairs whose maximum attainable
+  /// supported-slot count — the number of slots where both sources are
+  /// active enough — cannot reach `th_s * slots` are reported with their
+  /// exact support but never tested. Because positivity is only defined
+  /// for pairs that can reach the support threshold (their positives are
+  /// reported as 0 either way), toggling this cannot change the result;
+  /// it only skips provably irrelevant work.
+  bool prune_support = true;
+  /// (slot, pair) tests per parallel work item. Fine-grained resharding
+  /// keeps heavy slots from serializing the fan-out; chunk boundaries
+  /// depend only on the test count and this grain, so results stay
+  /// deterministic for any thread count.
+  size_t pair_chunk = 16;
 };
 
 /// Per-pair outcome of L1.
@@ -58,15 +72,26 @@ struct L1PairResult {
   LogStore::SourceId b = 0;
   int slots_total = 0;      ///< n
   int slots_supported = 0;  ///< s: slots where both apps have >= minlogs
-  int slots_positive = 0;   ///< p: supported slots positive in *both* directions
+  /// p: supported slots positive in *both* directions. Always 0 for
+  /// pairs whose support cannot reach `th_s * slots` — those pairs can
+  /// never be dependent, so they are skipped by support pruning, and the
+  /// unpruned path reports them identically.
+  int slots_positive = 0;
   double positive_ratio = 0.0;  ///< pr = p / s (0 when s = 0)
   bool dependent = false;
 };
 
-/// Full result: one entry per unordered source pair with any support.
+/// Full result: one entry per unordered source pair with any support,
+/// ordered by (a, b).
 struct L1Result {
   std::vector<L1PairResult> pairs;
   int slots_total = 0;
+  /// Pairs (with support > 0) that went through per-slot testing vs
+  /// pairs skipped entirely by support pruning; tested + pruned =
+  /// pairs.size(). Mirrored into the l1.pairs_tested / l1.pairs_pruned
+  /// metrics.
+  int64_t pairs_tested = 0;
+  int64_t pairs_pruned = 0;
 
   /// The positive decisions as an unordered-name dependency model.
   DependencyModel Dependencies(const LogStore& store) const;

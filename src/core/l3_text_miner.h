@@ -81,6 +81,32 @@ class L3TextMiner {
   /// Vocabulary entry indices cited in `message` (deduplicated).
   std::vector<size_t> CitedEntries(std::string_view message) const;
 
+  /// Reusable buffers of the fused scan; one per scanning thread.
+  struct ScanScratch {
+    std::string padded;            ///< message copy + NUL padding
+    std::vector<uint64_t> ident;   ///< identifier-char bitmask, 64 B/word
+    std::vector<uint64_t> cand;    ///< stop-needle candidate bitmask
+    std::string lower;             ///< lower-cased token scratch
+  };
+
+  /// One-pass replacement for IsStopped + AppendCitedEntries (§3.3 scan,
+  /// DESIGN.md §11): builds the identifier-run and stop-needle-candidate
+  /// bitmasks with one SIMD sweep over the message, resolves the stop
+  /// decision from the candidate bits, then walks the identifier runs.
+  /// Returns true when the message is stopped (then `out` may hold
+  /// partial results the caller must discard); otherwise appends the
+  /// cited entry indices, already deduplicated but in citation order
+  /// (AppendCitedEntries + sort + unique yields the same set).
+  /// Byte-for-byte equivalent to the scalar pair — see the equivalence
+  /// test in tests/core/l3_text_miner_test.cc. Only callable when
+  /// `fused_scan_ok()`.
+  bool FusedScan(std::string_view message, ScanScratch* scratch,
+                 std::vector<size_t>* out) const;
+
+  /// True when FusedScan supports the configured stop patterns (SSE2
+  /// build and at most kMaxProbes infix needles).
+  bool fused_scan_ok() const { return fused_scan_ok_; }
+
  private:
   // Appends (unsorted, possibly duplicated) cited entry indices to
   // `out`, lower-casing tokens into `lower_scratch` — the
@@ -102,6 +128,28 @@ class L3TextMiner {
   // token of a typical message fails this check, skipping the
   // lower-casing and binary search entirely.
   std::array<uint64_t, 256> token_length_masks_{};
+
+  // Open-addressed hash over the lower-cased ids, probed by FusedScan
+  // without materializing the lower-cased token: token_buckets_[b]
+  // holds index+1 into token_index_ (0 = empty), power-of-two sized,
+  // linear probing. Duplicate lower-cased ids keep the entry
+  // `lower_bound` on token_index_ would find (first in sort order).
+  std::vector<uint32_t> token_buckets_;
+  uint32_t token_bucket_mask_ = 0;
+
+  // FusedScan's per-needle probes: the first byte (and second, when the
+  // needle has one) of each infix stop needle. A position is a stop
+  // candidate only when both probe bytes match — needles almost never
+  // share a two-byte prefix with random text, so verification calls are
+  // rare.
+  static constexpr size_t kMaxProbes = 16;
+  struct NeedleProbe {
+    char first = 0;
+    char second = 0;
+    bool has_second = false;
+  };
+  std::vector<NeedleProbe> probes_;
+  bool fused_scan_ok_ = false;
 };
 
 }  // namespace logmine::core

@@ -163,6 +163,8 @@ void EncodeL1Config(const L1Config& config, SnapshotWriter* w) {
   w->PutDouble(config.test.level);
   w->PutU64(config.seed);
   w->PutU32(static_cast<uint32_t>(config.num_threads));
+  w->PutBool(config.prune_support);
+  w->PutU64(config.pair_chunk);
 }
 
 Result<L1Config> DecodeL1Config(SectionCursor* c) {
@@ -191,6 +193,9 @@ Result<L1Config> DecodeL1Config(SectionCursor* c) {
   LOGMINE_ASSIGN_OR_RETURN(config.seed, c->ReadU64());
   LOGMINE_ASSIGN_OR_RETURN(uint32_t num_threads, c->ReadU32());
   config.num_threads = static_cast<int>(num_threads);
+  LOGMINE_ASSIGN_OR_RETURN(config.prune_support, c->ReadBool());
+  LOGMINE_ASSIGN_OR_RETURN(uint64_t pair_chunk, c->ReadU64());
+  config.pair_chunk = static_cast<size_t>(pair_chunk);
   return config;
 }
 

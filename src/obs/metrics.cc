@@ -36,6 +36,8 @@ constexpr MetricDef kMetricDefs[] = {
     {"l1.runs", MetricKind::kCounter},
     {"l1.slots_total", MetricKind::kCounter},
     {"l1.slot_tests", MetricKind::kCounter},
+    {"l1.pairs_tested", MetricKind::kCounter},
+    {"l1.pairs_pruned", MetricKind::kCounter},
     {"l1.mine_ns", MetricKind::kHistogram},
     {"l2.runs", MetricKind::kCounter},
     {"l2.sessions_built", MetricKind::kCounter},
@@ -189,16 +191,19 @@ int64_t HistogramSnapshot::BucketUpperBound(size_t i) {
 int64_t HistogramSnapshot::QuantileUpperBound(double q) const {
   if (count == 0) return 0;
   // Nearest-rank: the first bucket whose cumulative count covers
-  // ceil(q * count) observations (clamped to [1, count]).
+  // ceil(q * count) observations (clamped to [1, count]). Clamping the
+  // bucket bound to the recorded max keeps single-observation (and
+  // top-bucket) estimates at the observed value instead of the bucket's
+  // nominal bound — the top bucket would otherwise export INT64_MAX.
   const auto rank = std::clamp<int64_t>(
       static_cast<int64_t>(std::ceil(q * static_cast<double>(count))), 1,
       count);
   int64_t seen = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
     seen += buckets[i];
-    if (seen >= rank) return BucketUpperBound(i);
+    if (seen >= rank) return std::min(BucketUpperBound(i), max);
   }
-  return BucketUpperBound(kNumBuckets - 1);
+  return std::min(BucketUpperBound(kNumBuckets - 1), max);
 }
 
 const MetricsSnapshot::Entry* MetricsSnapshot::Find(
@@ -246,6 +251,7 @@ std::string MetricsSnapshot::ToJson() const {
       out += "{\"count\": " + std::to_string(entry.hist.count) +
              ", \"sum\": " + std::to_string(entry.hist.sum) +
              ", \"mean\": " + std::to_string(entry.hist.mean()) +
+             ", \"max\": " + std::to_string(entry.hist.max) +
              ", \"p50\": " +
              std::to_string(entry.hist.QuantileUpperBound(0.5)) +
              ", \"p99\": " +
@@ -274,6 +280,9 @@ struct MetricsRegistry::Shard {
         buckets{};
     std::atomic<int64_t> count{0};
     std::atomic<int64_t> sum{0};
+    // Running maximum. The owning thread is the only writer, so a
+    // load-compare-store (no CAS) is race-free; snapshots read relaxed.
+    std::atomic<int64_t> max{INT64_MIN};
   };
   std::array<Hist, kMaxHistograms> histograms{};
 };
@@ -381,6 +390,9 @@ void MetricsRegistry::Observe(MetricId id, int64_t value) {
       1, std::memory_order_relaxed);
   hist.count.fetch_add(1, std::memory_order_relaxed);
   hist.sum.fetch_add(value, std::memory_order_relaxed);
+  if (value > hist.max.load(std::memory_order_relaxed)) {
+    hist.max.store(value, std::memory_order_relaxed);
+  }
 }
 
 void MetricsRegistry::Observe(Metric metric, int64_t value) {
@@ -399,7 +411,14 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     }
     for (size_t i = 0; i < histograms.size(); ++i) {
       const Shard::Hist& hist = shard->histograms[i];
-      histograms[i].count += hist.count.load(std::memory_order_relaxed);
+      const int64_t shard_count = hist.count.load(std::memory_order_relaxed);
+      if (shard_count > 0) {
+        const int64_t shard_max = hist.max.load(std::memory_order_relaxed);
+        if (histograms[i].count == 0 || shard_max > histograms[i].max) {
+          histograms[i].max = shard_max;
+        }
+      }
+      histograms[i].count += shard_count;
       histograms[i].sum += hist.sum.load(std::memory_order_relaxed);
       for (size_t b = 0; b < HistogramSnapshot::kNumBuckets; ++b) {
         histograms[i].buckets[b] +=

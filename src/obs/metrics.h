@@ -46,6 +46,8 @@ enum class Metric : uint32_t {
   kL1Runs,
   kL1SlotsTotal,
   kL1SlotTests,
+  kL1PairsTested,
+  kL1PairsPruned,
   kL1MineNs,
   kL2Runs,
   kL2SessionsBuilt,
@@ -107,6 +109,11 @@ struct HistogramSnapshot {
 
   int64_t count = 0;
   int64_t sum = 0;
+  /// Largest value observed; meaningful only when count > 0. Quantile
+  /// estimates clamp to it, so a lone observation landing in a wide
+  /// bucket (or the open-ended top bucket) reports its own value rather
+  /// than the bucket's nominal bound (INT64_MAX for the top bucket).
+  int64_t max = 0;
   std::array<int64_t, kNumBuckets> buckets{};
 
   /// Bucket a value falls into (shared with the live registry).
@@ -118,8 +125,9 @@ struct HistogramSnapshot {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
-  /// Upper bound of the bucket holding quantile `q` in [0, 1]; an
-  /// upper estimate good to one power of two. 0 when empty.
+  /// Upper bound of the bucket holding quantile `q` in [0, 1], clamped
+  /// to the recorded maximum — an upper estimate good to one power of
+  /// two that never exceeds any actually-observed value. 0 when empty.
   int64_t QuantileUpperBound(double q) const;
 };
 

@@ -10,6 +10,18 @@ namespace {
 constexpr double kEps = 1e-14;
 constexpr int kMaxIterations = 500;
 
+// std::lgamma writes the process-global `signgam`, a data race when
+// the executor evaluates tail probabilities concurrently; the
+// reentrant variant keeps the sign local.
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(_GNU_SOURCE) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 // Lower incomplete gamma by power series; valid for x < a + 1.
 double GammaPSeries(double a, double x) {
   double term = 1.0 / a;
@@ -21,7 +33,7 @@ double GammaPSeries(double a, double x) {
     sum += term;
     if (std::fabs(term) < std::fabs(sum) * kEps) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
 }
 
 // Upper incomplete gamma by Lentz continued fraction; valid for x >= a + 1.
@@ -43,7 +55,7 @@ double GammaQContinuedFraction(double a, double x) {
     h *= delta;
     if (std::fabs(delta - 1.0) < kEps) break;
   }
-  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return h * std::exp(-x + a * std::log(x) - LogGamma(a));
 }
 
 // Continued fraction for the regularized incomplete beta (Lentz).
@@ -83,7 +95,7 @@ double BetaContinuedFraction(double x, double a, double b) {
 
 double LogFactorial(int64_t n) {
   assert(n >= 0);
-  return std::lgamma(static_cast<double>(n) + 1.0);
+  return LogGamma(static_cast<double>(n) + 1.0);
 }
 
 double LogChoose(int64_t n, int64_t k) {
@@ -217,8 +229,8 @@ double RegularizedBeta(double x, double a, double b) {
   assert(a > 0.0 && b > 0.0 && x >= 0.0 && x <= 1.0);
   if (x == 0.0) return 0.0;
   if (x == 1.0) return 1.0;
-  const double log_front = std::lgamma(a + b) - std::lgamma(a) -
-                           std::lgamma(b) + a * std::log(x) +
+  const double log_front = LogGamma(a + b) - LogGamma(a) -
+                           LogGamma(b) + a * std::log(x) +
                            b * std::log1p(-x);
   const double front = std::exp(log_front);
   if (x < (a + 1.0) / (a + b + 2.0)) {

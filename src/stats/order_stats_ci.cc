@@ -46,17 +46,47 @@ logmine::Result<MedianCi> MedianCiRanks(int64_t n, double level) {
   return out;
 }
 
-logmine::Result<MedianCi> MedianConfidenceInterval(std::vector<double> xs,
-                                                   double level) {
-  auto ranks = MedianCiRanks(static_cast<int64_t>(xs.size()), level);
+void FillMedianCiValues(std::span<double> xs, MedianCi* ci) {
+  const size_t n = xs.size();
+  // The ranks we need, ascending: lower_rank <= median rank(s) <=
+  // upper_rank always holds (lower_rank <= (n+1)/2 by construction and
+  // upper_rank mirrors it). Select each with nth_element restricted to
+  // the suffix the previous selection left unpartitioned: after
+  // selecting rank r, positions [0, r) hold the r smallest elements, so
+  // the element of overall rank r' > r is the (r'-r)-th smallest of
+  // [r, n) and nth_element may start there.
+  size_t fixed = 0;  // every rank <= fixed is the last selected rank
+  auto select = [&](size_t rank) {  // 1-based
+    if (rank > fixed) {
+      std::nth_element(xs.begin() + static_cast<ptrdiff_t>(fixed),
+                       xs.begin() + static_cast<ptrdiff_t>(rank - 1),
+                       xs.end());
+      fixed = rank;
+    }
+    return xs[rank - 1];
+  };
+  ci->lower = select(static_cast<size_t>(ci->lower_rank));
+  if (n % 2 == 1) {
+    ci->median = select(n / 2 + 1);
+  } else {
+    const double lo_mid = select(n / 2);
+    ci->median = 0.5 * (lo_mid + select(n / 2 + 1));
+  }
+  ci->upper = select(static_cast<size_t>(ci->upper_rank));
+}
+
+logmine::Result<MedianCi> MedianConfidenceIntervalInPlace(
+    std::vector<double>* xs, double level) {
+  auto ranks = MedianCiRanks(static_cast<int64_t>(xs->size()), level);
   if (!ranks.ok()) return ranks.status();
   MedianCi ci = ranks.value();
-  std::sort(xs.begin(), xs.end());
-  ci.lower = xs[static_cast<size_t>(ci.lower_rank - 1)];
-  ci.upper = xs[static_cast<size_t>(ci.upper_rank - 1)];
-  const size_t n = xs.size();
-  ci.median = n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+  FillMedianCiValues(*xs, &ci);
   return ci;
+}
+
+logmine::Result<MedianCi> MedianConfidenceInterval(std::vector<double> xs,
+                                                   double level) {
+  return MedianConfidenceIntervalInPlace(&xs, level);
 }
 
 }  // namespace logmine::stats

@@ -2,6 +2,7 @@
 #define LOGMINE_STATS_ORDER_STATS_CI_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/result.h"
@@ -31,9 +32,23 @@ struct MedianCi {
 /// [x_(1), x_(n)] has coverage < level (n too small).
 logmine::Result<MedianCi> MedianCiRanks(int64_t n, double level);
 
-/// Computes the interval on concrete data (copied and sorted internally).
+/// Computes the interval on concrete data (copied internally).
 logmine::Result<MedianCi> MedianConfidenceInterval(std::vector<double> xs,
                                                    double level);
+
+/// In-place variant for hot loops (the L1 per-pair test runs two of
+/// these per pair): no copy, and the three order statistics are selected
+/// with `std::nth_element` in O(n) instead of a full O(n log n) sort.
+/// `xs` is partially reordered. Identical values to the copying variant.
+logmine::Result<MedianCi> MedianConfidenceIntervalInPlace(
+    std::vector<double>* xs, double level);
+
+/// Fills `ci->lower` / `ci->upper` / `ci->median` from `xs` given ranks
+/// already computed by `MedianCiRanks(xs.size(), level)` — lets callers
+/// that test many same-sized samples compute the ranks once and pay only
+/// the O(n) selection per sample. `xs` is partially reordered.
+/// Pre-condition: `ci` carries ranks valid for exactly `xs.size()`.
+void FillMedianCiValues(std::span<double> xs, MedianCi* ci);
 
 }  // namespace logmine::stats
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdlib>
 
 namespace logmine::stats {
@@ -31,6 +32,53 @@ std::vector<double> DistancesToNearest(std::span<const int64_t> points,
   return out;
 }
 
+namespace {
+
+// Shared merged-sweep body of the two DistancesToNearestSorted
+// overloads; T is the output element type (the distances are integral,
+// so double and int64_t outputs hold identical values).
+template <typename T>
+void DistancesToNearestSortedImpl(std::span<const int64_t> sorted_points,
+                                  std::span<const int64_t> sorted_ref,
+                                  std::vector<T>* out) {
+  assert(!sorted_ref.empty());
+  out->clear();
+  out->reserve(sorted_points.size());
+  // Both inputs ascend, so the reference element nearest to points[i+1]
+  // is never left of the one nearest to points[i]: advance `j` while the
+  // next reference element is at least as close as the current one.
+  size_t j = 0;
+  for (int64_t p : sorted_points) {
+    while (j + 1 < sorted_ref.size() &&
+           sorted_ref[j + 1] - p <= p - sorted_ref[j]) {
+      ++j;
+    }
+    out->push_back(static_cast<T>(std::abs(sorted_ref[j] - p)));
+  }
+}
+
+}  // namespace
+
+void DistancesToNearestSorted(std::span<const int64_t> sorted_points,
+                              std::span<const int64_t> sorted_ref,
+                              std::vector<double>* out) {
+  DistancesToNearestSortedImpl(sorted_points, sorted_ref, out);
+}
+
+void DistancesToNearestSorted(std::span<const int64_t> sorted_points,
+                              std::span<const int64_t> sorted_ref,
+                              std::vector<int64_t>* out) {
+  DistancesToNearestSortedImpl(sorted_points, sorted_ref, out);
+}
+
+std::vector<double> DistancesToNearestSorted(
+    std::span<const int64_t> sorted_points,
+    std::span<const int64_t> sorted_ref) {
+  std::vector<double> out;
+  DistancesToNearestSorted(sorted_points, sorted_ref, &out);
+  return out;
+}
+
 std::vector<int64_t> UniformPoints(int64_t begin, int64_t end, size_t count,
                                    logmine::Rng* rng) {
   assert(begin < end);
@@ -45,16 +93,53 @@ std::vector<int64_t> UniformPoints(int64_t begin, int64_t end, size_t count,
 std::vector<int64_t> Subsample(std::span<const int64_t> points,
                                size_t max_count, logmine::Rng* rng) {
   if (points.size() <= max_count) return {points.begin(), points.end()};
-  // Partial Fisher-Yates: draw max_count distinct elements.
-  std::vector<int64_t> pool(points.begin(), points.end());
-  for (size_t i = 0; i < max_count; ++i) {
-    const size_t j = static_cast<size_t>(
-        rng->UniformInt(static_cast<int64_t>(i),
-                        static_cast<int64_t>(pool.size()) - 1));
-    std::swap(pool[i], pool[j]);
+  if (max_count == 0) return {};
+  const size_t k = max_count;
+  // Pools close to the sample size: selection sampling (Knuth's
+  // algorithm S). One integer draw per pool element, no transcendental
+  // math, and the sample comes out in pool order (sorted when the pool
+  // is sorted — the common caller then skips its own sort's work).
+  // Taking element i with probability (still needed) / (pool left)
+  // makes every k-subset equally likely.
+  if (points.size() <= 8 * k) {
+    std::vector<int64_t> out;
+    out.reserve(k);
+    size_t needed = k;
+    for (size_t i = 0; i < points.size() && needed > 0; ++i) {
+      const auto left = static_cast<int64_t>(points.size() - i);
+      if (rng->UniformInt(0, left - 1) <
+          static_cast<int64_t>(needed)) {
+        out.push_back(points[i]);
+        --needed;
+      }
+    }
+    return out;
   }
-  pool.resize(max_count);
-  return pool;
+  // Much larger pools: reservoir sampling with random jumps (Li's
+  // algorithm L): keep the first k elements, then skip geometrically
+  // ahead and replace a random reservoir slot. Every k-subset of
+  // positions is equally likely, no O(n) pool copy, and the expected
+  // number of RNG draws is O(k (1 + log(n / k))).
+  std::vector<int64_t> reservoir(points.begin(),
+                                 points.begin() + static_cast<ptrdiff_t>(k));
+  const double inv_k = 1.0 / static_cast<double>(k);
+  // w is the running maximum of k uniforms; log(0) from an exactly-zero
+  // draw degrades to an infinite skip (loop ends), never a crash.
+  double w = std::exp(std::log(rng->Uniform()) * inv_k);
+  size_t i = k - 1;
+  while (true) {
+    const double jump =
+        std::floor(std::log(rng->Uniform()) / std::log1p(-w));
+    // A huge jump (or inf from w rounding to 0 or the uniform drawing 0)
+    // steps past the end; guard before converting to avoid UB.
+    if (!(jump < static_cast<double>(points.size()))) break;
+    i += static_cast<size_t>(jump) + 1;
+    if (i >= points.size()) break;
+    reservoir[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(k) - 1))] = points[i];
+    w *= std::exp(std::log(rng->Uniform()) * inv_k);
+  }
+  return reservoir;
 }
 
 namespace {

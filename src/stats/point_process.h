@@ -19,16 +19,44 @@ namespace logmine::stats {
 int64_t NearestDistance(int64_t t, std::span<const int64_t> sorted_ref);
 
 /// Distances of every point in `points` to its nearest neighbour in
-/// `sorted_ref` (sorted, non-empty).
+/// `sorted_ref` (sorted, non-empty). One binary search per point —
+/// O(|points| log |ref|), no ordering requirement on `points`.
 std::vector<double> DistancesToNearest(std::span<const int64_t> points,
                                        std::span<const int64_t> sorted_ref);
+
+/// Merged-sweep variant: both inputs sorted ascending, `sorted_ref`
+/// non-empty. A single two-pointer pass over both sequences —
+/// O(|points| + |ref|) instead of O(|points| log |ref|) — and the L1
+/// hot-path kernel (DESIGN.md §11). `out` is cleared and refilled, so a
+/// caller in a loop reuses one buffer instead of allocating per call.
+/// Produces exactly the same distances as `DistancesToNearest`.
+void DistancesToNearestSorted(std::span<const int64_t> sorted_points,
+                              std::span<const int64_t> sorted_ref,
+                              std::vector<double>* out);
+
+/// Integer-output variant of the merged sweep. Point distances are
+/// integral, so the values are exactly the ones the double overload
+/// yields; selecting order statistics on int64 avoids the
+/// double-compare cost in the L1 hot path.
+void DistancesToNearestSorted(std::span<const int64_t> sorted_points,
+                              std::span<const int64_t> sorted_ref,
+                              std::vector<int64_t>* out);
+
+/// Allocating convenience overload of the merged sweep.
+std::vector<double> DistancesToNearestSorted(
+    std::span<const int64_t> sorted_points,
+    std::span<const int64_t> sorted_ref);
 
 /// Draws `count` points uniformly from [begin, end).
 std::vector<int64_t> UniformPoints(int64_t begin, int64_t end, size_t count,
                                    logmine::Rng* rng);
 
 /// Draws a subsample of at most `max_count` elements from `points`
-/// (without replacement, order not preserved).
+/// (without replacement, order not preserved). Reservoir-based
+/// (algorithm L): O(max_count) memory and O(max_count (1 + log(n/k)))
+/// expected RNG draws — it never copies the whole candidate span into a
+/// scratch pool, which is what makes per-slot subsampling cheap on
+/// paper-scale slots.
 std::vector<int64_t> Subsample(std::span<const int64_t> points,
                                size_t max_count, logmine::Rng* rng);
 

@@ -57,6 +57,9 @@ CompiledWildcard::CompiledWildcard(std::string_view pattern)
     // segments (the segment-free unanchored case means "*").
     anchored_front_ = anchored_back_ = true;
   }
+  if (anchored_front_ && !segments_.empty() && segments_.front()[0] != '?') {
+    first_byte_gate_ = segments_.front()[0];
+  }
 }
 
 bool CompiledWildcard::Matches(std::string_view text) const {
@@ -115,21 +118,40 @@ WildcardSet::WildcardSet(const std::vector<std::string>& patterns) {
 }
 
 bool WildcardSet::MatchesAny(std::string_view text) const {
-  for (const CompiledWildcard& pattern : patterns_) {
-    if (pattern.Matches(text)) return true;
-  }
+  if (MatchesAnyNonInfix(text)) return true;
   if (!needles_.empty()) {
     for (size_t pos = 0; pos < text.size(); ++pos) {
-      uint32_t mask = table_[static_cast<unsigned char>(text[pos])];
-      while (mask != 0) {
-        const int idx = std::countr_zero(mask);
-        mask &= mask - 1;
-        const std::string& needle = needles_[static_cast<size_t>(idx)];
-        if (needle.size() <= text.size() - pos &&
-            text.compare(pos, needle.size(), needle) == 0) {
-          return true;
-        }
+      if (table_[static_cast<unsigned char>(text[pos])] != 0 &&
+          InfixMatchesAt(text, pos)) {
+        return true;
       }
+    }
+  }
+  return false;
+}
+
+bool WildcardSet::MatchesAnyNonInfix(std::string_view text) const {
+  // Almost every pattern that is not pure-infix is front-anchored on a
+  // literal byte; comparing that byte here skips the whole Matches call
+  // for the typical non-matching message.
+  const char head = text.empty() ? '\0' : text.front();
+  for (const CompiledWildcard& pattern : patterns_) {
+    const char gate = pattern.first_byte_gate();
+    if (gate != 0 && gate != head) continue;
+    if (pattern.Matches(text)) return true;
+  }
+  return false;
+}
+
+bool WildcardSet::InfixMatchesAt(std::string_view text, size_t pos) const {
+  uint32_t mask = table_[static_cast<unsigned char>(text[pos])];
+  while (mask != 0) {
+    const int idx = std::countr_zero(mask);
+    mask &= mask - 1;
+    const std::string& needle = needles_[static_cast<size_t>(idx)];
+    if (needle.size() <= text.size() - pos &&
+        text.compare(pos, needle.size(), needle) == 0) {
+      return true;
     }
   }
   return false;

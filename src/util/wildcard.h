@@ -26,6 +26,12 @@ class CompiledWildcard {
 
   const std::string& pattern() const { return pattern_; }
 
+  /// When non-zero, `Matches(text)` is false for every text whose first
+  /// byte differs — the pattern starts with this literal byte. Lets a
+  /// set of anchored patterns reject a message on one byte compare
+  /// without entering `Matches` at all.
+  char first_byte_gate() const { return first_byte_gate_; }
+
  private:
   std::string pattern_;
   // Maximal '*'-free pieces of the pattern, in order (may contain '?').
@@ -33,6 +39,7 @@ class CompiledWildcard {
   bool anchored_front_ = false;  // pattern does not start with '*'
   bool anchored_back_ = false;   // pattern does not end with '*'
   size_t min_length_ = 0;        // sum of segment lengths
+  char first_byte_gate_ = 0;     // see first_byte_gate()
 };
 
 /// A set of compiled patterns with any-match semantics — the shape of
@@ -46,6 +53,18 @@ class WildcardSet {
   explicit WildcardSet(const std::vector<std::string>& patterns);
 
   bool MatchesAny(std::string_view text) const;
+
+  /// Only the compiled (non-"*literal*") patterns — callers that scan
+  /// the infix needles themselves (see L3's fused scan) combine this
+  /// with InfixMatchesAt over their own candidate positions.
+  bool MatchesAnyNonInfix(std::string_view text) const;
+
+  /// Does some infix needle match starting exactly at `pos`?
+  /// Pre-condition: pos < text.size().
+  bool InfixMatchesAt(std::string_view text, size_t pos) const;
+
+  /// The literal cores of the grouped "*literal*" patterns.
+  const std::vector<std::string>& infix_needles() const { return needles_; }
 
   size_t size() const { return patterns_.size() + needles_.size(); }
 

@@ -1,6 +1,12 @@
 #include "core/l3_text_miner.h"
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "util/rng.h"
 
 namespace logmine::core {
 namespace {
@@ -182,6 +188,49 @@ TEST(L3MinerTest, CitedEntriesDeduplicated) {
   const auto cited =
       miner.CitedEntries("LABRES labres LaBrEs UPSRV2 and LABRES again");
   EXPECT_EQ(cited.size(), 2u);
+}
+
+TEST(L3MinerTest, FusedScanMatchesScalarPath) {
+  // The SIMD fused scan must agree with IsStopped + CitedEntries on the
+  // stop decision and the cited-entry set for arbitrary messages. Fuzz
+  // with fragments engineered to stress every fast-path boundary: ids
+  // in every case, ids embedded in longer tokens (must not match), stop
+  // needles and near-misses, and lengths crossing the 512-byte
+  // stack-buffer cutoff.
+  const ServiceVocabulary vocabulary = Vocab();
+  L3TextMiner miner(vocabulary, L3Config{});
+  if (!miner.fused_scan_ok()) GTEST_SKIP() << "fused scan not available";
+  const std::vector<std::string> fragments = {
+      "DPINOTIFICATION", "dpinotification", "DpiNotification",
+      "UPSRV2",          "upsrv2x",         "xupsrv2",
+      "LABRES",          "labres",          "LABRES,",
+      "_LABRES",         "http://srv03.hug.ch:9980/labres",
+      "Received",        "call",            "Received call transfer",
+      "sent keepalive",  "to peer",         "(notify)",
+      "[srv01]",         "id=42",           "==",
+      "",                "a",               "9980"};
+  Rng rng(20051206);
+  L3TextMiner::ScanScratch scratch;
+  std::vector<size_t> fused_cited;
+  for (int round = 0; round < 4000; ++round) {
+    std::string message;
+    const int64_t parts = rng.UniformInt(0, round % 20 == 0 ? 90 : 12);
+    for (int64_t i = 0; i < parts; ++i) {
+      if (!message.empty() && rng.Bernoulli(0.9)) message += ' ';
+      message += fragments[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(fragments.size()) - 1))];
+    }
+    const bool stopped = miner.IsStopped(message);
+    fused_cited.clear();
+    const bool fused_stopped =
+        miner.FusedScan(message, &scratch, &fused_cited);
+    ASSERT_EQ(fused_stopped, stopped) << "message=\"" << message << "\"";
+    if (stopped) continue;  // partial fused output is discarded
+    std::vector<size_t> scalar_cited = miner.CitedEntries(message);
+    std::sort(fused_cited.begin(), fused_cited.end());
+    std::sort(scalar_cited.begin(), scalar_cited.end());
+    ASSERT_EQ(fused_cited, scalar_cited) << "message=\"" << message << "\"";
+  }
 }
 
 }  // namespace

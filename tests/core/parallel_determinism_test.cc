@@ -1,7 +1,7 @@
 // The hard requirement of the shared-executor design: every miner, and
 // the pipeline façade over them, must return byte-identical results for
 // any thread count. These tests run each on a simulated multi-source
-// corpus with num_threads in {1, 2, 8} and compare full result
+// corpus with num_threads in {1, 2, 4, 8} and compare full result
 // structures field by field.
 
 #include <gtest/gtest.h>
@@ -20,7 +20,7 @@ namespace logmine::core {
 namespace {
 
 constexpr TimeMs kHorizon = 6 * kMillisPerHour;
-const int kThreadCounts[] = {1, 2, 8};
+const int kThreadCounts[] = {1, 2, 4, 8};
 
 ServiceVocabulary Vocab() {
   ServiceVocabulary vocabulary;
@@ -113,6 +113,59 @@ TEST(ParallelDeterminismTest, L1IdenticalAcrossThreadCounts) {
       EXPECT_EQ(other.pairs[i].positive_ratio,
                 reference.pairs[i].positive_ratio);
       EXPECT_EQ(other.pairs[i].dependent, reference.pairs[i].dependent);
+    }
+  }
+}
+
+// Support pruning only skips tests whose outcome cannot affect the
+// result (pairs that cannot reach th_s, whose positives are zeroed in
+// finalization either way), so the pruned and unpruned runs must agree
+// on every field — at every thread count.
+TEST(ParallelDeterminismTest, L1PrunedMatchesUnpruned) {
+  LogStore store = SimulatedCorpus();
+  // A sparse source active in only the first slot: every pair involving
+  // it stays far below th_s, so the prune actually fires.
+  {
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+      LogRecord record;
+      record.client_ts = record.server_ts =
+          rng.UniformInt(0, kMillisPerHour - 1);
+      record.source = "Sparse";
+      record.message = "routine maintenance tick";
+      ASSERT_TRUE(store.Append(record).ok());
+    }
+    store.BuildIndex();
+  }
+  L1Config config;
+  config.minlogs = 20;
+  config.test.sample_size = 100;
+  // High enough that the sparse source's pairs get pruned, low enough
+  // that the always-on pairs still get tested.
+  config.th_s = 0.9;
+  config.prune_support = true;
+  const auto pruned =
+      MineAtEachThreadCount<L1Config, L1ActivityMiner, L1Result>(store,
+                                                                 config);
+  config.prune_support = false;
+  const auto unpruned =
+      MineAtEachThreadCount<L1Config, L1ActivityMiner, L1Result>(store,
+                                                                 config);
+  EXPECT_GT(pruned.front().pairs_pruned, 0);
+  EXPECT_GT(pruned.front().pairs_tested, 0);
+  EXPECT_EQ(unpruned.front().pairs_pruned, 0);
+  for (size_t r = 0; r < pruned.size(); ++r) {
+    const L1Result& p = pruned[r];
+    const L1Result& u = unpruned[r];
+    ASSERT_EQ(p.pairs.size(), u.pairs.size());
+    EXPECT_EQ(p.pairs_tested + p.pairs_pruned, u.pairs_tested);
+    for (size_t i = 0; i < p.pairs.size(); ++i) {
+      EXPECT_EQ(p.pairs[i].a, u.pairs[i].a);
+      EXPECT_EQ(p.pairs[i].b, u.pairs[i].b);
+      EXPECT_EQ(p.pairs[i].slots_supported, u.pairs[i].slots_supported);
+      EXPECT_EQ(p.pairs[i].slots_positive, u.pairs[i].slots_positive);
+      EXPECT_EQ(p.pairs[i].positive_ratio, u.pairs[i].positive_ratio);
+      EXPECT_EQ(p.pairs[i].dependent, u.pairs[i].dependent);
     }
   }
 }

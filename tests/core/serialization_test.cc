@@ -175,6 +175,8 @@ TEST(SerializationTest, L1ConfigRoundTrip) {
   config.test.level = 0.99;
   config.seed = 1234;
   config.num_threads = 4;
+  config.prune_support = false;
+  config.pair_chunk = 64;
   const L1Config decoded = RoundTrip<L1Config>(
       [&](SnapshotWriter* w) { EncodeL1Config(config, w); },
       [](SectionCursor* c) { return DecodeL1Config(c); });
@@ -194,6 +196,8 @@ TEST(SerializationTest, L1ConfigRoundTrip) {
   EXPECT_EQ(decoded.test.level, config.test.level);
   EXPECT_EQ(decoded.seed, config.seed);
   EXPECT_EQ(decoded.num_threads, config.num_threads);
+  EXPECT_EQ(decoded.prune_support, config.prune_support);
+  EXPECT_EQ(decoded.pair_chunk, config.pair_chunk);
   EXPECT_EQ(ConfigFingerprint(decoded), ConfigFingerprint(config));
 }
 
@@ -286,6 +290,17 @@ TEST(SerializationTest, FingerprintIgnoresThreadCount) {
   L3Config l3_pool = l3;
   l3_pool.num_threads = 8;
   EXPECT_EQ(ConfigFingerprint(l3), ConfigFingerprint(l3_pool));
+}
+
+TEST(SerializationTest, FingerprintIgnoresSchedulingKnobs) {
+  // Pruning and chunking change only how the work is scheduled, never
+  // the result bytes (ParallelDeterminismTest.L1PrunedMatchesUnpruned),
+  // so checkpoints survive toggling them.
+  L1Config l1;
+  L1Config tuned = l1;
+  tuned.prune_support = !l1.prune_support;
+  tuned.pair_chunk = l1.pair_chunk * 4;
+  EXPECT_EQ(ConfigFingerprint(l1), ConfigFingerprint(tuned));
 }
 
 TEST(SerializationTest, CorruptPayloadsAreRejectedNotHalfDecoded) {

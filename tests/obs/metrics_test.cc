@@ -72,6 +72,31 @@ TEST(MetricsRegistryTest, QuantileUsesNearestRankNotInterpolation) {
   EXPECT_LE(entry->hist.QuantileUpperBound(0.50), 128);
 }
 
+TEST(MetricsRegistryTest, QuantileClampsToObservedMax) {
+  // Observations in the open-ended top bucket (and single observations
+  // anywhere) must report the recorded max, never the bucket's nominal
+  // INT64_MAX bound.
+  MetricsRegistry registry;
+  const int64_t huge = int64_t{1} << 62;
+  registry.Observe(Metric::kExecutorTaskNs, huge);
+  const MetricsSnapshot::Entry* entry =
+      registry.Snapshot().Find("executor.task_ns");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->hist.max, huge);
+  EXPECT_EQ(entry->hist.QuantileUpperBound(0.5), huge);
+  EXPECT_EQ(entry->hist.QuantileUpperBound(0.99), huge);
+  EXPECT_EQ(entry->hist.QuantileUpperBound(1.0), huge);
+
+  MetricsRegistry single;
+  single.Observe(Metric::kIngestDecodeNs, 3);
+  const MetricsSnapshot::Entry* one =
+      single.Snapshot().Find("ingest.decode_ns");
+  ASSERT_NE(one, nullptr);
+  // One observation of 3 lands in the (2, 4] bucket; the clamp reports
+  // the observation itself rather than the bound 4.
+  EXPECT_EQ(one->hist.QuantileUpperBound(0.99), 3);
+}
+
 TEST(MetricsRegistryTest, HistogramBucketsArePowersOfTwo) {
   EXPECT_EQ(HistogramSnapshot::BucketOf(0), 0u);
   EXPECT_EQ(HistogramSnapshot::BucketOf(1), 0u);

@@ -65,6 +65,39 @@ TEST(SubsampleTest, DrawsDistinctElements) {
   }
 }
 
+TEST(DistancesToNearestSortedTest, MatchesBinarySearchVariant) {
+  // Property check of the merged sweep against the per-point binary
+  // search across random sorted inputs of varied shapes, including
+  // duplicates (UniformInt over a small range collides often).
+  Rng rng(77);
+  for (int round = 0; round < 50; ++round) {
+    const size_t np = static_cast<size_t>(rng.UniformInt(0, 40));
+    const size_t nr = static_cast<size_t>(rng.UniformInt(1, 20));
+    const int64_t range = rng.UniformInt(1, round < 25 ? 30 : 100000);
+    std::vector<int64_t> points, ref;
+    for (size_t i = 0; i < np; ++i) points.push_back(rng.UniformInt(0, range));
+    for (size_t i = 0; i < nr; ++i) ref.push_back(rng.UniformInt(0, range));
+    std::sort(points.begin(), points.end());
+    std::sort(ref.begin(), ref.end());
+    const std::vector<double> expected = DistancesToNearest(points, ref);
+    EXPECT_EQ(DistancesToNearestSorted(points, ref), expected);
+    std::vector<int64_t> ints;
+    DistancesToNearestSorted(points, ref, &ints);
+    ASSERT_EQ(ints.size(), expected.size());
+    for (size_t i = 0; i < ints.size(); ++i) {
+      EXPECT_EQ(static_cast<double>(ints[i]), expected[i]);
+    }
+  }
+}
+
+TEST(DistancesToNearestSortedTest, EmptyPointsAndSingletonRef) {
+  const std::vector<int64_t> none;
+  const std::vector<int64_t> ref = {5};
+  EXPECT_TRUE(DistancesToNearestSorted(none, ref).empty());
+  EXPECT_EQ(DistancesToNearestSorted(std::vector<int64_t>{1, 5, 9}, ref),
+            (std::vector<double>{4, 0, 4}));
+}
+
 // Builds a homogeneous Poisson-ish process on [0, horizon).
 std::vector<int64_t> RandomProcess(int64_t horizon, size_t count, Rng* rng) {
   std::vector<int64_t> out;

@@ -105,5 +105,45 @@ TEST(WildcardSetTest, MatchesAnyMirrorsTheStopPatternLoop) {
   EXPECT_FALSE(set.MatchesAny(""));
 }
 
+TEST(WildcardSetTest, FirstByteGateNeverFalseNegative) {
+  // The gate only skips a pattern when its anchored literal first byte
+  // cannot match; '?'-led and '*'-led patterns must not be gated.
+  const CompiledWildcard anchored("Received *");
+  EXPECT_EQ(anchored.first_byte_gate(), 'R');
+  const CompiledWildcard question("?CK *");
+  EXPECT_EQ(question.first_byte_gate(), '\0');
+  const CompiledWildcard floating("*ACK*x");
+  EXPECT_EQ(floating.first_byte_gate(), '\0');
+
+  const WildcardSet set({"Received *", "?CK *", "*conn* lost"});
+  EXPECT_TRUE(set.MatchesAny("Received call"));
+  EXPECT_FALSE(set.MatchesAny("received call"));  // gate is case-exact
+  EXPECT_TRUE(set.MatchesAny("ACK 99"));
+  EXPECT_TRUE(set.MatchesAny("xCK !"));
+  EXPECT_TRUE(set.MatchesAny("the connection lost"));
+  EXPECT_FALSE(set.MatchesAny(""));
+}
+
+TEST(WildcardSetTest, NonInfixAndInfixSplitCoversMatchesAny) {
+  // MatchesAny == MatchesAnyNonInfix || (some position passes
+  // InfixMatchesAt); the fused L3 scan relies on exactly this split.
+  const WildcardSet set({"Received *", "*keepalive*", "*incoming call*"});
+  const std::vector<std::string> texts = {
+      "Received ping",       "sent keepalive now", "an incoming call here",
+      "incoming callx",      "keepaliv",           "",
+      "Receive",             "xkeepalive",         "KEEPALIVE"};
+  for (const std::string& text : texts) {
+    bool infix_hit = false;
+    for (size_t pos = 0; pos < text.size() && !infix_hit; ++pos) {
+      infix_hit = set.InfixMatchesAt(text, pos);
+    }
+    EXPECT_EQ(set.MatchesAny(text), set.MatchesAnyNonInfix(text) || infix_hit)
+        << "text=\"" << text << "\"";
+  }
+  EXPECT_FALSE(set.MatchesAnyNonInfix("sent keepalive now"));
+  EXPECT_TRUE(set.InfixMatchesAt("sent keepalive now", 5));
+  EXPECT_FALSE(set.InfixMatchesAt("sent keepalive now", 6));
+}
+
 }  // namespace
 }  // namespace logmine
