@@ -37,6 +37,7 @@
 #include "core/l2_session_builder.h"
 #include "core/pipeline.h"
 #include "eval/resumable_runner.h"
+#include "eval/shard_supervisor.h"
 #include "log/codec.h"
 #include "log/filter.h"
 #include "obs/obs.h"
@@ -315,6 +316,34 @@ int main(int argc, char** argv) {
             << l1_unpruned_ms << " ms, results "
             << (pruned_matches_unpruned ? "identical" : "DIFFER") << "\n";
 
+  // Sharded-sweep supervisor: the same corpus mined as
+  // (days × pair-range) shards through eval/shard_supervisor — the
+  // fault-tolerant path — versus the plain unsliced mine above. Each
+  // shard mines serially (the shard grid is the parallel axis); the
+  // merged model must equal the unsliced run's dependencies.
+  constexpr int kSweepRanges = 4;
+  eval::ShardSupervisorConfig sweep_supervisor;
+  sweep_supervisor.num_ranges = kSweepRanges;
+  sweep_supervisor.poll_ms = 1;
+  core::L1Config sweep_l1_config;
+  sweep_l1_config.num_threads = 1;
+  eval::ShardedSweepResult sweep_result;
+  const double sweep_ms = MeasureMs(reps, [&] {
+    auto result =
+        eval::RunL1ShardedSweep(dataset, sweep_l1_config, sweep_supervisor);
+    if (!result.ok()) std::abort();
+    sweep_result = std::move(result).value();
+  });
+  const bool sweep_matches_unsharded =
+      sweep_result.merged.daily[0].pairs() ==
+      l1_result.Dependencies(dataset.store).pairs();
+  std::cerr << "[bench] sharded sweep: " << sweep_ms << " ms over "
+            << sweep_result.shards.size() << " shards ("
+            << eval::SweepOutcomeName(sweep_result.outcome) << ", coverage "
+            << sweep_result.merged.coverage.fraction() << "), day-0 model "
+            << (sweep_matches_unsharded ? "matches" : "DIFFERS from")
+            << " the unsliced mine\n";
+
   // Checkpoint overhead: the L2+L3 daily sweep (the resumable runner's
   // unit of work) with checkpointing disabled vs one snapshot generation
   // per day. L1 is excluded so the denominator is the two fast miners —
@@ -455,6 +484,14 @@ int main(int argc, char** argv) {
       << ", \"unpruned_ms\": " << l1_unpruned_ms
       << ", \"pruned_matches_unpruned\": "
       << (pruned_matches_unpruned ? "true" : "false") << "},\n";
+  out << "  \"sweep\": {\"ms\": " << sweep_ms
+      << ", \"num_ranges\": " << kSweepRanges
+      << ", \"shards\": " << sweep_result.shards.size()
+      << ", \"attempts\": " << sweep_result.stats.attempts
+      << ", \"outcome\": \"" << eval::SweepOutcomeName(sweep_result.outcome)
+      << "\", \"coverage\": " << sweep_result.merged.coverage.fraction()
+      << ", \"model_matches_unsharded\": "
+      << (sweep_matches_unsharded ? "true" : "false") << "},\n";
   out << "  \"checkpoint\": {\"off_ms\": " << ckpt_off_ms
       << ", \"on_ms\": " << ckpt_on_ms
       << ", \"overhead_ms\": " << ckpt_overhead_ms

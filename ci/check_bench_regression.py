@@ -9,10 +9,14 @@ is 2x slower overall is 2x slower on the reference too, and the ratio
 cancels the machine out. The guard trips only when the normalized L1
 cost grew by more than ``--tolerance`` (default 20%).
 
-Also asserts the two correctness flags the bench computes:
+Also asserts the correctness flags the bench computes:
 ``results_match_seed_reference`` and
 ``l1_pruning.pruned_matches_unpruned`` must both be true — a fast but
-wrong hot path must never pass.
+wrong hot path must never pass. When both reports carry a ``sweep``
+section (the sharded-sweep supervisor bench), the fault-free sweep must
+additionally be complete (coverage 1.0) and byte-equivalent to the
+unsliced mine (``model_matches_unsharded``), and its wall time is held
+to the same normalized-growth tolerance as the L1 hot path.
 
 Usage: check_bench_regression.py --current BENCH_pipeline.json \
            [--baseline ci/bench_baseline.json] [--tolerance 0.20]
@@ -30,6 +34,14 @@ def l1_cost(report: dict) -> float:
     if reference_ms <= 0:
         raise SystemExit("baseline reference time is not positive")
     return ns_per_log / reference_ms
+
+
+def sweep_cost(report: dict) -> float:
+    """Normalized sharded-sweep cost: sweep ms over the serial reference."""
+    reference_ms = report["seed_reference_serial"]["l2_plus_l3_ms"]
+    if reference_ms <= 0:
+        raise SystemExit("baseline reference time is not positive")
+    return report["sweep"]["ms"] / reference_ms
 
 
 def main() -> int:
@@ -64,6 +76,34 @@ def main() -> int:
             f"normalized l1.ns_per_log at 8 threads regressed "
             f"{growth * 100.0:.1f}% > {args.tolerance * 100.0:.0f}%"
         )
+
+    # Sharded-sweep supervisor section: only checked when both sides
+    # have it, so an old baseline stays comparable.
+    sweep = current.get("sweep")
+    if sweep is not None:
+        if not sweep.get("model_matches_unsharded"):
+            failures.append("sweep.model_matches_unsharded is false")
+        if sweep.get("coverage") != 1.0:
+            failures.append(
+                f"fault-free sweep coverage is {sweep.get('coverage')}, "
+                f"expected 1.0"
+            )
+        if "sweep" in baseline:
+            sweep_base = sweep_cost(baseline)
+            sweep_cur = sweep_cost(current)
+            sweep_growth = sweep_cur / sweep_base - 1.0
+            print(
+                f"sweep.ms (reference-normalized): baseline "
+                f"{sweep_base:.4f}, current {sweep_cur:.4f}, growth "
+                f"{sweep_growth * 100.0:+.1f}% "
+                f"(tolerance {args.tolerance * 100.0:.0f}%)"
+            )
+            if sweep_growth > args.tolerance:
+                failures.append(
+                    f"normalized sharded-sweep time regressed "
+                    f"{sweep_growth * 100.0:.1f}% > "
+                    f"{args.tolerance * 100.0:.0f}%"
+                )
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -100,11 +100,21 @@ void SortBounded(std::vector<int64_t>* v, int64_t lo, int64_t hi) {
 
 Result<L1Result> L1ActivityMiner::Mine(const LogStore& store, TimeMs begin,
                                        TimeMs end) const {
+  return Mine(store, begin, end, PairRange{});
+}
+
+Result<L1Result> L1ActivityMiner::Mine(const LogStore& store, TimeMs begin,
+                                       TimeMs end, PairRange range) const {
   if (!store.index_built()) {
     return Status::FailedPrecondition("LogStore index not built");
   }
   if (begin >= end) {
     return Status::InvalidArgument("empty mining interval");
+  }
+  if (range.count < 1 || range.index >= range.count) {
+    return Status::InvalidArgument(
+        "pair range " + std::to_string(range.index) + " outside [0, " +
+        std::to_string(range.count) + ")");
   }
   LOGMINE_SPAN_GLOBAL("l1/mine", obs::Metric::kL1MineNs);
   obs::Count(obs::Metric::kL1Runs);
@@ -179,11 +189,27 @@ Result<L1Result> L1ActivityMiner::Mine(const LogStore& store, TimeMs begin,
   auto reaches_support = [&](int32_t supported) {
     return static_cast<double>(supported) >= min_support;
   };
+  // Pair-range sharding: rank pairs (a < b) lexicographically and keep
+  // only this shard's contiguous slice of ranks. Pairs outside the
+  // slice are another shard's work — never tested, never listed, not
+  // even counted as pruned, so per-shard results partition the full
+  // run's result exactly.
+  const uint64_t total_pairs =
+      static_cast<uint64_t>(ns) * (ns - 1) / 2;
+  const uint64_t range_lo = total_pairs * range.index / range.count;
+  const uint64_t range_hi = total_pairs * (range.index + 1) / range.count;
+  auto in_range = [&](uint32_t a, uint32_t b) {
+    if (range.count == 1) return true;
+    const uint64_t rank = static_cast<uint64_t>(a) * (ns - 1) -
+                          static_cast<uint64_t>(a) * (a - 1) / 2 +
+                          (b - a - 1);
+    return rank >= range_lo && rank < range_hi;
+  };
   std::vector<uint8_t> tested(ns * ns, 0);
   for (uint32_t a = 0; a < num_sources; ++a) {
     for (uint32_t b = a + 1; b < num_sources; ++b) {
       const size_t key = a * ns + b;
-      if (support[key] == 0) continue;
+      if (support[key] == 0 || !in_range(a, b)) continue;
       tested[key] = !config_.prune_support || reaches_support(support[key]);
       if (tested[key]) {
         ++result.pairs_tested;
@@ -418,7 +444,7 @@ Result<L1Result> L1ActivityMiner::Mine(const LogStore& store, TimeMs begin,
   for (uint32_t a = 0; a < num_sources; ++a) {
     for (uint32_t b = a + 1; b < num_sources; ++b) {
       const size_t key = a * ns + b;
-      if (support[key] == 0) continue;
+      if (support[key] == 0 || !in_range(a, b)) continue;
       pair_index[key] = result.pairs.size();
       L1PairResult pr;
       pr.a = a;

@@ -97,6 +97,19 @@ struct L1Result {
   DependencyModel Dependencies(const LogStore& store) const;
 };
 
+/// One contiguous slice of the unordered source-pair universe — the
+/// pair-range axis of a (day × pair-range) sharded sweep. Pairs (a, b)
+/// with a < b are ranked in (a, b) lexicographic order over the store's
+/// sources; slice `index` of `count` keeps ranks in
+/// [total * index / count, total * (index + 1) / count). Every pair
+/// lands in exactly one slice, so the union of per-slice results over
+/// all indices equals the unsliced result — the invariant the partial
+/// merge layer builds on.
+struct PairRange {
+  uint32_t index = 0;
+  uint32_t count = 1;  ///< number of slices; 1 = the whole universe
+};
+
 /// Approach L1: for every pair of applications, compare per slot the
 /// nearest-log distance of B's timestamps to A against uniformly random
 /// points (order-statistics median CIs, one-sided); a pair is dependent
@@ -108,6 +121,15 @@ class L1ActivityMiner {
   /// Mines [begin, end) of `store` (index must be built).
   Result<L1Result> Mine(const LogStore& store, TimeMs begin,
                         TimeMs end) const;
+
+  /// Pair-range-sharded variant: tests only the pairs in `range`'s
+  /// slice, skipping every other pair's precompute and testing work.
+  /// Per-pair outcomes are byte-identical to the unsliced run — all
+  /// randomness is keyed by (seed, slot, source), never by which pairs
+  /// share the shard — so the slices of one day partition its full
+  /// result exactly.
+  Result<L1Result> Mine(const LogStore& store, TimeMs begin, TimeMs end,
+                        PairRange range) const;
 
   /// Runs the per-slot test for a single ordered pair on one slot —
   /// exposed for diagnostics and the figure 2 boxplot bench.

@@ -146,6 +146,128 @@ Result<ModelTracker> DecodeModelTracker(SectionCursor* c) {
   return ModelTracker(config, std::move(tracked), observations);
 }
 
+void EncodeCoverageReport(const CoverageReport& report, SnapshotWriter* w) {
+  w->PutU32(static_cast<uint32_t>(report.num_days));
+  w->PutU32(static_cast<uint32_t>(report.num_ranges));
+  w->PutU64(report.covered.size());
+  for (uint8_t cell : report.covered) w->PutBool(cell != 0);
+}
+
+Result<CoverageReport> DecodeCoverageReport(SectionCursor* c) {
+  CoverageReport report;
+  LOGMINE_ASSIGN_OR_RETURN(uint32_t num_days, c->ReadU32());
+  LOGMINE_ASSIGN_OR_RETURN(uint32_t num_ranges, c->ReadU32());
+  LOGMINE_ASSIGN_OR_RETURN(uint64_t cells, c->ReadU64());
+  LOGMINE_RETURN_IF_ERROR(CheckCount(cells, 1u << 26, "coverage cell"));
+  report.num_days = static_cast<int32_t>(num_days);
+  report.num_ranges = static_cast<int32_t>(num_ranges);
+  if (cells != static_cast<uint64_t>(num_days) * num_ranges) {
+    return Status::ParseError(
+        "coverage bitmap holds " + std::to_string(cells) + " cells for a " +
+        std::to_string(num_days) + " x " + std::to_string(num_ranges) +
+        " grid");
+  }
+  report.covered.reserve(cells);
+  for (uint64_t i = 0; i < cells; ++i) {
+    LOGMINE_ASSIGN_OR_RETURN(bool covered, c->ReadBool());
+    report.covered.push_back(covered ? 1 : 0);
+  }
+  return report;
+}
+
+void EncodePartialModel(const PartialModel& partial, SnapshotWriter* w) {
+  w->PutU32(static_cast<uint32_t>(partial.shard.day));
+  w->PutU32(static_cast<uint32_t>(partial.shard.range_index));
+  w->PutU32(static_cast<uint32_t>(partial.num_days));
+  w->PutU32(static_cast<uint32_t>(partial.num_ranges));
+  w->PutU64(partial.state_hash);
+  EncodeDependencyModel(partial.model, w);
+}
+
+Result<PartialModel> DecodePartialModel(SectionCursor* c) {
+  PartialModel partial;
+  LOGMINE_ASSIGN_OR_RETURN(uint32_t day, c->ReadU32());
+  LOGMINE_ASSIGN_OR_RETURN(uint32_t range_index, c->ReadU32());
+  LOGMINE_ASSIGN_OR_RETURN(uint32_t num_days, c->ReadU32());
+  LOGMINE_ASSIGN_OR_RETURN(uint32_t num_ranges, c->ReadU32());
+  LOGMINE_ASSIGN_OR_RETURN(partial.state_hash, c->ReadU64());
+  partial.shard.day = static_cast<int32_t>(day);
+  partial.shard.range_index = static_cast<int32_t>(range_index);
+  partial.num_days = static_cast<int32_t>(num_days);
+  partial.num_ranges = static_cast<int32_t>(num_ranges);
+  if (partial.num_ranges < 1 || partial.shard.day >= partial.num_days ||
+      partial.shard.range_index >= partial.num_ranges) {
+    return Status::ParseError(
+        "partial model claims shard (" + std::to_string(day) + ", " +
+        std::to_string(range_index) + ") of a " + std::to_string(num_days) +
+        " x " + std::to_string(num_ranges) + " grid");
+  }
+  LOGMINE_ASSIGN_OR_RETURN(partial.model, DecodeDependencyModel(c));
+  return partial;
+}
+
+std::string PartialModelBytes(const PartialModel& partial) {
+  SnapshotWriter w;
+  w.BeginSection("partial");
+  EncodePartialModel(partial, &w);
+  w.EndSection();
+  return std::move(w).Finish();
+}
+
+Result<PartialModel> ParsePartialModelBytes(std::string bytes) {
+  LOGMINE_ASSIGN_OR_RETURN(SnapshotReader reader,
+                           SnapshotReader::Parse(std::move(bytes)));
+  LOGMINE_ASSIGN_OR_RETURN(SectionCursor cursor, reader.Section("partial"));
+  LOGMINE_ASSIGN_OR_RETURN(PartialModel partial, DecodePartialModel(&cursor));
+  LOGMINE_RETURN_IF_ERROR(cursor.ExpectEnd());
+  return partial;
+}
+
+std::string MergedModelBytes(const MergedPartialModel& merged) {
+  SnapshotWriter w;
+  w.BeginSection("model");
+  EncodeDependencyModel(merged.model, &w);
+  w.EndSection();
+  w.BeginSection("daily");
+  w.PutU64(merged.daily.size());
+  for (const DependencyModel& model : merged.daily) {
+    EncodeDependencyModel(model, &w);
+  }
+  w.EndSection();
+  w.BeginSection("coverage");
+  EncodeCoverageReport(merged.coverage, &w);
+  w.EndSection();
+  return std::move(w).Finish();
+}
+
+Result<MergedPartialModel> ParseMergedModelBytes(std::string bytes) {
+  LOGMINE_ASSIGN_OR_RETURN(SnapshotReader reader,
+                           SnapshotReader::Parse(std::move(bytes)));
+  MergedPartialModel merged;
+  LOGMINE_ASSIGN_OR_RETURN(SectionCursor model_cursor,
+                           reader.Section("model"));
+  LOGMINE_ASSIGN_OR_RETURN(merged.model,
+                           DecodeDependencyModel(&model_cursor));
+  LOGMINE_RETURN_IF_ERROR(model_cursor.ExpectEnd());
+  LOGMINE_ASSIGN_OR_RETURN(SectionCursor daily_cursor,
+                           reader.Section("daily"));
+  LOGMINE_ASSIGN_OR_RETURN(uint64_t num_daily, daily_cursor.ReadU64());
+  LOGMINE_RETURN_IF_ERROR(CheckCount(num_daily, 1u << 20, "daily model"));
+  merged.daily.reserve(num_daily);
+  for (uint64_t i = 0; i < num_daily; ++i) {
+    LOGMINE_ASSIGN_OR_RETURN(DependencyModel model,
+                             DecodeDependencyModel(&daily_cursor));
+    merged.daily.push_back(std::move(model));
+  }
+  LOGMINE_RETURN_IF_ERROR(daily_cursor.ExpectEnd());
+  LOGMINE_ASSIGN_OR_RETURN(SectionCursor coverage_cursor,
+                           reader.Section("coverage"));
+  LOGMINE_ASSIGN_OR_RETURN(merged.coverage,
+                           DecodeCoverageReport(&coverage_cursor));
+  LOGMINE_RETURN_IF_ERROR(coverage_cursor.ExpectEnd());
+  return merged;
+}
+
 void EncodeL1Config(const L1Config& config, SnapshotWriter* w) {
   w->PutI64(config.slot_length);
   w->PutBool(config.adaptive_slots);

@@ -11,6 +11,7 @@
 #include "core/l2_session_builder.h"
 #include "core/l3_text_miner.h"
 #include "core/model_tracker.h"
+#include "core/partial_model.h"
 #include "util/result.h"
 #include "util/snapshot.h"
 
@@ -52,6 +53,27 @@ Result<L2Config> DecodeL2Config(SectionCursor* c);
 
 void EncodeL3Config(const L3Config& config, SnapshotWriter* w);
 Result<L3Config> DecodeL3Config(SectionCursor* c);
+
+void EncodeCoverageReport(const CoverageReport& report, SnapshotWriter* w);
+Result<CoverageReport> DecodeCoverageReport(SectionCursor* c);
+
+void EncodePartialModel(const PartialModel& partial, SnapshotWriter* w);
+Result<PartialModel> DecodePartialModel(SectionCursor* c);
+
+/// The complete snapshot container (one "partial" section) a shard task
+/// round-trips through — and, when a partial directory is configured,
+/// the exact bytes it persists. Validating these bytes before accepting
+/// a shard's result is what turns an injected (or real) corruption into
+/// a retryable failure instead of silently wrong merged state.
+std::string PartialModelBytes(const PartialModel& partial);
+Result<PartialModel> ParsePartialModelBytes(std::string bytes);
+
+/// Canonical serialized form of a merged, coverage-annotated model
+/// (sections "model", "daily", "coverage") — the byte string the chaos
+/// harness compares for its byte-identity and coverage-accounting
+/// assertions.
+std::string MergedModelBytes(const MergedPartialModel& merged);
+Result<MergedPartialModel> ParseMergedModelBytes(std::string bytes);
 
 /// Order-sensitive FNV-1a accumulator for config fingerprints.
 class Fingerprinter {

@@ -1,0 +1,183 @@
+#ifndef LOGMINE_EVAL_SHARD_SUPERVISOR_H_
+#define LOGMINE_EVAL_SHARD_SUPERVISOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/l1_activity_miner.h"
+#include "core/partial_model.h"
+#include "eval/dataset.h"
+#include "obs/obs.h"
+#include "simulation/crash_injector.h"
+#include "util/executor.h"
+#include "util/result.h"
+#include "util/retry.h"
+
+namespace logmine::eval {
+
+/// The shard axes of a sweep: every (day, pair-range) cell is one
+/// independently minable, retryable, mergeable task (DESIGN.md §12).
+struct ShardGrid {
+  int num_days = 1;
+  int num_ranges = 1;
+  int cells() const { return num_days * num_ranges; }
+};
+
+/// What a shard attempt is handed. Attempts must be *pure* in the shard
+/// id — re-running one (retry or hedge) yields the same model — and
+/// cooperative about the rest: check `cancel` between units of work and
+/// give up with DeadlineExceeded once `deadline_ms` of wall clock is
+/// spent (<= 0 = no deadline). `attempt` is 1-based and counts every
+/// launch of the shard, hedges included.
+struct ShardContext {
+  const CancelToken* cancel = nullptr;
+  int64_t deadline_ms = 0;
+  int attempt = 1;
+  bool hedged = false;
+};
+
+/// One shard's mining function: the supervisor is generic over what a
+/// shard actually computes (the L1 binding below is the first user).
+using ShardMineFn =
+    std::function<Result<core::DependencyModel>(core::ShardId,
+                                                const ShardContext&)>;
+
+/// Knobs of one sharded sweep. The defaults favor the paper-scale
+/// workloads: retry transients a couple of times with jittered backoff,
+/// hedge stragglers once the latency distribution is known, and give up
+/// on a shard only after `breaker_threshold` distinct failures.
+struct ShardSupervisorConfig {
+  /// Pair-range slices per day (the second shard axis); 1 = per-day
+  /// sharding only.
+  int num_ranges = 1;
+  /// Cooperative per-attempt wall-clock budget, passed to the mine
+  /// function via ShardContext; <= 0 = none.
+  int64_t shard_deadline_ms = 0;
+  /// Backoff schedule between attempts of one shard. When `retryable`
+  /// is unset the supervisor installs its own classification —
+  /// kInternal (worker death), kDeadlineExceeded (tripped shard
+  /// deadline) and kParseError (corrupt partial model) are all worth
+  /// re-mining. Partial-model *persistence* always keeps the strict
+  /// kInternal-only default regardless of this predicate.
+  RetryPolicy retry;
+  /// Circuit breaker: after this many distinct failed attempts the
+  /// shard is quarantined as poisoned and never launched again.
+  int breaker_threshold = 3;
+  /// Straggler hedging: once `min_hedge_completions` shards have
+  /// completed, a shard still running after
+  ///   max(hedge_min_ms, hedge_factor * quantile(latencies, hedge_quantile))
+  /// gets up to `max_hedges_per_shard` concurrent duplicate launches;
+  /// first completion wins, the twin is cancelled.
+  int min_hedge_completions = 3;
+  double hedge_quantile = 0.9;
+  double hedge_factor = 2.0;
+  /// Floor under the hedge bar, so sub-millisecond completions at toy
+  /// scale do not make every remaining shard a "straggler".
+  int64_t hedge_min_ms = 50;
+  int max_hedges_per_shard = 1;
+  /// Concurrent first launches (retries and hedges ride on top);
+  /// 0 = launch every shard immediately.
+  int max_in_flight = 0;
+  /// Supervisor wake-up period for hedge checks, in milliseconds.
+  int64_t poll_ms = 2;
+  /// When non-empty, every surviving partial model is also persisted
+  /// here as `partial-d<day>-r<range>.snap` (atomic tmp+rename with
+  /// kInternal-only retries).
+  std::string partial_dir;
+  /// Pool to run shard attempts on; nullptr = Executor::Shared().
+  Executor* executor = nullptr;
+  /// Observability; nullptr = off (see obs/obs.h).
+  obs::ObsContext* obs = nullptr;
+  /// Chaos harness: when non-null, every attempt first consults the
+  /// injector and misbehaves accordingly (tests only).
+  const sim::ShardFaultInjector* faults = nullptr;
+};
+
+/// How complete the sweep's merged model is.
+enum class SweepOutcome : uint32_t {
+  kComplete = 0,  ///< every cell covered
+  kDegraded,      ///< some cells poisoned; merged model is partial
+  kFailed,        ///< nothing survived (reported as an error Status)
+};
+
+std::string_view SweepOutcomeName(SweepOutcome outcome);
+
+/// Per-shard postmortem.
+struct ShardReport {
+  core::ShardId shard;
+  bool covered = false;
+  bool poisoned = false;
+  int attempts = 0;
+  int failures = 0;
+  int hedges = 0;
+  std::string last_error;  ///< empty when the shard never failed
+};
+
+/// Whole-sweep tallies (mirrored into the shard.* metrics).
+struct ShardedSweepStats {
+  int64_t attempts = 0;
+  int64_t failures = 0;
+  int64_t retries = 0;  ///< re-submissions after an exhausted backoff run
+  int64_t hedges_launched = 0;
+  int64_t hedges_won = 0;
+  int64_t breaker_trips = 0;
+  int64_t shards_completed = 0;
+  int64_t shards_poisoned = 0;
+};
+
+struct ShardedSweepResult {
+  SweepOutcome outcome = SweepOutcome::kComplete;
+  /// Union model + per-day models + exact coverage of what survived.
+  core::MergedPartialModel merged;
+  /// One report per grid cell, in (day, range) order.
+  std::vector<ShardReport> shards;
+  ShardedSweepStats stats;
+  uint64_t state_hash = 0;
+};
+
+/// Runs one sharded sweep: launches every cell of `grid` on the
+/// executor, retries retryable failures with jittered backoff, hedges
+/// stragglers, quarantines shards that keep failing, and merges the
+/// surviving partial models (core/partial_model.h) into one
+/// coverage-annotated result.
+///
+/// Determinism: when every shard eventually succeeds the merged bytes
+/// are identical to a fault-free run for any schedule, hedge outcome or
+/// retry count — attempts are pure in the shard id and the merge is a
+/// set union. When shards are lost the coverage report names exactly
+/// the missing cells and the merged model is exactly the union of the
+/// survivors.
+///
+/// Returns OK with outcome kComplete or kDegraded; an error Status when
+/// no shard survived (kFailed) or the grid is invalid.
+Result<ShardedSweepResult> RunShardedSweep(const ShardGrid& grid,
+                                           const ShardMineFn& mine,
+                                           const ShardSupervisorConfig& config,
+                                           uint64_t state_hash);
+
+/// L1 binding: shard (day, range) mines `dataset`'s day with
+/// L1ActivityMiner over PairRange{range, num_ranges}. Pure in the shard
+/// id (L1's randomness is keyed by (seed, slot, source)), so the merged
+/// sweep model of a fully covered run equals the union of unsliced
+/// per-day models.
+ShardMineFn MakeL1ShardMiner(const Dataset& dataset,
+                             const core::L1Config& config, int num_ranges);
+
+/// Fingerprint binding a sharded L1 sweep's partials together: config ×
+/// dataset × grid. Partials of a different config, corpus or slicing
+/// refuse to merge.
+uint64_t L1SweepStateHash(const Dataset& dataset, const core::L1Config& config,
+                          int num_ranges);
+
+/// Convenience wrapper: grid = dataset days × config.num_ranges, L1
+/// miner, L1 state hash.
+Result<ShardedSweepResult> RunL1ShardedSweep(
+    const Dataset& dataset, const core::L1Config& config,
+    const ShardSupervisorConfig& supervisor);
+
+}  // namespace logmine::eval
+
+#endif  // LOGMINE_EVAL_SHARD_SUPERVISOR_H_

@@ -74,6 +74,16 @@ constexpr MetricDef kMetricDefs[] = {
     {"checkpoint.generations_discarded", MetricKind::kCounter},
     {"retry.attempts", MetricKind::kCounter},
     {"retry.backoff_ms_total", MetricKind::kCounter},
+    {"shard.attempts", MetricKind::kCounter},
+    {"shard.failures", MetricKind::kCounter},
+    {"shard.retries", MetricKind::kCounter},
+    {"shard.hedges_launched", MetricKind::kCounter},
+    {"shard.hedges_won", MetricKind::kCounter},
+    {"shard.breaker_trips", MetricKind::kCounter},
+    {"shard.completed", MetricKind::kCounter},
+    {"shard.poisoned", MetricKind::kCounter},
+    {"shard.attempt_ns", MetricKind::kHistogram},
+    {"sweep.coverage_permille", MetricKind::kGauge},
 };
 
 static_assert(std::size(kMetricDefs) == kNumWellKnownMetrics,

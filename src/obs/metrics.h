@@ -89,6 +89,17 @@ enum class Metric : uint32_t {
   // --- retry (util/retry.cc) ---
   kRetryAttempts,
   kRetryBackoffMsTotal,
+  // --- sharded sweep supervisor (eval/shard_supervisor.cc) ---
+  kShardAttempts,
+  kShardFailures,
+  kShardRetries,
+  kShardHedgesLaunched,
+  kShardHedgesWon,
+  kShardBreakerTrips,
+  kShardsCompleted,
+  kShardsPoisoned,
+  kShardAttemptNs,
+  kSweepCoveragePermille,
 
   kNumMetrics,
 };

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "util/result.h"
 #include "util/rng.h"
@@ -74,6 +76,103 @@ class CrashInjector {
  private:
   CrashPlan plan_;
   bool fired_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Shard fault plans: the chaos axis of the sharded sweep supervisor.
+// Where the kill-point harness above terminates a *process*, a shard
+// fault plan misbehaves individual (day × pair-range) shard attempts —
+// fail, hang, corrupt, or slow them — so the supervisor's retry, hedge
+// and circuit-breaker machinery can be driven deterministically.
+
+/// What a faulted shard attempt does.
+enum class ShardFault : uint32_t {
+  kNone = 0,
+  /// The attempt fails with Internal before mining — the classic
+  /// transient worker death; retryable.
+  kFailTransient,
+  /// The attempt never finishes on its own: it waits cooperatively
+  /// until the shard deadline (or cancellation) trips, then returns
+  /// DeadlineExceeded. Exercises the deadline + hedging paths.
+  kHang,
+  /// The attempt mines correctly but its serialized partial model is
+  /// corrupted in flight; validation rejects it (ParseError) and the
+  /// retry must re-mine.
+  kCorruptModel,
+  /// The attempt sleeps before mining, then succeeds. Not a failure —
+  /// exercises the straggler-hedging path without losing work.
+  kSlow,
+};
+
+/// Stable name used in flags and test output (e.g. "fail-transient").
+std::string_view ShardFaultName(ShardFault fault);
+
+/// Parses the result of ShardFaultName back; InvalidArgument otherwise.
+Result<ShardFault> ShardFaultFromName(std::string_view name);
+
+/// `times` value meaning "every attempt, forever" — a permanent fault
+/// the supervisor can only resolve by quarantining the shard.
+inline constexpr int kShardFaultAlways = INT32_MAX;
+
+/// One shard's misbehaviour: fault `fault` on its first `times`
+/// attempts (hedges count as attempts), then behave normally.
+struct ShardFaultSpec {
+  int day = 0;
+  int range_index = 0;
+  ShardFault fault = ShardFault::kNone;
+  int times = 1;
+  /// Delay for kSlow (and the bounded wait for kHang when the run has
+  /// no deadline to trip).
+  int64_t slow_ms = 20;
+};
+
+/// A full chaos plan: at most one spec per shard cell.
+struct ShardFaultPlan {
+  std::vector<ShardFaultSpec> faults;
+};
+
+struct ShardFaultPlanOptions {
+  /// Upper bound on distinct faulty shards (capped by the grid size).
+  int max_faulty_shards = 3;
+  /// Upper bound on `times` for transient faults.
+  int max_times = 2;
+  /// Probability a drawn fault is permanent (times = kShardFaultAlways).
+  double permanent_fraction = 0.0;
+};
+
+/// Draws a seeded random plan over a `num_days` x `num_ranges` grid:
+/// distinct shards, random fault kinds and repeat counts — all
+/// randomness from the caller's Rng, so a chaos sweep over seeds is
+/// exactly reproducible.
+ShardFaultPlan RandomShardFaultPlan(Rng* rng, int num_days, int num_ranges,
+                                    const ShardFaultPlanOptions& options);
+
+/// Evaluates a plan. A pure function of (plan, shard, attempt): unlike
+/// CrashInjector it keeps no fired-state, so concurrent shard attempts
+/// can consult it without synchronization and a rerun of the same plan
+/// sees the same faults.
+class ShardFaultInjector {
+ public:
+  explicit ShardFaultInjector(ShardFaultPlan plan) : plan_(std::move(plan)) {}
+
+  /// The fault this attempt should exhibit; `attempt` is 1-based and
+  /// counts every launch of the shard, hedges included. kNone once the
+  /// spec's `times` are spent.
+  ShardFault OnAttempt(int day, int range_index, int attempt) const;
+
+  /// The spec covering a shard, or nullptr when it behaves normally.
+  const ShardFaultSpec* SpecFor(int day, int range_index) const;
+
+  /// The cells no amount of retrying can save: permanent faults other
+  /// than kSlow (a permanently slow shard still completes). Exactly the
+  /// cells a degraded run must report as uncovered, in (day, range)
+  /// order.
+  std::vector<std::pair<int, int>> PermanentlyPoisoned() const;
+
+  const ShardFaultPlan& plan() const { return plan_; }
+
+ private:
+  ShardFaultPlan plan_;
 };
 
 }  // namespace logmine::sim

@@ -179,6 +179,69 @@ TEST(L1MinerTest, ParallelMiningIsBitIdenticalToSerial) {
             a.value().Dependencies(store).pairs());
 }
 
+TEST(L1MinerTest, PairRangesPartitionTheFullResult) {
+  // Property behind the sharded sweep: for any slice count, the
+  // per-slice results are disjoint, their union is the unsliced result,
+  // and every shared pair is byte-identical — randomness is keyed by
+  // (seed, slot, source), never by which pairs ride along.
+  const TimeMs horizon = 6 * kMillisPerHour;
+  Rng rng(311);
+  LogStore store;
+  for (int s = 0; s < 7; ++s) {
+    AddUniform(&store, "App" + std::to_string(s), 0, horizon, 500, &rng);
+  }
+  store.BuildIndex();
+  AddFollower(&store, store, store.FindSource("App1").value(), "Echo", &rng);
+  store.BuildIndex();
+
+  L1ActivityMiner miner(FastConfig());
+  auto full = miner.Mine(store, 0, horizon);
+  ASSERT_TRUE(full.ok());
+  ASSERT_FALSE(full.value().pairs.empty());
+
+  for (uint32_t count : {1u, 2u, 3u, 5u, 64u}) {
+    std::vector<L1PairResult> combined;
+    int64_t tested = 0, pruned = 0;
+    DependencyModel deps_union;
+    for (uint32_t index = 0; index < count; ++index) {
+      auto slice = miner.Mine(store, 0, horizon, PairRange{index, count});
+      ASSERT_TRUE(slice.ok()) << slice.status();
+      EXPECT_EQ(slice.value().slots_total, full.value().slots_total);
+      combined.insert(combined.end(), slice.value().pairs.begin(),
+                      slice.value().pairs.end());
+      tested += slice.value().pairs_tested;
+      pruned += slice.value().pairs_pruned;
+      deps_union = deps_union.Union(slice.value().Dependencies(store));
+    }
+    // Slices are contiguous in (a, b) rank order, so concatenating them
+    // in index order reproduces the full listing exactly.
+    ASSERT_EQ(combined.size(), full.value().pairs.size()) << count;
+    for (size_t i = 0; i < combined.size(); ++i) {
+      EXPECT_EQ(combined[i].a, full.value().pairs[i].a);
+      EXPECT_EQ(combined[i].b, full.value().pairs[i].b);
+      EXPECT_EQ(combined[i].slots_supported,
+                full.value().pairs[i].slots_supported);
+      EXPECT_EQ(combined[i].slots_positive,
+                full.value().pairs[i].slots_positive);
+      EXPECT_EQ(combined[i].dependent, full.value().pairs[i].dependent);
+    }
+    EXPECT_EQ(tested, full.value().pairs_tested) << count;
+    EXPECT_EQ(pruned, full.value().pairs_pruned) << count;
+    EXPECT_EQ(deps_union.pairs(), full.value().Dependencies(store).pairs())
+        << count;
+  }
+}
+
+TEST(L1MinerTest, RejectsInvalidPairRange) {
+  Rng rng(312);
+  LogStore store;
+  AddUniform(&store, "A", 0, kMillisPerHour, 100, &rng);
+  store.BuildIndex();
+  L1ActivityMiner miner(FastConfig());
+  EXPECT_FALSE(miner.Mine(store, 0, kMillisPerHour, PairRange{0, 0}).ok());
+  EXPECT_FALSE(miner.Mine(store, 0, kMillisPerHour, PairRange{2, 2}).ok());
+}
+
 TEST(L1MinerTest, RequiresIndexAndValidInterval) {
   LogStore store;
   LogRecord record;

@@ -1,0 +1,329 @@
+// Unit tests of the sharded sweep supervisor over synthetic mine
+// functions: each scenario scripts exactly which shard attempts fail,
+// hang or dawdle, so the retry / hedge / circuit-breaker machinery can
+// be asserted deterministically without a real corpus.
+
+#include "eval/shard_supervisor.h"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/serialization.h"
+
+namespace logmine::eval {
+namespace {
+
+using core::DependencyModel;
+using core::MakeUnorderedPair;
+using core::ShardId;
+
+/// The deterministic model a shard "mines": one pair naming the cell,
+/// so the merged model proves which shards contributed.
+DependencyModel CellModel(ShardId shard) {
+  DependencyModel model;
+  model.Insert(MakeUnorderedPair(
+      "day" + std::to_string(shard.day),
+      "range" + std::to_string(shard.range_index)));
+  return model;
+}
+
+ShardMineFn CleanMiner() {
+  return [](ShardId shard, const ShardContext&) -> Result<DependencyModel> {
+    return CellModel(shard);
+  };
+}
+
+/// Counts attempts per shard across all launches (thread-safe).
+class AttemptLog {
+ public:
+  int Record(ShardId shard) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ++counts_[std::make_pair(shard.day, shard.range_index)];
+  }
+  int count(ShardId shard) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counts_[std::make_pair(shard.day, shard.range_index)];
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::pair<int, int>, int> counts_;
+};
+
+ShardSupervisorConfig FastConfig() {
+  ShardSupervisorConfig config;
+  config.retry.initial_backoff_ms = 1;
+  config.retry.max_backoff_ms = 2;
+  config.retry.jitter = 0.0;
+  config.poll_ms = 1;
+  return config;
+}
+
+TEST(ShardSupervisorTest, CleanSweepCoversEveryCellAndMergesExactly) {
+  const ShardGrid grid{3, 2};
+  auto result = RunShardedSweep(grid, CleanMiner(), FastConfig(), 7);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().outcome, SweepOutcome::kComplete);
+  EXPECT_TRUE(result.value().merged.coverage.complete());
+  EXPECT_EQ(result.value().stats.shards_completed, 6);
+  EXPECT_EQ(result.value().stats.shards_poisoned, 0);
+  EXPECT_EQ(result.value().stats.failures, 0);
+  DependencyModel expected;
+  for (int day = 0; day < 3; ++day) {
+    for (int range = 0; range < 2; ++range) {
+      expected = expected.Union(CellModel({day, range}));
+    }
+  }
+  EXPECT_EQ(result.value().merged.model.pairs(), expected.pairs());
+  // Per-day models hold only that day's ranges.
+  EXPECT_EQ(result.value().merged.daily[1].pairs(),
+            CellModel({1, 0}).Union(CellModel({1, 1})).pairs());
+  ASSERT_EQ(result.value().shards.size(), 6u);
+  for (const ShardReport& report : result.value().shards) {
+    EXPECT_TRUE(report.covered);
+    EXPECT_FALSE(report.poisoned);
+    EXPECT_EQ(report.attempts, 1);
+  }
+}
+
+TEST(ShardSupervisorTest, TransientFailuresRetryToByteIdenticalBytes) {
+  const ShardGrid grid{2, 2};
+  auto clean = RunShardedSweep(grid, CleanMiner(), FastConfig(), 7);
+  ASSERT_TRUE(clean.ok());
+
+  auto log = std::make_shared<AttemptLog>();
+  ShardMineFn flaky = [log](ShardId shard,
+                            const ShardContext&) -> Result<DependencyModel> {
+    // Shard (1, 0) fails its first two attempts, then recovers.
+    if (shard == ShardId{1, 0} && log->Record(shard) <= 2) {
+      return Status::Internal("flaky worker");
+    }
+    return CellModel(shard);
+  };
+  auto retried = RunShardedSweep(grid, flaky, FastConfig(), 7);
+  ASSERT_TRUE(retried.ok()) << retried.status();
+  EXPECT_EQ(retried.value().outcome, SweepOutcome::kComplete);
+  EXPECT_EQ(retried.value().stats.failures, 2);
+  EXPECT_EQ(core::MergedModelBytes(retried.value().merged),
+            core::MergedModelBytes(clean.value().merged));
+  const ShardReport& report = retried.value().shards[2];  // (1, 0) day-major
+  EXPECT_EQ(report.shard, (ShardId{1, 0}));
+  EXPECT_TRUE(report.covered);
+  EXPECT_EQ(report.failures, 2);
+  EXPECT_EQ(report.attempts, 3);
+}
+
+TEST(ShardSupervisorTest, BreakerPoisonsAfterExactlyThresholdFailures) {
+  const ShardGrid grid{2, 1};
+  auto log = std::make_shared<AttemptLog>();
+  ShardMineFn doomed = [log](ShardId shard,
+                             const ShardContext&) -> Result<DependencyModel> {
+    if (shard.day == 1) {
+      log->Record(shard);
+      return Status::Internal("permanently broken");
+    }
+    return CellModel(shard);
+  };
+  ShardSupervisorConfig config = FastConfig();
+  config.breaker_threshold = 4;
+  config.retry.max_attempts = 2;  // forces supervisor-level resubmission
+  auto result = RunShardedSweep(grid, doomed, config, 7);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().outcome, SweepOutcome::kDegraded);
+  // The breaker stopped the shard after exactly `breaker_threshold`
+  // distinct failed attempts, no matter how attempts were grouped into
+  // backoff runs.
+  EXPECT_EQ(log->count({1, 0}), 4);
+  EXPECT_EQ(result.value().stats.failures, 4);
+  EXPECT_EQ(result.value().stats.breaker_trips, 1);
+  EXPECT_EQ(result.value().stats.shards_poisoned, 1);
+  EXPECT_GE(result.value().stats.retries, 1);
+  const ShardReport& report = result.value().shards[1];
+  EXPECT_TRUE(report.poisoned);
+  EXPECT_FALSE(report.covered);
+  EXPECT_EQ(report.failures, 4);
+  EXPECT_NE(report.last_error.find("permanently broken"), std::string::npos);
+  // Coverage names exactly the poisoned cell.
+  const auto missing = result.value().merged.coverage.MissingCells();
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_EQ(missing[0], std::make_pair(1, 0));
+}
+
+TEST(ShardSupervisorTest, NonRetryableFailurePoisonsImmediately) {
+  const ShardGrid grid{2, 1};
+  auto log = std::make_shared<AttemptLog>();
+  ShardMineFn broken = [log](ShardId shard,
+                             const ShardContext&) -> Result<DependencyModel> {
+    if (shard.day == 0) {
+      log->Record(shard);
+      return Status::InvalidArgument("config rejects this shard");
+    }
+    return CellModel(shard);
+  };
+  auto result = RunShardedSweep(grid, broken, FastConfig(), 7);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().outcome, SweepOutcome::kDegraded);
+  // No retries for a deterministic failure: one attempt, quarantined.
+  EXPECT_EQ(log->count({0, 0}), 1);
+  EXPECT_EQ(result.value().stats.retries, 0);
+  EXPECT_EQ(result.value().stats.breaker_trips, 0);
+  EXPECT_TRUE(result.value().shards[0].poisoned);
+}
+
+TEST(ShardSupervisorTest, AllShardsPoisonedIsAFailedSweep) {
+  ShardMineFn hopeless = [](ShardId,
+                            const ShardContext&) -> Result<DependencyModel> {
+    return Status::InvalidArgument("nothing works");
+  };
+  auto result = RunShardedSweep(ShardGrid{2, 2}, hopeless, FastConfig(), 7);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("all 4 shards poisoned"),
+            std::string::npos);
+}
+
+TEST(ShardSupervisorTest, DeadlineExceededIsRetryableByDefault) {
+  const ShardGrid grid{1, 2};
+  auto log = std::make_shared<AttemptLog>();
+  ShardMineFn slow_start = [log](
+                               ShardId shard,
+                               const ShardContext&) -> Result<DependencyModel> {
+    // First attempt of (0, 1) trips its deadline; the retry succeeds.
+    if (shard == ShardId{0, 1} && log->Record(shard) == 1) {
+      return Status::DeadlineExceeded("shard deadline tripped");
+    }
+    return CellModel(shard);
+  };
+  auto result = RunShardedSweep(grid, slow_start, FastConfig(), 7);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().outcome, SweepOutcome::kComplete);
+  EXPECT_EQ(log->count({0, 1}), 2);
+  EXPECT_EQ(result.value().stats.failures, 1);
+}
+
+TEST(ShardSupervisorTest, CustomRetryPredicateNarrowsTheDefault) {
+  // With a kInternal-only predicate installed, a deadline trip is fatal.
+  const ShardGrid grid{1, 2};
+  ShardMineFn trips = [](ShardId shard,
+                         const ShardContext&) -> Result<DependencyModel> {
+    if (shard.range_index == 1) {
+      return Status::DeadlineExceeded("always late");
+    }
+    return CellModel(shard);
+  };
+  ShardSupervisorConfig config = FastConfig();
+  config.retry.retryable = IsRetryable;  // kInternal only
+  auto result = RunShardedSweep(grid, trips, config, 7);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().outcome, SweepOutcome::kDegraded);
+  EXPECT_EQ(result.value().shards[1].attempts, 1);
+  EXPECT_TRUE(result.value().shards[1].poisoned);
+}
+
+TEST(ShardSupervisorTest, HedgeRescuesAStuckShard) {
+  // Shard (0, 2)'s first attempt blocks until its cancel token fires —
+  // only a winning hedge can release it. Success therefore proves the
+  // hedge launched, won, and cancelled the stuck twin.
+  const ShardGrid grid{1, 3};
+  auto log = std::make_shared<AttemptLog>();
+  ShardMineFn sticky = [log](ShardId shard,
+                             const ShardContext& context)
+      -> Result<DependencyModel> {
+    if (shard == ShardId{0, 2} && log->Record(shard) == 1) {
+      while (context.cancel != nullptr && !context.cancel->cancelled()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return Status::Cancelled("first attempt lost the hedge race");
+    }
+    return CellModel(shard);
+  };
+  // A private pool with enough workers that the hedge can run while the
+  // stuck attempt occupies a thread.
+  Executor executor(4);
+  ShardSupervisorConfig config = FastConfig();
+  config.executor = &executor;
+  config.min_hedge_completions = 2;  // the two clean shards qualify
+  config.hedge_factor = 1.0;
+  config.hedge_min_ms = 5;
+  auto result = RunShardedSweep(grid, sticky, config, 7);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().outcome, SweepOutcome::kComplete);
+  EXPECT_EQ(result.value().stats.hedges_launched, 1);
+  EXPECT_EQ(result.value().stats.hedges_won, 1);
+  EXPECT_EQ(result.value().shards[2].hedges, 1);
+  // The stuck attempt's Cancelled return is not a failure.
+  EXPECT_EQ(result.value().stats.failures, 0);
+}
+
+TEST(ShardSupervisorTest, MaxInFlightThrottlesFirstLaunches) {
+  auto peak = std::make_shared<std::atomic<int>>(0);
+  auto running = std::make_shared<std::atomic<int>>(0);
+  ShardMineFn tracked = [peak, running](
+                            ShardId shard,
+                            const ShardContext&) -> Result<DependencyModel> {
+    const int now = running->fetch_add(1) + 1;
+    int seen = peak->load();
+    while (now > seen && !peak->compare_exchange_weak(seen, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    running->fetch_sub(1);
+    return CellModel(shard);
+  };
+  Executor executor(8);
+  ShardSupervisorConfig config = FastConfig();
+  config.executor = &executor;
+  config.max_in_flight = 2;
+  auto result = RunShardedSweep(ShardGrid{4, 2}, tracked, config, 7);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().outcome, SweepOutcome::kComplete);
+  EXPECT_LE(peak->load(), 2);
+}
+
+TEST(ShardSupervisorTest, RejectsBadGridsAndConfigs) {
+  EXPECT_FALSE(RunShardedSweep(ShardGrid{0, 1}, CleanMiner(), {}, 7).ok());
+  EXPECT_FALSE(RunShardedSweep(ShardGrid{1, 0}, CleanMiner(), {}, 7).ok());
+  EXPECT_FALSE(RunShardedSweep(ShardGrid{1, 1}, ShardMineFn(), {}, 7).ok());
+  ShardSupervisorConfig config;
+  config.breaker_threshold = 0;
+  EXPECT_FALSE(RunShardedSweep(ShardGrid{1, 1}, CleanMiner(), config, 7).ok());
+}
+
+TEST(ShardSupervisorTest, SweepOutcomeNamesAreStable) {
+  EXPECT_EQ(SweepOutcomeName(SweepOutcome::kComplete), "complete");
+  EXPECT_EQ(SweepOutcomeName(SweepOutcome::kDegraded), "degraded");
+  EXPECT_EQ(SweepOutcomeName(SweepOutcome::kFailed), "failed");
+}
+
+TEST(ShardSupervisorTest, MetricsMirrorTheSweepStats) {
+  obs::ObsContext obs;
+  auto log = std::make_shared<AttemptLog>();
+  ShardMineFn flaky = [log](ShardId shard,
+                            const ShardContext&) -> Result<DependencyModel> {
+    if (shard == ShardId{0, 0} && log->Record(shard) == 1) {
+      return Status::Internal("one flake");
+    }
+    return CellModel(shard);
+  };
+  ShardSupervisorConfig config = FastConfig();
+  config.obs = &obs;
+  auto result = RunShardedSweep(ShardGrid{1, 2}, flaky, config, 7);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const obs::MetricsSnapshot snapshot = obs.metrics().Snapshot();
+  EXPECT_EQ(snapshot.Value("shard.attempts"), 3);
+  EXPECT_EQ(snapshot.Value("shard.failures"), 1);
+  EXPECT_EQ(snapshot.Value("shard.completed"), 2);
+  EXPECT_EQ(snapshot.Value("shard.poisoned"), 0);
+  EXPECT_EQ(snapshot.Value("sweep.coverage_permille"), 1000);
+}
+
+}  // namespace
+}  // namespace logmine::eval

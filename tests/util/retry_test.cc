@@ -137,6 +137,74 @@ TEST(RetryTest, JitterStaysWithinPolicyBounds) {
   }
 }
 
+TEST(RetryTest, PredicateHookWidensTheRetryableClass) {
+  // A caller-installed predicate can treat kDeadlineExceeded as
+  // transient (the shard supervisor's view of a tripped per-shard
+  // deadline) — the default classification never retries it.
+  RetryPolicy policy;
+  policy.retryable = [](StatusCode code) {
+    return code == StatusCode::kInternal ||
+           code == StatusCode::kDeadlineExceeded;
+  };
+  int calls = 0;
+  std::vector<int64_t> delays;
+  const Status status = RetryWithBackoff(
+      policy, "op",
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::DeadlineExceeded("straggler")
+                         : Status::OK();
+      },
+      nullptr, Recorder(&delays));
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(delays.size(), 2u);
+}
+
+TEST(RetryTest, PredicateHookCanNarrowToNothing) {
+  RetryPolicy policy;
+  policy.retryable = [](StatusCode) { return false; };
+  int calls = 0;
+  std::vector<int64_t> delays;
+  const Status status = RetryWithBackoff(
+      policy, "op",
+      [&] {
+        ++calls;
+        return Status::Internal("would have been retryable");
+      },
+      nullptr, Recorder(&delays));
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(delays.empty());
+}
+
+TEST(RetryTest, UnsetPredicateKeepsTheDefaultClassification) {
+  // Snapshot I/O's behavior must be unchanged: kInternal retries,
+  // kDeadlineExceeded does not.
+  RetryPolicy policy;  // no predicate installed
+  std::vector<int64_t> delays;
+  int internal_calls = 0;
+  (void)RetryWithBackoff(
+      policy, "op",
+      [&] {
+        ++internal_calls;
+        return Status::Internal("x");
+      },
+      nullptr, Recorder(&delays));
+  EXPECT_EQ(internal_calls, policy.max_attempts);
+
+  int deadline_calls = 0;
+  const Status status = RetryWithBackoff(
+      policy, "op",
+      [&] {
+        ++deadline_calls;
+        return Status::DeadlineExceeded("x");
+      },
+      nullptr, Recorder(&delays));
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline_calls, 1);
+}
+
 TEST(RetryTest, ZeroAndNegativeMaxAttemptsStillRunOnce) {
   for (int max_attempts : {0, -3}) {
     RetryPolicy policy;
