@@ -116,6 +116,11 @@ Result<L1Result> L1ActivityMiner::Mine(const LogStore& store, TimeMs begin,
         "pair range " + std::to_string(range.index) + " outside [0, " +
         std::to_string(range.count) + ")");
   }
+  const bool anchored = config_.salt_anchor != L1Config::kNoSaltAnchor;
+  if (anchored && config_.adaptive_slots) {
+    return Status::InvalidArgument(
+        "salt_anchor requires the fixed slot grid (adaptive_slots=false)");
+  }
   LOGMINE_SPAN_GLOBAL("l1/mine", obs::Metric::kL1MineNs);
   obs::Count(obs::Metric::kL1Runs);
   // All-source timestamps in the window, needed by both the adaptive
@@ -291,7 +296,17 @@ Result<L1Result> L1ActivityMiner::Mine(const LogStore& store, TimeMs begin,
         const TimeSlot& slot = slots[slot_idx];
         const std::span<const int64_t> view = views[slot_idx * ns + s];
         SlotSourceRef& ref = refs[slot_idx * ns + s];
-        Rng rng = master.Fork(static_cast<uint64_t>(slot_idx) * ns + s);
+        // Anchored: key the stream by (source name, absolute slot) so
+        // the draw is invariant under window position and store
+        // composition; otherwise the historic (relative slot, dense id)
+        // key, which keeps seed-reference results byte-identical.
+        Rng rng =
+            anchored
+                ? master.Fork(store.source_name(s))
+                      .Fork(static_cast<uint64_t>(
+                          (slot.begin - config_.salt_anchor) /
+                          config_.slot_length))
+                : master.Fork(static_cast<uint64_t>(slot_idx) * ns + s);
         std::vector<int64_t> baseline;
         if (config_.baseline == L1Baseline::kIntensityProportional) {
           baseline =

@@ -64,6 +64,20 @@ struct L1Config {
   /// depend only on the test count and this grain, so results stay
   /// deterministic for any thread count.
   size_t pair_chunk = 16;
+  /// Sentinel for `salt_anchor`: RNG streams keyed by window-relative
+  /// slot index and dense source id (the historic behavior).
+  static constexpr TimeMs kNoSaltAnchor = INT64_MIN;
+  /// When set (any value != kNoSaltAnchor), the per-(slot, source) RNG
+  /// streams are keyed by the source *name* and the slot's absolute
+  /// number on the `slot_length` grid anchored here:
+  ///   abs_slot = (slot.begin - salt_anchor) / slot_length.
+  /// Per-slot outcomes then no longer depend on where the mining window
+  /// starts or which other sources the store happens to contain — the
+  /// property the sliding-window miner (src/serve) needs so that
+  /// ingesting one epoch at a time reproduces a batch mine over the
+  /// same window byte-for-byte. Incompatible with `adaptive_slots`
+  /// (adaptive boundaries are window-dependent by construction).
+  TimeMs salt_anchor = kNoSaltAnchor;
 };
 
 /// Per-pair outcome of L1.

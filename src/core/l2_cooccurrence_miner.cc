@@ -23,14 +23,26 @@ uint64_t PairKey(uint32_t a, uint32_t b) {
 
 Result<L2Result> L2CooccurrenceMiner::Mine(const LogStore& store,
                                            TimeMs begin, TimeMs end) const {
+  return Mine(store, begin, end, RunOptions{});
+}
+
+Result<L2Result> L2CooccurrenceMiner::Mine(const LogStore& store,
+                                           TimeMs begin, TimeMs end,
+                                           const RunOptions& options) const {
   if (!store.index_built()) {
     return Status::FailedPrecondition("LogStore index not built");
   }
+  // One budget for the whole pass: pin the deadline here, hand the
+  // remainder to each phase.
+  const auto deadline = StopDeadline(options);
   SessionBuilder builder(config_.session);
   SessionBuildStats stats;
-  const std::vector<Session> sessions =
-      builder.Build(store, begin, end, &stats);
-  auto result = MineSessions(store, sessions);
+  LOGMINE_ASSIGN_OR_RETURN(
+      const std::vector<Session> sessions,
+      builder.Build(store, begin, end, RemainingOptions(options, deadline),
+                    &stats));
+  auto result = MineSessions(store.num_sources(), sessions,
+                             RemainingOptions(options, deadline));
   if (!result.ok()) return result.status();
   L2Result out = std::move(result).value();
   out.session_stats = stats;
@@ -39,11 +51,18 @@ Result<L2Result> L2CooccurrenceMiner::Mine(const LogStore& store,
 
 Result<L2Result> L2CooccurrenceMiner::MineSessions(
     const LogStore& store, const std::vector<Session>& sessions) const {
+  return MineSessions(store.num_sources(), sessions);
+}
+
+Result<L2Result> L2CooccurrenceMiner::MineSessions(
+    size_t num_sources, const std::vector<Session>& sessions,
+    const RunOptions& options) const {
   if (config_.alpha <= 0.0 || config_.alpha >= 1.0) {
     return Status::InvalidArgument("alpha must be in (0, 1)");
   }
   LOGMINE_SPAN_GLOBAL("l2/mine", obs::Metric::kL2MineNs);
   obs::Count(obs::Metric::kL2Runs);
+  const auto deadline = StopDeadline(options);
   L2Result result;
 
   // First pass: joint bigram frequencies, sharded over sessions on the
@@ -52,8 +71,8 @@ Result<L2Result> L2CooccurrenceMiner::MineSessions(
   // additive, so the merged table is identical for any thread count.
   // The number of distinct pair types is bounded by num_sources^2 —
   // size the accumulators so typical days never rehash.
-  const size_t expected_pairs = std::min<size_t>(
-      store.num_sources() * store.num_sources(), 1u << 12);
+  const size_t expected_pairs =
+      std::min<size_t>(num_sources * num_sources, 1u << 12);
   const size_t num_shards =
       (sessions.size() + kSessionsPerShard - 1) / kSessionsPerShard;
   std::vector<FlatCounter> shards;
@@ -61,10 +80,18 @@ Result<L2Result> L2CooccurrenceMiner::MineSessions(
   for (size_t i = 0; i < num_shards; ++i) {
     shards.emplace_back(expected_pairs);
   }
-  Executor::Shared().ParallelForChunks(
-      sessions.size(), kSessionsPerShard,
-      [&](size_t begin, size_t end) {
-        FlatCounter& joint = shards[begin / kSessionsPerShard];
+  // The chunked loop rides the cancellable ParallelFor so a cancel or
+  // an expired budget stops claiming shards mid-count; parallelism
+  // stays the config's knob.
+  RunOptions count_options = RemainingOptions(options, deadline);
+  count_options.max_parallelism = config_.num_threads;
+  LOGMINE_RETURN_IF_ERROR(Executor::Shared().ParallelFor(
+      num_shards,
+      [&](size_t shard_idx) {
+        const size_t begin = shard_idx * kSessionsPerShard;
+        const size_t end =
+            std::min(begin + kSessionsPerShard, sessions.size());
+        FlatCounter& joint = shards[shard_idx];
         for (size_t s = begin; s < end; ++s) {
           const Session& session = sessions[s];
           for (size_t i = 0; i + 1 < session.entries.size(); ++i) {
@@ -78,15 +105,15 @@ Result<L2Result> L2CooccurrenceMiner::MineSessions(
           }
         }
       },
-      config_.num_threads);
+      count_options));
   FlatCounter joint(expected_pairs);
   for (const FlatCounter& shard : shards) {
     joint.MergeFrom(shard);  // shard order; addition commutes anyway
   }
 
   // Marginals and the grand total follow from the joint table.
-  std::vector<int64_t> first_marginal(store.num_sources(), 0);
-  std::vector<int64_t> second_marginal(store.num_sources(), 0);
+  std::vector<int64_t> first_marginal(num_sources, 0);
+  std::vector<int64_t> second_marginal(num_sources, 0);
   int64_t total = 0;
   const std::vector<std::pair<uint64_t, int64_t>> entries =
       joint.SortedEntries();  // ascending (a, b) — the std::map order
@@ -102,7 +129,12 @@ Result<L2Result> L2CooccurrenceMiner::MineSessions(
       config_.min_cooccurrence,
       static_cast<int64_t>(config_.min_cooccurrence_per_session *
                            static_cast<double>(sessions.size())));
+  size_t scored_seen = 0;
   for (const auto& [key, o11] : entries) {
+    if ((scored_seen++ & 255) == 0) {
+      LOGMINE_RETURN_IF_ERROR(
+          CheckStop(options.cancel, deadline, "L2 scoring"));
+    }
     if (o11 < floor) continue;
     const auto a = static_cast<uint32_t>(key >> 32);
     const auto b = static_cast<uint32_t>(key & 0xffffffffu);

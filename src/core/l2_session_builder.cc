@@ -11,8 +11,20 @@ namespace logmine::core {
 std::vector<Session> SessionBuilder::Build(const LogStore& store,
                                            TimeMs begin, TimeMs end,
                                            SessionBuildStats* stats) const {
+  // Default options can neither cancel nor time out, so the status is
+  // always OK.
+  return Build(store, begin, end, RunOptions{}, stats).value();
+}
+
+Result<std::vector<Session>> SessionBuilder::Build(
+    const LogStore& store, TimeMs begin, TimeMs end,
+    const RunOptions& options, SessionBuildStats* stats) const {
   assert(store.index_built());
   LOGMINE_SPAN_GLOBAL("l2/build_sessions", obs::Metric::kL2SessionBuildNs);
+  const auto deadline = StopDeadline(options);
+  const bool stoppable =
+      options.cancel != nullptr ||
+      deadline != std::chrono::steady_clock::time_point::max();
   std::vector<Session> sessions;
   std::map<LogStore::UserId, Session> open;
   SessionBuildStats local;
@@ -25,6 +37,10 @@ std::vector<Session> SessionBuilder::Build(const LogStore& store,
   };
 
   for (uint32_t idx : IndicesInRange(store, begin, end)) {
+    if (stoppable && (local.logs_considered & 1023) == 0) {
+      LOGMINE_RETURN_IF_ERROR(
+          CheckStop(options.cancel, deadline, "session build"));
+    }
     ++local.logs_considered;
     const LogStore::UserId user = store.user_id(idx);
     if (user == LogStore::kNoUser) continue;

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "log/store.h"
+#include "util/executor.h"
+#include "util/result.h"
 #include "util/time_util.h"
 
 namespace logmine::core {
@@ -55,6 +57,15 @@ class SessionBuilder {
   /// Pre-condition: store.index_built(). `stats` may be null.
   std::vector<Session> Build(const LogStore& store, TimeMs begin, TimeMs end,
                              SessionBuildStats* stats) const;
+
+  /// Cancellable/deadlined variant: `options.cancel` and
+  /// `options.deadline` are checked every ~1k logs, so a long build
+  /// returns Cancelled/DeadlineExceeded within a bounded slice of work
+  /// instead of overrunning its budget. Output on OK is identical to
+  /// the plain overload; `stats` is only written on OK.
+  Result<std::vector<Session>> Build(const LogStore& store, TimeMs begin,
+                                     TimeMs end, const RunOptions& options,
+                                     SessionBuildStats* stats) const;
 
  private:
   SessionBuilderConfig config_;

@@ -42,6 +42,11 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
   obs::ObsContext* ctx = obs::Effective(obs_context);
   obs::Count(ctx, obs::Metric::kPipelineRuns);
   PipelineResult out;
+  // The run's wall-clock budget, pinned up front so every miner closure
+  // and the skip checks below measure against the same instant.
+  const bool has_deadline = config_.deadline_ms != 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.deadline_ms);
 
   // One (closure, status slot) pair per enabled technique. The store is
   // read-only during mining and each miner is internally deterministic,
@@ -66,7 +71,18 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
     tasks.push_back([&]() -> Status {
       LOGMINE_SPAN(ctx, "pipeline/l2");
       L2CooccurrenceMiner miner(config_.l2);
-      auto result = miner.Mine(store, begin, end);
+      // L2 is the one miner with cancellable inner loops: give it
+      // whatever is left of the pipeline budget so a late-starting L2
+      // stops mid-pass instead of overrunning the whole run's deadline.
+      RunOptions l2_options;
+      l2_options.cancel = cancel;
+      if (config_.deadline_ms != 0) {
+        l2_options.deadline = std::max(
+            std::chrono::milliseconds{1},
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now()));
+      }
+      auto result = miner.Mine(store, begin, end, l2_options);
       if (!result.ok()) return result.status();
       out.l2 = std::move(result).value();
       return Status::OK();
@@ -98,10 +114,8 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
 
   // Cooperative stop: a miner that has not started when the token fires
   // or the budget expires is skipped (its status says so); a miner that
-  // already started runs to completion.
-  const bool has_deadline = config_.deadline_ms != 0;
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(config_.deadline_ms);
+  // already started runs to completion (L2 additionally observes the
+  // budget inside its own loops).
   RunOptions options;
   options.max_parallelism = config_.concurrent_miners ? 0 : 1;
   {

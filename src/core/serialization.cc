@@ -287,6 +287,7 @@ void EncodeL1Config(const L1Config& config, SnapshotWriter* w) {
   w->PutU32(static_cast<uint32_t>(config.num_threads));
   w->PutBool(config.prune_support);
   w->PutU64(config.pair_chunk);
+  w->PutI64(config.salt_anchor);
 }
 
 Result<L1Config> DecodeL1Config(SectionCursor* c) {
@@ -318,6 +319,7 @@ Result<L1Config> DecodeL1Config(SectionCursor* c) {
   LOGMINE_ASSIGN_OR_RETURN(config.prune_support, c->ReadBool());
   LOGMINE_ASSIGN_OR_RETURN(uint64_t pair_chunk, c->ReadU64());
   config.pair_chunk = static_cast<size_t>(pair_chunk);
+  LOGMINE_ASSIGN_OR_RETURN(config.salt_anchor, c->ReadI64());
   return config;
 }
 
@@ -420,6 +422,10 @@ uint64_t ConfigFingerprint(const L1Config& config) {
   fp.MixU64(config.test.sample_size);
   fp.MixDouble(config.test.level);
   fp.MixU64(config.seed);
+  // Like the fields above (and unlike the perf-only knobs), the anchor
+  // changes which random streams the test draws from, so two runs with
+  // different anchors are not resumable into one checkpoint.
+  fp.MixI64(config.salt_anchor);
   return fp.digest();
 }
 

@@ -1,0 +1,52 @@
+#include "eval/stream_replay.h"
+
+#include <utility>
+#include <vector>
+
+namespace logmine::eval {
+
+Result<StreamReplayReport> ReplayDatasetStream(
+    const Dataset& dataset, serve::StreamingMiningService* service,
+    const StreamReplayOptions& options) {
+  const int day_end =
+      options.day_end < 0 ? dataset.num_days() : options.day_end;
+  if (options.day_begin < 0 || day_end > dataset.num_days() ||
+      options.day_begin > day_end) {
+    return Status::InvalidArgument("day range outside the dataset");
+  }
+  StreamReplayReport report;
+  const TimeMs epoch_length = service->config().window.epoch_length;
+  for (int day = options.day_begin; day < day_end; ++day) {
+    LOGMINE_ASSIGN_OR_RETURN(
+        std::vector<serve::EpochBatch> batches,
+        serve::SplitIntoEpochBatches(dataset.store, dataset.day_begin(day),
+                                     dataset.day_end(day), epoch_length));
+    for (serve::EpochBatch& batch : batches) {
+      const serve::SubmitResult submitted =
+          service->SubmitBatch(std::move(batch));
+      ++report.batches_fed;
+      switch (submitted.outcome) {
+        case serve::SubmitOutcome::kAccepted:
+          ++report.accepted;
+          break;
+        case serve::SubmitOutcome::kAcceptedShedOldest:
+          ++report.accepted;
+          ++report.shed;
+          break;
+        case serve::SubmitOutcome::kRejectedClockRegression:
+          ++report.rejected;
+          break;
+      }
+      if (options.drain_each_batch) {
+        LOGMINE_ASSIGN_OR_RETURN(const int processed, service->Drain());
+        report.processed += processed;
+      }
+    }
+  }
+  LOGMINE_ASSIGN_OR_RETURN(const int processed, service->Drain());
+  report.processed += processed;
+  report.final_health = service->Health();
+  return report;
+}
+
+}  // namespace logmine::eval

@@ -1,0 +1,44 @@
+#ifndef LOGMINE_EVAL_STREAM_REPLAY_H_
+#define LOGMINE_EVAL_STREAM_REPLAY_H_
+
+#include <cstdint>
+
+#include "eval/dataset.h"
+#include "serve/streaming_service.h"
+#include "util/result.h"
+
+namespace logmine::eval {
+
+struct StreamReplayOptions {
+  /// Day range of the dataset to feed, [day_begin, day_end); -1 = all
+  /// remaining days.
+  int day_begin = 0;
+  int day_end = -1;
+  /// When true (default), the service is stepped until idle after each
+  /// submission — the "keeping up" regime; when false, batches are
+  /// submitted back-to-back and only drained at the end, so a small
+  /// queue bound exercises load shedding.
+  bool drain_each_batch = true;
+};
+
+struct StreamReplayReport {
+  int64_t batches_fed = 0;
+  int64_t accepted = 0;
+  int64_t shed = 0;       ///< submissions that shed an older batch
+  int64_t rejected = 0;   ///< clock regressions
+  int64_t processed = 0;  ///< batches the service actually worked through
+  serve::HealthReport final_health;
+};
+
+/// Replays a simulated dataset through a streaming service as the epoch
+/// stream a production deployment would see: the corpus split on the
+/// service's epoch grid, submitted hour by hour in time order. The
+/// service keeps its own state — replaying additional day ranges onto
+/// the same service continues its window.
+Result<StreamReplayReport> ReplayDatasetStream(
+    const Dataset& dataset, serve::StreamingMiningService* service,
+    const StreamReplayOptions& options = {});
+
+}  // namespace logmine::eval
+
+#endif  // LOGMINE_EVAL_STREAM_REPLAY_H_

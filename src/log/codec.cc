@@ -78,7 +78,7 @@ void SetClass(IngestErrorClass* out, IngestErrorClass value) {
 // The per-class quarantine metrics sit adjacent in the Metric enum, in
 // IngestErrorClass order, so class c maps to kIngestQuarantinedBadEscape+c.
 static_assert(
-    static_cast<uint32_t>(obs::Metric::kIngestQuarantinedEmptySource) -
+    static_cast<uint32_t>(obs::Metric::kIngestQuarantinedTruncatedLine) -
         static_cast<uint32_t>(obs::Metric::kIngestQuarantinedBadEscape) ==
     kNumIngestErrorClasses - 1);
 
@@ -118,6 +118,8 @@ std::string_view IngestErrorClassName(IngestErrorClass error_class) {
       return "BadSeverity";
     case IngestErrorClass::kEmptySource:
       return "EmptySource";
+    case IngestErrorClass::kTruncatedLine:
+      return "TruncatedLine";
   }
   return "Unknown";
 }
@@ -271,6 +273,13 @@ Result<std::vector<LogRecord>> DecodeAllImpl(std::string_view text,
         ++tally->records_decoded;
         out.push_back(std::move(record).value());
       } else {
+        // A malformed line that runs to the end of the buffer with no
+        // terminating newline is, under the lenient-tail option,
+        // presumed cut off mid-write: it gets its own class and is
+        // quarantined under either policy.
+        const bool truncated_tail =
+            options.lenient_truncated_tail && end == text.size();
+        if (truncated_tail) error_class = IngestErrorClass::kTruncatedLine;
         ++tally->lines_quarantined;
         ++tally->by_class[static_cast<size_t>(error_class)];
         if (tally->samples.size() < options.max_samples) {
@@ -278,7 +287,7 @@ Result<std::vector<LogRecord>> DecodeAllImpl(std::string_view text,
                                     record.status().message(),
                                     std::string(line)});
         }
-        if (options.policy == DecodePolicy::kFailFast) {
+        if (options.policy == DecodePolicy::kFailFast && !truncated_tail) {
           return Status::ParseError("line " + std::to_string(line_no) +
                                     " (byte " + std::to_string(start) +
                                     "): " + record.status().message());
@@ -288,10 +297,20 @@ Result<std::vector<LogRecord>> DecodeAllImpl(std::string_view text,
     if (end == text.size()) break;
     start = end + 1;
   }
-  if (tally->bad_fraction() > options.max_bad_fraction &&
-      tally->lines_quarantined > 0) {
+  // The budget judges *interior* damage; a lenient truncated tail is
+  // expected operational wear (at most one line) and never tips a file
+  // over it.
+  const size_t budget_bad =
+      tally->lines_quarantined -
+      tally->by_class[static_cast<size_t>(IngestErrorClass::kTruncatedLine)];
+  const double budget_fraction =
+      tally->lines_total == 0
+          ? 0.0
+          : static_cast<double>(budget_bad) /
+                static_cast<double>(tally->lines_total);
+  if (budget_fraction > options.max_bad_fraction && budget_bad > 0) {
     return Status::ParseError(
-        "quarantined " + std::to_string(tally->lines_quarantined) + " of " +
+        "quarantined " + std::to_string(budget_bad) + " of " +
         std::to_string(tally->lines_total) +
         " lines; bad fraction exceeds budget " +
         std::to_string(options.max_bad_fraction));

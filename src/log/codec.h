@@ -30,8 +30,12 @@ enum class IngestErrorClass {
   kBadTimestamp,    ///< client or server timestamp failed to parse
   kBadSeverity,     ///< severity name outside DEBUG/INFO/WARN/ERROR
   kEmptySource,     ///< structurally valid line with an empty source field
+  /// Malformed *unterminated* final line under
+  /// `DecodeOptions::lenient_truncated_tail` — presumed cut off
+  /// mid-write rather than corrupt.
+  kTruncatedLine,
 };
-inline constexpr size_t kNumIngestErrorClasses = 5;
+inline constexpr size_t kNumIngestErrorClasses = 6;
 
 /// Stable human-readable name for an error class (e.g. "BadEscape").
 std::string_view IngestErrorClassName(IngestErrorClass error_class);
@@ -45,6 +49,14 @@ struct DecodeOptions {
   double max_bad_fraction = 0.0;
   /// How many offending lines to keep verbatim in `IngestStats::samples`.
   size_t max_samples = 10;
+  /// When true, a malformed final line with no terminating newline is
+  /// quarantined as kTruncatedLine instead of failing the decode — under
+  /// *either* policy, and without counting against `max_bad_fraction`.
+  /// A file a writer died on (WriteCorpusFile is atomic, but foreign
+  /// corpora and live tails are not) loses at most that one cut-off
+  /// line instead of the whole file. Interior damage still fails or
+  /// quarantines exactly as before.
+  bool lenient_truncated_tail = false;
 };
 
 /// One quarantined line, kept for the first-K sample in `IngestStats`.

@@ -56,7 +56,12 @@ Result<LogStore> ReadCorpusFile(const std::string& path,
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  auto records = LineCodec::DecodeAll(buffer.str(), options, stats);
+  // Files are where a writer can die mid-line (foreign corpora, live
+  // tails); tolerate exactly that and nothing more. In-memory decodes
+  // via DecodeAll keep the strict default.
+  DecodeOptions file_options = options;
+  file_options.lenient_truncated_tail = true;
+  auto records = LineCodec::DecodeAll(buffer.str(), file_options, stats);
   if (!records.ok()) return records.status();
   LogStore store;
   for (const LogRecord& record : records.value()) {

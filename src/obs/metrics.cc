@@ -28,6 +28,7 @@ constexpr MetricDef kMetricDefs[] = {
     {"ingest.quarantined.bad_timestamp", MetricKind::kCounter},
     {"ingest.quarantined.bad_severity", MetricKind::kCounter},
     {"ingest.quarantined.empty_source", MetricKind::kCounter},
+    {"ingest.quarantined.truncated_line", MetricKind::kCounter},
     {"ingest.decode_ns", MetricKind::kHistogram},
     {"store.index_builds", MetricKind::kCounter},
     {"store.records_indexed", MetricKind::kCounter},
@@ -58,6 +59,7 @@ constexpr MetricDef kMetricDefs[] = {
     {"executor.parallel_loops", MetricKind::kCounter},
     {"executor.indices_skipped", MetricKind::kCounter},
     {"executor.queue_depth", MetricKind::kGauge},
+    {"executor.saturation", MetricKind::kCounter},
     {"executor.task_ns", MetricKind::kHistogram},
     {"pipeline.runs", MetricKind::kCounter},
     {"pipeline.miners_ok", MetricKind::kCounter},
@@ -84,6 +86,22 @@ constexpr MetricDef kMetricDefs[] = {
     {"shard.poisoned", MetricKind::kCounter},
     {"shard.attempt_ns", MetricKind::kHistogram},
     {"sweep.coverage_permille", MetricKind::kGauge},
+    {"serve.batches_submitted", MetricKind::kCounter},
+    {"serve.batches_shed", MetricKind::kCounter},
+    {"serve.batches_poisoned", MetricKind::kCounter},
+    {"serve.epochs_ingested", MetricKind::kCounter},
+    {"serve.epochs_aged_out", MetricKind::kCounter},
+    {"serve.queue_depth", MetricKind::kGauge},
+    {"serve.generations_published", MetricKind::kCounter},
+    {"serve.queries", MetricKind::kCounter},
+    {"serve.query_deadline_exceeded", MetricKind::kCounter},
+    {"serve.state_snapshots_written", MetricKind::kCounter},
+    {"serve.recoveries", MetricKind::kCounter},
+    {"serve.clock_regressions", MetricKind::kCounter},
+    {"serve.health_transitions", MetricKind::kCounter},
+    {"serve.ingest_ns", MetricKind::kHistogram},
+    {"serve.publish_ns", MetricKind::kHistogram},
+    {"serve.query_ns", MetricKind::kHistogram},
 };
 
 static_assert(std::size(kMetricDefs) == kNumWellKnownMetrics,
@@ -383,7 +401,13 @@ MetricsRegistry::MetricId MetricsRegistry::RegisterHistogram(
 void MetricsRegistry::Add(MetricId id, int64_t delta) {
   if (id == kInvalidMetricId) return;
   const size_t slot = id & kSlotMask;
-  assert(slot < kMaxScalars);
+  // A histogram id (or a corrupted slot) must not index the scalar
+  // array; dropping the write is the lock-free path's only safe option.
+  assert((id >> kKindShift) != static_cast<uint32_t>(MetricKind::kHistogram));
+  if (slot >= kMaxScalars ||
+      (id >> kKindShift) == static_cast<uint32_t>(MetricKind::kHistogram)) {
+    return;
+  }
   LocalShard()->scalars[slot].fetch_add(delta, std::memory_order_relaxed);
 }
 
@@ -394,7 +418,13 @@ void MetricsRegistry::Add(Metric metric, int64_t delta) {
 void MetricsRegistry::Observe(MetricId id, int64_t value) {
   if (id == kInvalidMetricId) return;
   const size_t slot = id & kSlotMask;
-  assert(slot < kMaxHistograms);
+  // Observing a counter/gauge id would index the (smaller) histogram
+  // array with a scalar slot — drop it instead of corrupting the shard.
+  assert((id >> kKindShift) == static_cast<uint32_t>(MetricKind::kHistogram));
+  if (slot >= kMaxHistograms ||
+      (id >> kKindShift) != static_cast<uint32_t>(MetricKind::kHistogram)) {
+    return;
+  }
   Shard::Hist& hist = LocalShard()->histograms[slot];
   hist.buckets[HistogramSnapshot::BucketOf(value)].fetch_add(
       1, std::memory_order_relaxed);

@@ -36,6 +36,7 @@ enum class Metric : uint32_t {
   kIngestQuarantinedBadTimestamp,
   kIngestQuarantinedBadSeverity,
   kIngestQuarantinedEmptySource,
+  kIngestQuarantinedTruncatedLine,
   kIngestDecodeNs,
   // --- log store (log/store.cc) ---
   kStoreIndexBuilds,
@@ -69,6 +70,7 @@ enum class Metric : uint32_t {
   kExecutorParallelLoops,
   kExecutorIndicesSkipped,
   kExecutorQueueDepth,
+  kExecutorSaturation,
   kExecutorTaskNs,
   // --- pipeline (core/pipeline.cc) ---
   kPipelineRuns,
@@ -100,6 +102,23 @@ enum class Metric : uint32_t {
   kShardsPoisoned,
   kShardAttemptNs,
   kSweepCoveragePermille,
+  // --- streaming mining service (src/serve/) ---
+  kServeBatchesSubmitted,
+  kServeBatchesShed,
+  kServeBatchesPoisoned,
+  kServeEpochsIngested,
+  kServeEpochsAgedOut,
+  kServeQueueDepth,
+  kServeGenerationsPublished,
+  kServeQueries,
+  kServeQueryDeadlineExceeded,
+  kServeStateSnapshotsWritten,
+  kServeRecoveries,
+  kServeClockRegressions,
+  kServeHealthTransitions,
+  kServeIngestNs,
+  kServePublishNs,
+  kServeQueryNs,
 
   kNumMetrics,
 };

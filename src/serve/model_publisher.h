@@ -1,0 +1,87 @@
+#ifndef LOGMINE_SERVE_MODEL_PUBLISHER_H_
+#define LOGMINE_SERVE_MODEL_PUBLISHER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/dependency.h"
+#include "core/impact_analysis.h"
+#include "serve/sliding_window.h"
+#include "util/result.h"
+#include "util/time_util.h"
+
+namespace logmine::serve {
+
+/// One immutable published model: everything a query needs, frozen at
+/// publish time. Readers hold a shared_ptr to a generation and never
+/// see it change; the service swaps in the next generation atomically.
+struct ModelGeneration {
+  /// 1-based publish counter, monotonic across crash recoveries.
+  int64_t number = 0;
+  TimeMs window_begin = 0;
+  TimeMs window_end = 0;
+  /// Lifetime epochs ingested when this generation was mined.
+  int64_t epochs_ingested = 0;
+  /// Fingerprint of the producing config (SlidingWindowMiner::
+  /// Fingerprint); queries against a service restarted under a
+  /// different config can never silently mix generations.
+  uint64_t config_fingerprint = 0;
+  /// The window's full evidence + models.
+  WindowModelSet models;
+  /// The hysteresis-confirmed model (ModelTracker::ActiveModel after
+  /// observing this window) — what alerts and queries should trust.
+  core::DependencyModel tracker_active;
+  /// Query substrate, prebuilt so queries are pure lookups.
+  core::DependencyGraph graph;
+  /// CRC-32 of SerializeGeneration(*this) at publish time. A reader
+  /// can re-derive it to prove the generation it holds is whole — the
+  /// torn-model check of the chaos suite.
+  uint32_t self_crc = 0;
+};
+
+/// Canonical byte encoding of a generation (everything except `graph`,
+/// which is derived, and `self_crc`, which is derived *from* these
+/// bytes). Two runs that produce byte-equal generations are
+/// indistinguishable — the crash-recovery identity the serve tests pin.
+std::string SerializeGeneration(const ModelGeneration& generation);
+
+/// Inverse of SerializeGeneration: rebuilds the generation, re-derives
+/// `graph` from the models and `entry_owner` (see BuildQueryGraph) and
+/// recomputes `self_crc`. ParseError on malformed bytes.
+Result<ModelGeneration> ParseGeneration(
+    const std::string& bytes,
+    const std::map<std::string, std::string>& entry_owner);
+
+/// The directed query graph of a generation: when `entry_owner` maps
+/// vocabulary entries to providing applications, L3's (app, entry)
+/// pairs become app -> owner edges and the tracker-confirmed app-app
+/// pairs are added in both directions (L1/L2 are undirected); with no
+/// owner map, only the undirected app-app edges remain.
+core::DependencyGraph BuildQueryGraph(
+    const WindowModelSet& models, const core::DependencyModel& tracker_active,
+    const std::map<std::string, std::string>& entry_owner);
+
+/// Atomic generation swap: writers publish a complete immutable
+/// generation; concurrent readers always get either the previous or
+/// the next one, never a mix. The lock covers only the pointer swap —
+/// readers keep the generation alive via shared ownership and query it
+/// lock-free afterwards.
+class ModelPublisher {
+ public:
+  void Publish(std::shared_ptr<const ModelGeneration> generation);
+  /// The latest published generation; nullptr before the first publish.
+  std::shared_ptr<const ModelGeneration> Current() const;
+  int64_t generations_published() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ModelGeneration> current_;
+  int64_t published_ = 0;
+};
+
+}  // namespace logmine::serve
+
+#endif  // LOGMINE_SERVE_MODEL_PUBLISHER_H_

@@ -1,0 +1,477 @@
+#include "serve/streaming_service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/serialization.h"
+#include "util/snapshot.h"
+
+namespace logmine::serve {
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string_view HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kStarting:
+      return "starting";
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kStaleServing:
+      return "stale-serving";
+  }
+  return "unknown";
+}
+
+StreamingMiningService::StreamingMiningService(ServiceConfig config)
+    : config_(std::move(config)),
+      obs_(obs::Effective(config_.obs)),
+      tracker_(config_.tracker) {
+  if (!config_.now_ms) config_.now_ms = SteadyNowMs;
+}
+
+Result<std::unique_ptr<StreamingMiningService>>
+StreamingMiningService::Create(ServiceConfig config) {
+  if (config.max_queue_batches < 1) {
+    return Status::InvalidArgument("max_queue_batches must be >= 1");
+  }
+  if (config.publish_every_epochs < 1) {
+    return Status::InvalidArgument("publish_every_epochs must be >= 1");
+  }
+  if (config.degraded_after_ms <= 0 ||
+      config.stale_after_ms <= config.degraded_after_ms) {
+    return Status::InvalidArgument(
+        "need 0 < degraded_after_ms < stale_after_ms");
+  }
+  auto service = std::unique_ptr<StreamingMiningService>(
+      new StreamingMiningService(std::move(config)));
+  LOGMINE_ASSIGN_OR_RETURN(
+      SlidingWindowMiner miner,
+      SlidingWindowMiner::Create(service->config_.window));
+  service->miner_ =
+      std::make_unique<SlidingWindowMiner>(std::move(miner));
+  if (!service->config_.state_path.empty()) {
+    Result<std::string> bytes =
+        ReadFileToString(service->config_.state_path);
+    if (bytes.ok()) {
+      LOGMINE_RETURN_IF_ERROR(service->Recover(bytes.value()));
+    } else if (bytes.status().code() != StatusCode::kNotFound) {
+      return bytes.status();
+    }
+  }
+  return service;
+}
+
+StreamingMiningService::~StreamingMiningService() { Stop(); }
+
+int64_t StreamingMiningService::NowMs() const { return config_.now_ms(); }
+
+sim::ServiceFault StreamingMiningService::FaultOnEpoch(int64_t index,
+                                                       int attempts) const {
+  return config_.faults == nullptr
+             ? sim::ServiceFault::kNone
+             : config_.faults->OnEpoch(index, attempts);
+}
+
+SubmitResult StreamingMiningService::SubmitBatch(EpochBatch batch) {
+  SubmitResult result;
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  const int64_t index = submit_index_++;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.batches_submitted;
+  }
+  obs::Count(obs_, obs::Metric::kServeBatchesSubmitted);
+  // A batch at or before an already-accepted epoch means the upstream
+  // clock ran backwards (or replayed) — injectable as chaos, too.
+  // submit_watermark_ >= the ingested watermark always (accepted-at
+  // covers ingested, and recovery resets it to the ingested one).
+  const bool regressed =
+      batch.begin <= submit_watermark_ ||
+      FaultOnEpoch(index, 1) == sim::ServiceFault::kClockRegression;
+  if (regressed) {
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.clock_regressions;
+    }
+    obs::Count(obs_, obs::Metric::kServeClockRegressions);
+    result.outcome = SubmitOutcome::kRejectedClockRegression;
+    result.queue_depth = queue_.size();
+    return result;
+  }
+  submit_watermark_ = batch.begin;
+  if (queue_.size() >= config_.max_queue_batches) {
+    queue_.pop_front();
+    obs::Count(obs_, obs::Metric::kServeQueueDepth, -1);
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.batches_shed;
+    }
+    obs::Count(obs_, obs::Metric::kServeBatchesShed);
+    result.outcome = SubmitOutcome::kAcceptedShedOldest;
+  }
+  QueuedBatch queued;
+  queued.index = index;
+  queued.batch = std::move(batch);
+  queue_.push_back(std::move(queued));
+  result.queue_depth = queue_.size();
+  obs::Count(obs_, obs::Metric::kServeQueueDepth, 1);
+  queue_cv_.notify_one();
+  return result;
+}
+
+Result<StepOutcome> StreamingMiningService::Step() {
+  std::lock_guard<std::mutex> step_lock(step_mu_);
+  if (dead_) {
+    return Status::FailedPrecondition(
+        "service crashed; rebuild via Create to recover");
+  }
+  QueuedBatch work;
+  sim::ServiceFault fault = sim::ServiceFault::kNone;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.empty()) return StepOutcome::kIdle;
+    QueuedBatch& front = queue_.front();
+    ++front.attempts;
+    fault = FaultOnEpoch(front.index, front.attempts);
+    if (fault == sim::ServiceFault::kStallEpoch) {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.epochs_stalled;
+      return StepOutcome::kStalled;
+    }
+    work = std::move(front);
+    queue_.pop_front();
+    obs::Count(obs_, obs::Metric::kServeQueueDepth, -1);
+  }
+
+  auto quarantine = [&]() -> StepOutcome {
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.batches_poisoned;
+    }
+    obs::Count(obs_, obs::Metric::kServeBatchesPoisoned);
+    return StepOutcome::kPoisoned;
+  };
+  if (fault == sim::ServiceFault::kPoisonBatch) return quarantine();
+
+  const int64_t aged_before = miner_->epochs_aged_out();
+  {
+    LOGMINE_SPAN(obs_, "serve/ingest", obs::Metric::kServeIngestNs);
+    Status ingested = miner_->IngestEpoch(work.batch);
+    // A malformed batch is quarantined like an injected poison batch:
+    // count it, drop it, keep serving the current generation.
+    if (!ingested.ok()) return quarantine();
+  }
+  ingest_watermark_ = work.batch.begin;
+  ++epochs_since_publish_;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.epochs_ingested;
+  }
+  obs::Count(obs_, obs::Metric::kServeEpochsIngested);
+  const int64_t aged = miner_->epochs_aged_out() - aged_before;
+  if (aged > 0) obs::Count(obs_, obs::Metric::kServeEpochsAgedOut, aged);
+
+  const bool publish_due =
+      epochs_since_publish_ >= config_.publish_every_epochs;
+  std::shared_ptr<ModelGeneration> generation;
+  if (publish_due) {
+    LOGMINE_SPAN(obs_, "serve/publish", obs::Metric::kServePublishNs);
+    LOGMINE_ASSIGN_OR_RETURN(WindowModelSet models, miner_->MineWindow());
+    tracker_.Observe(models.combined);
+    generation = std::make_shared<ModelGeneration>();
+    generation->number = next_generation_number_;
+    generation->window_begin = models.window_begin;
+    generation->window_end = models.window_end;
+    generation->epochs_ingested = miner_->epochs_ingested();
+    generation->config_fingerprint = miner_->config_fingerprint();
+    generation->models = std::move(models);
+    generation->tracker_active = tracker_.ActiveModel();
+    generation->graph =
+        BuildQueryGraph(generation->models, generation->tracker_active,
+                        config_.entry_owner);
+    generation_bytes_ = SerializeGeneration(*generation);
+    generation->self_crc = Crc32(generation_bytes_);
+    ++next_generation_number_;
+    epochs_since_publish_ = 0;
+  }
+
+  // Persist-then-swap: the snapshot hits disk (atomically) before any
+  // reader can see the new generation, so a crash at any instant leaves
+  // a state file from which recovery reproduces exactly what readers
+  // were able to observe.
+  LOGMINE_RETURN_IF_ERROR(Persist());
+  if (fault == sim::ServiceFault::kCrashMidPublish) {
+    dead_ = true;
+    return sim::ServiceFaultInjector::KilledStatus(work.index);
+  }
+  if (generation != nullptr) {
+    publisher_.Publish(generation);
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.generations_published;
+      last_publish_ms_ = NowMs();
+    }
+    obs::Count(obs_, obs::Metric::kServeGenerationsPublished);
+    return StepOutcome::kPublished;
+  }
+  return StepOutcome::kIngested;
+}
+
+Result<int> StreamingMiningService::Drain() {
+  int processed = 0;
+  for (;;) {
+    LOGMINE_ASSIGN_OR_RETURN(const StepOutcome outcome, Step());
+    if (outcome == StepOutcome::kIdle || outcome == StepOutcome::kStalled) {
+      return processed;
+    }
+    ++processed;
+  }
+}
+
+void StreamingMiningService::Start() {
+  if (worker_running_) return;
+  worker_stop_.store(false);
+  worker_running_ = true;
+  worker_ = std::thread([this]() {
+    while (!worker_stop_.load()) {
+      Result<StepOutcome> outcome = Step();
+      if (!outcome.ok()) return;  // crashed or dead: the loop is over
+      if (outcome.value() == StepOutcome::kIdle ||
+          outcome.value() == StepOutcome::kStalled) {
+        std::unique_lock<std::mutex> lock(queue_mu_);
+        queue_cv_.wait_for(lock, std::chrono::milliseconds(5));
+      }
+    }
+  });
+}
+
+void StreamingMiningService::Stop() {
+  if (!worker_running_) return;
+  worker_stop_.store(true);
+  queue_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  worker_running_ = false;
+}
+
+std::shared_ptr<const ModelGeneration> StreamingMiningService::CurrentModel()
+    const {
+  return publisher_.Current();
+}
+
+HealthState StreamingMiningService::ObserveHealth(int64_t now) const {
+  HealthState state = HealthState::kStarting;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (last_publish_ms_ >= 0) {
+    const int64_t age = now - last_publish_ms_;
+    state = age < config_.degraded_after_ms ? HealthState::kHealthy
+            : age < config_.stale_after_ms  ? HealthState::kDegraded
+                                            : HealthState::kStaleServing;
+  }
+  if (state != last_health_) {
+    last_health_ = state;
+    ++stats_.health_transitions;
+    obs::Count(obs_, obs::Metric::kServeHealthTransitions);
+  }
+  return state;
+}
+
+HealthReport StreamingMiningService::Health() const {
+  HealthReport report;
+  report.state = ObserveHealth(NowMs());
+  const std::shared_ptr<const ModelGeneration> current = publisher_.Current();
+  report.generation = current == nullptr ? 0 : current->number;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    report.ms_since_publish =
+        last_publish_ms_ < 0 ? -1 : NowMs() - last_publish_ms_;
+    report.shed_total = stats_.batches_shed;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    report.queue_depth = queue_.size();
+  }
+  return report;
+}
+
+ServiceStats StreamingMiningService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+size_t StreamingMiningService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
+uint64_t StreamingMiningService::config_fingerprint() const {
+  return miner_->config_fingerprint();
+}
+
+Result<QueryResult> StreamingMiningService::Query(
+    const std::string& component, bool transitive,
+    const QueryOptions& options) {
+  LOGMINE_SPAN(obs_, "serve/query", obs::Metric::kServeQueryNs);
+  obs::Count(obs_, obs::Metric::kServeQueries);
+  int64_t query_index;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    query_index = stats_.queries_served++;
+  }
+  RunOptions run;
+  run.cancel = options.cancel;
+  const int64_t deadline_ms = options.deadline_ms > 0
+                                  ? options.deadline_ms
+                                  : config_.default_query_deadline_ms;
+  if (deadline_ms > 0) run.deadline = std::chrono::milliseconds(deadline_ms);
+  const auto deadline = StopDeadline(run);
+
+  auto fail = [&](Status status) -> Status {
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.query_deadline_exceeded;
+      obs::Count(obs_, obs::Metric::kServeQueryDeadlineExceeded);
+    }
+    return status;
+  };
+
+  // Slow-consumer chaos: wait out the injected latency cooperatively,
+  // so a per-query deadline or cancellation trips exactly as it would
+  // against a genuinely slow downstream.
+  if (config_.faults != nullptr &&
+      config_.faults->OnQuery(query_index) ==
+          sim::ServiceFault::kSlowConsumer) {
+    const sim::ServiceFaultSpec* spec =
+        config_.faults->SpecFor(query_index, sim::ServiceFault::kSlowConsumer);
+    const auto slow_until =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(spec == nullptr ? 0 : spec->slow_ms);
+    while (std::chrono::steady_clock::now() < slow_until) {
+      Status stop = CheckStop(options.cancel, deadline, "query");
+      if (!stop.ok()) return fail(stop);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  const std::shared_ptr<const ModelGeneration> generation =
+      publisher_.Current();
+  if (generation == nullptr) {
+    return Status::FailedPrecondition("no model generation published yet");
+  }
+  QueryResult result;
+  result.generation = generation->number;
+  result.health = ObserveHealth(NowMs());
+  result.components = transitive ? generation->graph.ImpactSet(component)
+                                 : generation->graph.DependentsOf(component);
+  Status stop = CheckStop(options.cancel, deadline, "query");
+  if (!stop.ok()) return fail(stop);
+  return result;
+}
+
+Result<QueryResult> StreamingMiningService::WhatDependsOn(
+    const std::string& component, const QueryOptions& options) {
+  return Query(component, /*transitive=*/false, options);
+}
+
+Result<QueryResult> StreamingMiningService::ImpactOf(
+    const std::string& component, const QueryOptions& options) {
+  return Query(component, /*transitive=*/true, options);
+}
+
+Status StreamingMiningService::Persist() {
+  if (config_.state_path.empty()) return Status::OK();
+  SnapshotWriter w;
+  w.BeginSection("service");
+  w.PutU64(miner_->config_fingerprint());
+  w.PutI64(ingest_watermark_);
+  w.PutI64(epochs_since_publish_);
+  w.PutI64(next_generation_number_);
+  w.EndSection();
+  w.BeginSection("window");
+  miner_->EncodeState(&w);
+  w.EndSection();
+  w.BeginSection("tracker");
+  core::EncodeModelTracker(tracker_, &w);
+  w.EndSection();
+  if (!generation_bytes_.empty()) {
+    w.BeginSection("generation");
+    w.PutString(generation_bytes_);
+    w.EndSection();
+  }
+  LOGMINE_RETURN_IF_ERROR(
+      WriteSnapshotFile(config_.state_path, std::move(w).Finish()));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.snapshots_written;
+  }
+  obs::Count(obs_, obs::Metric::kServeStateSnapshotsWritten);
+  return Status::OK();
+}
+
+Status StreamingMiningService::Recover(const std::string& bytes) {
+  LOGMINE_ASSIGN_OR_RETURN(const SnapshotReader reader,
+                           SnapshotReader::Parse(bytes));
+  LOGMINE_ASSIGN_OR_RETURN(SectionCursor service, reader.Section("service"));
+  LOGMINE_ASSIGN_OR_RETURN(const uint64_t fingerprint, service.ReadU64());
+  if (fingerprint != miner_->config_fingerprint()) {
+    return Status::FailedPrecondition(
+        "refusing recovery: state file was written under a different "
+        "config (fingerprint mismatch)");
+  }
+  LOGMINE_ASSIGN_OR_RETURN(ingest_watermark_, service.ReadI64());
+  LOGMINE_ASSIGN_OR_RETURN(const int64_t since_publish, service.ReadI64());
+  epochs_since_publish_ = static_cast<int>(since_publish);
+  LOGMINE_ASSIGN_OR_RETURN(next_generation_number_, service.ReadI64());
+  LOGMINE_RETURN_IF_ERROR(service.ExpectEnd());
+
+  LOGMINE_ASSIGN_OR_RETURN(SectionCursor window, reader.Section("window"));
+  LOGMINE_ASSIGN_OR_RETURN(
+      SlidingWindowMiner miner,
+      SlidingWindowMiner::DecodeState(config_.window, &window));
+  LOGMINE_RETURN_IF_ERROR(window.ExpectEnd());
+  *miner_ = std::move(miner);
+
+  LOGMINE_ASSIGN_OR_RETURN(SectionCursor tracker, reader.Section("tracker"));
+  LOGMINE_ASSIGN_OR_RETURN(core::ModelTracker restored,
+                           core::DecodeModelTracker(&tracker));
+  LOGMINE_RETURN_IF_ERROR(tracker.ExpectEnd());
+  tracker_ = std::move(restored);
+
+  if (reader.HasSection("generation")) {
+    LOGMINE_ASSIGN_OR_RETURN(SectionCursor cursor,
+                             reader.Section("generation"));
+    LOGMINE_ASSIGN_OR_RETURN(generation_bytes_, cursor.ReadString());
+    LOGMINE_RETURN_IF_ERROR(cursor.ExpectEnd());
+    LOGMINE_ASSIGN_OR_RETURN(
+        ModelGeneration generation,
+        ParseGeneration(generation_bytes_, config_.entry_owner));
+    if (generation.config_fingerprint != miner_->config_fingerprint()) {
+      return Status::FailedPrecondition(
+          "refusing recovery: persisted generation carries a different "
+          "config fingerprint");
+    }
+    publisher_.Publish(
+        std::make_shared<ModelGeneration>(std::move(generation)));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    // Recovery is a fresh publish from the reader's perspective: the
+    // staleness clock restarts now, and the degradation ladder reflects
+    // how long the *recovered* service goes without a newer model.
+    last_publish_ms_ = NowMs();
+  }
+  // Unprocessed batches died with the old process; their epochs are
+  // after the ingested watermark, so the feeder may resubmit them.
+  submit_watermark_ = ingest_watermark_;
+  recovered_ = true;
+  obs::Count(obs_, obs::Metric::kServeRecoveries);
+  return Status::OK();
+}
+
+}  // namespace logmine::serve

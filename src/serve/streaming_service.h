@@ -1,0 +1,260 @@
+#ifndef LOGMINE_SERVE_STREAMING_SERVICE_H_
+#define LOGMINE_SERVE_STREAMING_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "core/model_tracker.h"
+#include "obs/obs.h"
+#include "serve/model_publisher.h"
+#include "serve/sliding_window.h"
+#include "simulation/service_faults.h"
+#include "util/executor.h"
+#include "util/result.h"
+
+namespace logmine::serve {
+
+/// The service's degradation ladder, driven by time since the last
+/// successful publish: a service that cannot refresh its model keeps
+/// answering queries from the newest generation it has (stale-serving
+/// beats erroring), but tells its callers how old that model is.
+enum class HealthState : uint32_t {
+  kStarting = 0,   ///< no generation published yet
+  kHealthy,        ///< published within degraded_after_ms
+  kDegraded,       ///< published within stale_after_ms
+  kStaleServing,   ///< older than stale_after_ms, still serving
+};
+
+/// Stable name for logs and test output (e.g. "stale-serving").
+std::string_view HealthStateName(HealthState state);
+
+/// What happened to one submitted batch.
+enum class SubmitOutcome : uint32_t {
+  kAccepted = 0,
+  /// The queue was full: the *oldest* queued batch was shed to make
+  /// room — under overload the freshest data wins, the model just
+  /// skips an hour (an empty slot), and the service keeps serving.
+  kAcceptedShedOldest,
+  /// The batch starts before an already-ingested epoch (upstream clock
+  /// regression / replay); rejected without touching the window.
+  kRejectedClockRegression,
+};
+
+struct SubmitResult {
+  SubmitOutcome outcome = SubmitOutcome::kAccepted;
+  size_t queue_depth = 0;  ///< after the submission
+};
+
+/// What one Step() call did.
+enum class StepOutcome : uint32_t {
+  kIdle = 0,    ///< queue empty
+  kIngested,    ///< one epoch ingested, no publish due
+  kPublished,   ///< one epoch ingested and a new generation published
+  kStalled,     ///< injected stall: the batch stays queued
+  kPoisoned,    ///< the batch was quarantined; the service keeps serving
+};
+
+/// Operational counters (in-memory only — recovery starts them fresh;
+/// everything correctness-relevant lives in the persisted state).
+struct ServiceStats {
+  int64_t batches_submitted = 0;
+  int64_t batches_shed = 0;
+  int64_t batches_poisoned = 0;
+  int64_t clock_regressions = 0;
+  int64_t epochs_ingested = 0;
+  int64_t epochs_stalled = 0;
+  int64_t generations_published = 0;
+  int64_t queries_served = 0;
+  int64_t query_deadline_exceeded = 0;
+  int64_t snapshots_written = 0;
+  int64_t health_transitions = 0;
+};
+
+struct HealthReport {
+  HealthState state = HealthState::kStarting;
+  int64_t generation = 0;         ///< 0 = none published
+  int64_t ms_since_publish = -1;  ///< -1 = never published
+  size_t queue_depth = 0;
+  int64_t shed_total = 0;
+};
+
+/// Per-query controls; the deadline rides the same CancelToken/deadline
+/// machinery as the miners (util/executor.h).
+struct QueryOptions {
+  /// 0 = use ServiceConfig::default_query_deadline_ms (0 there = none).
+  int64_t deadline_ms = 0;
+  const CancelToken* cancel = nullptr;
+};
+
+struct QueryResult {
+  int64_t generation = 0;
+  /// Health at answer time — a stale-serving answer is still an answer,
+  /// but the caller can see it came from an old model.
+  HealthState health = HealthState::kStarting;
+  std::set<std::string> components;
+};
+
+struct ServiceConfig {
+  SlidingWindowConfig window;
+  core::ModelTrackerConfig tracker;
+  /// Vocabulary entry id -> providing application; when non-empty, L3
+  /// pairs become directed edges in the query graph (see
+  /// BuildQueryGraph).
+  std::map<std::string, std::string> entry_owner;
+  /// Bounded ingest queue: a submission beyond this sheds the oldest
+  /// queued batch (see SubmitOutcome::kAcceptedShedOldest).
+  size_t max_queue_batches = 8;
+  /// Publish a new generation every this many ingested epochs.
+  int publish_every_epochs = 1;
+  /// Health thresholds on time since the last publish.
+  int64_t degraded_after_ms = 5'000;
+  int64_t stale_after_ms = 30'000;
+  int64_t default_query_deadline_ms = 0;
+  /// Crash-safe state file; empty = in-memory only (no recovery).
+  std::string state_path;
+  /// Injectable clock (milliseconds, monotonic) driving the staleness
+  /// watchdog — tests substitute a manual clock; the default reads
+  /// steady_clock.
+  std::function<int64_t()> now_ms;
+  /// Metrics/trace sink; nullptr = the ambient global context.
+  obs::ObsContext* obs = nullptr;
+  /// Chaos: when set, submissions, steps and queries consult the
+  /// injector (see simulation/service_faults.h). Not owned.
+  const sim::ServiceFaultInjector* faults = nullptr;
+};
+
+/// The overload-resilient streaming mining service: feeds epoch batches
+/// through the sliding-window miner, publishes immutable model
+/// generations through an atomic pointer swap, and degrades gracefully
+/// — shedding load, quarantining poison, stale-serving — instead of
+/// erroring, under a deterministic chaos harness.
+///
+/// Threading: SubmitBatch, the query methods, Health and stats are
+/// thread-safe and may run concurrently with Step. Step itself is
+/// internally serialized (one batch is processed at a time); call it
+/// from your own loop, or Start() the built-in worker thread.
+///
+/// Crash protocol (state_path set): every successful Step persists ONE
+/// atomic snapshot — sliding-window state, tracker, the serialized
+/// current generation, and the ingest watermark — *before* the
+/// in-memory generation swap. A process killed at any instant therefore
+/// recovers to a state from which re-feeding the unprocessed batches
+/// produces byte-identical snapshots and generations to a run that
+/// never crashed (the chaos suite's identity check).
+class StreamingMiningService {
+ public:
+  /// Builds the service; when `state_path` holds a snapshot, recovers
+  /// from it (FailedPrecondition if it was written under a different
+  /// config fingerprint — serving under a silently changed config is
+  /// the one thing recovery must never do).
+  static Result<std::unique_ptr<StreamingMiningService>> Create(
+      ServiceConfig config);
+
+  ~StreamingMiningService();
+
+  /// Enqueues one epoch batch; never blocks, never errors — overload
+  /// sheds the oldest queued batch instead (counted, reported).
+  SubmitResult SubmitBatch(EpochBatch batch);
+
+  /// Processes at most one queued batch (ingest + publish when due +
+  /// persist). Only a crash fault or an unrecoverable internal error
+  /// returns a non-OK status; poison batches and stalls are normal
+  /// outcomes. After a crash status the service is dead: rebuild via
+  /// Create to recover.
+  Result<StepOutcome> Step();
+
+  /// Steps until the queue is idle (stalled batches count as idle once
+  /// they stop making progress); returns the number of batches
+  /// processed.
+  Result<int> Drain();
+
+  /// Starts the built-in worker thread (idempotent); Stop() joins it.
+  void Start();
+  void Stop();
+
+  /// The latest generation; nullptr before the first publish.
+  std::shared_ptr<const ModelGeneration> CurrentModel() const;
+
+  HealthReport Health() const;
+  ServiceStats stats() const;
+  size_t queue_depth() const;
+  /// True when Create restored state from a snapshot file.
+  bool recovered() const { return recovered_; }
+  uint64_t config_fingerprint() const;
+  const ServiceConfig& config() const { return config_; }
+
+  /// Direct dependents of `component` ("what depends on S?").
+  Result<QueryResult> WhatDependsOn(const std::string& component,
+                                    const QueryOptions& options = {});
+  /// Transitive impact set of `component` failing.
+  Result<QueryResult> ImpactOf(const std::string& component,
+                               const QueryOptions& options = {});
+
+ private:
+  struct QueuedBatch {
+    int64_t index = 0;  ///< submission index, the fault injector's key
+    int attempts = 0;
+    EpochBatch batch;
+  };
+
+  explicit StreamingMiningService(ServiceConfig config);
+
+  int64_t NowMs() const;
+  sim::ServiceFault FaultOnEpoch(int64_t index, int attempts) const;
+  /// Persists the full streaming state (no-op without a state_path).
+  Status Persist();
+  /// Restores state from `bytes`; called by Create.
+  Status Recover(const std::string& bytes);
+  Result<QueryResult> Query(const std::string& component, bool transitive,
+                            const QueryOptions& options);
+  /// Current health; updates the transition counter under stats_mu_.
+  HealthState ObserveHealth(int64_t now) const;
+
+  ServiceConfig config_;
+  obs::ObsContext* obs_ = nullptr;  ///< effective sink
+
+  std::unique_ptr<SlidingWindowMiner> miner_;  ///< guarded by step_mu_
+  core::ModelTracker tracker_;                 ///< guarded by step_mu_
+  ModelPublisher publisher_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<QueuedBatch> queue_;
+  int64_t submit_index_ = 0;
+  /// Begin of the newest *accepted* epoch (clock-regression guard);
+  /// reset to the ingested watermark on recovery so unprocessed batches
+  /// can be resubmitted.
+  TimeMs submit_watermark_ = INT64_MIN;
+
+  std::mutex step_mu_;
+  TimeMs ingest_watermark_ = INT64_MIN;  ///< newest *ingested* epoch begin
+  int epochs_since_publish_ = 0;
+  int64_t next_generation_number_ = 1;
+  std::string generation_bytes_;  ///< serialized current generation
+  bool dead_ = false;             ///< crash fault fired; service is gone
+
+  mutable std::mutex stats_mu_;
+  mutable ServiceStats stats_;
+  int64_t last_publish_ms_ = -1;
+  mutable HealthState last_health_ = HealthState::kStarting;
+
+  bool recovered_ = false;
+
+  std::thread worker_;
+  std::atomic<bool> worker_stop_{false};
+  bool worker_running_ = false;
+};
+
+}  // namespace logmine::serve
+
+#endif  // LOGMINE_SERVE_STREAMING_SERVICE_H_

@@ -1,0 +1,123 @@
+#include "simulation/service_faults.h"
+
+#include <algorithm>
+#include <string>
+
+namespace logmine::sim {
+
+std::string_view ServiceFaultName(ServiceFault fault) {
+  switch (fault) {
+    case ServiceFault::kNone:
+      return "none";
+    case ServiceFault::kStallEpoch:
+      return "stall-epoch";
+    case ServiceFault::kPoisonBatch:
+      return "poison-batch";
+    case ServiceFault::kClockRegression:
+      return "clock-regression";
+    case ServiceFault::kSlowConsumer:
+      return "slow-consumer";
+    case ServiceFault::kCrashMidPublish:
+      return "crash-mid-publish";
+  }
+  return "unknown";
+}
+
+Result<ServiceFault> ServiceFaultFromName(std::string_view name) {
+  for (ServiceFault fault :
+       {ServiceFault::kNone, ServiceFault::kStallEpoch,
+        ServiceFault::kPoisonBatch, ServiceFault::kClockRegression,
+        ServiceFault::kSlowConsumer, ServiceFault::kCrashMidPublish}) {
+    if (name == ServiceFaultName(fault)) return fault;
+  }
+  return Status::InvalidArgument("unknown service fault: " +
+                                 std::string(name));
+}
+
+ServiceFaultPlan RandomServiceFaultPlan(
+    Rng* rng, int64_t num_epochs, int64_t num_queries,
+    const ServiceFaultPlanOptions& options) {
+  ServiceFaultPlan plan;
+  if (options.max_faults <= 0) return plan;
+  const int num_faults =
+      static_cast<int>(rng->UniformInt(1, options.max_faults));
+  for (int i = 0; i < num_faults; ++i) {
+    ServiceFaultSpec spec;
+    spec.slow_ms = options.slow_ms;
+    // kNone is excluded: a drawn fault always misbehaves.
+    switch (rng->UniformInt(1, 5)) {
+      case 1:
+        spec.fault = ServiceFault::kStallEpoch;
+        spec.times = static_cast<int>(
+            rng->UniformInt(1, std::max(1, options.max_stall_steps)));
+        break;
+      case 2:
+        spec.fault = ServiceFault::kPoisonBatch;
+        break;
+      case 3:
+        spec.fault = ServiceFault::kClockRegression;
+        break;
+      case 4:
+        spec.fault = ServiceFault::kSlowConsumer;
+        break;
+      default:
+        spec.fault = ServiceFault::kCrashMidPublish;
+        break;
+    }
+    const int64_t domain = spec.fault == ServiceFault::kSlowConsumer
+                               ? num_queries
+                               : num_epochs;
+    if (domain <= 0) continue;
+    spec.index = rng->UniformInt(0, domain - 1);
+    // Crashing the very first publish leaves no prior generation to
+    // keep serving, which is a different (also valid) scenario; keep it.
+    const bool clash =
+        std::any_of(plan.faults.begin(), plan.faults.end(),
+                    [&](const ServiceFaultSpec& other) {
+                      const bool other_query =
+                          other.fault == ServiceFault::kSlowConsumer;
+                      const bool spec_query =
+                          spec.fault == ServiceFault::kSlowConsumer;
+                      return other_query == spec_query &&
+                             other.index == spec.index;
+                    });
+    if (!clash) plan.faults.push_back(spec);
+  }
+  return plan;
+}
+
+ServiceFaultInjector::ServiceFaultInjector(ServiceFaultPlan plan)
+    : plan_(std::move(plan)) {}
+
+ServiceFault ServiceFaultInjector::OnEpoch(int64_t index, int attempt) const {
+  for (const ServiceFaultSpec& spec : plan_.faults) {
+    if (spec.fault == ServiceFault::kSlowConsumer) continue;
+    if (spec.index != index) continue;
+    if (spec.fault == ServiceFault::kStallEpoch && attempt > spec.times) {
+      return ServiceFault::kNone;
+    }
+    return spec.fault;
+  }
+  return ServiceFault::kNone;
+}
+
+ServiceFault ServiceFaultInjector::OnQuery(int64_t index) const {
+  const ServiceFaultSpec* spec =
+      SpecFor(index, ServiceFault::kSlowConsumer);
+  return spec == nullptr ? ServiceFault::kNone : spec->fault;
+}
+
+const ServiceFaultSpec* ServiceFaultInjector::SpecFor(
+    int64_t index, ServiceFault fault) const {
+  for (const ServiceFaultSpec& spec : plan_.faults) {
+    if (spec.fault == fault && spec.index == index) return &spec;
+  }
+  return nullptr;
+}
+
+Status ServiceFaultInjector::KilledStatus(int64_t index) {
+  return Status::Internal("service killed by fault crash-mid-publish at epoch " +
+                          std::to_string(index));
+}
+
+}  // namespace logmine::sim

@@ -1,0 +1,120 @@
+#ifndef LOGMINE_SIMULATION_SERVICE_FAULTS_H_
+#define LOGMINE_SIMULATION_SERVICE_FAULTS_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace logmine::sim {
+
+// ---------------------------------------------------------------------------
+// Service fault plans: the chaos axis of the streaming mining service
+// (src/serve). Where shard fault plans misbehave batch-sweep shards,
+// a service fault plan misbehaves the *online* path — submissions,
+// ingest steps, publishes and queries — so the service's load-shedding,
+// health-degradation and crash-recovery machinery can be driven
+// deterministically from a single seed.
+
+/// What a faulted service event does.
+enum class ServiceFault : uint32_t {
+  kNone = 0,
+  /// The miner makes no progress on this epoch for the spec's first
+  /// `times` Step() attempts: the batch stays queued, staleness grows,
+  /// and the bounded queue backs up behind it. Exercises the
+  /// degraded/stale health ladder and load shedding.
+  kStallEpoch,
+  /// The batch arrives undecodable/inconsistent: ingest must quarantine
+  /// it (count + drop) and keep serving the previous generation.
+  kPoisonBatch,
+  /// The upstream feed replays an already-ingested hour (its clock ran
+  /// backwards): submission must reject it without disturbing the
+  /// window.
+  kClockRegression,
+  /// The consumer of this query is slow: the query path busy-waits
+  /// `slow_ms` cooperatively, so a per-query deadline/cancel trips
+  /// deterministically. Keyed by query index, not epoch.
+  kSlowConsumer,
+  /// The process dies after persisting streaming state, before the
+  /// in-memory generation swap — the torn-publish instant. Recovery
+  /// must resume byte-identically from the persisted snapshot.
+  kCrashMidPublish,
+};
+
+/// Stable name used in flags and test output (e.g. "stall-epoch").
+std::string_view ServiceFaultName(ServiceFault fault);
+
+/// Parses the result of ServiceFaultName back; InvalidArgument otherwise.
+Result<ServiceFault> ServiceFaultFromName(std::string_view name);
+
+/// One misbehaving service event. `index` counts submitted epoch
+/// batches (0-based, in submission order) for the epoch-scoped faults,
+/// and served queries for kSlowConsumer. Epoch-scoped faults fire on
+/// the first `times` attempts at that event, then clear.
+struct ServiceFaultSpec {
+  int64_t index = 0;
+  ServiceFault fault = ServiceFault::kNone;
+  int times = 1;
+  /// Cooperative wait of a kSlowConsumer query, in milliseconds.
+  int64_t slow_ms = 50;
+};
+
+/// A full chaos scenario: at most one spec per (fault scope, index).
+struct ServiceFaultPlan {
+  std::vector<ServiceFaultSpec> faults;
+};
+
+/// Knobs of RandomServiceFaultPlan.
+struct ServiceFaultPlanOptions {
+  /// Upper bound on drawn faults; the draw may produce fewer when two
+  /// land on the same index (later ones are dropped).
+  int max_faults = 3;
+  /// Stall durations are drawn from [1, max_stall_steps].
+  int max_stall_steps = 3;
+  int64_t slow_ms = 50;
+};
+
+/// Draws a random scenario over `num_epochs` submissions and
+/// `num_queries` queries — all randomness from the caller's seeded Rng,
+/// so a chaos sweep over seeds is exactly reproducible.
+ServiceFaultPlan RandomServiceFaultPlan(Rng* rng, int64_t num_epochs,
+                                        int64_t num_queries,
+                                        const ServiceFaultPlanOptions& options);
+
+/// Looks up the armed plan. Stateless on purpose: the verdict is a pure
+/// function of (plan, event, attempt), so a service that crashes and is
+/// rebuilt around the same injector replays the identical fault
+/// schedule — attempt counting is the *service's* state, persisted and
+/// recovered with everything else.
+class ServiceFaultInjector {
+ public:
+  explicit ServiceFaultInjector(ServiceFaultPlan plan);
+
+  /// Fault for the `attempt`-th (1-based) processing attempt of the
+  /// `index`-th submitted epoch batch. Epoch-scoped faults only;
+  /// kSlowConsumer specs never match here.
+  ServiceFault OnEpoch(int64_t index, int attempt) const;
+
+  /// Fault for the `index`-th served query (kSlowConsumer only).
+  ServiceFault OnQuery(int64_t index) const;
+
+  /// The armed spec for an event index, or nullptr.
+  const ServiceFaultSpec* SpecFor(int64_t index, ServiceFault fault) const;
+
+  const ServiceFaultPlan& plan() const { return plan_; }
+
+  /// The status a crashed-mid-publish service returns — Internal,
+  /// carrying the fault name, so tests can tell a simulated death from
+  /// a real bug.
+  static Status KilledStatus(int64_t index);
+
+ private:
+  ServiceFaultPlan plan_;
+};
+
+}  // namespace logmine::sim
+
+#endif  // LOGMINE_SIMULATION_SERVICE_FAULTS_H_

@@ -9,6 +9,42 @@
 
 namespace logmine {
 
+std::chrono::steady_clock::time_point StopDeadline(
+    const RunOptions& options) {
+  return options.deadline.count() > 0
+             ? std::chrono::steady_clock::now() + options.deadline
+             : std::chrono::steady_clock::time_point::max();
+}
+
+Status CheckStop(const CancelToken* cancel,
+                 std::chrono::steady_clock::time_point deadline,
+                 const char* what) {
+  if (cancel != nullptr && cancel->cancelled()) {
+    return Status::Cancelled(std::string(what) + " cancelled");
+  }
+  if (deadline != std::chrono::steady_clock::time_point::max() &&
+      std::chrono::steady_clock::now() >= deadline) {
+    return Status::DeadlineExceeded(std::string(what) +
+                                    " deadline expired");
+  }
+  return Status::OK();
+}
+
+RunOptions RemainingOptions(
+    const RunOptions& base,
+    std::chrono::steady_clock::time_point deadline) {
+  RunOptions options = base;
+  if (deadline == std::chrono::steady_clock::time_point::max()) {
+    options.deadline = std::chrono::milliseconds{0};
+  } else {
+    options.deadline = std::max(
+        std::chrono::milliseconds{1},
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now()));
+  }
+  return options;
+}
+
 // State shared between the caller of a ParallelFor and the helper tasks
 // it enqueues. Helpers hold a shared_ptr, so stale helpers that wake up
 // after the loop finished (and the caller returned) only touch live
@@ -132,10 +168,16 @@ std::future<void> Executor::Submit(std::function<void()> fn) {
   std::future<void> future = task->get_future();
   obs::Count(obs::Metric::kExecutorTasksSubmitted);
   obs::Count(obs::Metric::kExecutorQueueDepth, 1);
+  bool saturated;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // A non-empty queue at submission time means every worker is busy
+    // and this task will wait — the backpressure signal the serve layer
+    // watches alongside the depth gauge.
+    saturated = !queue_.empty();
     queue_.emplace_back([task] { (*task)(); });
   }
+  if (saturated) obs::Count(obs::Metric::kExecutorSaturation);
   cv_.notify_one();
   return future;
 }
@@ -172,12 +214,15 @@ Status Executor::ParallelFor(size_t count,
     loop->Drain();  // serial on the caller, same stop/skip semantics
   } else {
     obs::Count(obs::Metric::kExecutorQueueDepth, helpers);
+    bool saturated;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      saturated = !queue_.empty();
       for (int h = 0; h < helpers; ++h) {
         queue_.emplace_back([loop] { loop->Drain(); });
       }
     }
+    if (saturated) obs::Count(obs::Metric::kExecutorSaturation);
     cv_.notify_all();
     loop->Drain();  // the caller always participates — no nesting deadlock
     std::unique_lock<std::mutex> lock(loop->mu);

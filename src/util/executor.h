@@ -45,6 +45,24 @@ struct RunOptions {
   std::chrono::milliseconds deadline{0};
 };
 
+/// Pins `options`' relative deadline to an absolute instant, for code
+/// that spreads one budget over several sequential phases; the sentinel
+/// time_point::max() means "no deadline".
+std::chrono::steady_clock::time_point StopDeadline(const RunOptions& options);
+
+/// One cooperative checkpoint inside a long serial loop: Cancelled once
+/// `cancel` fired, DeadlineExceeded once `deadline` passed, OK
+/// otherwise. `what` names the loop in the error message.
+Status CheckStop(const CancelToken* cancel,
+                 std::chrono::steady_clock::time_point deadline,
+                 const char* what);
+
+/// `base` with its deadline replaced by whatever budget remains until
+/// the absolute `deadline` (floored at 1 ms so an expired budget still
+/// surfaces as DeadlineExceeded inside the loop, not as a hang).
+RunOptions RemainingOptions(const RunOptions& base,
+                            std::chrono::steady_clock::time_point deadline);
+
 /// Fixed-size shared worker pool: the single place all compute-bound
 /// parallelism in the library runs. Miners no longer spawn raw threads
 /// per call; they borrow workers from one process-wide pool (see

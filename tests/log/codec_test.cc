@@ -326,6 +326,70 @@ TEST(LineCodecTest, IngestStatsAccumulateAcrossDecodeAllCalls) {
   EXPECT_EQ(stats.samples.size(), 3u);
 }
 
+TEST(LineCodecTest, LenientTailQuarantinesUnterminatedFinalLine) {
+  const std::string good = LineCodec::Encode(MakeRecord());
+  // A writer died mid-append: the last line is cut off and has no
+  // terminating newline.
+  const std::string text = good + "\n" + good.substr(0, good.size() / 2);
+
+  // The strict default fails fast on it ...
+  ASSERT_FALSE(LineCodec::DecodeAll(text).ok());
+
+  // ... while the lenient-tail option quarantines exactly that one
+  // line, with its own error class, even under kFailFast.
+  DecodeOptions options;
+  options.lenient_truncated_tail = true;
+  IngestStats stats;
+  auto decoded = LineCodec::DecodeAll(text, options, &stats);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded.value().size(), 1u);
+  EXPECT_EQ(stats.records_decoded, 1u);
+  EXPECT_EQ(stats.lines_quarantined, 1u);
+  EXPECT_EQ(
+      stats.by_class[static_cast<size_t>(IngestErrorClass::kTruncatedLine)],
+      1u);
+  ASSERT_EQ(stats.samples.size(), 1u);
+  EXPECT_EQ(stats.samples[0].error_class, IngestErrorClass::kTruncatedLine);
+  EXPECT_NE(stats.ToString().find("TruncatedLine=1"), std::string::npos);
+}
+
+TEST(LineCodecTest, LenientTailDoesNotExcuseInteriorOrTerminatedDamage) {
+  const std::string good = LineCodec::Encode(MakeRecord());
+  DecodeOptions options;
+  options.lenient_truncated_tail = true;
+  // Interior damage still fails fast ...
+  EXPECT_FALSE(LineCodec::DecodeAll("garbage\n" + good + "\n", options,
+                                    /*stats=*/nullptr)
+                   .ok());
+  // ... and so does a malformed final line *with* its newline: a
+  // terminated line was fully written, so it is corrupt, not cut off.
+  EXPECT_FALSE(
+      LineCodec::DecodeAll(good + "\ngarbage\n", options, nullptr).ok());
+}
+
+TEST(LineCodecTest, TruncatedTailNeverCountsAgainstTheBadBudget) {
+  const std::string good = LineCodec::Encode(MakeRecord());
+  const std::string text = good + "\n" + good.substr(0, good.size() / 2);
+  DecodeOptions options;
+  options.policy = DecodePolicy::kQuarantine;
+  options.max_bad_fraction = 0.0;  // zero tolerance for interior damage
+  options.lenient_truncated_tail = true;
+  IngestStats stats;
+  auto decoded = LineCodec::DecodeAll(text, options, &stats);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(stats.lines_quarantined, 1u);
+
+  // The same zero budget still rejects interior damage in a file that
+  // *also* has a truncated tail — leniency is surgical.
+  IngestStats dirty_stats;
+  auto rejected =
+      LineCodec::DecodeAll("garbage\n" + text, options, &dirty_stats);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("exceeds budget"),
+            std::string::npos)
+      << rejected.status();
+}
+
 TEST(LineCodecTest, QuarantineOnCleanInputMatchesFailFast) {
   std::vector<LogRecord> records;
   for (int i = 0; i < 10; ++i) {

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -155,6 +157,48 @@ TEST_F(CorpusIoTest, QuarantineReadSkipsBadLinesAndReportsStats) {
   ASSERT_FALSE(rejected.ok());
   EXPECT_EQ(stats.lines_total, 6u);
   EXPECT_EQ(stats.lines_quarantined, 2u);
+}
+
+TEST_F(CorpusIoTest, TruncatedFinalLineIsQuarantinedNotFatal) {
+  LogStore store;
+  ASSERT_TRUE(store.Append(Rec(100, "A", "first")).ok());
+  ASSERT_TRUE(store.Append(Rec(200, "B", "second")).ok());
+  ASSERT_TRUE(store.Append(Rec(300, "C", "third")).ok());
+  store.BuildIndex();
+  ASSERT_TRUE(WriteCorpusFile(store, path_.string()).ok());
+
+  // Cut the file a few bytes into the last record — the shape a foreign
+  // writer killed mid-append (or a live tail read mid-line) leaves.
+  std::string text;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  const size_t last_line = text.rfind('\n', text.size() - 2) + 1;
+  {
+    std::ofstream out(path_, std::ios::trunc | std::ios::binary);
+    out << text.substr(0, last_line + 5);  // mid-timestamp: unparsable
+  }
+
+  // Even the fail-fast read loses only the cut-off line, not the file.
+  auto loaded = ReadCorpusFile(path_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value().GetRecord(0).source, "A");
+  EXPECT_EQ(loaded.value().GetRecord(1).source, "B");
+
+  // The stats variant reports it under its distinct error class.
+  DecodeOptions options;
+  IngestStats stats;
+  auto again = ReadCorpusFile(path_.string(), options, &stats);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again.value().size(), 2u);
+  EXPECT_EQ(stats.lines_quarantined, 1u);
+  EXPECT_EQ(
+      stats.by_class[static_cast<size_t>(IngestErrorClass::kTruncatedLine)],
+      1u);
 }
 
 }  // namespace

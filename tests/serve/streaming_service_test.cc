@@ -1,0 +1,492 @@
+#include "serve/streaming_service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "simulation/service_faults.h"
+#include "util/snapshot.h"
+
+namespace logmine::serve {
+namespace {
+
+/// Per-test state directory; ctest runs each test case as its own
+/// process, so the name keys isolation and remove_all clears leftovers.
+std::string FreshStatePath(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / ("logmine_serve_" + name);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir);
+  return (dir / "state.snapshot").string();
+}
+
+LogRecord Rec(TimeMs ts, std::string source, std::string user,
+              std::string message) {
+  LogRecord record;
+  record.client_ts = ts;
+  record.server_ts = ts;
+  record.source = std::move(source);
+  record.host = "h";
+  record.user = std::move(user);
+  record.message = std::move(message);
+  return record;
+}
+
+EpochBatch Batch(int epoch, std::vector<LogRecord> records = {}) {
+  EpochBatch batch;
+  batch.begin = epoch * 1000;
+  batch.end = batch.begin + 1000;
+  batch.records = std::move(records);
+  return batch;
+}
+
+/// A 1-second epoch grid and a manual clock the test advances by hand.
+ServiceConfig TinyConfig(std::shared_ptr<int64_t> clock) {
+  ServiceConfig config;
+  config.window.epoch_length = 1000;
+  config.window.window_epochs = 4;
+  config.window.l1.minlogs = 1;
+  config.now_ms = [clock] { return *clock; };
+  return config;
+}
+
+TEST(StreamingServiceTest, CreateValidatesTheConfig) {
+  auto clock = std::make_shared<int64_t>(0);
+  ServiceConfig bad = TinyConfig(clock);
+  bad.max_queue_batches = 0;
+  EXPECT_FALSE(StreamingMiningService::Create(bad).ok());
+  bad = TinyConfig(clock);
+  bad.publish_every_epochs = 0;
+  EXPECT_FALSE(StreamingMiningService::Create(bad).ok());
+  bad = TinyConfig(clock);
+  bad.degraded_after_ms = 10'000;
+  bad.stale_after_ms = 5'000;  // degradation ladder out of order
+  EXPECT_FALSE(StreamingMiningService::Create(bad).ok());
+  bad = TinyConfig(clock);
+  bad.window.epoch_length = 0;  // window validation propagates
+  EXPECT_FALSE(StreamingMiningService::Create(bad).ok());
+
+  auto ok = StreamingMiningService::Create(TinyConfig(clock));
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok.value()->CurrentModel(), nullptr);
+  EXPECT_FALSE(ok.value()->recovered());
+}
+
+TEST(StreamingServiceTest, OverloadShedsTheOldestBatchAndKeepsServing) {
+  auto clock = std::make_shared<int64_t>(0);
+  ServiceConfig config = TinyConfig(clock);
+  config.max_queue_batches = 2;
+  auto created = StreamingMiningService::Create(config);
+  ASSERT_TRUE(created.ok()) << created.status();
+  StreamingMiningService& service = *created.value();
+
+  EXPECT_EQ(service.SubmitBatch(Batch(0)).outcome, SubmitOutcome::kAccepted);
+  EXPECT_EQ(service.SubmitBatch(Batch(1)).outcome, SubmitOutcome::kAccepted);
+  const SubmitResult third = service.SubmitBatch(Batch(2));
+  EXPECT_EQ(third.outcome, SubmitOutcome::kAcceptedShedOldest);
+  EXPECT_EQ(third.queue_depth, 2u);
+  EXPECT_EQ(service.queue_depth(), 2u);
+  EXPECT_EQ(service.stats().batches_shed, 1);
+  EXPECT_EQ(service.Health().shed_total, 1);
+
+  auto drained = service.Drain();
+  ASSERT_TRUE(drained.ok()) << drained.status();
+  EXPECT_EQ(drained.value(), 2);  // epoch 0 was shed, 1 and 2 processed
+  auto model = service.CurrentModel();
+  ASSERT_NE(model, nullptr);
+  // The freshest data won: the window ends at epoch 2's end.
+  EXPECT_EQ(model->models.window_end, 3000);
+  EXPECT_EQ(service.stats().epochs_ingested, 2);
+}
+
+TEST(StreamingServiceTest, ClockRegressionIsRejectedWithoutSideEffects) {
+  auto clock = std::make_shared<int64_t>(0);
+  auto created = StreamingMiningService::Create(TinyConfig(clock));
+  ASSERT_TRUE(created.ok()) << created.status();
+  StreamingMiningService& service = *created.value();
+
+  EXPECT_EQ(service.SubmitBatch(Batch(1)).outcome, SubmitOutcome::kAccepted);
+  // An hour at or before the accepted watermark replays the past.
+  EXPECT_EQ(service.SubmitBatch(Batch(1)).outcome,
+            SubmitOutcome::kRejectedClockRegression);
+  EXPECT_EQ(service.SubmitBatch(Batch(0)).outcome,
+            SubmitOutcome::kRejectedClockRegression);
+  EXPECT_EQ(service.stats().clock_regressions, 2);
+  EXPECT_EQ(service.queue_depth(), 1u);
+
+  auto drained = service.Drain();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained.value(), 1);
+  EXPECT_EQ(service.CurrentModel()->models.window_end, 2000);
+}
+
+TEST(StreamingServiceTest, InjectedClockRegressionRejectsTheSubmission) {
+  sim::ServiceFaultPlan plan;
+  plan.faults.push_back({/*index=*/1, sim::ServiceFault::kClockRegression});
+  const sim::ServiceFaultInjector injector(plan);
+  auto clock = std::make_shared<int64_t>(0);
+  ServiceConfig config = TinyConfig(clock);
+  config.faults = &injector;
+  auto created = StreamingMiningService::Create(config);
+  ASSERT_TRUE(created.ok()) << created.status();
+  StreamingMiningService& service = *created.value();
+
+  EXPECT_EQ(service.SubmitBatch(Batch(0)).outcome, SubmitOutcome::kAccepted);
+  // Submission index 1 is armed: rejected although its hour is fresh.
+  EXPECT_EQ(service.SubmitBatch(Batch(1)).outcome,
+            SubmitOutcome::kRejectedClockRegression);
+  EXPECT_EQ(service.SubmitBatch(Batch(2)).outcome, SubmitOutcome::kAccepted);
+  EXPECT_EQ(service.stats().clock_regressions, 1);
+}
+
+TEST(StreamingServiceTest, PublishCadenceFollowsTheConfiguredStride) {
+  auto clock = std::make_shared<int64_t>(0);
+  ServiceConfig config = TinyConfig(clock);
+  config.publish_every_epochs = 2;
+  auto created = StreamingMiningService::Create(config);
+  ASSERT_TRUE(created.ok()) << created.status();
+  StreamingMiningService& service = *created.value();
+
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    service.SubmitBatch(Batch(epoch));
+  }
+  auto step = service.Step();
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(step.value(), StepOutcome::kIngested);
+  EXPECT_EQ(service.CurrentModel(), nullptr);
+  step = service.Step();
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(step.value(), StepOutcome::kPublished);
+  auto first = service.CurrentModel();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->number, 1);
+  step = service.Step();
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(step.value(), StepOutcome::kIngested);
+  step = service.Step();
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(step.value(), StepOutcome::kPublished);
+  step = service.Step();
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(step.value(), StepOutcome::kIdle);
+
+  auto model = service.CurrentModel();
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->number, 2);
+  EXPECT_EQ(model->models.window_end, 4000);
+  EXPECT_EQ(model->epochs_ingested, 4);
+  EXPECT_EQ(model->config_fingerprint, service.config_fingerprint());
+  // The published generation proves its own integrity: the stored CRC
+  // re-derives from the canonical bytes (the torn-model check).
+  EXPECT_EQ(model->self_crc, Crc32(SerializeGeneration(*model)));
+  EXPECT_EQ(service.stats().generations_published, 2);
+}
+
+TEST(StreamingServiceTest, HealthWalksTheDegradationLadder) {
+  auto clock = std::make_shared<int64_t>(0);
+  ServiceConfig config = TinyConfig(clock);
+  config.degraded_after_ms = 5'000;
+  config.stale_after_ms = 30'000;
+  auto created = StreamingMiningService::Create(config);
+  ASSERT_TRUE(created.ok()) << created.status();
+  StreamingMiningService& service = *created.value();
+
+  HealthReport report = service.Health();
+  EXPECT_EQ(report.state, HealthState::kStarting);
+  EXPECT_EQ(report.ms_since_publish, -1);
+  EXPECT_EQ(report.generation, 0);
+
+  *clock = 100;
+  service.SubmitBatch(Batch(0));
+  ASSERT_TRUE(service.Drain().ok());
+  report = service.Health();
+  EXPECT_EQ(report.state, HealthState::kHealthy);
+  EXPECT_EQ(report.generation, 1);
+  EXPECT_EQ(report.ms_since_publish, 0);
+
+  *clock = 6'000;
+  EXPECT_EQ(service.Health().state, HealthState::kDegraded);
+  *clock = 40'000;
+  report = service.Health();
+  EXPECT_EQ(report.state, HealthState::kStaleServing);
+  EXPECT_EQ(report.ms_since_publish, 39'900);
+
+  // A publish heals the service: straight back to healthy.
+  service.SubmitBatch(Batch(1));
+  ASSERT_TRUE(service.Drain().ok());
+  EXPECT_EQ(service.Health().state, HealthState::kHealthy);
+  EXPECT_GE(service.stats().health_transitions, 4);
+
+  EXPECT_EQ(HealthStateName(HealthState::kStaleServing), "stale-serving");
+}
+
+/// One hour of appA logs citing svc1, which appB provides: the L3 layer
+/// plus the owner map yields the directed edge appA -> appB.
+std::vector<LogRecord> CitingRecords(int epoch) {
+  std::vector<LogRecord> records;
+  for (int i = 0; i < 5; ++i) {
+    records.push_back(Rec(epoch * 1000 + i * 100, "appA", "u",
+                          "call to svc1 timed out"));
+  }
+  return records;
+}
+
+ServiceConfig QueryConfig(std::shared_ptr<int64_t> clock) {
+  ServiceConfig config = TinyConfig(clock);
+  config.window.vocabulary.entries.push_back({"svc1", "http://svc1/api"});
+  config.window.l3.use_stop_patterns = false;
+  config.entry_owner["svc1"] = "appB";
+  return config;
+}
+
+TEST(StreamingServiceTest, QueriesWalkThePublishedGraph) {
+  auto clock = std::make_shared<int64_t>(0);
+  auto created = StreamingMiningService::Create(QueryConfig(clock));
+  ASSERT_TRUE(created.ok()) << created.status();
+  StreamingMiningService& service = *created.value();
+
+  // No generation yet: queries fail precondition rather than fabricate.
+  EXPECT_EQ(service.WhatDependsOn("appB").status().code(),
+            StatusCode::kFailedPrecondition);
+
+  service.SubmitBatch(Batch(0, CitingRecords(0)));
+  ASSERT_TRUE(service.Drain().ok());
+
+  auto depends = service.WhatDependsOn("appB");
+  ASSERT_TRUE(depends.ok()) << depends.status();
+  EXPECT_EQ(depends.value().generation, 1);
+  EXPECT_EQ(depends.value().health, HealthState::kHealthy);
+  EXPECT_EQ(depends.value().components, std::set<std::string>{"appA"});
+
+  auto impact = service.ImpactOf("appB");
+  ASSERT_TRUE(impact.ok()) << impact.status();
+  EXPECT_EQ(impact.value().components, std::set<std::string>{"appA"});
+
+  // An unknown component is an empty answer, not an error.
+  auto unknown = service.WhatDependsOn("never-logged");
+  ASSERT_TRUE(unknown.ok()) << unknown.status();
+  EXPECT_TRUE(unknown.value().components.empty());
+  // Four queries hit the service, counting the refused early one.
+  EXPECT_EQ(service.stats().queries_served, 4);
+}
+
+TEST(StreamingServiceTest, QueryDeadlineTripsOnASlowConsumer) {
+  sim::ServiceFaultPlan plan;
+  plan.faults.push_back({/*index=*/0, sim::ServiceFault::kSlowConsumer,
+                         /*times=*/1, /*slow_ms=*/200});
+  const sim::ServiceFaultInjector injector(plan);
+  auto clock = std::make_shared<int64_t>(0);
+  ServiceConfig config = QueryConfig(clock);
+  config.faults = &injector;
+  auto created = StreamingMiningService::Create(config);
+  ASSERT_TRUE(created.ok()) << created.status();
+  StreamingMiningService& service = *created.value();
+  service.SubmitBatch(Batch(0, CitingRecords(0)));
+  ASSERT_TRUE(service.Drain().ok());
+
+  // Query 0 hits the armed slow consumer; its 5 ms deadline fires long
+  // before the 200 ms cooperative wait completes.
+  QueryOptions options;
+  options.deadline_ms = 5;
+  auto slow = service.WhatDependsOn("appB", options);
+  ASSERT_FALSE(slow.ok());
+  EXPECT_EQ(slow.status().code(), StatusCode::kDeadlineExceeded)
+      << slow.status();
+  EXPECT_EQ(service.stats().query_deadline_exceeded, 1);
+
+  // Query 1 is unfaulted: same question, instant answer.
+  auto fast = service.WhatDependsOn("appB", options);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  EXPECT_EQ(fast.value().components, std::set<std::string>{"appA"});
+
+  // A pre-cancelled caller is refused before any work happens.
+  CancelToken token;
+  token.Cancel();
+  QueryOptions cancelled;
+  cancelled.cancel = &token;
+  EXPECT_EQ(service.ImpactOf("appB", cancelled).status().code(),
+            StatusCode::kCancelled);
+}
+
+TEST(StreamingServiceTest, PoisonBatchIsQuarantinedAndServingContinues) {
+  sim::ServiceFaultPlan plan;
+  plan.faults.push_back({/*index=*/1, sim::ServiceFault::kPoisonBatch});
+  const sim::ServiceFaultInjector injector(plan);
+  auto clock = std::make_shared<int64_t>(0);
+  ServiceConfig config = TinyConfig(clock);
+  config.faults = &injector;
+  auto created = StreamingMiningService::Create(config);
+  ASSERT_TRUE(created.ok()) << created.status();
+  StreamingMiningService& service = *created.value();
+
+  service.SubmitBatch(Batch(0));
+  service.SubmitBatch(Batch(1));  // armed: quarantined at ingest
+  service.SubmitBatch(Batch(2));
+  auto step = service.Step();
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(step.value(), StepOutcome::kPublished);
+  step = service.Step();
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(step.value(), StepOutcome::kPoisoned);
+  // The previous generation survived the poison untouched.
+  ASSERT_NE(service.CurrentModel(), nullptr);
+  EXPECT_EQ(service.CurrentModel()->number, 1);
+  step = service.Step();
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(step.value(), StepOutcome::kPublished);
+  EXPECT_EQ(service.stats().batches_poisoned, 1);
+  EXPECT_EQ(service.CurrentModel()->models.window_end, 3000);
+
+  // A genuinely malformed batch — a record outside its claimed hour —
+  // takes the same quarantine path without any injector.
+  EpochBatch malformed = Batch(3);
+  malformed.records.push_back(Rec(9'999, "A", "u", "x"));
+  service.SubmitBatch(std::move(malformed));
+  step = service.Step();
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(step.value(), StepOutcome::kPoisoned);
+  EXPECT_EQ(service.stats().batches_poisoned, 2);
+  EXPECT_EQ(service.CurrentModel()->models.window_end, 3000);
+}
+
+TEST(StreamingServiceTest, StalledEpochRetriesUntilTheFaultClears) {
+  sim::ServiceFaultPlan plan;
+  plan.faults.push_back(
+      {/*index=*/0, sim::ServiceFault::kStallEpoch, /*times=*/2});
+  const sim::ServiceFaultInjector injector(plan);
+  auto clock = std::make_shared<int64_t>(0);
+  ServiceConfig config = TinyConfig(clock);
+  config.faults = &injector;
+  auto created = StreamingMiningService::Create(config);
+  ASSERT_TRUE(created.ok()) << created.status();
+  StreamingMiningService& service = *created.value();
+
+  service.SubmitBatch(Batch(0));
+  auto step = service.Step();
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(step.value(), StepOutcome::kStalled);
+  EXPECT_EQ(service.queue_depth(), 1u);  // the batch stays queued
+  step = service.Step();
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(step.value(), StepOutcome::kStalled);
+  // Third attempt: the stall budget is spent, ingest goes through.
+  step = service.Step();
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(step.value(), StepOutcome::kPublished);
+  EXPECT_EQ(service.stats().epochs_stalled, 2);
+  EXPECT_EQ(service.queue_depth(), 0u);
+}
+
+TEST(StreamingServiceTest, CrashMidPublishRecoversAndResumesNumbering) {
+  const std::string state_path = FreshStatePath("crash_recover");
+  sim::ServiceFaultPlan plan;
+  plan.faults.push_back({/*index=*/2, sim::ServiceFault::kCrashMidPublish});
+  const sim::ServiceFaultInjector injector(plan);
+  auto clock = std::make_shared<int64_t>(0);
+  ServiceConfig config = TinyConfig(clock);
+  config.state_path = state_path;
+  config.faults = &injector;
+
+  auto created = StreamingMiningService::Create(config);
+  ASSERT_TRUE(created.ok()) << created.status();
+  {
+    StreamingMiningService& service = *created.value();
+    for (int epoch = 0; epoch < 4; ++epoch) {
+      service.SubmitBatch(Batch(epoch));
+    }
+    auto drained = service.Drain();
+    ASSERT_FALSE(drained.ok());  // the injected death
+    EXPECT_EQ(drained.status().code(), StatusCode::kInternal);
+    EXPECT_NE(drained.status().message().find("crash-mid-publish"),
+              std::string::npos);
+    // The in-memory swap never happened; readers still hold gen 2.
+    EXPECT_EQ(service.CurrentModel()->number, 2);
+    // A dead service refuses further work until rebuilt.
+    EXPECT_EQ(service.Step().status().code(),
+              StatusCode::kFailedPrecondition);
+  }
+  created.value().reset();
+
+  // Rebuild from the snapshot: epoch 2 was persisted before the death,
+  // so recovery serves generation 3 — the publish the crash tore.
+  auto recovered = StreamingMiningService::Create(config);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  StreamingMiningService& service = *recovered.value();
+  EXPECT_TRUE(service.recovered());
+  ASSERT_NE(service.CurrentModel(), nullptr);
+  EXPECT_EQ(service.CurrentModel()->number, 3);
+  EXPECT_EQ(service.CurrentModel()->models.window_end, 3000);
+  EXPECT_EQ(service.CurrentModel()->self_crc,
+            Crc32(SerializeGeneration(*service.CurrentModel())));
+
+  // Blind resubmission of everything is safe: ingested hours bounce off
+  // the recovered watermark, only epoch 3 is still new.
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    const SubmitResult result = service.SubmitBatch(Batch(epoch));
+    EXPECT_EQ(result.outcome, epoch < 3
+                                  ? SubmitOutcome::kRejectedClockRegression
+                                  : SubmitOutcome::kAccepted)
+        << epoch;
+  }
+  auto drained = service.Drain();
+  ASSERT_TRUE(drained.ok()) << drained.status();
+  EXPECT_EQ(drained.value(), 1);
+  EXPECT_EQ(service.CurrentModel()->number, 4);  // numbering continued
+  EXPECT_EQ(service.CurrentModel()->models.window_end, 4000);
+}
+
+TEST(StreamingServiceTest, RecoveryRefusesAForeignConfigFingerprint) {
+  const std::string state_path = FreshStatePath("config_mismatch");
+  auto clock = std::make_shared<int64_t>(0);
+  ServiceConfig config = TinyConfig(clock);
+  config.state_path = state_path;
+  {
+    auto created = StreamingMiningService::Create(config);
+    ASSERT_TRUE(created.ok()) << created.status();
+    created.value()->SubmitBatch(Batch(0));
+    ASSERT_TRUE(created.value()->Drain().ok());
+  }
+  ServiceConfig drifted = config;
+  drifted.window.window_epochs = 8;
+  auto refused = StreamingMiningService::Create(drifted);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+  // The original config still recovers.
+  auto recovered = StreamingMiningService::Create(config);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(recovered.value()->recovered());
+}
+
+TEST(StreamingServiceTest, WorkerThreadDrainsSubmissionsInTheBackground) {
+  auto clock = std::make_shared<int64_t>(0);
+  auto created = StreamingMiningService::Create(TinyConfig(clock));
+  ASSERT_TRUE(created.ok()) << created.status();
+  StreamingMiningService& service = *created.value();
+
+  service.Start();
+  service.Start();  // idempotent
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    service.SubmitBatch(Batch(epoch));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto model = service.CurrentModel();
+    if (model != nullptr && model->models.window_end == 3000) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  service.Stop();
+  ASSERT_NE(service.CurrentModel(), nullptr);
+  EXPECT_EQ(service.CurrentModel()->models.window_end, 3000);
+  EXPECT_EQ(service.stats().epochs_ingested, 3);
+}
+
+}  // namespace
+}  // namespace logmine::serve

@@ -1,0 +1,113 @@
+#include "simulation/service_faults.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace logmine::sim {
+namespace {
+
+TEST(ServiceFaultsTest, NamesRoundTrip) {
+  for (ServiceFault fault :
+       {ServiceFault::kNone, ServiceFault::kStallEpoch,
+        ServiceFault::kPoisonBatch, ServiceFault::kClockRegression,
+        ServiceFault::kSlowConsumer, ServiceFault::kCrashMidPublish}) {
+    auto parsed = ServiceFaultFromName(ServiceFaultName(fault));
+    ASSERT_TRUE(parsed.ok()) << ServiceFaultName(fault);
+    EXPECT_EQ(parsed.value(), fault);
+  }
+  EXPECT_FALSE(ServiceFaultFromName("coffee-spill").ok());
+}
+
+TEST(ServiceFaultsTest, RandomPlansAreSeedDeterministic) {
+  ServiceFaultPlanOptions options;
+  options.max_faults = 5;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng a(seed);
+    Rng b(seed);
+    const ServiceFaultPlan plan_a =
+        RandomServiceFaultPlan(&a, /*num_epochs=*/24, /*num_queries=*/10,
+                               options);
+    const ServiceFaultPlan plan_b =
+        RandomServiceFaultPlan(&b, 24, 10, options);
+    ASSERT_EQ(plan_a.faults.size(), plan_b.faults.size()) << seed;
+    for (size_t i = 0; i < plan_a.faults.size(); ++i) {
+      EXPECT_EQ(plan_a.faults[i].fault, plan_b.faults[i].fault) << seed;
+      EXPECT_EQ(plan_a.faults[i].index, plan_b.faults[i].index) << seed;
+      EXPECT_EQ(plan_a.faults[i].times, plan_b.faults[i].times) << seed;
+    }
+  }
+}
+
+TEST(ServiceFaultsTest, RandomPlansStayInBoundsAndNeverClash) {
+  ServiceFaultPlanOptions options;
+  options.max_faults = 6;
+  options.max_stall_steps = 4;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    const ServiceFaultPlan plan =
+        RandomServiceFaultPlan(&rng, /*num_epochs=*/12, /*num_queries=*/5,
+                               options);
+    ASSERT_LE(plan.faults.size(), 6u);
+    ASSERT_GE(plan.faults.size(), 1u);
+    for (size_t i = 0; i < plan.faults.size(); ++i) {
+      const ServiceFaultSpec& spec = plan.faults[i];
+      EXPECT_NE(spec.fault, ServiceFault::kNone);
+      const bool query_scoped = spec.fault == ServiceFault::kSlowConsumer;
+      EXPECT_GE(spec.index, 0);
+      EXPECT_LT(spec.index, query_scoped ? 5 : 12);
+      EXPECT_GE(spec.times, 1);
+      EXPECT_LE(spec.times, 4);
+      for (size_t j = 0; j < i; ++j) {
+        const bool other_query =
+            plan.faults[j].fault == ServiceFault::kSlowConsumer;
+        EXPECT_FALSE(other_query == query_scoped &&
+                     plan.faults[j].index == spec.index)
+            << "seed " << seed << ": two faults on one event";
+      }
+    }
+  }
+}
+
+TEST(ServiceFaultsTest, StallExpiresAfterItsAttemptBudget) {
+  ServiceFaultPlan plan;
+  plan.faults.push_back(
+      {/*index=*/3, ServiceFault::kStallEpoch, /*times=*/2});
+  const ServiceFaultInjector injector(plan);
+  EXPECT_EQ(injector.OnEpoch(3, 1), ServiceFault::kStallEpoch);
+  EXPECT_EQ(injector.OnEpoch(3, 2), ServiceFault::kStallEpoch);
+  EXPECT_EQ(injector.OnEpoch(3, 3), ServiceFault::kNone);
+  EXPECT_EQ(injector.OnEpoch(2, 1), ServiceFault::kNone);
+  // Statelessness: asking again for an earlier attempt still stalls —
+  // the injector is a pure function of (plan, event, attempt).
+  EXPECT_EQ(injector.OnEpoch(3, 1), ServiceFault::kStallEpoch);
+}
+
+TEST(ServiceFaultsTest, QueryAndEpochScopesAreSeparate) {
+  ServiceFaultPlan plan;
+  plan.faults.push_back({/*index=*/1, ServiceFault::kSlowConsumer,
+                         /*times=*/1, /*slow_ms=*/25});
+  plan.faults.push_back({/*index=*/1, ServiceFault::kPoisonBatch});
+  const ServiceFaultInjector injector(plan);
+  // Epoch 1 sees only the poison fault, query 1 only the slow consumer.
+  EXPECT_EQ(injector.OnEpoch(1, 1), ServiceFault::kPoisonBatch);
+  EXPECT_EQ(injector.OnQuery(1), ServiceFault::kSlowConsumer);
+  EXPECT_EQ(injector.OnQuery(0), ServiceFault::kNone);
+  const ServiceFaultSpec* spec =
+      injector.SpecFor(1, ServiceFault::kSlowConsumer);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->slow_ms, 25);
+  EXPECT_EQ(injector.SpecFor(2, ServiceFault::kSlowConsumer), nullptr);
+}
+
+TEST(ServiceFaultsTest, KilledStatusNamesTheFault) {
+  const Status killed = ServiceFaultInjector::KilledStatus(7);
+  EXPECT_EQ(killed.code(), StatusCode::kInternal);
+  EXPECT_NE(killed.message().find("crash-mid-publish"), std::string::npos);
+  EXPECT_NE(killed.message().find("7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace logmine::sim

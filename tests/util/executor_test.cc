@@ -279,5 +279,40 @@ TEST(ExecutorTest, GlobalObsContextCanBeTornDownRightAfterAWait) {
   }
 }
 
+TEST(ExecutorTest, SubmitBeyondBusyWorkersCountsSaturation) {
+  obs::ObsContext context;
+  obs::ScopedGlobalObs scoped(&context);
+  Executor executor(1);
+
+  // Occupy the lone worker and wait until it has actually dequeued the
+  // blocker, so everything submitted next sits in the queue.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::atomic<bool> started{false};
+  auto blocker = executor.Submit([&] {
+    started.store(true);
+    gate.wait();
+  });
+  while (!started.load()) std::this_thread::yield();
+
+  // First waiter finds an empty queue (the blocker already left it);
+  // the second finds the first still waiting — that is saturation.
+  auto second = executor.Submit([] {});
+  auto third = executor.Submit([] {});
+  release.set_value();
+  blocker.wait();
+  second.wait();
+  third.wait();
+
+  const obs::MetricsSnapshot snapshot = context.metrics().Snapshot();
+  EXPECT_GE(snapshot.Value(
+                obs::MetricName(obs::Metric::kExecutorSaturation)),
+            1);
+  // The depth gauge nets out to zero once the queue drains.
+  EXPECT_EQ(snapshot.Value(
+                obs::MetricName(obs::Metric::kExecutorQueueDepth)),
+            0);
+}
+
 }  // namespace
 }  // namespace logmine
