@@ -502,6 +502,9 @@ int main(int argc, char** argv) {
       << ", \"overhead_fraction\": " << obs_overhead_fraction
       << ", \"trace_spans\": " << obs_context.trace().total_recorded()
       << ", \"trace_dropped\": " << obs_context.trace().dropped()
+      << ", \"journal_events\": " << obs_context.journal().events_emitted()
+      << ", \"probe_stages\": " << obs_context.probe().Stages().size()
+      << ",\n  \"probe\": " << obs_context.probe().ToJson()
       << ",\n  \"metrics\": " << obs_metrics_json << "},\n";
   out << "  \"l2_l3_speedup_vs_seed_serial\": {";
   bool first = true;

@@ -80,11 +80,14 @@ int main(int argc, char** argv) {
 
   const obs::MetricsSnapshot metrics = context.metrics().Snapshot();
   const serve::ServiceStats stats = service.stats();
-  // Mean latency per histogram observation, in milliseconds.
+  // Mean latency per observation, in milliseconds (histogram or sketch).
   const auto mean_ms = [&](obs::Metric metric) {
     const obs::MetricsSnapshot::Entry* entry =
         metrics.Find(obs::MetricName(metric));
-    return entry == nullptr ? 0.0 : entry->hist.mean() / 1e6;
+    if (entry == nullptr) return 0.0;
+    return (entry->kind == obs::MetricKind::kSketch ? entry->sketch.mean()
+                                                    : entry->hist.mean()) /
+           1e6;
   };
   const double per_epoch = mean_ms(obs::Metric::kServeIngestNs);
   const double per_publish = mean_ms(obs::Metric::kServePublishNs);

@@ -18,8 +18,16 @@ additionally be complete (coverage 1.0) and byte-equivalent to the
 unsliced mine (``model_matches_unsharded``), and its wall time is held
 to the same normalized-growth tolerance as the L1 hot path.
 
+When the current report carries an ``obs`` section, the telemetry tax
+is additionally held to an absolute budget: the fully instrumented
+end-to-end run (metrics + sketches + journal + probe, globally
+installed) may cost at most ``--obs-budget`` (default 3%) over the
+uninstrumented run measured in the same report. Unlike the hot-path
+guards this is not baseline-relative — the budget is the contract.
+
 Usage: check_bench_regression.py --current BENCH_pipeline.json \
-           [--baseline ci/bench_baseline.json] [--tolerance 0.20]
+           [--baseline ci/bench_baseline.json] [--tolerance 0.20] \
+           [--obs-budget 0.03]
 """
 
 import argparse
@@ -49,6 +57,7 @@ def main() -> int:
     parser.add_argument("--current", required=True)
     parser.add_argument("--baseline", default="ci/bench_baseline.json")
     parser.add_argument("--tolerance", type=float, default=0.20)
+    parser.add_argument("--obs-budget", type=float, default=0.03)
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -103,6 +112,25 @@ def main() -> int:
                     f"normalized sharded-sweep time regressed "
                     f"{sweep_growth * 100.0:.1f}% > "
                     f"{args.tolerance * 100.0:.0f}%"
+                )
+
+    # Telemetry budget: the instrumented run in the current report must
+    # stay within the absolute overhead budget. Negative fractions
+    # (instrumented run measured faster — noise) are fine.
+    obs = current.get("obs")
+    if obs is not None:
+        overhead = obs.get("overhead_fraction")
+        if overhead is None:
+            failures.append("obs section has no overhead_fraction")
+        else:
+            print(
+                f"obs.overhead_fraction: {overhead * 100.0:+.2f}% "
+                f"(budget {args.obs_budget * 100.0:.0f}%)"
+            )
+            if overhead > args.obs_budget:
+                failures.append(
+                    f"telemetry overhead {overhead * 100.0:.2f}% exceeds "
+                    f"the {args.obs_budget * 100.0:.0f}% budget"
                 )
 
     for failure in failures:

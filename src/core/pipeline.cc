@@ -3,6 +3,7 @@
 #include <chrono>
 #include <exception>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "util/executor.h"
@@ -41,6 +42,16 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
   // always record into the global context.
   obs::ObsContext* ctx = obs::Effective(obs_context);
   obs::Count(ctx, obs::Metric::kPipelineRuns);
+  // One journal root span per run; miner boundaries hang off it as
+  // "<run>/<miner>" children.
+  std::string run_span;
+  if (ctx != nullptr) {
+    run_span = ctx->journal().BeginRootSpan("pipeline");
+    ctx->journal().Emit(
+        run_span, "pipeline_start",
+        {obs::JournalField::Num("begin_ms", begin),
+         obs::JournalField::Num("end_ms", end)});
+  }
   PipelineResult out;
   // The run's wall-clock budget, pinned up front so every miner closure
   // and the skip checks below measure against the same instant.
@@ -56,6 +67,7 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
   // plus a per-miner Status.
   std::vector<std::function<Status()>> tasks;
   std::vector<Status*> slots;
+  std::vector<const char*> names;
   if (config_.run_l1) {
     tasks.push_back([&]() -> Status {
       LOGMINE_SPAN(ctx, "pipeline/l1");
@@ -66,6 +78,7 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
       return Status::OK();
     });
     slots.push_back(&out.l1_status);
+    names.push_back("l1");
   }
   if (config_.run_l2) {
     tasks.push_back([&]() -> Status {
@@ -88,6 +101,7 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
       return Status::OK();
     });
     slots.push_back(&out.l2_status);
+    names.push_back("l2");
   }
   if (config_.run_l3) {
     tasks.push_back([&]() -> Status {
@@ -99,6 +113,7 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
       return Status::OK();
     });
     slots.push_back(&out.l3_status);
+    names.push_back("l3");
   }
   if (config_.run_agrawal) {
     tasks.push_back([&]() -> Status {
@@ -110,6 +125,7 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
       return Status::OK();
     });
     slots.push_back(&out.agrawal_status);
+    names.push_back("agrawal");
   }
 
   // Cooperative stop: a miner that has not started when the token fires
@@ -132,13 +148,30 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
                 Status::DeadlineExceeded("miner skipped: run deadline expired");
             return;
           }
+          // Where the machine went, per miner: CPU vs wall vs RSS (the
+          // trace span above it answers only "how long").
+          obs::ResourceProbe::ScopedStage stage(
+              ctx != nullptr ? &ctx->probe() : nullptr,
+              std::string("pipeline/") + names[i]);
           *slots[i] = RunContained(tasks[i]);
         },
         options);
   }
-  for (const Status* slot : slots) {
+  for (size_t i = 0; i < slots.size(); ++i) {
+    const Status* slot = slots[i];
     obs::Count(ctx, slot->ok() ? obs::Metric::kPipelineMinersOk
                                : obs::Metric::kPipelineMinersFailed);
+    if (ctx != nullptr) {
+      std::vector<obs::JournalField> fields = {
+          obs::JournalField::Str("miner", names[i]),
+          obs::JournalField::Flag("ok", slot->ok())};
+      if (!slot->ok()) {
+        fields.push_back(
+            obs::JournalField::Str("code", StatusCodeName(slot->code())));
+        fields.push_back(obs::JournalField::Str("error", slot->message()));
+      }
+      ctx->journal().Emit(run_span + "/" + names[i], "miner_done", fields);
+    }
   }
   // Snapshot after the run span closed, so the snapshot sees it.
   if (obs_context != nullptr) {

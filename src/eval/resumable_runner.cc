@@ -247,6 +247,22 @@ Result<ResumableDailyResult> RunResumable(const Dataset& dataset,
         LoadNewestValid(options, technique, state_hash, num_days, &run));
   }
 
+  // Journal the resume decision and every day/checkpoint boundary: the
+  // crash-recovery property means the journal (flushed per line) is the
+  // record of how far a killed run actually got.
+  obs::ObsContext* ctx = obs::Effective(options.obs);
+  std::string span;
+  if (ctx != nullptr) {
+    span = ctx->journal().BeginRootSpan("resume");
+    ctx->journal().Emit(
+        span, "resume_start",
+        {obs::JournalField::Str("technique", TechniqueName(technique)),
+         obs::JournalField::Num("days_loaded", run.resume.days_loaded),
+         obs::JournalField::Num("generations_discarded",
+                                run.resume.generations_discarded),
+         obs::JournalField::Str("resumed_from", run.resume.resumed_from)});
+  }
+
   const auto start = std::chrono::steady_clock::now();
   for (int day = run.resume.days_loaded; day < num_days; ++day) {
     if (options.cancel != nullptr && options.cancel->cancelled()) {
@@ -278,6 +294,9 @@ Result<ResumableDailyResult> RunResumable(const Dataset& dataset,
     run.result.series.days.push_back(value.counts);
     run.result.daily_models.push_back(std::move(value.model));
     ++run.resume.days_mined;
+    if (ctx != nullptr) {
+      ctx->journal().Emit(span + "/day" + std::to_string(day), "day_mined");
+    }
 
     if (options.crash != nullptr &&
         options.crash->ShouldKill(KillPoint::kAfterDayMined, day)) {
@@ -298,6 +317,13 @@ Result<ResumableDailyResult> RunResumable(const Dataset& dataset,
           options.checkpoint.retry, "write:" + path,
           [&] { return WriteSnapshotFile(path, bytes); }));
       ++run.resume.snapshots_written;
+      if (ctx != nullptr) {
+        ctx->journal().Emit(
+            span + "/day" + std::to_string(day), "checkpoint_written",
+            {obs::JournalField::Num("generation", generation),
+             obs::JournalField::Num("bytes",
+                                    static_cast<int64_t>(bytes.size()))});
+      }
       PruneGenerations(options.checkpoint.dir, generation,
                        options.checkpoint.keep_generations);
     }

@@ -76,6 +76,9 @@ struct Supervisor {
   Executor* executor = nullptr;
   std::function<bool(StatusCode)> retryable;
 
+  /// Journal root span of this sweep ("sweep-<n>"); empty without obs.
+  std::string span;
+
   std::mutex mu;
   std::condition_variable cv;
   /// deque: ShardState holds an atomic (the cancel token) and is
@@ -89,6 +92,23 @@ struct Supervisor {
   int in_flight_total = 0;
 };
 
+/// Journal span of one shard cell under the sweep's root span.
+std::string ShardSpan(const Supervisor& sup, const ShardState& state) {
+  return sup.span + "/d" + std::to_string(state.shard.day) + ".r" +
+         std::to_string(state.shard.range_index);
+}
+
+/// Appends one event to the sweep's journal; no-op without obs. The
+/// journal has its own (independent) mutex, so emitting while holding
+/// the supervisor mutex cannot invert a lock order.
+void JournalEmit(const Supervisor& sup, std::string_view span,
+                 std::string_view event,
+                 std::vector<obs::JournalField> fields = {}) {
+  if (sup.config->obs != nullptr) {
+    sup.config->obs->journal().Emit(span, event, fields);
+  }
+}
+
 /// Marks a shard terminal. Caller holds the mutex.
 void FinishLocked(Supervisor* sup, ShardState* state,
                   ShardState::Phase terminal) {
@@ -98,9 +118,17 @@ void FinishLocked(Supervisor* sup, ShardState* state,
   if (terminal == ShardState::Phase::kDone) {
     ++sup->stats.shards_completed;
     obs::Count(sup->config->obs, obs::Metric::kShardsCompleted);
+    JournalEmit(*sup, ShardSpan(*sup, *state), "shard_done",
+                {obs::JournalField::Num("attempts", state->attempts),
+                 obs::JournalField::Num("failures", state->failures),
+                 obs::JournalField::Num("hedges", state->hedges)});
   } else {
     ++sup->stats.shards_poisoned;
     obs::Count(sup->config->obs, obs::Metric::kShardsPoisoned);
+    JournalEmit(*sup, ShardSpan(*sup, *state), "shard_poisoned",
+                {obs::JournalField::Num("attempts", state->attempts),
+                 obs::JournalField::Num("failures", state->failures),
+                 obs::JournalField::Str("last_error", state->last_error)});
   }
   sup->cv.notify_all();
 }
@@ -146,6 +174,11 @@ Status AttemptShard(Supervisor* sup, ShardState* state, bool hedged,
   obs::Count(config.obs, obs::Metric::kShardAttempts);
   const Clock::time_point start = Clock::now();
   LOGMINE_SPAN(config.obs, "sweep/shard_attempt");
+  // Per-attempt journal span: "<sweep>/d<day>.r<range>/a<attempt>".
+  const std::string attempt_span =
+      ShardSpan(*sup, *state) + "/a" + std::to_string(attempt_no);
+  JournalEmit(*sup, attempt_span, "shard_attempt",
+              {obs::JournalField::Flag("hedged", hedged)});
 
   auto fail = [&](Status status) {
     bool tripped = false;
@@ -161,11 +194,16 @@ Status AttemptShard(Supervisor* sup, ShardState* state, bool hedged,
           state->phase == ShardState::Phase::kRunning) {
         ++sup->stats.breaker_trips;
         tripped = true;
+        JournalEmit(*sup, ShardSpan(*sup, *state), "breaker_trip",
+                    {obs::JournalField::Num("failures", state->failures)});
         FinishLocked(sup, state, ShardState::Phase::kPoisoned);
       }
     }
     obs::Count(config.obs, obs::Metric::kShardFailures);
     if (tripped) obs::Count(config.obs, obs::Metric::kShardBreakerTrips);
+    JournalEmit(*sup, attempt_span, "shard_attempt_failed",
+                {obs::JournalField::Str("code", StatusCodeName(status.code())),
+                 obs::JournalField::Str("error", status.message())});
     return status;
   };
 
@@ -358,6 +396,9 @@ void ProcessCompletionLocked(Supervisor* sup, Completion* done) {
   if (retryable && state->failures < config.breaker_threshold) {
     ++sup->stats.retries;
     obs::Count(config.obs, obs::Metric::kShardRetries);
+    JournalEmit(*sup, ShardSpan(*sup, *state), "shard_retry",
+                {obs::JournalField::Num("failures", state->failures),
+                 obs::JournalField::Str("error", done->status.message())});
     Launch(sup, done->index, /*hedged=*/false);
     return;
   }
@@ -387,6 +428,10 @@ void MaybeHedgeLocked(Supervisor* sup) {
     ++state.hedges;
     ++sup->stats.hedges_launched;
     obs::Count(config.obs, obs::Metric::kShardHedgesLaunched);
+    JournalEmit(*sup, ShardSpan(*sup, state), "shard_hedged",
+                {obs::JournalField::Num("bar_ms", bar),
+                 obs::JournalField::Num("running_ms",
+                                        ElapsedMs(state.first_launch))});
     Launch(sup, i, /*hedged=*/true);
   }
 }
@@ -418,12 +463,22 @@ Result<ShardedSweepResult> RunShardedSweep(
     return Status::InvalidArgument("breaker_threshold must be >= 1");
   }
   LOGMINE_SPAN(config.obs, "sweep/run");
+  obs::ResourceProbe::ScopedStage sweep_stage(
+      config.obs != nullptr ? &config.obs->probe() : nullptr, "eval/sweep");
 
   Supervisor sup;
   sup.grid = grid;
   sup.mine = &mine;
   sup.config = &config;
   sup.state_hash = state_hash;
+  if (config.obs != nullptr) {
+    sup.span = config.obs->journal().BeginRootSpan("sweep");
+    JournalEmit(sup, sup.span, "sweep_start",
+                {obs::JournalField::Num("num_days", grid.num_days),
+                 obs::JournalField::Num("num_ranges", grid.num_ranges),
+                 obs::JournalField::Num(
+                     "state_hash", static_cast<int64_t>(state_hash))});
+  }
   sup.executor =
       config.executor != nullptr ? config.executor : &Executor::Shared();
   sup.retryable = SupervisorRetryable;
@@ -494,6 +549,16 @@ Result<ShardedSweepResult> RunShardedSweep(
   result.stats = sup.stats;
 
   if (parts.empty()) {
+    JournalEmit(sup, sup.span, "sweep_end",
+                {obs::JournalField::Str("outcome", "failed"),
+                 obs::JournalField::Num("shards_poisoned",
+                                        sup.stats.shards_poisoned)});
+    if (config.obs != nullptr) {
+      // Best-effort: the sweep's failure status stands regardless of
+      // whether the bundle made it to disk.
+      (void)obs::CapturePostmortem(config.postmortem, config.obs,
+                                   "sweep_failed", sup.span, state_hash);
+    }
     return Status::Internal(
         "sharded sweep failed: all " + std::to_string(grid.cells()) +
         " shards poisoned (last error: " +
@@ -510,6 +575,20 @@ Result<ShardedSweepResult> RunShardedSweep(
     config.obs->metrics().Add(
         obs::Metric::kSweepCoveragePermille,
         static_cast<int64_t>(result.merged.coverage.fraction() * 1000.0));
+    JournalEmit(
+        sup, sup.span, "sweep_end",
+        {obs::JournalField::Str("outcome", SweepOutcomeName(result.outcome)),
+         obs::JournalField::Num("shards_completed",
+                                sup.stats.shards_completed),
+         obs::JournalField::Num("shards_poisoned", sup.stats.shards_poisoned),
+         obs::JournalField::Num(
+             "coverage_permille",
+             static_cast<int64_t>(result.merged.coverage.fraction() *
+                                  1000.0))});
+    if (result.outcome == SweepOutcome::kDegraded) {
+      (void)obs::CapturePostmortem(config.postmortem, config.obs,
+                                   "sweep_degraded", sup.span, state_hash);
+    }
   }
   return result;
 }

@@ -11,6 +11,7 @@
 #include "core/partial_model.h"
 #include "eval/dataset.h"
 #include "obs/obs.h"
+#include "obs/postmortem.h"
 #include "simulation/crash_injector.h"
 #include "util/executor.h"
 #include "util/result.h"
@@ -89,8 +90,15 @@ struct ShardSupervisorConfig {
   std::string partial_dir;
   /// Pool to run shard attempts on; nullptr = Executor::Shared().
   Executor* executor = nullptr;
-  /// Observability; nullptr = off (see obs/obs.h).
+  /// Observability; nullptr = off (see obs/obs.h). With a context the
+  /// sweep also journals every shard boundary (attempt, failure, retry,
+  /// hedge, breaker trip, terminal phase) under one "sweep-<n>" root
+  /// span of the context's journal.
   obs::ObsContext* obs = nullptr;
+  /// Dump-on-failure: a sweep ending degraded or failed captures a
+  /// postmortem bundle into `postmortem.dir` (empty = disabled;
+  /// requires `obs`). See obs/postmortem.h.
+  obs::PostmortemOptions postmortem;
   /// Chaos harness: when non-null, every attempt first consults the
   /// injector and misbehaves accordingly (tests only).
   const sim::ShardFaultInjector* faults = nullptr;

@@ -1,0 +1,40 @@
+#ifndef LOGMINE_OBS_EXPORT_H_
+#define LOGMINE_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace logmine::obs {
+
+/// Rendering knobs for the OpenMetrics/Prometheus text exporter.
+struct OpenMetricsOptions {
+  /// Prepended to every mangled metric name.
+  std::string prefix = "logmine_";
+  /// Emit zero-valued series too (scrapers usually want a stable set;
+  /// the human-facing introspection endpoint trims them).
+  bool include_zero = true;
+};
+
+/// Mangles an internal metric name into a legal Prometheus metric name:
+/// every character outside [a-zA-Z0-9_] becomes '_' ("serve.query_ns"
+/// -> "serve_query_ns"), and a leading digit gains a '_' prefix. The
+/// exporter prepends its prefix after mangling.
+std::string MangleMetricName(std::string_view name);
+
+/// Renders a snapshot in the Prometheus text exposition format
+/// (text/plain; version 0.0.4, accepted by Prometheus and every
+/// OpenMetrics scraper):
+///  - counters as `<name>_total`,
+///  - gauges plain,
+///  - log2 histograms as classic histograms (`_bucket{le="..."}`
+///    cumulative series, `_sum`, `_count`),
+///  - latency sketches as summaries (`{quantile="0.5|0.9|0.99|0.999"}`
+///    plus `_sum`/`_count`) — quantiles carry the sketch's alpha bound.
+std::string ToOpenMetrics(const MetricsSnapshot& snapshot,
+                          const OpenMetricsOptions& options = {});
+
+}  // namespace logmine::obs
+
+#endif  // LOGMINE_OBS_EXPORT_H_

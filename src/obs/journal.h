@@ -1,0 +1,119 @@
+#ifndef LOGMINE_OBS_JOURNAL_H_
+#define LOGMINE_OBS_JOURNAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace logmine::obs {
+
+class MetricsRegistry;
+
+/// One typed key/value of a journal event. Values are pre-rendered JSON
+/// fragments so emission is a single concatenation; build them through
+/// the factories, never by hand.
+struct JournalField {
+  std::string key;
+  std::string value;  ///< rendered JSON (quoted string, number, bool)
+
+  static JournalField Str(std::string_view key, std::string_view value);
+  static JournalField Num(std::string_view key, int64_t value);
+  static JournalField Real(std::string_view key, double value);
+  static JournalField Flag(std::string_view key, bool value);
+};
+
+/// Knobs of one journal.
+struct JournalOptions {
+  /// JSONL file to append to; empty keeps the journal memory-only (the
+  /// tail ring still works, so introspection and postmortems do too).
+  std::string path;
+  /// Rotation threshold: when the current file exceeds this many bytes
+  /// the journal rotates (`path` -> `path.1` -> ... -> dropped).
+  size_t max_bytes_per_file = 4u << 20;
+  /// Rotated generations kept besides the live file.
+  size_t max_rotated_files = 2;
+  /// Most-recent rendered lines kept in memory for `Tail()`.
+  size_t tail_capacity = 256;
+};
+
+/// Crash-safe structured event journal: every stage / shard / epoch /
+/// publish / quarantine / retry / breaker / health boundary appends one
+/// wide JSONL event carrying the process-unique `run_id` and a
+/// hierarchical span id ("sweep-1/d0.r2/a1"), flushed line-by-line so
+/// the file is truthful up to the last boundary even after SIGKILL.
+/// The trace ring answers "what was hot"; the journal answers "what
+/// happened, in which attempt of which shard of which run" — and, being
+/// on disk, survives the process.
+///
+/// Thread-safe: one short mutex per event; events are boundary-granular
+/// (per stage/epoch, never per log line), so the lock is cold.
+class Journal {
+ public:
+  explicit Journal(const JournalOptions& options = {},
+                   MetricsRegistry* metrics = nullptr);
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Process-unique id stamped on every event, so lines from interleaved
+  /// or restarted runs never correlate by accident.
+  const std::string& run_id() const { return run_id_; }
+
+  /// Mints a new root span id "<prefix>-<n>" (n counts per journal):
+  /// children append path segments by concatenation, e.g.
+  /// BeginRootSpan("sweep") -> "sweep-1", shard cell -> "sweep-1/d0.r2",
+  /// attempt 3 -> "sweep-1/d0.r2/a3".
+  std::string BeginRootSpan(std::string_view prefix);
+
+  /// Appends one event: {"ts_ns":..,"run":..,"span":..,"event":..,
+  /// <fields>}. Flushes to disk before returning.
+  void Emit(std::string_view span, std::string_view event,
+            const std::vector<JournalField>& fields = {});
+
+  /// The most recent `n` rendered lines (oldest first), capped by the
+  /// tail capacity.
+  std::vector<std::string> Tail(size_t n) const;
+
+  /// Events emitted through this journal (including rotated-away ones).
+  uint64_t events_emitted() const;
+  /// File rotations performed.
+  uint64_t rotations() const;
+  const JournalOptions& options() const { return options_; }
+
+ private:
+  void RotateLocked();
+
+  const JournalOptions options_;
+  MetricsRegistry* const metrics_;  ///< may be null
+  const std::string run_id_;
+  std::atomic<uint64_t> next_span_{0};
+
+  mutable std::mutex mu_;
+  std::ofstream file_;
+  size_t bytes_written_ = 0;
+  uint64_t events_ = 0;
+  uint64_t rotations_ = 0;
+  std::deque<std::string> tail_;
+};
+
+/// Converts journal JSONL (one run's worth) into Chrome/Perfetto
+/// `trace_event` JSON: events carrying a `dur_ns` field become complete
+/// "X" spans, all others instant events, named "span event" and grouped
+/// by root span. Lines that do not parse are skipped (a torn final line
+/// after a crash is expected, not an error).
+std::string JournalToChromeTrace(std::string_view jsonl);
+
+/// Reads `journal_path` and writes the converted trace to `trace_path`.
+Status ConvertJournalToChromeTrace(const std::string& journal_path,
+                                   const std::string& trace_path);
+
+}  // namespace logmine::obs
+
+#endif  // LOGMINE_OBS_JOURNAL_H_

@@ -61,6 +61,7 @@ constexpr MetricDef kMetricDefs[] = {
     {"executor.queue_depth", MetricKind::kGauge},
     {"executor.saturation", MetricKind::kCounter},
     {"executor.task_ns", MetricKind::kHistogram},
+    {"executor.queue_wait_ns", MetricKind::kSketch},
     {"pipeline.runs", MetricKind::kCounter},
     {"pipeline.miners_ok", MetricKind::kCounter},
     {"pipeline.miners_failed", MetricKind::kCounter},
@@ -84,7 +85,7 @@ constexpr MetricDef kMetricDefs[] = {
     {"shard.breaker_trips", MetricKind::kCounter},
     {"shard.completed", MetricKind::kCounter},
     {"shard.poisoned", MetricKind::kCounter},
-    {"shard.attempt_ns", MetricKind::kHistogram},
+    {"shard.attempt_ns", MetricKind::kSketch},
     {"sweep.coverage_permille", MetricKind::kGauge},
     {"serve.batches_submitted", MetricKind::kCounter},
     {"serve.batches_shed", MetricKind::kCounter},
@@ -100,8 +101,11 @@ constexpr MetricDef kMetricDefs[] = {
     {"serve.clock_regressions", MetricKind::kCounter},
     {"serve.health_transitions", MetricKind::kCounter},
     {"serve.ingest_ns", MetricKind::kHistogram},
-    {"serve.publish_ns", MetricKind::kHistogram},
-    {"serve.query_ns", MetricKind::kHistogram},
+    {"serve.publish_ns", MetricKind::kSketch},
+    {"serve.query_ns", MetricKind::kSketch},
+    {"journal.events_emitted", MetricKind::kCounter},
+    {"journal.rotations", MetricKind::kCounter},
+    {"postmortem.bundles_written", MetricKind::kCounter},
 };
 
 static_assert(std::size(kMetricDefs) == kNumWellKnownMetrics,
@@ -110,37 +114,57 @@ static_assert(std::size(kMetricDefs) == kNumWellKnownMetrics,
 constexpr uint32_t kKindShift = 24;
 constexpr uint32_t kSlotMask = (1u << kKindShift) - 1;
 
+constexpr MetricKind KindOfId(MetricsRegistry::MetricId id) {
+  return static_cast<MetricKind>(id >> kKindShift);
+}
+
 constexpr MetricsRegistry::MetricId EncodeId(MetricKind kind, size_t slot) {
   return (static_cast<uint32_t>(kind) << kKindShift) |
          static_cast<uint32_t>(slot);
 }
 
-// Precomputed enum -> encoded id table: scalar slots and histogram
+// Precomputed enum -> encoded id table: scalar, histogram and sketch
 // slots each count up in enum order.
 constexpr auto kWellKnownIds = [] {
   std::array<MetricsRegistry::MetricId, kNumWellKnownMetrics> ids{};
   size_t scalars = 0;
   size_t histograms = 0;
+  size_t sketches = 0;
   for (size_t i = 0; i < kNumWellKnownMetrics; ++i) {
     const MetricKind kind = kMetricDefs[i].kind;
-    ids[i] = EncodeId(kind, kind == MetricKind::kHistogram ? histograms++
-                                                          : scalars++);
+    size_t slot = 0;
+    switch (kind) {
+      case MetricKind::kHistogram:
+        slot = histograms++;
+        break;
+      case MetricKind::kSketch:
+        slot = sketches++;
+        break;
+      default:
+        slot = scalars++;
+    }
+    ids[i] = EncodeId(kind, slot);
   }
   return ids;
 }();
 
-constexpr size_t kWellKnownScalars = [] {
+constexpr size_t CountOfKind(MetricKind kind) {
   size_t n = 0;
   for (const MetricDef& def : kMetricDefs) {
-    if (def.kind != MetricKind::kHistogram) ++n;
+    if (def.kind == kind) ++n;
   }
   return n;
-}();
-constexpr size_t kWellKnownHistograms =
-    kNumWellKnownMetrics - kWellKnownScalars;
+}
 
-static_assert(kWellKnownScalars <= MetricsRegistry::kMaxScalars);
-static_assert(kWellKnownHistograms <= MetricsRegistry::kMaxHistograms);
+constexpr size_t kWellKnownHistograms = CountOfKind(MetricKind::kHistogram);
+constexpr size_t kWellKnownSketches = CountOfKind(MetricKind::kSketch);
+constexpr size_t kWellKnownScalars =
+    kNumWellKnownMetrics - kWellKnownHistograms - kWellKnownSketches;
+
+// The default capacities must fit every built-in metric with headroom.
+static_assert(kWellKnownScalars <= MetricsOptions{}.max_scalars);
+static_assert(kWellKnownHistograms <= MetricsOptions{}.max_histograms);
+static_assert(kWellKnownSketches <= MetricsOptions{}.max_sketches);
 
 std::atomic<uint64_t> g_next_registry_id{1};
 
@@ -188,6 +212,8 @@ std::string_view MetricKindName(MetricKind kind) {
       return "gauge";
     case MetricKind::kHistogram:
       return "histogram";
+    case MetricKind::kSketch:
+      return "sketch";
   }
   return "unknown";
 }
@@ -245,8 +271,14 @@ const MetricsSnapshot::Entry* MetricsSnapshot::Find(
 int64_t MetricsSnapshot::Value(std::string_view name) const {
   const Entry* entry = Find(name);
   if (entry == nullptr) return 0;
-  return entry->kind == MetricKind::kHistogram ? entry->hist.count
-                                               : entry->value;
+  switch (entry->kind) {
+    case MetricKind::kHistogram:
+      return entry->hist.count;
+    case MetricKind::kSketch:
+      return entry->sketch.count();
+    default:
+      return entry->value;
+  }
 }
 
 std::string MetricsSnapshot::ToText(bool include_zero) const {
@@ -258,6 +290,12 @@ std::string MetricsSnapshot::ToText(bool include_zero) const {
                     std::to_string(entry.hist.count),
                     FormatNs(static_cast<int64_t>(entry.hist.mean())),
                     FormatNs(entry.hist.QuantileUpperBound(0.99))});
+    } else if (entry.kind == MetricKind::kSketch) {
+      if (!include_zero && entry.sketch.count() == 0) continue;
+      table.AddRow({entry.name, std::string(MetricKindName(entry.kind)),
+                    std::to_string(entry.sketch.count()),
+                    FormatNs(static_cast<int64_t>(entry.sketch.mean())),
+                    FormatNs(entry.sketch.Quantile(0.99))});
     } else {
       if (!include_zero && entry.value == 0) continue;
       table.AddRow({entry.name, std::string(MetricKindName(entry.kind)),
@@ -290,6 +328,18 @@ std::string MetricsSnapshot::ToJson() const {
         out += std::to_string(entry.hist.buckets[i]);
       }
       out += "]}";
+    } else if (entry.kind == MetricKind::kSketch) {
+      const LatencySketch& sketch = entry.sketch;
+      out += "{\"count\": " + std::to_string(sketch.count()) +
+             ", \"sum\": " + std::to_string(sketch.sum()) +
+             ", \"mean\": " + std::to_string(sketch.mean()) +
+             ", \"min\": " + std::to_string(sketch.min()) +
+             ", \"max\": " + std::to_string(sketch.max()) +
+             ", \"p50\": " + std::to_string(sketch.Quantile(0.5)) +
+             ", \"p90\": " + std::to_string(sketch.Quantile(0.9)) +
+             ", \"p99\": " + std::to_string(sketch.Quantile(0.99)) +
+             ", \"p999\": " + std::to_string(sketch.Quantile(0.999)) +
+             ", \"alpha\": " + std::to_string(sketch.alpha()) + "}";
     } else {
       out += std::to_string(entry.value);
     }
@@ -300,9 +350,11 @@ std::string MetricsSnapshot::ToJson() const {
 
 // One thread's private slice of every metric. Relaxed atomics: the
 // owning thread is the only writer, snapshots only need eventual sums
-// (exact once writers quiesce), and int64 addition commutes.
+// (exact once writers quiesce), and int64 addition commutes. Sketch
+// slots carry a short mutex instead — their updates are structural
+// (sparse-table inserts) — which the owning thread holds for nanoseconds
+// and a snapshot holds per-slot while merging.
 struct MetricsRegistry::Shard {
-  std::array<std::atomic<int64_t>, kMaxScalars> scalars{};
   struct Hist {
     std::array<std::atomic<int64_t>, HistogramSnapshot::kNumBuckets>
         buckets{};
@@ -312,21 +364,50 @@ struct MetricsRegistry::Shard {
     // load-compare-store (no CAS) is race-free; snapshots read relaxed.
     std::atomic<int64_t> max{INT64_MIN};
   };
-  std::array<Hist, kMaxHistograms> histograms{};
+  struct SketchSlot {
+    std::mutex mu;
+    LatencySketch sketch;
+  };
+
+  explicit Shard(const MetricsOptions& options)
+      : scalars(new std::atomic<int64_t>[options.max_scalars]),
+        histograms(new Hist[options.max_histograms]),
+        sketches(new SketchSlot[options.max_sketches]) {
+    for (size_t i = 0; i < options.max_scalars; ++i) {
+      scalars[i].store(0, std::memory_order_relaxed);
+    }
+    for (size_t i = 0; i < options.max_sketches; ++i) {
+      sketches[i].sketch = LatencySketch(options.sketch_alpha);
+    }
+  }
+
+  std::unique_ptr<std::atomic<int64_t>[]> scalars;
+  std::unique_ptr<Hist[]> histograms;
+  std::unique_ptr<SketchSlot[]> sketches;
 };
 
-MetricsRegistry::MetricsRegistry()
+MetricsRegistry::MetricsRegistry(const MetricsOptions& options)
     : registry_id_(g_next_registry_id.fetch_add(1,
-                                                std::memory_order_relaxed)) {
-  scalar_names_.reserve(kMaxScalars);
-  scalar_kinds_.reserve(kMaxScalars);
-  histogram_names_.reserve(kMaxHistograms);
+                                                std::memory_order_relaxed)),
+      options_(options) {
+  assert(options_.max_scalars >= kWellKnownScalars);
+  assert(options_.max_histograms >= kWellKnownHistograms);
+  assert(options_.max_sketches >= kWellKnownSketches);
+  scalar_names_.reserve(options_.max_scalars);
+  scalar_kinds_.reserve(options_.max_scalars);
+  histogram_names_.reserve(options_.max_histograms);
+  sketch_names_.reserve(options_.max_sketches);
   for (const MetricDef& def : kMetricDefs) {
-    if (def.kind == MetricKind::kHistogram) {
-      histogram_names_.emplace_back(def.name);
-    } else {
-      scalar_names_.emplace_back(def.name);
-      scalar_kinds_.push_back(def.kind);
+    switch (def.kind) {
+      case MetricKind::kHistogram:
+        histogram_names_.emplace_back(def.name);
+        break;
+      case MetricKind::kSketch:
+        sketch_names_.emplace_back(def.name);
+        break;
+      default:
+        scalar_names_.emplace_back(def.name);
+        scalar_kinds_.push_back(def.kind);
     }
   }
 }
@@ -345,7 +426,7 @@ MetricsRegistry::Shard* MetricsRegistry::LocalShard() const {
   for (const TlsEntry& entry : tls) {
     if (entry.registry_id == registry_id_) return entry.shard;
   }
-  auto owned = std::make_unique<Shard>();
+  auto owned = std::make_unique<Shard>(options_);
   Shard* shard = owned.get();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -355,57 +436,122 @@ MetricsRegistry::Shard* MetricsRegistry::LocalShard() const {
   return shard;
 }
 
-MetricsRegistry::MetricId MetricsRegistry::RegisterNamed(
+Result<MetricsRegistry::MetricId> MetricsRegistry::RegisterNamed(
     std::string_view name, MetricKind kind) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (kind == MetricKind::kHistogram) {
-    for (size_t i = 0; i < histogram_names_.size(); ++i) {
-      if (histogram_names_[i] == name) return EncodeId(kind, i);
+  // Each name lives in exactly one of the three slot families; a hit in
+  // the right family with the right kind returns the existing id, a hit
+  // anywhere else is a kind conflict.
+  const auto find_in = [&name](const std::vector<std::string>& names) {
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return static_cast<int64_t>(i);
     }
-    for (const std::string& scalar : scalar_names_) {
-      if (scalar == name) return kInvalidMetricId;  // exists, wrong kind
+    return int64_t{-1};
+  };
+  const int64_t in_scalars = find_in(scalar_names_);
+  const int64_t in_histograms = find_in(histogram_names_);
+  const int64_t in_sketches = find_in(sketch_names_);
+  const auto conflict = [&name]() {
+    return Status::AlreadyExists("metric '" + std::string(name) +
+                                 "' exists with a different kind");
+  };
+  const auto exhausted = [&name](std::string_view family, size_t cap) {
+    return Status::ResourceExhausted(
+        "metric capacity exhausted registering '" + std::string(name) +
+        "': " + std::string(family) + " cap " + std::to_string(cap) +
+        " is full (raise MetricsOptions)");
+  };
+  switch (kind) {
+    case MetricKind::kHistogram: {
+      if (in_histograms >= 0) {
+        return EncodeId(kind, static_cast<size_t>(in_histograms));
+      }
+      if (in_scalars >= 0 || in_sketches >= 0) return conflict();
+      if (histogram_names_.size() >= options_.max_histograms) {
+        return exhausted("histogram", options_.max_histograms);
+      }
+      histogram_names_.emplace_back(name);
+      return EncodeId(kind, histogram_names_.size() - 1);
     }
-    if (histogram_names_.size() >= kMaxHistograms) return kInvalidMetricId;
-    histogram_names_.emplace_back(name);
-    return EncodeId(kind, histogram_names_.size() - 1);
-  }
-  for (size_t i = 0; i < scalar_names_.size(); ++i) {
-    if (scalar_names_[i] == name) {
-      return scalar_kinds_[i] == kind ? EncodeId(kind, i) : kInvalidMetricId;
+    case MetricKind::kSketch: {
+      if (in_sketches >= 0) {
+        return EncodeId(kind, static_cast<size_t>(in_sketches));
+      }
+      if (in_scalars >= 0 || in_histograms >= 0) return conflict();
+      if (sketch_names_.size() >= options_.max_sketches) {
+        return exhausted("sketch", options_.max_sketches);
+      }
+      sketch_names_.emplace_back(name);
+      return EncodeId(kind, sketch_names_.size() - 1);
+    }
+    default: {
+      if (in_scalars >= 0) {
+        return scalar_kinds_[static_cast<size_t>(in_scalars)] == kind
+                   ? Result<MetricId>(
+                         EncodeId(kind, static_cast<size_t>(in_scalars)))
+                   : Result<MetricId>(conflict());
+      }
+      if (in_histograms >= 0 || in_sketches >= 0) return conflict();
+      if (scalar_names_.size() >= options_.max_scalars) {
+        return exhausted("scalar", options_.max_scalars);
+      }
+      scalar_names_.emplace_back(name);
+      scalar_kinds_.push_back(kind);
+      return EncodeId(kind, scalar_names_.size() - 1);
     }
   }
-  for (const std::string& histogram : histogram_names_) {
-    if (histogram == name) return kInvalidMetricId;  // exists, wrong kind
-  }
-  if (scalar_names_.size() >= kMaxScalars) return kInvalidMetricId;
-  scalar_names_.emplace_back(name);
-  scalar_kinds_.push_back(kind);
-  return EncodeId(kind, scalar_names_.size() - 1);
 }
 
-MetricsRegistry::MetricId MetricsRegistry::RegisterCounter(
+Result<MetricsRegistry::MetricId> MetricsRegistry::TryRegisterCounter(
     std::string_view name) {
   return RegisterNamed(name, MetricKind::kCounter);
 }
 
-MetricsRegistry::MetricId MetricsRegistry::RegisterGauge(
+Result<MetricsRegistry::MetricId> MetricsRegistry::TryRegisterGauge(
     std::string_view name) {
   return RegisterNamed(name, MetricKind::kGauge);
 }
 
-MetricsRegistry::MetricId MetricsRegistry::RegisterHistogram(
+Result<MetricsRegistry::MetricId> MetricsRegistry::TryRegisterHistogram(
     std::string_view name) {
   return RegisterNamed(name, MetricKind::kHistogram);
+}
+
+Result<MetricsRegistry::MetricId> MetricsRegistry::TryRegisterSketch(
+    std::string_view name) {
+  return RegisterNamed(name, MetricKind::kSketch);
+}
+
+MetricsRegistry::MetricId MetricsRegistry::RegisterCounter(
+    std::string_view name) {
+  return TryRegisterCounter(name).value_or(kInvalidMetricId);
+}
+
+MetricsRegistry::MetricId MetricsRegistry::RegisterGauge(
+    std::string_view name) {
+  return TryRegisterGauge(name).value_or(kInvalidMetricId);
+}
+
+MetricsRegistry::MetricId MetricsRegistry::RegisterHistogram(
+    std::string_view name) {
+  return TryRegisterHistogram(name).value_or(kInvalidMetricId);
+}
+
+MetricsRegistry::MetricId MetricsRegistry::RegisterSketch(
+    std::string_view name) {
+  return TryRegisterSketch(name).value_or(kInvalidMetricId);
 }
 
 void MetricsRegistry::Add(MetricId id, int64_t delta) {
   if (id == kInvalidMetricId) return;
   const size_t slot = id & kSlotMask;
-  // A histogram id (or a corrupted slot) must not index the scalar
-  // array; dropping the write is the lock-free path's only safe option.
-  assert((id >> kKindShift) != static_cast<uint32_t>(MetricKind::kHistogram));
-  if (slot >= kMaxScalars ||
-      (id >> kKindShift) == static_cast<uint32_t>(MetricKind::kHistogram)) {
+  const MetricKind kind = KindOfId(id);
+  // A histogram/sketch id (or a corrupted slot) must not index the
+  // scalar array; dropping the write is the lock-free path's only safe
+  // option.
+  assert(kind == MetricKind::kCounter || kind == MetricKind::kGauge);
+  if (slot >= options_.max_scalars ||
+      (kind != MetricKind::kCounter && kind != MetricKind::kGauge)) {
     return;
   }
   LocalShard()->scalars[slot].fetch_add(delta, std::memory_order_relaxed);
@@ -418,11 +564,18 @@ void MetricsRegistry::Add(Metric metric, int64_t delta) {
 void MetricsRegistry::Observe(MetricId id, int64_t value) {
   if (id == kInvalidMetricId) return;
   const size_t slot = id & kSlotMask;
-  // Observing a counter/gauge id would index the (smaller) histogram
-  // array with a scalar slot — drop it instead of corrupting the shard.
-  assert((id >> kKindShift) == static_cast<uint32_t>(MetricKind::kHistogram));
-  if (slot >= kMaxHistograms ||
-      (id >> kKindShift) != static_cast<uint32_t>(MetricKind::kHistogram)) {
+  const MetricKind kind = KindOfId(id);
+  // Observing a counter/gauge id would index the (smaller) distribution
+  // arrays with a scalar slot — drop it instead of corrupting the shard.
+  assert(kind == MetricKind::kHistogram || kind == MetricKind::kSketch);
+  if (kind == MetricKind::kSketch) {
+    if (slot >= options_.max_sketches) return;
+    Shard::SketchSlot& sketch_slot = LocalShard()->sketches[slot];
+    std::lock_guard<std::mutex> lock(sketch_slot.mu);
+    sketch_slot.sketch.Observe(value);
+    return;
+  }
+  if (kind != MetricKind::kHistogram || slot >= options_.max_histograms) {
     return;
   }
   Shard::Hist& hist = LocalShard()->histograms[slot];
@@ -442,9 +595,12 @@ void MetricsRegistry::Observe(Metric metric, int64_t value) {
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snapshot;
-  snapshot.entries.reserve(scalar_names_.size() + histogram_names_.size());
+  snapshot.entries.reserve(scalar_names_.size() + histogram_names_.size() +
+                           sketch_names_.size());
   std::vector<int64_t> scalars(scalar_names_.size(), 0);
   std::vector<HistogramSnapshot> histograms(histogram_names_.size());
+  std::vector<LatencySketch> sketches(
+      sketch_names_.size(), LatencySketch(options_.sketch_alpha));
   for (const std::unique_ptr<Shard>& shard : shards_) {
     for (size_t i = 0; i < scalars.size(); ++i) {
       scalars[i] += shard->scalars[i].load(std::memory_order_relaxed);
@@ -465,6 +621,11 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
             hist.buckets[b].load(std::memory_order_relaxed);
       }
     }
+    for (size_t i = 0; i < sketches.size(); ++i) {
+      Shard::SketchSlot& slot = shard->sketches[i];
+      std::lock_guard<std::mutex> slot_lock(slot.mu);
+      sketches[i].Merge(slot.sketch);
+    }
   }
   for (size_t i = 0; i < scalars.size(); ++i) {
     MetricsSnapshot::Entry entry;
@@ -478,6 +639,13 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     entry.name = histogram_names_[i];
     entry.kind = MetricKind::kHistogram;
     entry.hist = histograms[i];
+    snapshot.entries.push_back(std::move(entry));
+  }
+  for (size_t i = 0; i < sketches.size(); ++i) {
+    MetricsSnapshot::Entry entry;
+    entry.name = sketch_names_[i];
+    entry.kind = MetricKind::kSketch;
+    entry.sketch = std::move(sketches[i]);
     snapshot.entries.push_back(std::move(entry));
   }
   return snapshot;

@@ -10,12 +10,23 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/latency_sketch.h"
+#include "util/result.h"
+
 namespace logmine::obs {
 
 /// What a metric measures. Counters are monotonic sums, gauges are
-/// up/down sums (e.g. a queue depth maintained by +1/-1 deltas), and
-/// histograms are fixed-bucket latency distributions.
-enum class MetricKind : uint32_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+/// up/down sums (e.g. a queue depth maintained by +1/-1 deltas),
+/// histograms are fixed log2-bucket latency distributions, and sketches
+/// are mergeable bounded-relative-error quantile sketches
+/// (obs/latency_sketch.h) — the tail-accurate replacement the serve
+/// and sweep latency metrics use.
+enum class MetricKind : uint32_t {
+  kCounter = 0,
+  kGauge = 1,
+  kHistogram = 2,
+  kSketch = 3,
+};
 
 std::string_view MetricKindName(MetricKind kind);
 
@@ -72,6 +83,10 @@ enum class Metric : uint32_t {
   kExecutorQueueDepth,
   kExecutorSaturation,
   kExecutorTaskNs,
+  /// Enqueue -> dequeue wait of each executor task, as a sketch: the
+  /// time-unit face of saturation (the counter says *that* tasks
+  /// waited; this says *how long*), measurable even on a 1-core box.
+  kExecutorQueueWaitNs,
   // --- pipeline (core/pipeline.cc) ---
   kPipelineRuns,
   kPipelineMinersOk,
@@ -119,6 +134,10 @@ enum class Metric : uint32_t {
   kServeIngestNs,
   kServePublishNs,
   kServeQueryNs,
+  // --- postmortem / journal (src/obs/) ---
+  kJournalEventsEmitted,
+  kJournalRotations,
+  kPostmortemBundlesWritten,
 
   kNumMetrics,
 };
@@ -170,63 +189,92 @@ struct MetricsSnapshot {
     MetricKind kind = MetricKind::kCounter;
     int64_t value = 0;         ///< counters and gauges
     HistogramSnapshot hist;    ///< histograms only
+    LatencySketch sketch;      ///< sketches only
   };
 
   std::vector<Entry> entries;
 
   /// Entry by export name; nullptr when absent.
   const Entry* Find(std::string_view name) const;
-  /// Scalar value by name; 0 when absent (histograms: the count).
+  /// Scalar value by name; 0 when absent (histograms and sketches: the
+  /// count).
   int64_t Value(std::string_view name) const;
 
   /// Aligned table (util/table_printer) of every non-zero metric:
   /// metric | kind | value | mean_ns | p99_ns.
   std::string ToText(bool include_zero = false) const;
   /// One JSON object: scalars as numbers, histograms as
-  /// {"count","sum","mean","p50","p99","buckets":[...]}.
+  /// {"count","sum","mean","p50","p99","buckets":[...]}, sketches as
+  /// {"count","sum","mean","min","max","p50","p90","p99","p999",
+  ///  "alpha"}.
   std::string ToJson() const;
+};
+
+/// Capacity knobs of one registry. Registration past a cap fails with
+/// kResourceExhausted (TryRegister*) instead of silently dropping the
+/// metric; the defaults leave plenty of headroom over the well-known
+/// set. Capacities are fixed at construction — the per-thread shards
+/// never grow mid-flight, which is what keeps the write path free of
+/// locks and resize races.
+struct MetricsOptions {
+  size_t max_scalars = 160;
+  size_t max_histograms = 48;
+  size_t max_sketches = 16;
+  /// Relative accuracy of every sketch metric (see LatencySketch).
+  double sketch_alpha = LatencySketch::kDefaultAlpha;
 };
 
 /// Thread-safe metrics registry with a lock-free fast path: every
 /// thread writes to its own shard of relaxed atomics (the FlatCounter
 /// discipline — contention-free accumulation, merge on read), and
-/// `Snapshot` sums the shards. Well-known `Metric`s are pre-registered;
-/// `Register*` adds dynamically named metrics until the fixed shard
-/// capacity is exhausted, after which registration returns
-/// `kInvalidMetricId` and writes to that id are dropped — the registry
-/// never grows mid-flight, which is what keeps the fast path free of
-/// locks and resize races.
+/// `Snapshot` sums the shards. Sketch metrics take a per-shard,
+/// per-slot mutex instead (their updates are structural); the owning
+/// thread is the only writer, so the lock is uncontended except
+/// against snapshots. Well-known `Metric`s are pre-registered;
+/// `TryRegister*` adds dynamically named metrics until the configured
+/// capacity is exhausted (kResourceExhausted).
 ///
-/// Determinism: addition over int64 commutes, so a snapshot taken
-/// after the instrumented work quiesces is byte-identical for any
-/// thread count or schedule.
+/// Determinism: addition over int64 commutes (and sketch merge is
+/// associative and order-independent), so a snapshot taken after the
+/// instrumented work quiesces is byte-identical for any thread count
+/// or schedule.
 class MetricsRegistry {
  public:
   /// Encoded metric handle: kind in the top byte, shard slot below.
   using MetricId = uint32_t;
   static constexpr MetricId kInvalidMetricId = 0xffffffffu;
-  /// Fixed per-shard capacity; well-known metrics use the low slots.
-  static constexpr size_t kMaxScalars = 128;
-  static constexpr size_t kMaxHistograms = 32;
 
-  MetricsRegistry();
+  explicit MetricsRegistry(const MetricsOptions& options = {});
   ~MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  /// Registers (or finds, by name) a dynamic metric. Thread-safe;
-  /// returns kInvalidMetricId when the capacity is exhausted or the
-  /// name exists with a different kind.
+  const MetricsOptions& options() const { return options_; }
+
+  /// Registers (or finds, by name) a dynamic metric. Thread-safe.
+  /// Fails with kResourceExhausted when the configured capacity is
+  /// full, kAlreadyExists when the name exists with a different kind.
+  Result<MetricId> TryRegisterCounter(std::string_view name);
+  Result<MetricId> TryRegisterGauge(std::string_view name);
+  Result<MetricId> TryRegisterHistogram(std::string_view name);
+  Result<MetricId> TryRegisterSketch(std::string_view name);
+
+  /// Lenient forms: kInvalidMetricId on any failure (writes to an
+  /// invalid id are dropped) — for callers that prefer losing a metric
+  /// over failing a run.
   MetricId RegisterCounter(std::string_view name);
   MetricId RegisterGauge(std::string_view name);
   MetricId RegisterHistogram(std::string_view name);
+  MetricId RegisterSketch(std::string_view name);
 
   /// Adds `delta` to a counter or gauge. Lock-free; invalid ids are
   /// dropped silently.
   void Add(MetricId id, int64_t delta);
   void Add(Metric metric, int64_t delta = 1);
 
-  /// Records one histogram observation (latencies: nanoseconds).
+  /// Records one observation (latencies: nanoseconds) into a histogram
+  /// or sketch id — the kind encoded in the id picks the store, so
+  /// TraceSpan instrumentation is agnostic to which one a metric uses.
   void Observe(MetricId id, int64_t value);
   void Observe(Metric metric, int64_t value);
 
@@ -238,9 +286,10 @@ class MetricsRegistry {
   struct Shard;
 
   Shard* LocalShard() const;
-  MetricId RegisterNamed(std::string_view name, MetricKind kind);
+  Result<MetricId> RegisterNamed(std::string_view name, MetricKind kind);
 
   const uint64_t registry_id_;  ///< process-unique, for thread-local lookup
+  const MetricsOptions options_;
 
   mutable std::mutex mu_;
   mutable std::vector<std::unique_ptr<Shard>> shards_;
@@ -248,6 +297,7 @@ class MetricsRegistry {
   std::vector<std::string> scalar_names_;
   std::vector<MetricKind> scalar_kinds_;
   std::vector<std::string> histogram_names_;
+  std::vector<std::string> sketch_names_;
 };
 
 /// The encoded id of a well-known metric (constant-time, no lookup).

@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <optional>
 
+#include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/resource_probe.h"
 #include "obs/trace.h"
 
 namespace logmine::obs {
@@ -12,24 +14,38 @@ namespace logmine::obs {
 /// Knobs of one observability context.
 struct ObsOptions {
   size_t trace_capacity = TraceRecorder::kDefaultCapacity;
+  /// Registry capacities and sketch accuracy.
+  MetricsOptions metrics;
+  /// Event journal; the default (no path) keeps it memory-only, which
+  /// still feeds the introspection tail and postmortem bundles.
+  JournalOptions journal;
 };
 
-/// One metrics registry plus one trace flight recorder — the unit a
-/// pipeline run (or a whole process) records into. Thread-safe; cheap
-/// to pass by pointer, with nullptr meaning "observability off".
+/// One metrics registry, one trace flight recorder, and one structured
+/// event journal — the unit a pipeline run (or a whole process) records
+/// into. Thread-safe; cheap to pass by pointer, with nullptr meaning
+/// "observability off".
 class ObsContext {
  public:
   explicit ObsContext(const ObsOptions& options = {})
-      : trace_(options.trace_capacity) {}
+      : metrics_(options.metrics),
+        trace_(options.trace_capacity),
+        journal_(options.journal, &metrics_) {}
 
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   TraceRecorder& trace() { return trace_; }
   const TraceRecorder& trace() const { return trace_; }
+  Journal& journal() { return journal_; }
+  const Journal& journal() const { return journal_; }
+  ResourceProbe& probe() { return probe_; }
+  const ResourceProbe& probe() const { return probe_; }
 
  private:
   MetricsRegistry metrics_;
   TraceRecorder trace_;
+  Journal journal_;
+  ResourceProbe probe_;
 };
 
 /// The ambient process-wide context low-level layers (codec, store,

@@ -1,0 +1,95 @@
+#ifndef LOGMINE_OBS_RESOURCE_PROBE_H_
+#define LOGMINE_OBS_RESOURCE_PROBE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace logmine::obs {
+
+/// One point-in-time reading of the process's resource usage. All
+/// fields are cumulative counters except the RSS readings.
+struct ResourceSample {
+  int64_t wall_ns = 0;           ///< MonotonicNowNs at sampling
+  int64_t user_cpu_ns = 0;       ///< getrusage ru_utime, whole process
+  int64_t system_cpu_ns = 0;     ///< getrusage ru_stime, whole process
+  int64_t thread_cpu_ns = 0;     ///< CLOCK_THREAD_CPUTIME_ID, this thread
+  int64_t max_rss_kb = 0;        ///< high-water mark (ru_maxrss)
+  int64_t current_rss_kb = 0;    ///< /proc/self/statm; 0 where absent
+  int64_t voluntary_switches = 0;
+  int64_t involuntary_switches = 0;
+
+  static ResourceSample Now();
+};
+
+/// Accumulated usage of one named stage across its invocations.
+struct StageUsage {
+  std::string stage;
+  int64_t invocations = 0;
+  int64_t wall_ns = 0;
+  int64_t user_cpu_ns = 0;
+  int64_t system_cpu_ns = 0;
+  int64_t thread_cpu_ns = 0;
+  int64_t peak_rss_kb = 0;       ///< max over invocation end samples
+  int64_t rss_growth_kb = 0;     ///< summed positive current-RSS deltas
+  int64_t involuntary_switches = 0;
+};
+
+/// Per-stage resource profiler: each instrumented stage (a miner, a
+/// sweep shard batch, a publish) records begin/end `ResourceSample`s
+/// and the probe accumulates the deltas by stage name. CPU time and RSS
+/// answer the question metrics latencies cannot: *where the machine
+/// went* — a stage with high wall but low CPU is waiting (see the
+/// executor.queue_wait_ns sketch for on-queue time), one with high
+/// system time is thrashing I/O, one with RSS growth is the leak.
+///
+/// Thread-safe; stages may overlap and nest freely (process-wide CPU
+/// deltas then overlap too — the table is attribution, not a disjoint
+/// partition).
+class ResourceProbe {
+ public:
+  ResourceProbe() = default;
+  ResourceProbe(const ResourceProbe&) = delete;
+  ResourceProbe& operator=(const ResourceProbe&) = delete;
+
+  void RecordStage(std::string_view stage, const ResourceSample& begin,
+                   const ResourceSample& end);
+
+  /// All stages, in first-recorded order.
+  std::vector<StageUsage> Stages() const;
+
+  /// {"stages":[{"stage":..,"invocations":..,"wall_ns":..,...}]}
+  std::string ToJson() const;
+
+  /// RAII recorder; a null probe makes it a no-op.
+  class ScopedStage {
+   public:
+    ScopedStage(ResourceProbe* probe, std::string_view stage)
+        : probe_(probe),
+          stage_(stage),
+          begin_(probe != nullptr ? ResourceSample::Now()
+                                  : ResourceSample{}) {}
+    ~ScopedStage() {
+      if (probe_ != nullptr) {
+        probe_->RecordStage(stage_, begin_, ResourceSample::Now());
+      }
+    }
+    ScopedStage(const ScopedStage&) = delete;
+    ScopedStage& operator=(const ScopedStage&) = delete;
+
+   private:
+    ResourceProbe* probe_;
+    std::string stage_;
+    ResourceSample begin_;
+  };
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<StageUsage> stages_;
+};
+
+}  // namespace logmine::obs
+
+#endif  // LOGMINE_OBS_RESOURCE_PROBE_H_

@@ -36,6 +36,9 @@ StreamingMiningService::StreamingMiningService(ServiceConfig config)
       obs_(obs::Effective(config_.obs)),
       tracker_(config_.tracker) {
   if (!config_.now_ms) config_.now_ms = SteadyNowMs;
+  if (obs_ != nullptr) {
+    journal_span_ = obs_->journal().BeginRootSpan("serve");
+  }
 }
 
 Result<std::unique_ptr<StreamingMiningService>>
@@ -67,10 +70,49 @@ StreamingMiningService::Create(ServiceConfig config) {
       return bytes.status();
     }
   }
+  if (service->obs_ != nullptr) {
+    service->obs_->journal().Emit(
+        service->journal_span_, "service_start",
+        {obs::JournalField::Flag("recovered", service->recovered_),
+         obs::JournalField::Num(
+             "config_fingerprint",
+             static_cast<int64_t>(service->miner_->config_fingerprint()))});
+  }
+  if (!service->config_.introspection_socket.empty()) {
+    if (service->obs_ == nullptr) {
+      return Status::InvalidArgument(
+          "introspection_socket requires an obs context "
+          "(ServiceConfig::obs or an installed global one)");
+    }
+    // The health handler runs on the server thread against the live
+    // service; the server is reset first in the destructor, so the
+    // callback can never outlive its target.
+    StreamingMiningService* raw = service.get();
+    obs::IntrospectionHandlers handlers =
+        obs::MakeObsHandlers(service->obs_, [raw] {
+          const HealthReport report = raw->Health();
+          std::string line(HealthStateName(report.state));
+          line += " generation=" + std::to_string(report.generation);
+          line += " ms_since_publish=" +
+                  std::to_string(report.ms_since_publish);
+          line += " queue_depth=" + std::to_string(report.queue_depth);
+          line += " shed=" + std::to_string(report.shed_total);
+          return line;
+        });
+    LOGMINE_ASSIGN_OR_RETURN(
+        service->introspection_,
+        obs::IntrospectionServer::Start(service->config_.introspection_socket,
+                                        std::move(handlers)));
+  }
   return service;
 }
 
-StreamingMiningService::~StreamingMiningService() { Stop(); }
+StreamingMiningService::~StreamingMiningService() {
+  // The introspection server's thread calls Health() on this service;
+  // join it before any state it reads starts dying.
+  introspection_.reset();
+  Stop();
+}
 
 int64_t StreamingMiningService::NowMs() const { return config_.now_ms(); }
 
@@ -103,12 +145,19 @@ SubmitResult StreamingMiningService::SubmitBatch(EpochBatch batch) {
       ++stats_.clock_regressions;
     }
     obs::Count(obs_, obs::Metric::kServeClockRegressions);
+    if (obs_ != nullptr) {
+      obs_->journal().Emit(
+          journal_span_ + "/e" + std::to_string(index), "clock_regression",
+          {obs::JournalField::Num("begin_ms", batch.begin),
+           obs::JournalField::Num("watermark_ms", submit_watermark_)});
+    }
     result.outcome = SubmitOutcome::kRejectedClockRegression;
     result.queue_depth = queue_.size();
     return result;
   }
   submit_watermark_ = batch.begin;
   if (queue_.size() >= config_.max_queue_batches) {
+    const int64_t shed_index = queue_.front().index;
     queue_.pop_front();
     obs::Count(obs_, obs::Metric::kServeQueueDepth, -1);
     {
@@ -116,6 +165,12 @@ SubmitResult StreamingMiningService::SubmitBatch(EpochBatch batch) {
       ++stats_.batches_shed;
     }
     obs::Count(obs_, obs::Metric::kServeBatchesShed);
+    if (obs_ != nullptr) {
+      obs_->journal().Emit(
+          journal_span_ + "/e" + std::to_string(shed_index), "batch_shed",
+          {obs::JournalField::Num("queue_depth",
+                                  static_cast<int64_t>(queue_.size()))});
+    }
     result.outcome = SubmitOutcome::kAcceptedShedOldest;
   }
   QueuedBatch queued;
@@ -134,6 +189,7 @@ Result<StepOutcome> StreamingMiningService::Step() {
     return Status::FailedPrecondition(
         "service crashed; rebuild via Create to recover");
   }
+  CheckHealthRegression();
   QueuedBatch work;
   sim::ServiceFault fault = sim::ServiceFault::kNone;
   {
@@ -143,14 +199,24 @@ Result<StepOutcome> StreamingMiningService::Step() {
     ++front.attempts;
     fault = FaultOnEpoch(front.index, front.attempts);
     if (fault == sim::ServiceFault::kStallEpoch) {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.epochs_stalled;
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.epochs_stalled;
+      }
+      if (obs_ != nullptr) {
+        obs_->journal().Emit(
+            journal_span_ + "/e" + std::to_string(front.index),
+            "epoch_stalled",
+            {obs::JournalField::Num("attempts", front.attempts)});
+      }
       return StepOutcome::kStalled;
     }
     work = std::move(front);
     queue_.pop_front();
     obs::Count(obs_, obs::Metric::kServeQueueDepth, -1);
   }
+  const std::string epoch_span =
+      journal_span_ + "/e" + std::to_string(work.index);
 
   auto quarantine = [&]() -> StepOutcome {
     {
@@ -158,6 +224,14 @@ Result<StepOutcome> StreamingMiningService::Step() {
       ++stats_.batches_poisoned;
     }
     obs::Count(obs_, obs::Metric::kServeBatchesPoisoned);
+    if (obs_ != nullptr) {
+      obs_->journal().Emit(
+          epoch_span, "batch_quarantined",
+          {obs::JournalField::Num("attempts", work.attempts)});
+      (void)obs::CapturePostmortem(config_.postmortem, obs_,
+                                   "batch_quarantined", epoch_span,
+                                   miner_->config_fingerprint());
+    }
     return StepOutcome::kPoisoned;
   };
   if (fault == sim::ServiceFault::kPoisonBatch) return quarantine();
@@ -179,6 +253,13 @@ Result<StepOutcome> StreamingMiningService::Step() {
   obs::Count(obs_, obs::Metric::kServeEpochsIngested);
   const int64_t aged = miner_->epochs_aged_out() - aged_before;
   if (aged > 0) obs::Count(obs_, obs::Metric::kServeEpochsAgedOut, aged);
+  if (obs_ != nullptr) {
+    obs_->journal().Emit(
+        epoch_span, "epoch_ingested",
+        {obs::JournalField::Num("begin_ms", work.batch.begin),
+         obs::JournalField::Num("attempts", work.attempts),
+         obs::JournalField::Num("aged_out", aged)});
+  }
 
   const bool publish_due =
       epochs_since_publish_ >= config_.publish_every_epochs;
@@ -211,6 +292,12 @@ Result<StepOutcome> StreamingMiningService::Step() {
   LOGMINE_RETURN_IF_ERROR(Persist());
   if (fault == sim::ServiceFault::kCrashMidPublish) {
     dead_ = true;
+    if (obs_ != nullptr) {
+      obs_->journal().Emit(epoch_span, "crash_mid_publish");
+      (void)obs::CapturePostmortem(config_.postmortem, obs_,
+                                   "crash_mid_publish", epoch_span,
+                                   miner_->config_fingerprint());
+    }
     return sim::ServiceFaultInjector::KilledStatus(work.index);
   }
   if (generation != nullptr) {
@@ -221,6 +308,13 @@ Result<StepOutcome> StreamingMiningService::Step() {
       last_publish_ms_ = NowMs();
     }
     obs::Count(obs_, obs::Metric::kServeGenerationsPublished);
+    if (obs_ != nullptr) {
+      obs_->journal().Emit(
+          epoch_span, "generation_published",
+          {obs::JournalField::Num("generation", generation->number),
+           obs::JournalField::Num("epochs_ingested",
+                                  generation->epochs_ingested)});
+    }
     return StepOutcome::kPublished;
   }
   return StepOutcome::kIngested;
@@ -269,19 +363,51 @@ std::shared_ptr<const ModelGeneration> StreamingMiningService::CurrentModel()
 
 HealthState StreamingMiningService::ObserveHealth(int64_t now) const {
   HealthState state = HealthState::kStarting;
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  if (last_publish_ms_ >= 0) {
-    const int64_t age = now - last_publish_ms_;
-    state = age < config_.degraded_after_ms ? HealthState::kHealthy
-            : age < config_.stale_after_ms  ? HealthState::kDegraded
-                                            : HealthState::kStaleServing;
+  HealthState previous = HealthState::kStarting;
+  bool transitioned = false;
+  int64_t age = -1;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (last_publish_ms_ >= 0) {
+      age = now - last_publish_ms_;
+      state = age < config_.degraded_after_ms ? HealthState::kHealthy
+              : age < config_.stale_after_ms  ? HealthState::kDegraded
+                                              : HealthState::kStaleServing;
+    }
+    if (state != last_health_) {
+      previous = last_health_;
+      last_health_ = state;
+      ++stats_.health_transitions;
+      transitioned = true;
+    }
   }
-  if (state != last_health_) {
-    last_health_ = state;
-    ++stats_.health_transitions;
+  // Journal the boundary outside stats_mu_: the journal flushes to disk
+  // per line, and the query path shares this lock.
+  if (transitioned) {
     obs::Count(obs_, obs::Metric::kServeHealthTransitions);
+    if (obs_ != nullptr) {
+      obs_->journal().Emit(
+          journal_span_, "health_transition",
+          {obs::JournalField::Str("from", HealthStateName(previous)),
+           obs::JournalField::Str("to", HealthStateName(state)),
+           obs::JournalField::Num("ms_since_publish", age)});
+    }
   }
   return state;
+}
+
+void StreamingMiningService::CheckHealthRegression() {
+  const HealthState health = ObserveHealth(NowMs());
+  // A slide down the ladder from a published state (healthy -> degraded,
+  // degraded -> stale-serving, ...) is the "model stopped refreshing"
+  // postmortem trigger; climbing back up just resets the baseline.
+  if (step_health_ != HealthState::kStarting && health > step_health_ &&
+      obs_ != nullptr) {
+    (void)obs::CapturePostmortem(config_.postmortem, obs_,
+                                 "health_regression", journal_span_,
+                                 miner_->config_fingerprint());
+  }
+  step_health_ = health;
 }
 
 HealthReport StreamingMiningService::Health() const {

@@ -15,7 +15,9 @@
 #include <thread>
 
 #include "core/model_tracker.h"
+#include "obs/introspect.h"
 #include "obs/obs.h"
+#include "obs/postmortem.h"
 #include "serve/model_publisher.h"
 #include "serve/sliding_window.h"
 #include "simulation/service_faults.h"
@@ -126,8 +128,20 @@ struct ServiceConfig {
   /// watchdog — tests substitute a manual clock; the default reads
   /// steady_clock.
   std::function<int64_t()> now_ms;
-  /// Metrics/trace sink; nullptr = the ambient global context.
+  /// Metrics/trace sink; nullptr = the ambient global context. With a
+  /// context the service also journals every epoch / publish /
+  /// quarantine / shed / health boundary under one "serve-<n>" root
+  /// span of the context's journal.
   obs::ObsContext* obs = nullptr;
+  /// Dump-on-failure: quarantines, injected crashes and health-ladder
+  /// regressions capture a postmortem bundle into `postmortem.dir`
+  /// (empty = disabled; needs an obs context). See obs/postmortem.h.
+  obs::PostmortemOptions postmortem;
+  /// When non-empty, Create binds a live introspection endpoint (an
+  /// AF_UNIX line-protocol server, obs/introspect.h) at this path,
+  /// serving STATUSZ / METRICS / HEALTH / JOURNAL TAIL over the
+  /// service's obs context. Requires an obs context.
+  std::string introspection_socket;
   /// Chaos: when set, submissions, steps and queries consult the
   /// injector (see simulation/service_faults.h). Not owned.
   const sim::ServiceFaultInjector* faults = nullptr;
@@ -192,6 +206,11 @@ class StreamingMiningService {
   bool recovered() const { return recovered_; }
   uint64_t config_fingerprint() const;
   const ServiceConfig& config() const { return config_; }
+  /// The live introspection endpoint; nullptr unless
+  /// `introspection_socket` was configured.
+  const obs::IntrospectionServer* introspection() const {
+    return introspection_.get();
+  }
 
   /// Direct dependents of `component` ("what depends on S?").
   Result<QueryResult> WhatDependsOn(const std::string& component,
@@ -217,11 +236,17 @@ class StreamingMiningService {
   Status Recover(const std::string& bytes);
   Result<QueryResult> Query(const std::string& component, bool transitive,
                             const QueryOptions& options);
-  /// Current health; updates the transition counter under stats_mu_.
+  /// Current health; updates the transition counter under stats_mu_ and
+  /// journals the transition.
   HealthState ObserveHealth(int64_t now) const;
+  /// Step-time watchdog: a health-ladder regression (healthy ->
+  /// degraded/stale) journals the slide and captures a postmortem
+  /// bundle. Never runs on the query path.
+  void CheckHealthRegression();
 
   ServiceConfig config_;
   obs::ObsContext* obs_ = nullptr;  ///< effective sink
+  std::string journal_span_;        ///< "serve-<n>"; empty without obs
 
   std::unique_ptr<SlidingWindowMiner> miner_;  ///< guarded by step_mu_
   core::ModelTracker tracker_;                 ///< guarded by step_mu_
@@ -242,6 +267,9 @@ class StreamingMiningService {
   int64_t next_generation_number_ = 1;
   std::string generation_bytes_;  ///< serialized current generation
   bool dead_ = false;             ///< crash fault fired; service is gone
+  /// Health observed by the previous Step (the regression watchdog's
+  /// baseline); guarded by step_mu_.
+  HealthState step_health_ = HealthState::kStarting;
 
   mutable std::mutex stats_mu_;
   mutable ServiceStats stats_;
@@ -253,6 +281,11 @@ class StreamingMiningService {
   std::thread worker_;
   std::atomic<bool> worker_stop_{false};
   bool worker_running_ = false;
+
+  /// Declared last (and reset first in the destructor): its server
+  /// thread calls back into the service, so it must die before any
+  /// other member.
+  std::unique_ptr<obs::IntrospectionServer> introspection_;
 };
 
 }  // namespace logmine::serve

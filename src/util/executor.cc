@@ -132,7 +132,7 @@ Executor& Executor::Shared() {
 
 void Executor::WorkerMain() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -140,6 +140,7 @@ void Executor::WorkerMain() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const int64_t dequeue_ns = obs::MonotonicNowNs();
     // The queue-depth gauge and per-task latency use whatever context
     // is globally installed at execution time; per-task timing is cheap
     // here because tasks are coarse (whole ParallelFor drains, Submit
@@ -151,14 +152,16 @@ void Executor::WorkerMain() {
     obs::ObsContext* ctx = obs::AcquireGlobal();
     obs::Count(ctx, obs::Metric::kExecutorQueueDepth, -1);
     if (ctx != nullptr) {
+      obs::Observe(ctx, obs::Metric::kExecutorQueueWaitNs,
+                   dequeue_ns - task.enqueue_ns);
       const int64_t start_ns = obs::MonotonicNowNs();
-      task();
+      task.fn();
       obs::Observe(ctx, obs::Metric::kExecutorTaskNs,
                    obs::MonotonicNowNs() - start_ns);
       obs::Count(ctx, obs::Metric::kExecutorTasksCompleted);
       obs::ReleaseGlobal();
     } else {
-      task();
+      task.fn();
     }
   }
 }
@@ -175,7 +178,7 @@ std::future<void> Executor::Submit(std::function<void()> fn) {
     // and this task will wait — the backpressure signal the serve layer
     // watches alongside the depth gauge.
     saturated = !queue_.empty();
-    queue_.emplace_back([task] { (*task)(); });
+    queue_.push_back({[task] { (*task)(); }, obs::MonotonicNowNs()});
   }
   if (saturated) obs::Count(obs::Metric::kExecutorSaturation);
   cv_.notify_one();
@@ -218,8 +221,9 @@ Status Executor::ParallelFor(size_t count,
     {
       std::lock_guard<std::mutex> lock(mu_);
       saturated = !queue_.empty();
+      const int64_t enqueue_ns = obs::MonotonicNowNs();
       for (int h = 0; h < helpers; ++h) {
-        queue_.emplace_back([loop] { loop->Drain(); });
+        queue_.push_back({[loop] { loop->Drain(); }, enqueue_ns});
       }
     }
     if (saturated) obs::Count(obs::Metric::kExecutorSaturation);

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -134,11 +135,19 @@ class Executor {
  private:
   struct ForLoop;  // shared state of one ParallelFor
 
+  /// Queue entry: the task plus its enqueue instant, so dequeue can
+  /// record the on-queue wait (executor.queue_wait_ns sketch) — the
+  /// time-unit face of the saturation counter.
+  struct QueuedTask {
+    std::function<void()> fn;
+    int64_t enqueue_ns = 0;
+  };
+
   void WorkerMain();
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
-  mutable std::deque<std::function<void()>> queue_;
+  mutable std::deque<QueuedTask> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

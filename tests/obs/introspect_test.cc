@@ -1,0 +1,156 @@
+#include "obs/introspect.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace logmine::obs {
+namespace {
+
+std::string SocketPath(const std::string& tag) {
+  return "/tmp/logmine_" + tag + "_" + std::to_string(::getpid()) + ".sock";
+}
+
+IntrospectionHandlers TestHandlers() {
+  IntrospectionHandlers handlers;
+  handlers.statusz = [] { return std::string("status page"); };
+  handlers.metrics = [] { return std::string("metric_total 1\n"); };
+  handlers.health = [] { return std::string("healthy generation=3"); };
+  handlers.journal_tail = [](size_t n) {
+    std::vector<std::string> lines;
+    for (size_t i = 0; i < std::min<size_t>(n, 5); ++i) {
+      lines.push_back("{\"i\":" + std::to_string(i) + "}");
+    }
+    return lines;
+  };
+  return handlers;
+}
+
+TEST(IntrospectionServerTest, AnswersEveryCommand) {
+  const std::string path = SocketPath("cmds");
+  auto server = IntrospectionServer::Start(path, TestHandlers());
+  ASSERT_TRUE(server.ok()) << server.status().message();
+
+  Result<std::string> statusz = IntrospectionQuery(path, "STATUSZ");
+  ASSERT_TRUE(statusz.ok()) << statusz.status().message();
+  EXPECT_EQ(statusz.value(), "status page\n");
+
+  Result<std::string> metrics = IntrospectionQuery(path, "METRICS");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics.value(), "metric_total 1\n");
+
+  Result<std::string> health = IntrospectionQuery(path, "HEALTH");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value(), "healthy generation=3\n");
+
+  Result<std::string> tail = IntrospectionQuery(path, "JOURNAL TAIL 2");
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail.value(), "{\"i\":0}\n{\"i\":1}\n");
+
+  Result<std::string> unknown = IntrospectionQuery(path, "NONSENSE");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown.value(), "ERR unknown command\n");
+
+  EXPECT_EQ(server.value()->requests_served(), 5u);
+  server.value()->Stop();
+  // The socket file is gone after Stop, and a second Stop is harmless.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+  server.value()->Stop();
+}
+
+TEST(IntrospectionServerTest, RejectsOverlongSocketPath) {
+  const std::string path = "/tmp/" + std::string(200, 'x') + ".sock";
+  auto server = IntrospectionServer::Start(path, TestHandlers());
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IntrospectionServerTest, ReplacesStaleSocketFile) {
+  const std::string path = SocketPath("stale");
+  {
+    auto first = IntrospectionServer::Start(path, TestHandlers());
+    ASSERT_TRUE(first.ok());
+    // Simulate a crashed predecessor: drop the server without unlinking
+    // by re-binding over the live file from a second Start.
+    auto second = IntrospectionServer::Start(path, TestHandlers());
+    ASSERT_TRUE(second.ok());
+    Result<std::string> health = IntrospectionQuery(path, "HEALTH");
+    ASSERT_TRUE(health.ok());
+    EXPECT_EQ(health.value(), "healthy generation=3\n");
+  }
+}
+
+TEST(IntrospectionServerTest, ConcurrentScrapersAllGetAnswers) {
+  const std::string path = SocketPath("scrape");
+  auto server = IntrospectionServer::Start(path, TestHandlers());
+  ASSERT_TRUE(server.ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20;
+  std::vector<std::thread> threads;
+  std::vector<int> ok_counts(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Result<std::string> answer =
+            IntrospectionQuery(path, i % 2 == 0 ? "HEALTH" : "METRICS");
+        if (answer.ok() && !answer.value().empty()) ++ok_counts[t];
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(ok_counts[t], kPerThread) << "thread " << t;
+  }
+  EXPECT_EQ(server.value()->requests_served(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST(IntrospectionServerTest, ObsHandlersServeTheContext) {
+  ObsContext context;
+  context.metrics().Add(Metric::kPipelineRuns, 2);
+  context.journal().Emit("test-1", "hello");
+  {
+    ResourceProbe::ScopedStage stage(&context.probe(), "unit");
+  }
+
+  const std::string path = SocketPath("obs");
+  auto server = IntrospectionServer::Start(path, MakeObsHandlers(&context));
+  ASSERT_TRUE(server.ok());
+
+  Result<std::string> statusz = IntrospectionQuery(path, "STATUSZ");
+  ASSERT_TRUE(statusz.ok());
+  EXPECT_NE(statusz.value().find(context.journal().run_id()),
+            std::string::npos);
+  EXPECT_NE(statusz.value().find("pipeline.runs"), std::string::npos);
+  EXPECT_NE(statusz.value().find("\"stage\":\"unit\""), std::string::npos);
+
+  Result<std::string> metrics = IntrospectionQuery(path, "METRICS");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics.value().find("logmine_pipeline_runs_total 2"),
+            std::string::npos);
+
+  // No service-specific health handler installed: the default reports ok.
+  Result<std::string> health = IntrospectionQuery(path, "HEALTH");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health.value(), "ok\n");
+
+  Result<std::string> tail = IntrospectionQuery(path, "JOURNAL TAIL 8");
+  ASSERT_TRUE(tail.ok());
+  EXPECT_NE(tail.value().find("\"event\":\"hello\""), std::string::npos);
+}
+
+TEST(IntrospectionQueryTest, ConnectToAbsentSocketFails) {
+  Result<std::string> answer =
+      IntrospectionQuery(SocketPath("absent"), "HEALTH");
+  EXPECT_FALSE(answer.ok());
+}
+
+}  // namespace
+}  // namespace logmine::obs

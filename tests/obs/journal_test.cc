@@ -1,0 +1,204 @@
+#include "obs/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace logmine::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return std::move(out).str();
+}
+
+size_t CountLines(const std::string& text) {
+  size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+TEST(JournalTest, EmitsWideEventsWithRunAndSpanIds) {
+  const std::string dir = TempDir("logmine_journal_emit");
+  JournalOptions options;
+  options.path = dir + "/journal.jsonl";
+  Journal journal(options);
+
+  const std::string span = journal.BeginRootSpan("sweep");
+  EXPECT_EQ(span, "sweep-1");
+  journal.Emit(span + "/d0.r1/a2", "shard_attempt",
+               {JournalField::Num("attempt", 2),
+                JournalField::Flag("hedged", true),
+                JournalField::Str("note", "with \"quotes\"\n")});
+
+  const std::string content = ReadAll(options.path);
+  EXPECT_NE(content.find("\"run\":\"" + journal.run_id() + "\""),
+            std::string::npos);
+  EXPECT_NE(content.find("\"span\":\"sweep-1/d0.r1/a2\""), std::string::npos);
+  EXPECT_NE(content.find("\"event\":\"shard_attempt\""), std::string::npos);
+  EXPECT_NE(content.find("\"attempt\":2"), std::string::npos);
+  EXPECT_NE(content.find("\"hedged\":true"), std::string::npos);
+  // Quotes and newlines inside string fields are escaped, so the file
+  // stays one event per line.
+  EXPECT_NE(content.find("with \\\"quotes\\\"\\n"), std::string::npos);
+  EXPECT_EQ(CountLines(content), 1u);
+  EXPECT_EQ(journal.events_emitted(), 1u);
+}
+
+TEST(JournalTest, RunIdsAreProcessUniquePerJournal) {
+  Journal a;
+  Journal b;
+  EXPECT_NE(a.run_id(), b.run_id());
+  EXPECT_EQ(a.run_id().rfind("run-", 0), 0u);
+}
+
+TEST(JournalTest, MemoryOnlyJournalStillKeepsTail) {
+  Journal journal;  // no path
+  for (int i = 0; i < 5; ++i) {
+    journal.Emit("serve-1", "epoch_ingested", {JournalField::Num("epoch", i)});
+  }
+  const std::vector<std::string> tail = journal.Tail(3);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_NE(tail.front().find("\"epoch\":2"), std::string::npos);
+  EXPECT_NE(tail.back().find("\"epoch\":4"), std::string::npos);
+}
+
+TEST(JournalTest, TailIsBoundedByCapacity) {
+  JournalOptions options;
+  options.tail_capacity = 4;
+  Journal journal(options);
+  for (int i = 0; i < 100; ++i) {
+    journal.Emit("span", "event", {JournalField::Num("i", i)});
+  }
+  EXPECT_EQ(journal.Tail(1000).size(), 4u);
+  EXPECT_NE(journal.Tail(1000).back().find("\"i\":99"), std::string::npos);
+}
+
+TEST(JournalTest, RotatesWhenFileExceedsThreshold) {
+  const std::string dir = TempDir("logmine_journal_rotate");
+  JournalOptions options;
+  options.path = dir + "/journal.jsonl";
+  options.max_bytes_per_file = 512;
+  options.max_rotated_files = 2;
+  MetricsRegistry metrics;
+  Journal journal(options, &metrics);
+
+  for (int i = 0; i < 100; ++i) {
+    journal.Emit("span-1", "event", {JournalField::Num("i", i)});
+  }
+  EXPECT_GT(journal.rotations(), 0u);
+  EXPECT_TRUE(fs::exists(options.path + ".1"));
+  // No generation beyond the configured cap survives.
+  EXPECT_FALSE(fs::exists(options.path + ".3"));
+  // The live file restarted below the threshold at the last rotation.
+  EXPECT_LE(fs::file_size(options.path), 2 * options.max_bytes_per_file);
+
+  const MetricsSnapshot snap = metrics.Snapshot();
+  const MetricsSnapshot::Entry* emitted = snap.Find("journal.events_emitted");
+  ASSERT_NE(emitted, nullptr);
+  EXPECT_EQ(emitted->value, 100);
+  const MetricsSnapshot::Entry* rotations = snap.Find("journal.rotations");
+  ASSERT_NE(rotations, nullptr);
+  EXPECT_EQ(rotations->value, static_cast<int64_t>(journal.rotations()));
+}
+
+TEST(JournalTest, ConcurrentEmittersNeverTearLines) {
+  const std::string dir = TempDir("logmine_journal_concurrent");
+  JournalOptions options;
+  options.path = dir + "/journal.jsonl";
+  Journal journal(options);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&journal, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        journal.Emit("writer-" + std::to_string(t), "tick",
+                     {JournalField::Num("i", i)});
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const std::string content = ReadAll(options.path);
+  EXPECT_EQ(CountLines(content),
+            static_cast<size_t>(kThreads * kPerThread));
+  // Every line is a complete object: starts with '{' and ends with '}'.
+  std::istringstream lines(content);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST(JournalToChromeTraceTest, ConvertsEventsAndSkipsTornLines) {
+  std::string jsonl;
+  jsonl +=
+      "{\"ts_ns\":1000000,\"run\":\"run-x\",\"span\":\"sweep-1/d0.r0\","
+      "\"event\":\"shard_done\",\"dur_ns\":2000000}\n";
+  jsonl +=
+      "{\"ts_ns\":3000000,\"run\":\"run-x\",\"span\":\"serve-1\","
+      "\"event\":\"health_transition\"}\n";
+  jsonl += "{\"ts_ns\":4000000,\"run\":\"run-x\",\"spa";  // torn final line
+
+  const std::string trace = JournalToChromeTrace(jsonl);
+  // The complete event became an "X" span with its duration in us.
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"dur\":2000"), std::string::npos);
+  // The durationless event became an instant.
+  EXPECT_NE(trace.find("\"ph\":\"i\""), std::string::npos);
+  // Two root spans -> two distinct tids; the torn line contributed nothing.
+  EXPECT_NE(trace.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(trace.find("\"tid\":2"), std::string::npos);
+  EXPECT_EQ(trace.find("4000"), std::string::npos);
+}
+
+TEST(JournalToChromeTraceTest, FileConverterRoundTrips) {
+  const std::string dir = TempDir("logmine_journal_convert");
+  JournalOptions options;
+  options.path = dir + "/journal.jsonl";
+  {
+    Journal journal(options);
+    const std::string span = journal.BeginRootSpan("pipeline");
+    journal.Emit(span, "pipeline_start");
+    journal.Emit(span + "/l1", "miner_done",
+                 {JournalField::Num("dur_ns", 5000000)});
+  }
+  const std::string trace_path = dir + "/trace.json";
+  ASSERT_TRUE(ConvertJournalToChromeTrace(options.path, trace_path).ok());
+  const std::string trace = ReadAll(trace_path);
+  EXPECT_EQ(trace.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(trace.find("pipeline-1/l1 miner_done"), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+
+  EXPECT_EQ(
+      ConvertJournalToChromeTrace(dir + "/absent.jsonl", trace_path).code(),
+      StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace logmine::obs

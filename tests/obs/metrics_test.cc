@@ -64,8 +64,8 @@ TEST(MetricsRegistryTest, QuantileUsesNearestRankNotInterpolation) {
   MetricsRegistry registry;
   registry.Observe(Metric::kExecutorTaskNs, 100);
   registry.Observe(Metric::kExecutorTaskNs, 10'000'000);
-  const MetricsSnapshot::Entry* entry =
-      registry.Snapshot().Find("executor.task_ns");
+  const MetricsSnapshot snap = registry.Snapshot();
+  const MetricsSnapshot::Entry* entry = snap.Find("executor.task_ns");
   ASSERT_NE(entry, nullptr);
   EXPECT_GE(entry->hist.QuantileUpperBound(0.99), 10'000'000);
   EXPECT_GE(entry->hist.QuantileUpperBound(0.51), 10'000'000);
@@ -79,8 +79,8 @@ TEST(MetricsRegistryTest, QuantileClampsToObservedMax) {
   MetricsRegistry registry;
   const int64_t huge = int64_t{1} << 62;
   registry.Observe(Metric::kExecutorTaskNs, huge);
-  const MetricsSnapshot::Entry* entry =
-      registry.Snapshot().Find("executor.task_ns");
+  const MetricsSnapshot snap = registry.Snapshot();
+  const MetricsSnapshot::Entry* entry = snap.Find("executor.task_ns");
   ASSERT_NE(entry, nullptr);
   EXPECT_EQ(entry->hist.max, huge);
   EXPECT_EQ(entry->hist.QuantileUpperBound(0.5), huge);
@@ -89,8 +89,8 @@ TEST(MetricsRegistryTest, QuantileClampsToObservedMax) {
 
   MetricsRegistry single;
   single.Observe(Metric::kIngestDecodeNs, 3);
-  const MetricsSnapshot::Entry* one =
-      single.Snapshot().Find("ingest.decode_ns");
+  const MetricsSnapshot single_snap = single.Snapshot();
+  const MetricsSnapshot::Entry* one = single_snap.Find("ingest.decode_ns");
   ASSERT_NE(one, nullptr);
   // One observation of 3 lands in the (2, 4] bucket; the clamp reports
   // the observation itself rather than the bound 4.
@@ -124,15 +124,115 @@ TEST(MetricsRegistryTest, DynamicRegistrationFindsExistingNames) {
   EXPECT_EQ(registry.Snapshot().Value("custom.widgets"), 42);
 }
 
-TEST(MetricsRegistryTest, ExhaustedCapacityDropsWritesSilently) {
+TEST(MetricsRegistryTest, ExhaustedCapacityReportsResourceExhausted) {
   MetricsRegistry registry;
-  MetricsRegistry::MetricId last = MetricsRegistry::kInvalidMetricId;
-  for (size_t i = 0; i < MetricsRegistry::kMaxScalars + 8; ++i) {
-    last = registry.RegisterCounter("overflow." + std::to_string(i));
+  // Fill the scalar family to its configured cap, then one more: the
+  // strict API must say kResourceExhausted (not a silent drop), and the
+  // lenient API must degrade to the invalid id.
+  Result<MetricsRegistry::MetricId> last = MetricsRegistry::kInvalidMetricId;
+  for (size_t i = 0; i < registry.options().max_scalars + 8; ++i) {
+    last = registry.TryRegisterCounter("overflow." + std::to_string(i));
   }
-  EXPECT_EQ(last, MetricsRegistry::kInvalidMetricId);
-  registry.Add(last, 999);  // must not crash or corrupt anything
-  EXPECT_EQ(registry.Snapshot().Value("overflow.999"), 0);
+  ASSERT_FALSE(last.ok());
+  EXPECT_EQ(last.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(last.status().message().find("scalar"), std::string::npos);
+  EXPECT_EQ(registry.RegisterCounter("overflow.one_more"),
+            MetricsRegistry::kInvalidMetricId);
+  registry.Add(MetricsRegistry::kInvalidMetricId, 999);  // must not crash
+  EXPECT_EQ(registry.Snapshot().Value("overflow.one_more"), 0);
+
+  // Existing names still resolve at capacity (lookup, not insert).
+  const auto again = registry.TryRegisterCounter("overflow.0");
+  EXPECT_TRUE(again.ok());
+}
+
+TEST(MetricsRegistryTest, CapacityIsConfigurablePerRegistry) {
+  MetricsOptions small;
+  small.max_histograms = kNumWellKnownMetrics;  // plenty
+  MetricsOptions large = small;
+  large.max_histograms = small.max_histograms + 64;
+  MetricsRegistry constrained(small);
+  MetricsRegistry roomy(large);
+  // Exhaust `constrained`'s histogram family; `roomy` keeps going.
+  Result<MetricsRegistry::MetricId> last = MetricsRegistry::kInvalidMetricId;
+  for (size_t i = 0; i < small.max_histograms; ++i) {
+    last = constrained.TryRegisterHistogram("dyn." + std::to_string(i));
+    roomy.TryRegisterHistogram("dyn." + std::to_string(i));
+  }
+  ASSERT_FALSE(last.ok());
+  EXPECT_EQ(last.status().code(), StatusCode::kResourceExhausted);
+  const auto fits = roomy.TryRegisterHistogram("dyn.extra");
+  ASSERT_TRUE(fits.ok());
+  roomy.Observe(fits.value(), 42);
+  EXPECT_EQ(roomy.Snapshot().Value("dyn.extra"), 1);
+}
+
+TEST(MetricsRegistryTest, SketchMetricsRecordAndSnapshot) {
+  MetricsRegistry registry;
+  EXPECT_EQ(MetricKindOf(Metric::kServeQueryNs), MetricKind::kSketch);
+  EXPECT_EQ(MetricKindOf(Metric::kExecutorQueueWaitNs), MetricKind::kSketch);
+  for (int i = 1; i <= 1000; ++i) {
+    registry.Observe(Metric::kServeQueryNs, i * 1000);
+  }
+  const MetricsSnapshot snap = registry.Snapshot();
+  const MetricsSnapshot::Entry* entry = snap.Find("serve.query_ns");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->kind, MetricKind::kSketch);
+  EXPECT_EQ(entry->sketch.count(), 1000);
+  EXPECT_EQ(snap.Value("serve.query_ns"), 1000);
+  // p50 within 1% of 500us, p99 within 1% of 990us.
+  EXPECT_NEAR(static_cast<double>(entry->sketch.Quantile(0.5)), 500'000.0,
+              500'000.0 * 0.011);
+  EXPECT_NEAR(static_cast<double>(entry->sketch.Quantile(0.99)), 990'000.0,
+              990'000.0 * 0.011);
+}
+
+TEST(MetricsRegistryTest, DynamicSketchRegistrationAndKindConflicts) {
+  MetricsRegistry registry;
+  const auto sketch_id = registry.TryRegisterSketch("custom.latency");
+  ASSERT_TRUE(sketch_id.ok());
+  EXPECT_EQ(registry.RegisterSketch("custom.latency"), sketch_id.value());
+  // Same name as a different kind is refused with kAlreadyExists.
+  const auto as_counter = registry.TryRegisterCounter("custom.latency");
+  ASSERT_FALSE(as_counter.ok());
+  EXPECT_EQ(as_counter.status().code(), StatusCode::kAlreadyExists);
+  registry.Observe(sketch_id.value(), 777);
+  const MetricsSnapshot snap = registry.Snapshot();
+  const MetricsSnapshot::Entry* entry = snap.Find("custom.latency");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->sketch.count(), 1);
+  EXPECT_EQ(entry->sketch.Quantile(0.5), 777);
+}
+
+// Sketch merge across shards is exact and associative, so quantiles —
+// not just counts — must be identical for any thread count.
+TEST(MetricsRegistryTest, SketchSnapshotIsThreadCountInvariant) {
+  constexpr int64_t kTotalWrites = 8000;
+  std::vector<std::string> rendered;
+  for (int num_threads : {1, 2, 5, 8}) {
+    MetricsRegistry registry;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&registry, t, num_threads] {
+        for (int64_t i = t; i < kTotalWrites; i += num_threads) {
+          registry.Observe(Metric::kServeQueryNs, (i * 37) % 1'000'000);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    const MetricsSnapshot snap = registry.Snapshot();
+    const MetricsSnapshot::Entry* entry = snap.Find("serve.query_ns");
+    ASSERT_NE(entry, nullptr);
+    std::string key = std::to_string(entry->sketch.count()) + "/" +
+                      std::to_string(entry->sketch.sum());
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+      key += "," + std::to_string(entry->sketch.Quantile(q));
+    }
+    rendered.push_back(std::move(key));
+  }
+  for (size_t i = 1; i < rendered.size(); ++i) {
+    EXPECT_EQ(rendered[0], rendered[i]) << "thread-count variant " << i;
+  }
 }
 
 // The tentpole concurrency property: writers on many threads, each with

@@ -1,0 +1,164 @@
+#include "obs/postmortem.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace logmine::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+TEST(PostmortemBundleTest, WriteReadRoundTrip) {
+  const std::string dir = TempDir("logmine_pm_roundtrip");
+  PostmortemOptions options;
+  options.dir = dir + "/bundles";  // does not exist yet: created on write
+
+  PostmortemBundle bundle;
+  bundle.run_id = "run-test-1";
+  bundle.reason = "sweep_degraded";
+  bundle.trigger_span = "sweep-1/d0.r2";
+  bundle.config_fingerprint = 0xDEADBEEFCAFEBABEull;
+  bundle.captured_at_ns = 12345;
+  bundle.metrics_json = "{\"metrics\":[]}";
+  bundle.probe_json = "{\"stages\":[]}";
+  bundle.trace_json = "{\"traceEvents\":[]}";
+  bundle.journal_tail = {"{\"event\":\"a\"}", "{\"event\":\"b\"}"};
+
+  Result<std::string> path = WritePostmortemBundle(options, bundle);
+  ASSERT_TRUE(path.ok()) << path.status().message();
+  EXPECT_NE(path.value().find("postmortem-run-test-1-"), std::string::npos);
+
+  Result<PostmortemBundle> read = ReadPostmortemBundle(path.value());
+  ASSERT_TRUE(read.ok()) << read.status().message();
+  EXPECT_EQ(read.value().run_id, bundle.run_id);
+  EXPECT_EQ(read.value().reason, bundle.reason);
+  EXPECT_EQ(read.value().trigger_span, bundle.trigger_span);
+  EXPECT_EQ(read.value().config_fingerprint, bundle.config_fingerprint);
+  EXPECT_EQ(read.value().captured_at_ns, bundle.captured_at_ns);
+  EXPECT_EQ(read.value().metrics_json, bundle.metrics_json);
+  EXPECT_EQ(read.value().probe_json, bundle.probe_json);
+  EXPECT_EQ(read.value().trace_json, bundle.trace_json);
+  EXPECT_EQ(read.value().journal_tail, bundle.journal_tail);
+}
+
+TEST(PostmortemBundleTest, DisabledDirIsNotFound) {
+  PostmortemBundle bundle;
+  EXPECT_EQ(WritePostmortemBundle(PostmortemOptions{}, bundle).status().code(),
+            StatusCode::kNotFound);
+  ObsContext context;
+  EXPECT_EQ(CapturePostmortem(PostmortemOptions{}, &context, "x", "y", 0)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  // A disabled capture leaves no side effects behind.
+  EXPECT_EQ(context.journal().events_emitted(), 0u);
+}
+
+TEST(PostmortemBundleTest, CorruptFileIsParseError) {
+  const std::string dir = TempDir("logmine_pm_corrupt");
+  PostmortemOptions options;
+  options.dir = dir;
+  PostmortemBundle bundle;
+  bundle.run_id = "run-c";
+  Result<std::string> path = WritePostmortemBundle(options, bundle);
+  ASSERT_TRUE(path.ok());
+
+  // Flip one byte in the middle: the container CRC must catch it.
+  std::string bytes;
+  {
+    std::ifstream in(path.value(), std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes[bytes.size() / 2] ^= 0x5A;
+  {
+    std::ofstream out(path.value(), std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  EXPECT_EQ(ReadPostmortemBundle(path.value()).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(CapturePostmortemTest, CapturesLiveContextAndJournalsTheBundle) {
+  const std::string dir = TempDir("logmine_pm_capture");
+  PostmortemOptions options;
+  options.dir = dir;
+  options.journal_tail = 4;
+
+  ObsContext context;
+  context.metrics().Add(Metric::kPipelineRuns, 3);
+  for (int i = 0; i < 10; ++i) {
+    context.journal().Emit("serve-1", "epoch_ingested",
+                           {JournalField::Num("epoch", i)});
+  }
+  {
+    TraceSpan span(&context, "unit/stage");
+  }
+  {
+    ResourceProbe::ScopedStage stage(&context.probe(), "unit/stage");
+  }
+
+  Result<std::string> path =
+      CapturePostmortem(options, &context, "health_regression", "serve-1",
+                        /*config_fingerprint=*/42);
+  ASSERT_TRUE(path.ok()) << path.status().message();
+
+  Result<PostmortemBundle> read = ReadPostmortemBundle(path.value());
+  ASSERT_TRUE(read.ok()) << read.status().message();
+  const PostmortemBundle& bundle = read.value();
+  EXPECT_EQ(bundle.run_id, context.journal().run_id());
+  EXPECT_EQ(bundle.reason, "health_regression");
+  EXPECT_EQ(bundle.trigger_span, "serve-1");
+  EXPECT_EQ(bundle.config_fingerprint, 42u);
+  EXPECT_NE(bundle.metrics_json.find("pipeline.runs"), std::string::npos);
+  EXPECT_NE(bundle.probe_json.find("unit/stage"), std::string::npos);
+  EXPECT_NE(bundle.trace_json.find("unit/stage"), std::string::npos);
+  // The tail is capped at the configured depth and holds the newest lines.
+  ASSERT_EQ(bundle.journal_tail.size(), 4u);
+  EXPECT_NE(bundle.journal_tail.back().find("\"epoch\":9"),
+            std::string::npos);
+
+  // The capture itself journaled a "postmortem" event naming the bundle
+  // and bumped the counter.
+  const std::vector<std::string> tail = context.journal().Tail(1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_NE(tail[0].find("\"event\":\"postmortem\""), std::string::npos);
+  EXPECT_NE(tail[0].find("health_regression"), std::string::npos);
+  const MetricsSnapshot snap = context.metrics().Snapshot();
+  const MetricsSnapshot::Entry* written =
+      snap.Find("postmortem.bundles_written");
+  ASSERT_NE(written, nullptr);
+  EXPECT_EQ(written->value, 1);
+}
+
+TEST(CapturePostmortemTest, SequenceNumbersKeepBundlesDistinct) {
+  const std::string dir = TempDir("logmine_pm_seq");
+  PostmortemOptions options;
+  options.dir = dir;
+  ObsContext context;
+  Result<std::string> first =
+      CapturePostmortem(options, &context, "a", "s", 1);
+  Result<std::string> second =
+      CapturePostmortem(options, &context, "b", "s", 1);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(first.value(), second.value());
+  EXPECT_TRUE(fs::exists(first.value()));
+  EXPECT_TRUE(fs::exists(second.value()));
+}
+
+}  // namespace
+}  // namespace logmine::obs

@@ -1,0 +1,84 @@
+#include "obs/resource_probe.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace logmine::obs {
+namespace {
+
+TEST(ResourceSampleTest, NowReadsMonotoneCumulativeCounters) {
+  const ResourceSample a = ResourceSample::Now();
+  // Burn a little CPU so the deltas are visibly positive.
+  volatile uint64_t sink = 0;
+  for (uint64_t i = 0; i < 20'000'000; ++i) sink += i;
+  const ResourceSample b = ResourceSample::Now();
+
+  EXPECT_GT(b.wall_ns, a.wall_ns);
+  EXPECT_GE(b.user_cpu_ns + b.system_cpu_ns,
+            a.user_cpu_ns + a.system_cpu_ns);
+  EXPECT_GT(b.thread_cpu_ns, a.thread_cpu_ns);
+  EXPECT_GE(b.max_rss_kb, a.max_rss_kb);
+  EXPECT_GT(a.max_rss_kb, 0);
+}
+
+TEST(ResourceProbeTest, AccumulatesStagesByName) {
+  ResourceProbe probe;
+  {
+    ResourceProbe::ScopedStage stage(&probe, "mine");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  {
+    ResourceProbe::ScopedStage stage(&probe, "mine");
+  }
+  {
+    ResourceProbe::ScopedStage stage(&probe, "publish");
+  }
+
+  const std::vector<StageUsage> stages = probe.Stages();
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].stage, "mine");
+  EXPECT_EQ(stages[0].invocations, 2);
+  EXPECT_GE(stages[0].wall_ns, 2'000'000);
+  EXPECT_EQ(stages[1].stage, "publish");
+  EXPECT_EQ(stages[1].invocations, 1);
+}
+
+TEST(ResourceProbeTest, NullProbeScopedStageIsANoOp) {
+  ResourceProbe::ScopedStage stage(nullptr, "ignored");
+  SUCCEED();
+}
+
+TEST(ResourceProbeTest, ToJsonNamesEveryStage) {
+  ResourceProbe probe;
+  {
+    ResourceProbe::ScopedStage stage(&probe, "pipeline/l1");
+  }
+  const std::string json = probe.ToJson();
+  EXPECT_EQ(json.rfind("{\"stages\":[", 0), 0u);
+  EXPECT_NE(json.find("\"stage\":\"pipeline/l1\""), std::string::npos);
+  EXPECT_NE(json.find("\"invocations\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_rss_kb\":"), std::string::npos);
+}
+
+TEST(ResourceProbeTest, ConcurrentOverlappingStagesAreSafe) {
+  ResourceProbe probe;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&probe, t] {
+      for (int i = 0; i < 50; ++i) {
+        ResourceProbe::ScopedStage stage(
+            &probe, t % 2 == 0 ? "even" : "odd");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::vector<StageUsage> stages = probe.Stages();
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].invocations + stages[1].invocations, 200);
+}
+
+}  // namespace
+}  // namespace logmine::obs

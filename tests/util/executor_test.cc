@@ -314,5 +314,25 @@ TEST(ExecutorTest, SubmitBeyondBusyWorkersCountsSaturation) {
             0);
 }
 
+TEST(ExecutorTest, SubmitRecordsQueueWaitSketch) {
+  obs::ObsContext context;
+  obs::ScopedGlobalObs scoped(&context);
+  Executor executor(2);
+
+  for (int i = 0; i < 32; ++i) {
+    executor.Submit([] {}).wait();
+  }
+
+  const obs::MetricsSnapshot snapshot = context.metrics().Snapshot();
+  const obs::MetricsSnapshot::Entry* wait = snapshot.Find(
+      obs::MetricName(obs::Metric::kExecutorQueueWaitNs));
+  ASSERT_NE(wait, nullptr);
+  // Every submitted task records its enqueue->dequeue wait, so the
+  // sketch count matches the task count even with zero saturation.
+  EXPECT_EQ(wait->sketch.count(), 32);
+  EXPECT_GE(wait->sketch.Quantile(0.5), 0);
+  EXPECT_GE(wait->sketch.max(), wait->sketch.Quantile(0.5));
+}
+
 }  // namespace
 }  // namespace logmine
