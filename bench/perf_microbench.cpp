@@ -11,6 +11,7 @@
 #include "core/l3_text_miner.h"
 #include "eval/dataset.h"
 #include "log/codec.h"
+#include "log/columnar.h"
 #include "simulation/hug_scenario.h"
 #include "simulation/simulator.h"
 #include "stats/association_tests.h"
@@ -113,6 +114,77 @@ void BM_StoreAppendAndIndex(benchmark::State& state) {
                           static_cast<int64_t>(records.size()));
 }
 BENCHMARK(BM_StoreAppendAndIndex)->Unit(benchmark::kMillisecond);
+
+// Bulk-ingest path: one Reserve + AppendBatch against the per-record
+// Append loop above — same records, so the two benches are directly
+// comparable.
+void BM_StoreAppendBatchAndIndex(benchmark::State& state) {
+  const eval::Dataset& dataset = CorpusAt(0.05);
+  std::vector<LogRecord> records;
+  for (size_t i = 0; i < dataset.store.size(); i += 4) {
+    records.push_back(dataset.store.GetRecord(i));
+  }
+  for (auto _ : state) {
+    LogStore store;
+    if (!store.AppendBatch(records).ok()) std::abort();
+    store.BuildIndex();
+    benchmark::DoNotOptimize(store);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(records.size()));
+}
+BENCHMARK(BM_StoreAppendBatchAndIndex)->Unit(benchmark::kMillisecond);
+
+// Chunked text decode over the whole day-one corpus: Arg is
+// DecodeOptions::num_chunks (1 = serial reference, 0 = auto, one chunk
+// per executor worker).
+void BM_CodecDecodeChunked(benchmark::State& state) {
+  const eval::Dataset& dataset = CorpusAt(0.05);
+  std::vector<LogRecord> records;
+  records.reserve(dataset.store.size());
+  for (size_t i = 0; i < dataset.store.size(); ++i) {
+    records.push_back(dataset.store.GetRecord(i));
+  }
+  const std::string text = LineCodec::EncodeAll(records);
+  DecodeOptions options;
+  options.num_chunks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto decoded = LineCodec::DecodeAll(text, options, nullptr);
+    if (!decoded.ok()) std::abort();
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(records.size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_CodecDecodeChunked)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ColumnarEncode(benchmark::State& state) {
+  const eval::Dataset& dataset = CorpusAt(0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeColumnar(dataset.store));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dataset.store.size()));
+}
+BENCHMARK(BM_ColumnarEncode)->Unit(benchmark::kMillisecond);
+
+void BM_ColumnarDecode(benchmark::State& state) {
+  const eval::Dataset& dataset = CorpusAt(0.05);
+  const std::string bytes = EncodeColumnar(dataset.store);
+  for (auto _ : state) {
+    auto loaded = DecodeColumnar(bytes);
+    if (!loaded.ok()) std::abort();
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dataset.store.size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_ColumnarDecode)->Unit(benchmark::kMillisecond);
 
 void BM_L1MineDay(benchmark::State& state) {
   const eval::Dataset& dataset = CorpusAt(ScaleArg(state));

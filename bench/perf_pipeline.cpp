@@ -18,9 +18,18 @@
 // embedded in the report and whose spans are exported as Chrome-trace
 // JSON (load in chrome://tracing or ui.perfetto.dev).
 //
+// The "ingest" section benchmarks the corpus I/O path on the same
+// corpus: serial text decode vs the chunked parallel decoder
+// (DecodeOptions::num_chunks = 0, auto), and the binary columnar
+// format's encode/decode, with correctness booleans (parallel output
+// byte-identical to serial; columnar round-trip lossless; magic-byte
+// autodetection through ReadCorpusFile). The columnar corpus is also
+// written to --columnar-out so CI can archive it as an artifact.
+//
 // Usage: perf_pipeline [--scale=1.0] [--days=1] [--seed=N]
 //                      [--reps=3] [--out=BENCH_pipeline.json]
 //                      [--trace=trace.json]
+//                      [--columnar-out=BENCH_corpus.lmc]
 
 #include <algorithm>
 #include <chrono>
@@ -30,6 +39,7 @@
 #include <iterator>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -39,6 +49,8 @@
 #include "eval/resumable_runner.h"
 #include "eval/shard_supervisor.h"
 #include "log/codec.h"
+#include "log/columnar.h"
+#include "log/corpus_io.h"
 #include "log/filter.h"
 #include "obs/obs.h"
 #include "stats/association_tests.h"
@@ -431,6 +443,98 @@ int main(int argc, char** argv) {
               << obs_context.trace().dropped() << " dropped)\n";
   }
 
+  // Ingest path: serial text decode vs the chunked parallel decoder,
+  // and the binary columnar format, all on the same corpus. The
+  // correctness booleans matter as much as the timings — a fast decode
+  // that produces different records must fail CI.
+  std::string corpus_text;
+  {
+    std::vector<LogRecord> records;
+    records.reserve(dataset.store.size());
+    for (size_t i = 0; i < dataset.store.size(); ++i) {
+      records.push_back(dataset.store.GetRecord(i));
+    }
+    corpus_text = LineCodec::EncodeAll(records);
+  }
+  const double corpus_mb = static_cast<double>(corpus_text.size()) / 1e6;
+  const int64_t corpus_logs = static_cast<int64_t>(dataset.store.size());
+  size_t ingest_sink = 0;  // consumed so decode work is not optimized away
+
+  DecodeOptions serial_options;
+  serial_options.num_chunks = 1;
+  DecodeOptions chunked_options;
+  chunked_options.num_chunks = 0;  // auto: one chunk per pool worker
+  const double text_serial_ms = MeasureMs(reps, [&] {
+    auto decoded = LineCodec::DecodeAll(corpus_text, serial_options, nullptr);
+    if (!decoded.ok()) std::abort();
+    ingest_sink += decoded.value().size();
+  });
+  const double text_chunked_ms = MeasureMs(reps, [&] {
+    auto decoded = LineCodec::DecodeAll(corpus_text, chunked_options, nullptr);
+    if (!decoded.ok()) std::abort();
+    ingest_sink += decoded.value().size();
+  });
+  bool parallel_matches_serial = false;
+  {
+    auto serial = LineCodec::DecodeAll(corpus_text, serial_options, nullptr);
+    auto chunked = LineCodec::DecodeAll(corpus_text, chunked_options, nullptr);
+    parallel_matches_serial =
+        serial.ok() && chunked.ok() &&
+        LineCodec::EncodeAll(serial.value()) ==
+            LineCodec::EncodeAll(chunked.value());
+  }
+
+  const std::string columnar_bytes = EncodeColumnar(dataset.store);
+  const double columnar_write_ms = MeasureMs(reps, [&] {
+    ingest_sink += EncodeColumnar(dataset.store).size();
+  });
+  const double columnar_read_ms = MeasureMs(reps, [&] {
+    auto loaded = DecodeColumnar(columnar_bytes);
+    if (!loaded.ok()) std::abort();
+    ingest_sink += loaded.value().size();
+  });
+  bool columnar_roundtrip_ok = false;
+  {
+    auto loaded = DecodeColumnar(columnar_bytes);
+    if (loaded.ok()) {
+      std::vector<LogRecord> back;
+      back.reserve(loaded.value().size());
+      for (size_t i = 0; i < loaded.value().size(); ++i) {
+        back.push_back(loaded.value().GetRecord(i));
+      }
+      columnar_roundtrip_ok = LineCodec::EncodeAll(back) == corpus_text;
+    }
+  }
+
+  // Persist the columnar corpus (crash-safe write) and read it back
+  // through the format-autodetecting corpus reader — the artifact CI
+  // uploads, proven loadable before it is archived.
+  const std::string columnar_out =
+      flags.GetString("columnar-out", "BENCH_corpus.lmc");
+  bool autodetect_ok = false;
+  if (!columnar_out.empty()) {
+    if (Status s = WriteColumnarFile(columnar_out, dataset.store); !s.ok()) {
+      std::cerr << "cannot write " << columnar_out << ": " << s << "\n";
+      return 1;
+    }
+    auto reread = ReadCorpusFile(columnar_out);
+    autodetect_ok = reread.ok() && reread.value().index_built() &&
+                    reread.value().size() == dataset.store.size();
+  }
+
+  const double chunked_speedup = text_serial_ms / text_chunked_ms;
+  const double columnar_read_speedup = text_serial_ms / columnar_read_ms;
+  const unsigned hardware_concurrency = std::thread::hardware_concurrency();
+  std::cerr << "[bench] ingest: text decode " << text_serial_ms
+            << " ms serial / " << text_chunked_ms << " ms chunked ("
+            << chunked_speedup << "x on " << hardware_concurrency
+            << " cores), columnar read " << columnar_read_ms << " ms ("
+            << columnar_read_speedup << "x vs text), correctness "
+            << ((parallel_matches_serial && columnar_roundtrip_ok)
+                    ? "ok"
+                    : "BROKEN")
+            << " (sink " << (ingest_sink != 0) << ")\n";
+
   // The rework must not change what the miners compute.
   const bool results_match =
       l2_checksum == ref_l2_checksum && l3_checksum == ref_l3_checksum;
@@ -506,6 +610,29 @@ int main(int argc, char** argv) {
       << ", \"probe_stages\": " << obs_context.probe().Stages().size()
       << ",\n  \"probe\": " << obs_context.probe().ToJson()
       << ",\n  \"metrics\": " << obs_metrics_json << "},\n";
+  auto emit_ingest_sample = [&](const char* name, double ms, bool last) {
+    out << "\"" << name << "\": {\"ms\": " << ms << ", \"ns_per_log\": "
+        << ms * 1e6 / static_cast<double>(corpus_logs)
+        << ", \"mb_per_sec\": " << corpus_mb / (ms / 1e3) << "}"
+        << (last ? "" : ", ");
+  };
+  out << "  \"ingest\": {\"logs\": " << corpus_logs
+      << ", \"text_bytes\": " << corpus_text.size()
+      << ", \"columnar_bytes\": " << columnar_bytes.size()
+      << ", \"hardware_concurrency\": " << hardware_concurrency << ",\n    ";
+  emit_ingest_sample("text_decode_serial", text_serial_ms, false);
+  emit_ingest_sample("text_decode_chunked", text_chunked_ms, false);
+  out << "\n    ";
+  emit_ingest_sample("columnar_write", columnar_write_ms, false);
+  emit_ingest_sample("columnar_read", columnar_read_ms, true);
+  out << ",\n    \"chunked_speedup\": " << chunked_speedup
+      << ", \"columnar_read_speedup_vs_text\": " << columnar_read_speedup
+      << ",\n    \"parallel_matches_serial\": "
+      << (parallel_matches_serial ? "true" : "false")
+      << ", \"columnar_roundtrip_ok\": "
+      << (columnar_roundtrip_ok ? "true" : "false")
+      << ", \"autodetect_ok\": " << (autodetect_ok ? "true" : "false")
+      << ", \"columnar_artifact\": \"" << columnar_out << "\"},\n";
   out << "  \"l2_l3_speedup_vs_seed_serial\": {";
   bool first = true;
   for (int threads : kThreadSweep) {

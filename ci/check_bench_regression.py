@@ -25,9 +25,28 @@ installed) may cost at most ``--obs-budget`` (default 3%) over the
 uninstrumented run measured in the same report. Unlike the hot-path
 guards this is not baseline-relative — the budget is the contract.
 
+When the current report carries an ``ingest`` section (the mmap +
+chunked-decode + columnar corpus bench), four more guards apply:
+
+* correctness flags ``parallel_matches_serial``,
+  ``columnar_roundtrip_ok`` and ``autodetect_ok`` must all be true —
+  a fast decode that produces different records must never pass;
+* the columnar re-read must beat the serial text decode of the same
+  corpus by ``--min-columnar-read-speedup`` (default 20x). Both sides
+  are measured in the same run, so the ratio is machine independent;
+* the chunked decode must beat serial by ``--min-chunked-speedup``
+  (default 5x) — but only when the report's
+  ``hardware_concurrency`` is at least ``--multicore-threshold``
+  (default 8) cores, since parallel speedup is physically unobservable
+  on the 1–2-core CI runners. The ratio guards above still hold there;
+* when the baseline also has an ``ingest`` section, the
+  reference-normalized text-decode and columnar-read costs are held to
+  the same ``--tolerance`` growth as the L1 hot path.
+
 Usage: check_bench_regression.py --current BENCH_pipeline.json \
            [--baseline ci/bench_baseline.json] [--tolerance 0.20] \
-           [--obs-budget 0.03]
+           [--obs-budget 0.03] [--min-columnar-read-speedup 20] \
+           [--min-chunked-speedup 5] [--multicore-threshold 8]
 """
 
 import argparse
@@ -52,12 +71,23 @@ def sweep_cost(report: dict) -> float:
     return report["sweep"]["ms"] / reference_ms
 
 
+def ingest_cost(report: dict, sample: str) -> float:
+    """Normalized ingest cost: ns/log of one sample over the reference."""
+    reference_ms = report["seed_reference_serial"]["l2_plus_l3_ms"]
+    if reference_ms <= 0:
+        raise SystemExit("baseline reference time is not positive")
+    return report["ingest"][sample]["ns_per_log"] / reference_ms
+
+
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--current", required=True)
     parser.add_argument("--baseline", default="ci/bench_baseline.json")
     parser.add_argument("--tolerance", type=float, default=0.20)
     parser.add_argument("--obs-budget", type=float, default=0.03)
+    parser.add_argument("--min-columnar-read-speedup", type=float, default=20.0)
+    parser.add_argument("--min-chunked-speedup", type=float, default=5.0)
+    parser.add_argument("--multicore-threshold", type=int, default=8)
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -132,6 +162,65 @@ def main() -> int:
                     f"telemetry overhead {overhead * 100.0:.2f}% exceeds "
                     f"the {args.obs_budget * 100.0:.0f}% budget"
                 )
+
+    # Ingest section: correctness flags, machine-independent speedup
+    # ratios, and baseline-relative normalized throughput.
+    ingest = current.get("ingest")
+    if ingest is not None:
+        for flag in ("parallel_matches_serial", "columnar_roundtrip_ok",
+                     "autodetect_ok"):
+            if not ingest.get(flag):
+                failures.append(f"ingest.{flag} is false")
+
+        columnar_speedup = ingest.get("columnar_read_speedup_vs_text", 0.0)
+        print(
+            f"ingest.columnar_read_speedup_vs_text: {columnar_speedup:.1f}x "
+            f"(minimum {args.min_columnar_read_speedup:.0f}x)"
+        )
+        if columnar_speedup < args.min_columnar_read_speedup:
+            failures.append(
+                f"columnar re-read is only {columnar_speedup:.1f}x faster "
+                f"than the serial text decode, expected >= "
+                f"{args.min_columnar_read_speedup:.0f}x"
+            )
+
+        cores = ingest.get("hardware_concurrency", 1)
+        chunked_speedup = ingest.get("chunked_speedup", 0.0)
+        if cores >= args.multicore_threshold:
+            print(
+                f"ingest.chunked_speedup: {chunked_speedup:.1f}x on {cores} "
+                f"cores (minimum {args.min_chunked_speedup:.0f}x)"
+            )
+            if chunked_speedup < args.min_chunked_speedup:
+                failures.append(
+                    f"chunked decode is only {chunked_speedup:.1f}x faster "
+                    f"than serial on {cores} cores, expected >= "
+                    f"{args.min_chunked_speedup:.0f}x"
+                )
+        else:
+            print(
+                f"ingest.chunked_speedup: {chunked_speedup:.1f}x on {cores} "
+                f"core(s) — below the {args.multicore_threshold}-core "
+                f"threshold, speedup floor not enforced"
+            )
+
+        if "ingest" in baseline:
+            for sample in ("text_decode_serial", "columnar_read"):
+                base_cost = ingest_cost(baseline, sample)
+                cur_cost = ingest_cost(current, sample)
+                sample_growth = cur_cost / base_cost - 1.0
+                print(
+                    f"ingest.{sample}.ns_per_log (reference-normalized): "
+                    f"baseline {base_cost:.4f}, current {cur_cost:.4f}, "
+                    f"growth {sample_growth * 100.0:+.1f}% "
+                    f"(tolerance {args.tolerance * 100.0:.0f}%)"
+                )
+                if sample_growth > args.tolerance:
+                    failures.append(
+                        f"normalized ingest.{sample} cost regressed "
+                        f"{sample_growth * 100.0:.1f}% > "
+                        f"{args.tolerance * 100.0:.0f}%"
+                    )
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -1,6 +1,8 @@
 #include "core/pipeline.h"
 
 #include <chrono>
+
+#include "log/corpus_io.h"
 #include <exception>
 #include <functional>
 #include <string>
@@ -178,6 +180,13 @@ Result<PipelineResult> MiningPipeline::Run(const LogStore& store, TimeMs begin,
     out.metrics = obs_context->metrics().Snapshot();
   }
   return out;
+}
+
+Result<PipelineResult> MiningPipeline::RunFromCorpusFile(
+    const std::string& path, const CancelToken* cancel,
+    obs::ObsContext* obs_context) const {
+  LOGMINE_ASSIGN_OR_RETURN(LogStore store, ReadCorpusFile(path));
+  return Run(store, store.min_ts(), store.max_ts() + 1, cancel, obs_context);
 }
 
 }  // namespace logmine::core

@@ -101,6 +101,15 @@ class MiningPipeline {
                              const CancelToken* cancel = nullptr,
                              obs::ObsContext* obs_context = nullptr) const;
 
+  /// Convenience fast path: loads `path` via `ReadCorpusFile` — format
+  /// autodetection (binary columnar or text) and parallel chunked text
+  /// decode included — then runs over the corpus's whole time interval.
+  /// The load shares the run's fail-safe story: a corpus that fails to
+  /// read returns its read error here, before any miner starts.
+  Result<PipelineResult> RunFromCorpusFile(
+      const std::string& path, const CancelToken* cancel = nullptr,
+      obs::ObsContext* obs_context = nullptr) const;
+
   const PipelineConfig& config() const { return config_; }
   const ServiceVocabulary& vocabulary() const { return vocabulary_; }
 

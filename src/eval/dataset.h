@@ -42,7 +42,21 @@ struct Dataset {
 struct DatasetConfig {
   sim::HugScenarioConfig scenario;
   sim::SimulationConfig simulation;
+  /// When non-empty, the simulated corpus and its summary are cached at
+  /// this path in the binary columnar format (log/columnar.h) with a
+  /// fingerprint of this whole config embedded. A later BuildDataset
+  /// with an identical config loads the corpus from the cache instead of
+  /// re-running the simulator — the expensive step — and is bit-identical
+  /// to a fresh build. A stale, corrupt or missing cache is rebuilt and
+  /// rewritten (atomically); it is never trusted on a fingerprint
+  /// mismatch.
+  std::string corpus_cache_path;
 };
+
+/// Deterministic fingerprint of every field of `config` that shapes the
+/// simulated corpus (excluding `corpus_cache_path` itself) — the cache
+/// key of `BuildDataset`'s corpus cache.
+uint64_t DatasetFingerprint(const DatasetConfig& config);
 
 /// Extracts the L3 matching vocabulary from a simulated directory.
 core::ServiceVocabulary VocabularyFrom(const sim::ServiceDirectory& directory);

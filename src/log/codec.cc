@@ -1,8 +1,11 @@
 #include "log/codec.h"
 
+#include <algorithm>
 #include <array>
+#include <iterator>
 
 #include "obs/obs.h"
+#include "util/executor.h"
 #include "util/string_util.h"
 
 namespace logmine {
@@ -251,19 +254,43 @@ Result<std::vector<LogRecord>> LineCodec::DecodeAll(std::string_view text) {
 
 namespace {
 
-// The decode loop proper, tallying into a fresh per-call report so the
-// budget check judges this input alone even when the caller's stats
-// carry counts from earlier calls.
-Result<std::vector<LogRecord>> DecodeAllImpl(std::string_view text,
-                                             const DecodeOptions& options,
-                                             IngestStats* tally) {
-  std::vector<LogRecord> out;
+// One chunk's decode output, with chunk-local line numbers and byte
+// offsets; the merge below rebases them into global coordinates. Keeping
+// everything per-chunk (including the fail-fast failure, recorded rather
+// than returned early) is what makes the merged result byte-identical to
+// the serial decode for any chunk count.
+struct ChunkOutcome {
+  std::vector<LogRecord> records;
+  IngestStats tally;
+  /// Physical lines the chunk spans (newline-terminated lines, plus an
+  /// unterminated final line) — the rebase amount for the next chunk's
+  /// line numbers.
+  size_t physical_lines = 0;
+  bool failed = false;       ///< kFailFast hit a malformed line
+  size_t fail_line = 0;      ///< 1-based, chunk-local
+  size_t fail_offset = 0;    ///< chunk-local byte offset
+  std::string fail_message;  ///< the per-line decode error
+};
+
+// The decode loop proper over one chunk. `allow_truncated_tail` is the
+// lenient-tail option scoped to the chunk holding the buffer's final
+// bytes — interior chunks always end at a newline so the condition could
+// not fire there anyway, but scoping it keeps that an invariant rather
+// than a coincidence. No budget judgement here: the budget is a
+// whole-buffer property, applied once after the merge.
+void DecodeChunk(std::string_view text, const DecodeOptions& options,
+                 bool allow_truncated_tail, ChunkOutcome* out) {
+  IngestStats* tally = &out->tally;
   size_t line_no = 0;
   size_t start = 0;
   while (start <= text.size()) {
     size_t end = text.find('\n', start);
     if (end == std::string_view::npos) end = text.size();
     std::string_view line = text.substr(start, end - start);
+    // The empty view after a trailing newline is an artifact of the
+    // scan, not a physical line; it must not shift later chunks' line
+    // numbers.
+    if (start < text.size()) ++out->physical_lines;
     ++line_no;
     if (!Trim(line).empty()) {
       ++tally->lines_total;
@@ -271,14 +298,14 @@ Result<std::vector<LogRecord>> DecodeAllImpl(std::string_view text,
       auto record = LineCodec::Decode(line, &error_class);
       if (record.ok()) {
         ++tally->records_decoded;
-        out.push_back(std::move(record).value());
+        out->records.push_back(std::move(record).value());
       } else {
         // A malformed line that runs to the end of the buffer with no
         // terminating newline is, under the lenient-tail option,
         // presumed cut off mid-write: it gets its own class and is
         // quarantined under either policy.
         const bool truncated_tail =
-            options.lenient_truncated_tail && end == text.size();
+            allow_truncated_tail && end == text.size();
         if (truncated_tail) error_class = IngestErrorClass::kTruncatedLine;
         ++tally->lines_quarantined;
         ++tally->by_class[static_cast<size_t>(error_class)];
@@ -288,15 +315,109 @@ Result<std::vector<LogRecord>> DecodeAllImpl(std::string_view text,
                                     std::string(line)});
         }
         if (options.policy == DecodePolicy::kFailFast && !truncated_tail) {
-          return Status::ParseError("line " + std::to_string(line_no) +
-                                    " (byte " + std::to_string(start) +
-                                    "): " + record.status().message());
+          out->failed = true;
+          out->fail_line = line_no;
+          out->fail_offset = start;
+          out->fail_message = record.status().message();
+          return;
         }
       }
     }
     if (end == text.size()) break;
     start = end + 1;
   }
+}
+
+// Splits `text` into at most `target` pieces whose boundaries sit just
+// past a newline, so every line lives wholly inside one chunk. The
+// boundaries depend only on (text, target) — never on scheduling — which
+// is one half of what makes the parallel decode deterministic (the other
+// half is the in-order merge below).
+std::vector<std::string_view> SplitAtLineBoundaries(std::string_view text,
+                                                    size_t target) {
+  std::vector<std::string_view> chunks;
+  size_t start = 0;
+  for (size_t i = 1; i < target && start < text.size(); ++i) {
+    const size_t nominal = text.size() * i / target;
+    if (nominal <= start) continue;  // a long line swallowed this boundary
+    const size_t nl = text.find('\n', nominal);
+    if (nl == std::string_view::npos) break;  // tail is one final chunk
+    chunks.push_back(text.substr(start, nl + 1 - start));
+    start = nl + 1;
+  }
+  chunks.push_back(text.substr(start));
+  return chunks;
+}
+
+size_t EffectiveChunks(const DecodeOptions& options, size_t text_size) {
+  if (options.num_chunks == 1) return 1;
+  if (options.num_chunks > 1) return static_cast<size_t>(options.num_chunks);
+  // Auto: one chunk per pool thread (workers + the calling thread),
+  // floored so each chunk spans enough bytes to amortize the fan-out.
+  constexpr size_t kMinChunkBytes = 64 * 1024;
+  const size_t pool =
+      static_cast<size_t>(Executor::Shared().num_workers()) + 1;
+  const size_t cap = std::max<size_t>(size_t{1}, text_size / kMinChunkBytes);
+  return std::min(pool, cap);
+}
+
+// Splits, decodes every chunk (concurrently when more than one), and
+// merges outcomes in index order into `tally` / the returned records.
+// The merged records, stats, samples (with rebased line numbers and byte
+// offsets), budget judgement and fail-fast error are identical to a
+// single-chunk decode of the same buffer: in fail-fast mode every chunk
+// before the first failed one is clean, so merging clean chunks in order
+// and stopping at the failure reproduces the serial scan's stats exactly.
+Result<std::vector<LogRecord>> DecodeAllImpl(std::string_view text,
+                                             const DecodeOptions& options,
+                                             IngestStats* tally) {
+  const size_t target = EffectiveChunks(options, text.size());
+  const std::vector<std::string_view> chunks =
+      SplitAtLineBoundaries(text, target);
+  std::vector<ChunkOutcome> outcomes(chunks.size());
+  if (chunks.size() == 1) {
+    DecodeChunk(chunks[0], options, options.lenient_truncated_tail,
+                &outcomes[0]);
+  } else {
+    obs::Count(obs::Metric::kIngestParallelDecodes);
+    Executor::Shared().ParallelFor(chunks.size(), [&](size_t i) {
+      DecodeChunk(chunks[i], options,
+                  options.lenient_truncated_tail && i + 1 == chunks.size(),
+                  &outcomes[i]);
+    });
+  }
+  obs::Count(obs::Metric::kIngestChunksDecoded,
+             static_cast<int64_t>(chunks.size()));
+
+  std::vector<LogRecord> out;
+  size_t total_records = 0;
+  for (const ChunkOutcome& outcome : outcomes) {
+    total_records += outcome.records.size();
+  }
+  out.reserve(total_records);
+  size_t line_base = 0;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ChunkOutcome& outcome = outcomes[i];
+    const size_t byte_base =
+        static_cast<size_t>(chunks[i].data() - text.data());
+    for (QuarantinedLine& sample : outcome.tally.samples) {
+      sample.line_number += line_base;
+      sample.byte_offset += byte_base;
+    }
+    tally->MergeFrom(outcome.tally, options.max_samples);
+    out.insert(out.end(), std::make_move_iterator(outcome.records.begin()),
+               std::make_move_iterator(outcome.records.end()));
+    if (outcome.failed) {
+      // Later chunks' work (if any ran) is discarded unmerged, exactly
+      // as if the serial scan had stopped at this line.
+      return Status::ParseError(
+          "line " + std::to_string(line_base + outcome.fail_line) +
+          " (byte " + std::to_string(byte_base + outcome.fail_offset) +
+          "): " + outcome.fail_message);
+    }
+    line_base += outcome.physical_lines;
+  }
+
   // The budget judges *interior* damage; a lenient truncated tail is
   // expected operational wear (at most one line) and never tips a file
   // over it.

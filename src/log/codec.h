@@ -57,6 +57,17 @@ struct DecodeOptions {
   /// line instead of the whole file. Interior damage still fails or
   /// quarantines exactly as before.
   bool lenient_truncated_tail = false;
+  /// Number of chunks a `DecodeAll` buffer is split into (at newline
+  /// boundaries) and decoded concurrently on the shared executor pool.
+  /// 0 (the default) = one chunk per pool thread, floored so every chunk
+  /// spans at least ~64 KiB — small buffers stay serial; 1 = strictly
+  /// serial on the caller; n = exactly n chunks regardless of size.
+  /// The decoded records, `IngestStats` (counts, per-class tallies,
+  /// first-K samples with their line numbers and byte offsets), error
+  /// budget judgement, and any fail-fast error are byte-identical for
+  /// every chunk count: per-chunk results merge in index order, the same
+  /// deterministic-merge discipline as the sharded miner counters.
+  int num_chunks = 0;
 };
 
 /// One quarantined line, kept for the first-K sample in `IngestStats`.

@@ -1,46 +1,26 @@
 #include "log/corpus_io.h"
 
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <string_view>
 
 #include "log/codec.h"
+#include "log/columnar.h"
+#include "util/mmap_file.h"
+#include "util/snapshot.h"
 
 namespace logmine {
 
 Status WriteCorpusFile(const LogStore& store, const std::string& path) {
-  // Write to a sibling temp file and rename into place: rename within a
-  // directory is atomic, so readers never observe a truncated corpus.
-  const std::string tmp_path = path + ".tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::trunc);
-    if (!out) {
-      return Status::InvalidArgument("cannot open for writing: " + tmp_path);
-    }
-    auto write_record = [&out](const LogRecord& record) {
-      out << LineCodec::Encode(record) << '\n';
-    };
-    if (store.index_built()) {
-      for (uint32_t idx : store.TimeOrder()) write_record(store.GetRecord(idx));
-    } else {
-      for (size_t i = 0; i < store.size(); ++i)
-        write_record(store.GetRecord(i));
-    }
-    out.flush();
-    if (!out) {
-      out.close();
-      std::remove(tmp_path.c_str());
-      return Status::Internal("write failed: " + tmp_path);
-    }
+  std::string out;
+  auto write_record = [&out, &store](size_t i) {
+    out += LineCodec::Encode(store.GetRecord(i));
+    out += '\n';
+  };
+  if (store.index_built()) {
+    for (uint32_t idx : store.TimeOrder()) write_record(idx);
+  } else {
+    for (size_t i = 0; i < store.size(); ++i) write_record(i);
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp_path, path, ec);
-  if (ec) {
-    std::remove(tmp_path.c_str());
-    return Status::Internal("rename to " + path + " failed: " + ec.message());
-  }
-  return Status::OK();
+  return WriteFileAtomic(path, out);
 }
 
 Result<LogStore> ReadCorpusFile(const std::string& path) {
@@ -50,23 +30,22 @@ Result<LogStore> ReadCorpusFile(const std::string& path) {
 Result<LogStore> ReadCorpusFile(const std::string& path,
                                 const DecodeOptions& options,
                                 IngestStats* stats) {
-  std::ifstream in(path);
-  if (!in) {
-    return Status::NotFound("cannot open for reading: " + path);
+  LOGMINE_ASSIGN_OR_RETURN(MmapFile file, MmapFile::Open(path));
+  const std::string_view text = file.view();
+  if (LooksColumnar(text)) {
+    LOGMINE_ASSIGN_OR_RETURN(LogStore store, ReadColumnarFile(path));
+    store.BuildIndex();
+    return store;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
   // Files are where a writer can die mid-line (foreign corpora, live
   // tails); tolerate exactly that and nothing more. In-memory decodes
   // via DecodeAll keep the strict default.
   DecodeOptions file_options = options;
   file_options.lenient_truncated_tail = true;
-  auto records = LineCodec::DecodeAll(buffer.str(), file_options, stats);
+  auto records = LineCodec::DecodeAll(text, file_options, stats);
   if (!records.ok()) return records.status();
   LogStore store;
-  for (const LogRecord& record : records.value()) {
-    LOGMINE_RETURN_IF_ERROR(store.Append(record));
-  }
+  LOGMINE_RETURN_IF_ERROR(store.AppendBatch(records.value()));
   store.BuildIndex();
   return store;
 }

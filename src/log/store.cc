@@ -33,9 +33,125 @@ Status LogStore::Append(const LogRecord& record) {
   user_ids_.push_back(record.user.empty()
                           ? kNoUser
                           : Intern(record.user, &user_names_, &user_index_));
-  messages_.push_back(record.message);
+  message_data_ += record.message;
+  message_ends_.push_back(message_data_.size());
   index_built_ = false;
   return Status::OK();
+}
+
+void LogStore::Reserve(size_t additional, size_t message_bytes) {
+  const size_t total = size() + additional;
+  client_ts_.reserve(total);
+  server_ts_.reserve(total);
+  severity_.reserve(total);
+  source_ids_.reserve(total);
+  host_ids_.reserve(total);
+  user_ids_.reserve(total);
+  message_ends_.reserve(total);
+  if (message_bytes > 0) {
+    message_data_.reserve(message_data_.size() + message_bytes);
+  }
+}
+
+Status LogStore::AppendBatch(std::span<const LogRecord> records) {
+  size_t message_bytes = 0;
+  for (const LogRecord& record : records) {
+    message_bytes += record.message.size();
+  }
+  Reserve(records.size(), message_bytes);
+  for (const LogRecord& record : records) {
+    if (Status s = Append(record); !s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Result<LogStore> LogStore::FromColumns(Columns&& columns) {
+  const size_t n = columns.client_ts.size();
+  if (columns.server_ts.size() != n || columns.severity.size() != n ||
+      columns.source_ids.size() != n || columns.host_ids.size() != n ||
+      columns.user_ids.size() != n ||
+      (!columns.message_ends.empty() && columns.message_ends.size() != n)) {
+    return Status::InvalidArgument("ragged columns: record vectors disagree");
+  }
+  if (columns.message_ends.empty()) {
+    if (!columns.message_data.empty()) {
+      return Status::InvalidArgument(
+          "message arena without message offsets");
+    }
+  } else {
+    size_t prev_end = 0;
+    for (size_t end : columns.message_ends) {
+      if (end < prev_end) {
+        return Status::InvalidArgument("message offsets not monotone");
+      }
+      prev_end = end;
+    }
+    if (prev_end != columns.message_data.size()) {
+      return Status::InvalidArgument(
+          "message offsets disagree with the arena size");
+    }
+  }
+  LogStore store;
+  auto build_index =
+      [](const std::vector<std::string>& names, std::string_view what,
+         bool allow_empty,
+         std::map<std::string, uint32_t, std::less<>>* index) -> Status {
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (!allow_empty && names[i].empty()) {
+        return Status::InvalidArgument("empty " + std::string(what) +
+                                       " dictionary entry");
+      }
+      if (!index->emplace(names[i], static_cast<uint32_t>(i)).second) {
+        return Status::InvalidArgument("duplicate " + std::string(what) +
+                                       " dictionary entry: " + names[i]);
+      }
+    }
+    return Status::OK();
+  };
+  if (Status s = build_index(columns.source_names, "source", false,
+                             &store.source_index_);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s =
+          build_index(columns.host_names, "host", false, &store.host_index_);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s =
+          build_index(columns.user_names, "user", false, &store.user_index_);
+      !s.ok()) {
+    return s;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (columns.source_ids[i] >= columns.source_names.size()) {
+      return Status::InvalidArgument("source id out of range at record " +
+                                     std::to_string(i));
+    }
+    if (columns.host_ids[i] != kNoHost &&
+        columns.host_ids[i] >= columns.host_names.size()) {
+      return Status::InvalidArgument("host id out of range at record " +
+                                     std::to_string(i));
+    }
+    if (columns.user_ids[i] != kNoUser &&
+        columns.user_ids[i] >= columns.user_names.size()) {
+      return Status::InvalidArgument("user id out of range at record " +
+                                     std::to_string(i));
+    }
+  }
+  store.client_ts_ = std::move(columns.client_ts);
+  store.server_ts_ = std::move(columns.server_ts);
+  store.severity_ = std::move(columns.severity);
+  store.source_ids_ = std::move(columns.source_ids);
+  store.host_ids_ = std::move(columns.host_ids);
+  store.user_ids_ = std::move(columns.user_ids);
+  store.message_data_ = std::move(columns.message_data);
+  store.message_ends_ = std::move(columns.message_ends);
+  if (store.message_ends_.empty()) store.message_ends_.assign(n, 0);
+  store.source_names_ = std::move(columns.source_names);
+  store.host_names_ = std::move(columns.host_names);
+  store.user_names_ = std::move(columns.user_names);
+  return store;
 }
 
 LogRecord LogStore::GetRecord(size_t i) const {
@@ -46,7 +162,7 @@ LogRecord LogStore::GetRecord(size_t i) const {
   record.source = source_names_[source_ids_[i]];
   if (host_ids_[i] != kNoHost) record.host = host_names_[host_ids_[i]];
   if (user_ids_[i] != kNoUser) record.user = user_names_[user_ids_[i]];
-  record.message = messages_[i];
+  record.message = message(i);
   return record;
 }
 

@@ -45,6 +45,46 @@ class LogStore {
   /// Invalidates indexes built earlier.
   Status Append(const LogRecord& record);
 
+  /// Pre-sizes every column for `additional` more records (and, when
+  /// `message_bytes` is known, the message arena), so a bulk ingest of
+  /// known size pays one allocation per column instead of a doubling
+  /// cascade.
+  void Reserve(size_t additional, size_t message_bytes = 0);
+
+  /// Appends a whole batch (reserving up front). Stops at the first
+  /// invalid record — earlier records stay appended, mirroring a loop
+  /// of `Append` calls. Invalidates indexes built earlier.
+  Status AppendBatch(std::span<const LogRecord> records);
+
+  /// Raw column material for `FromColumns` — the zero-parse bulk-load
+  /// path of the binary columnar corpus reader. All record vectors must
+  /// share one length; ids must index into the dictionaries, with
+  /// kNoHost / kNoUser as the only out-of-range values allowed.
+  /// Message text arrives as one arena (`message_data`) plus the
+  /// end offset of each record's message (`message_ends`, one entry per
+  /// record, non-decreasing, last == message_data.size()); both may be
+  /// left empty when the caller skipped the text column. Dictionary
+  /// names must be unique; sources non-empty.
+  struct Columns {
+    std::vector<TimeMs> client_ts;
+    std::vector<TimeMs> server_ts;
+    std::vector<Severity> severity;
+    std::vector<SourceId> source_ids;
+    std::vector<HostId> host_ids;
+    std::vector<UserId> user_ids;
+    std::string message_data;
+    std::vector<size_t> message_ends;
+    std::vector<std::string> source_names;
+    std::vector<std::string> host_names;
+    std::vector<std::string> user_names;
+  };
+
+  /// Builds a store directly from column material, validating shape and
+  /// id ranges and rebuilding the intern maps — no per-record parse or
+  /// re-intern. InvalidArgument on any inconsistency (ragged columns,
+  /// id out of range, duplicate or empty dictionary names).
+  static Result<LogStore> FromColumns(Columns&& columns);
+
   /// Number of records.
   size_t size() const { return client_ts_.size(); }
   bool empty() const { return client_ts_.empty(); }
@@ -56,7 +96,11 @@ class LogStore {
   SourceId source_id(size_t i) const { return source_ids_[i]; }
   HostId host_id(size_t i) const { return host_ids_[i]; }
   UserId user_id(size_t i) const { return user_ids_[i]; }
-  std::string_view message(size_t i) const { return messages_[i]; }
+  std::string_view message(size_t i) const {
+    const size_t begin = i == 0 ? 0 : message_ends_[i - 1];
+    return std::string_view(message_data_)
+        .substr(begin, message_ends_[i] - begin);
+  }
 
   /// Reassembles a full record (copying strings).
   LogRecord GetRecord(size_t i) const;
@@ -115,7 +159,11 @@ class LogStore {
   std::vector<SourceId> source_ids_;
   std::vector<HostId> host_ids_;
   std::vector<UserId> user_ids_;
-  std::vector<std::string> messages_;
+  // Message text lives in one arena: record i's message is
+  // message_data_[end(i-1), end(i)). One allocation for the whole
+  // corpus instead of one std::string per record.
+  std::string message_data_;
+  std::vector<size_t> message_ends_;
 
   std::vector<std::string> source_names_;
   std::map<std::string, uint32_t, std::less<>> source_index_;

@@ -30,6 +30,13 @@ constexpr MetricDef kMetricDefs[] = {
     {"ingest.quarantined.empty_source", MetricKind::kCounter},
     {"ingest.quarantined.truncated_line", MetricKind::kCounter},
     {"ingest.decode_ns", MetricKind::kHistogram},
+    {"ingest.parallel_decodes", MetricKind::kCounter},
+    {"ingest.chunks_decoded", MetricKind::kCounter},
+    {"ingest.columnar_reads", MetricKind::kCounter},
+    {"ingest.columnar_writes", MetricKind::kCounter},
+    {"ingest.columnar_bytes_read", MetricKind::kCounter},
+    {"ingest.columnar_read_ns", MetricKind::kHistogram},
+    {"ingest.columnar_write_ns", MetricKind::kHistogram},
     {"store.index_builds", MetricKind::kCounter},
     {"store.records_indexed", MetricKind::kCounter},
     {"store.index_build_ns", MetricKind::kHistogram},

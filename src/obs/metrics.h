@@ -49,6 +49,15 @@ enum class Metric : uint32_t {
   kIngestQuarantinedEmptySource,
   kIngestQuarantinedTruncatedLine,
   kIngestDecodeNs,
+  // Parallel chunked decode (log/codec.cc) and the binary columnar
+  // corpus format (log/columnar.cc).
+  kIngestParallelDecodes,
+  kIngestChunksDecoded,
+  kIngestColumnarReads,
+  kIngestColumnarWrites,
+  kIngestColumnarBytesRead,
+  kIngestColumnarReadNs,
+  kIngestColumnarWriteNs,
   // --- log store (log/store.cc) ---
   kStoreIndexBuilds,
   kStoreRecordsIndexed,

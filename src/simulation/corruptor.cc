@@ -1,10 +1,13 @@
 #include "simulation/corruptor.h"
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <utility>
 #include <vector>
 
+#include "util/snapshot.h"
 #include "util/string_util.h"
 
 namespace logmine::sim {
@@ -205,6 +208,128 @@ std::string CorruptCorpusText(std::string_view clean_text,
     for (int c = 0; c < extra_copies[i]; ++c) emit(lines[i]);
   }
   return out;
+}
+
+namespace {
+
+// Container-structure walk (the layout of util/snapshot.h): returns the
+// [offset, length) of `name`'s payload, or 0-length when absent. Walking
+// the real section headers instead of string-searching the name keeps a
+// message that *contains* "cdict" from fooling the fault injector.
+std::pair<size_t, size_t> FindSectionPayload(std::string_view bytes,
+                                             std::string_view name) {
+  if (bytes.size() < 16) return {0, 0};
+  size_t pos = 8;                          // past container magic+version
+  const size_t footer_at = bytes.size() - 8;
+  while (pos + 4 <= footer_at) {
+    uint32_t name_len;
+    std::memcpy(&name_len, bytes.data() + pos, 4);
+    pos += 4;
+    if (footer_at - pos < name_len + 8) return {0, 0};
+    const std::string_view section_name = bytes.substr(pos, name_len);
+    pos += name_len;
+    uint64_t payload_len;
+    std::memcpy(&payload_len, bytes.data() + pos, 8);
+    pos += 8;
+    if (payload_len > footer_at - pos) return {0, 0};
+    if (section_name == name) {
+      return {pos, static_cast<size_t>(payload_len)};
+    }
+    pos += static_cast<size_t>(payload_len);
+  }
+  return {0, 0};
+}
+
+}  // namespace
+
+std::string_view ColumnarFaultKindName(ColumnarFaultKind kind) {
+  switch (kind) {
+    case ColumnarFaultKind::kCorruptDictionaryEntry:
+      return "CorruptDictionaryEntry";
+    case ColumnarFaultKind::kTruncatedColumnBlock:
+      return "TruncatedColumnBlock";
+  }
+  return "Unknown";
+}
+
+Result<std::string> CorruptColumnarBytes(std::string_view clean_bytes,
+                                         ColumnarFaultKind kind, Rng* rng,
+                                         ColumnarFaultReport* report) {
+  // Refuse to double-corrupt, mirroring CorruptCorpusText: the fault
+  // must be the only defect, so the detection it triggers is
+  // attributable.
+  if (auto parsed = SnapshotReader::Parse(std::string(clean_bytes));
+      !parsed.ok()) {
+    return Status::InvalidArgument("input is not a clean columnar corpus: " +
+                                   parsed.status().message());
+  }
+  ColumnarFaultReport local;
+  ColumnarFaultReport* out_report = report != nullptr ? report : &local;
+  *out_report = ColumnarFaultReport{};
+  out_report->kind = kind;
+  std::string out(clean_bytes);
+  switch (kind) {
+    case ColumnarFaultKind::kCorruptDictionaryEntry: {
+      const auto [offset, length] = FindSectionPayload(out, "cdict");
+      if (length == 0) {
+        return Status::InvalidArgument(
+            "columnar corpus has no dictionary section");
+      }
+      // Flip a short span inside the dictionary payload. The container
+      // CRC no longer matches, so a read fails up front instead of
+      // serving records under a damaged source/host/user name.
+      const auto span = static_cast<size_t>(
+          rng->UniformInt(1, static_cast<int64_t>(std::min<size_t>(length, 4))));
+      const auto at = offset + static_cast<size_t>(rng->UniformInt(
+                                   0, static_cast<int64_t>(length - span)));
+      for (size_t p = at; p < at + span; ++p) {
+        out[p] = static_cast<char>(out[p] ^ 0x5A);
+      }
+      out_report->offset = at;
+      out_report->bytes_affected = span;
+      break;
+    }
+    case ColumnarFaultKind::kTruncatedColumnBlock: {
+      const auto [offset, length] = FindSectionPayload(out, "ctime");
+      if (length == 0) {
+        return Status::InvalidArgument(
+            "columnar corpus has no time column section");
+      }
+      // Cut the file inside the first column block: everything from the
+      // footer back into the timestamp column is gone, the footer magic
+      // with it — exactly what a torn write or truncated device yields.
+      const auto cut = offset + static_cast<size_t>(rng->UniformInt(
+                                    0, static_cast<int64_t>(length) - 1));
+      out_report->offset = cut;
+      out_report->bytes_affected = out.size() - cut;
+      out.resize(cut);
+      break;
+    }
+  }
+  return out;
+}
+
+Status CorruptColumnarFile(const std::string& input_path,
+                           const std::string& output_path,
+                           ColumnarFaultKind kind, Rng* rng,
+                           ColumnarFaultReport* report) {
+  std::ifstream in(input_path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open for reading: " + input_path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  LOGMINE_ASSIGN_OR_RETURN(
+      std::string corrupted,
+      CorruptColumnarBytes(buffer.str(), kind, rng, report));
+  std::ofstream out(output_path, std::ios::trunc | std::ios::binary);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + output_path);
+  }
+  out << corrupted;
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + output_path);
+  return Status::OK();
 }
 
 Status CorruptCorpusFile(const std::string& input_path,

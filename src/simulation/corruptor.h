@@ -84,6 +84,47 @@ Status CorruptCorpusFile(const std::string& input_path,
                          const CorruptorConfig& config, Rng* rng,
                          CorruptionReport* report = nullptr);
 
+/// Faults specific to the *binary columnar* corpus format
+/// (log/columnar.h). Text corpora degrade line by line; a columnar file
+/// is one CRC-protected container, so its failure contract is all or
+/// nothing: every kind here must turn a later read into a ParseError —
+/// never silently wrong records. Tests assert exactly that (the
+/// detection guarantee), not partial recovery.
+enum class ColumnarFaultKind {
+  /// Bytes flipped inside the dictionary section ("cdict") — interned
+  /// source/host/user names damaged at rest.
+  kCorruptDictionaryEntry = 0,
+  /// The file cut short inside a column section — a partial write that
+  /// somehow bypassed the atomic-rename discipline, or media truncation.
+  kTruncatedColumnBlock,
+};
+inline constexpr size_t kNumColumnarFaultKinds = 2;
+
+/// Stable human-readable name (e.g. "CorruptDictionaryEntry").
+std::string_view ColumnarFaultKindName(ColumnarFaultKind kind);
+
+/// Where a columnar fault landed.
+struct ColumnarFaultReport {
+  ColumnarFaultKind kind = ColumnarFaultKind::kCorruptDictionaryEntry;
+  size_t offset = 0;          ///< first damaged byte in the file
+  size_t bytes_affected = 0;  ///< flipped span, or bytes cut off the tail
+};
+
+/// Injects one fault of `kind` into an encoded columnar corpus,
+/// deterministically in the Rng. InvalidArgument when `clean_bytes` is
+/// not a parseable columnar container (the corruptor refuses to
+/// double-corrupt, mirroring `CorruptCorpusText`) or lacks the section
+/// the kind targets.
+Result<std::string> CorruptColumnarBytes(std::string_view clean_bytes,
+                                         ColumnarFaultKind kind, Rng* rng,
+                                         ColumnarFaultReport* report = nullptr);
+
+/// File-to-file convenience wrapper around `CorruptColumnarBytes`.
+Status CorruptColumnarFile(const std::string& input_path,
+                           const std::string& output_path,
+                           ColumnarFaultKind kind, Rng* rng,
+                           ColumnarFaultReport* report = nullptr);
+
 }  // namespace logmine::sim
 
 #endif  // LOGMINE_SIMULATION_CORRUPTOR_H_

@@ -1,0 +1,49 @@
+#ifndef LOGMINE_UTIL_MMAP_FILE_H_
+#define LOGMINE_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace logmine {
+
+/// Read-only memory-mapped view of a whole file — the zero-copy ingest
+/// path: the decoder parses straight out of the page cache instead of
+/// draining the file through a stream into a heap buffer first.
+///
+/// Movable, not copyable; unmaps on destruction. An empty file maps to
+/// an empty view without calling mmap (POSIX rejects zero-length maps).
+/// The view stays valid for the lifetime of the object; a concurrent
+/// writer mutating the file mid-read is out of contract (corpus writes
+/// are atomic tmp+rename, so readers only ever map complete files).
+class MmapFile {
+ public:
+  /// Maps `path` read-only. NotFound when the file does not exist,
+  /// Internal on any other open/map failure (callers may fall back to
+  /// ReadFileToString).
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  std::string_view view() const {
+    return {static_cast<const char*>(data_), size_};
+  }
+  size_t size() const { return size_; }
+
+ private:
+  void Reset() noexcept;
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace logmine
+
+#endif  // LOGMINE_UTIL_MMAP_FILE_H_

@@ -1,7 +1,12 @@
 #include "util/snapshot.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <array>
+#include <bit>
 #include <cassert>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -16,16 +21,28 @@ namespace {
 constexpr uint32_t kHeaderMagic = 0x4E534D4C;  // "LMSN" little-endian
 constexpr uint32_t kFooterMagic = 0x534E4150;  // "PANS" little-endian
 
-std::array<uint32_t, 256> MakeCrcTable() {
-  std::array<uint32_t, 256> table{};
+// Slice-by-16 CRC-32: sixteen derived tables let the hot loop fold
+// sixteen input bytes per iteration instead of one. Same polynomial,
+// identical output to the classic byte-at-a-time form — only the speed
+// changes (the container CRC is paid on every snapshot, checkpoint and
+// columnar-corpus read, so it sits on the ingest hot path).
+std::array<std::array<uint32_t, 256>, 16> MakeCrcTables() {
+  std::array<std::array<uint32_t, 256>, 16> tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tables[0][i];
+    for (int t = 1; t < 16; ++t) {
+      c = tables[0][c & 0xFF] ^ (c >> 8);
+      tables[t][i] = c;
+    }
+  }
+  return tables;
 }
 
 void AppendU32(std::string* out, uint32_t v) {
@@ -55,10 +72,29 @@ uint64_t LoadU64(const char* p) {
 }  // namespace
 
 uint32_t Crc32(std::string_view bytes) {
-  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  static const std::array<std::array<uint32_t, 256>, 16> tables =
+      MakeCrcTables();
   uint32_t c = 0xFFFFFFFFu;
-  for (unsigned char byte : bytes) {
-    c = table[(c ^ byte) & 0xFF] ^ (c >> 8);
+  const char* p = bytes.data();
+  size_t n = bytes.size();
+  while (std::endian::native == std::endian::little && n >= 16) {
+    uint64_t lo, hi;
+    std::memcpy(&lo, p, 8);
+    std::memcpy(&hi, p + 8, 8);
+    lo ^= c;  // little-endian: the CRC folds into the low four bytes
+    c = tables[15][lo & 0xFF] ^ tables[14][(lo >> 8) & 0xFF] ^
+        tables[13][(lo >> 16) & 0xFF] ^ tables[12][(lo >> 24) & 0xFF] ^
+        tables[11][(lo >> 32) & 0xFF] ^ tables[10][(lo >> 40) & 0xFF] ^
+        tables[9][(lo >> 48) & 0xFF] ^ tables[8][(lo >> 56) & 0xFF] ^
+        tables[7][hi & 0xFF] ^ tables[6][(hi >> 8) & 0xFF] ^
+        tables[5][(hi >> 16) & 0xFF] ^ tables[4][(hi >> 24) & 0xFF] ^
+        tables[3][(hi >> 32) & 0xFF] ^ tables[2][(hi >> 40) & 0xFF] ^
+        tables[1][(hi >> 48) & 0xFF] ^ tables[0][(hi >> 56) & 0xFF];
+    p += 16;
+    n -= 16;
+  }
+  for (; n > 0; ++p, --n) {
+    c = tables[0][(c ^ static_cast<unsigned char>(*p)) & 0xFF] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }
@@ -258,21 +294,35 @@ Result<SectionCursor> SnapshotReader::Section(std::string_view name) const {
                           "'");
 }
 
-Status WriteSnapshotFile(const std::string& path, std::string_view bytes) {
-  LOGMINE_SPAN_GLOBAL("checkpoint/write", obs::Metric::kCheckpointWriteNs);
+Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
   const std::string tmp_path = path + ".tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::trunc | std::ios::binary);
-    if (!out) {
-      return Status::Internal("cannot open for writing: " + tmp_path);
-    }
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) {
-      out.close();
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open for writing: " + tmp_path);
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
       std::remove(tmp_path.c_str());
       return Status::Internal("write failed: " + tmp_path);
     }
+    written += static_cast<size_t>(n);
+  }
+  // Data must be durable *before* the rename publishes the name: a
+  // rename that survives a crash while the bytes do not would present a
+  // torn file under the final path.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(tmp_path.c_str());
+    return Status::Internal("fsync failed: " + tmp_path);
+  }
+  if (::close(fd) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("close failed: " + tmp_path);
   }
   std::error_code ec;
   std::filesystem::rename(tmp_path, path, ec);
@@ -280,6 +330,25 @@ Status WriteSnapshotFile(const std::string& path, std::string_view bytes) {
     std::remove(tmp_path.c_str());
     return Status::Internal("rename to " + path + " failed: " + ec.message());
   }
+  // The rename is a directory mutation; without fsyncing the directory a
+  // crash can forget it, so the caller who saw OK would find the old
+  // file (or nothing) after reboot. Best-effort: a filesystem that
+  // rejects directory fsync (some network mounts) does not fail the
+  // write.
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  const int dir_fd = ::open(dir.empty() ? "." : dir.c_str(),
+                            O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Status::OK();
+}
+
+Status WriteSnapshotFile(const std::string& path, std::string_view bytes) {
+  LOGMINE_SPAN_GLOBAL("checkpoint/write", obs::Metric::kCheckpointWriteNs);
+  if (Status s = WriteFileAtomic(path, bytes); !s.ok()) return s;
   obs::Count(obs::Metric::kCheckpointSnapshotsWritten);
   obs::Count(obs::Metric::kCheckpointBytesWritten,
              static_cast<int64_t>(bytes.size()));

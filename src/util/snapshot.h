@@ -118,10 +118,20 @@ class SnapshotReader {
   std::vector<std::pair<std::string, std::pair<size_t, size_t>>> sections_;
 };
 
-/// Writes `bytes` to `path` atomically (sibling tmp file + rename, the
-/// WriteCorpusFile pattern): a crash mid-write leaves either the old
-/// snapshot or the complete new one at `path`, never a torn file.
-/// Failures are Internal (retryable, see util/retry.h).
+/// Writes `bytes` to `path` atomically and durably: the data goes to a
+/// sibling tmp file which is fsynced, renamed into place, and the parent
+/// directory is fsynced so the rename itself survives a crash (tmp +
+/// rename alone leaves a window where power loss forgets the rename and
+/// resurfaces the old file — or, worse, loses both names). A crash at
+/// any instant leaves either the old file or the complete new one at
+/// `path`, never a torn file and never a stray tmp. Failures are
+/// Internal (retryable, see util/retry.h); the tmp file is removed on
+/// every failure path. The shared crash-safety primitive of
+/// WriteSnapshotFile, WriteCorpusFile and the columnar writer.
+Status WriteFileAtomic(const std::string& path, std::string_view bytes);
+
+/// Writes `bytes` to `path` via `WriteFileAtomic`, recording checkpoint
+/// metrics and spans.
 Status WriteSnapshotFile(const std::string& path, std::string_view bytes);
 
 /// Reads a whole file. NotFound when it does not exist; Internal on I/O

@@ -1,6 +1,11 @@
 #include "eval/dataset.h"
 
+#include <filesystem>
+#include <fstream>
+
 #include <gtest/gtest.h>
+
+#include "log/codec.h"
 
 namespace logmine::eval {
 namespace {
@@ -69,6 +74,78 @@ TEST_F(DatasetTest, StoreIsIndexedAndPopulated) {
   EXPECT_TRUE(dataset_->store.index_built());
   EXPECT_GT(dataset_->store.size(), 5000u);
   EXPECT_EQ(dataset_->store.num_sources(), 54u);
+}
+
+
+class DatasetCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("logmine_dataset_cache_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+    std::filesystem::create_directories(dir_);
+    config_.simulation.num_days = 1;
+    config_.simulation.scale = 0.02;
+    config_.corpus_cache_path = (dir_ / "corpus.lmc").string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+  DatasetConfig config_;
+};
+
+TEST_F(DatasetCacheTest, CachedRebuildIsBitIdentical) {
+  auto first = BuildDataset(config_);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(std::filesystem::exists(config_.corpus_cache_path));
+
+  auto second = BuildDataset(config_);
+  ASSERT_TRUE(second.ok()) << second.status();
+  const Dataset& a = first.value();
+  const Dataset& b = second.value();
+  ASSERT_EQ(a.store.size(), b.store.size());
+  for (size_t i = 0; i < a.store.size(); i += 97) {
+    EXPECT_EQ(LineCodec::Encode(a.store.GetRecord(i)),
+              LineCodec::Encode(b.store.GetRecord(i)));
+  }
+  EXPECT_TRUE(b.store.index_built());
+  EXPECT_EQ(a.summary.total_logs, b.summary.total_logs);
+  EXPECT_EQ(a.summary.logs_per_day, b.summary.logs_per_day);
+  EXPECT_EQ(a.summary.context_logs, b.summary.context_logs);
+  EXPECT_EQ(a.summary.num_identified_sessions,
+            b.summary.num_identified_sessions);
+}
+
+TEST_F(DatasetCacheTest, ConfigChangeInvalidatesTheCache) {
+  auto first = BuildDataset(config_);
+  ASSERT_TRUE(first.ok()) << first.status();
+  DatasetConfig changed = config_;
+  changed.simulation.seed += 1;
+  EXPECT_NE(DatasetFingerprint(config_), DatasetFingerprint(changed));
+  auto second = BuildDataset(changed);
+  ASSERT_TRUE(second.ok()) << second.status();
+  // A different seed simulates a different corpus; a stale-cache hit
+  // would hand back the first one.
+  ASSERT_NE(first.value().store.size(), 0u);
+  ASSERT_NE(second.value().store.size(), 0u);
+  EXPECT_NE(LineCodec::Encode(first.value().store.GetRecord(0)),
+            LineCodec::Encode(second.value().store.GetRecord(0)));
+}
+
+TEST_F(DatasetCacheTest, CorruptCacheFallsBackToSimulation) {
+  auto first = BuildDataset(config_);
+  ASSERT_TRUE(first.ok()) << first.status();
+  {
+    std::ofstream out(config_.corpus_cache_path,
+                      std::ios::binary | std::ios::trunc);
+    out << "LMSNnot really a snapshot";
+  }
+  auto second = BuildDataset(config_);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(first.value().summary.total_logs,
+            second.value().summary.total_logs);
 }
 
 }  // namespace

@@ -201,5 +201,43 @@ TEST_F(CorpusIoTest, TruncatedFinalLineIsQuarantinedNotFatal) {
       1u);
 }
 
+
+TEST_F(CorpusIoTest, FailedWriteNeverLeavesATempFile) {
+  LogStore store;
+  ASSERT_TRUE(store.Append(Rec(100, "A", "one")).ok());
+  store.BuildIndex();
+  const std::string bad_path = "/nonexistent/dir/out.log";
+  ASSERT_FALSE(WriteCorpusFile(store, bad_path).ok());
+  EXPECT_FALSE(std::filesystem::exists(bad_path + ".tmp"));
+}
+
+TEST_F(CorpusIoTest, ChunkedReadMatchesSerialRead) {
+  LogStore store;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        store.Append(Rec(1000 + i, "S" + std::to_string(i % 7),
+                         "message " + std::to_string(i)))
+            .ok());
+  }
+  store.BuildIndex();
+  ASSERT_TRUE(WriteCorpusFile(store, path_.string()).ok());
+
+  DecodeOptions serial;
+  serial.num_chunks = 1;
+  auto serial_store = ReadCorpusFile(path_.string(), serial);
+  ASSERT_TRUE(serial_store.ok()) << serial_store.status();
+  for (int num_chunks : {2, 7, 16}) {
+    DecodeOptions chunked;
+    chunked.num_chunks = num_chunks;
+    auto chunked_store = ReadCorpusFile(path_.string(), chunked);
+    ASSERT_TRUE(chunked_store.ok()) << chunked_store.status();
+    ASSERT_EQ(chunked_store.value().size(), serial_store.value().size());
+    for (size_t i = 0; i < serial_store.value().size(); i += 13) {
+      EXPECT_EQ(LineCodec::Encode(chunked_store.value().GetRecord(i)),
+                LineCodec::Encode(serial_store.value().GetRecord(i)));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace logmine

@@ -166,5 +166,113 @@ TEST(LogStoreTest, BuildIndexIsIdempotent) {
   EXPECT_EQ(store.TimeOrder().size(), 1u);
 }
 
+
+TEST(LogStoreTest, AppendBatchMatchesPerRecordAppend) {
+  std::vector<LogRecord> records;
+  for (int i = 0; i < 40; ++i) {
+    records.push_back(Rec(1000 + i * 3, "src" + std::to_string(i % 4),
+                          i % 2 == 0 ? "user" + std::to_string(i % 3) : "",
+                          i % 3 == 0 ? "host" + std::to_string(i % 5) : ""));
+  }
+  LogStore one_by_one;
+  for (const LogRecord& record : records) {
+    ASSERT_TRUE(one_by_one.Append(record).ok());
+  }
+  LogStore batched;
+  ASSERT_TRUE(batched.AppendBatch(records).ok());
+  ASSERT_EQ(batched.size(), one_by_one.size());
+  // Same interned ids, columns and dictionaries — batch is a pure
+  // fast path, not a different ingest semantics.
+  EXPECT_EQ(batched.num_sources(), one_by_one.num_sources());
+  EXPECT_EQ(batched.num_hosts(), one_by_one.num_hosts());
+  EXPECT_EQ(batched.num_users(), one_by_one.num_users());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(batched.source_id(i), one_by_one.source_id(i));
+    EXPECT_EQ(batched.host_id(i), one_by_one.host_id(i));
+    EXPECT_EQ(batched.user_id(i), one_by_one.user_id(i));
+    EXPECT_EQ(batched.message(i), one_by_one.message(i));
+  }
+}
+
+TEST(LogStoreTest, AppendBatchStopsAtFirstInvalidRecord) {
+  std::vector<LogRecord> records = {Rec(1, "A"), Rec(2, ""), Rec(3, "C")};
+  LogStore store;
+  EXPECT_FALSE(store.AppendBatch(records).ok());
+  // Mirrors a loop of Append calls: the valid prefix stays.
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(LogStoreTest, FromColumnsRoundTripsAndValidates) {
+  LogStore original;
+  ASSERT_TRUE(original.Append(Rec(100, "A", "u1", "h1")).ok());
+  ASSERT_TRUE(original.Append(Rec(200, "B", "", "")).ok());
+
+  auto columns_of = [](const LogStore& store) {
+    LogStore::Columns columns;
+    for (size_t i = 0; i < store.size(); ++i) {
+      columns.client_ts.push_back(store.client_ts(i));
+      columns.server_ts.push_back(store.server_ts(i));
+      columns.severity.push_back(store.severity(i));
+      columns.source_ids.push_back(store.source_id(i));
+      columns.host_ids.push_back(store.host_id(i));
+      columns.user_ids.push_back(store.user_id(i));
+      columns.message_data += store.message(i);
+      columns.message_ends.push_back(columns.message_data.size());
+    }
+    for (size_t i = 0; i < store.num_sources(); ++i)
+      columns.source_names.emplace_back(
+          store.source_name(static_cast<uint32_t>(i)));
+    for (size_t i = 0; i < store.num_hosts(); ++i)
+      columns.host_names.emplace_back(
+          store.host_name(static_cast<uint32_t>(i)));
+    for (size_t i = 0; i < store.num_users(); ++i)
+      columns.user_names.emplace_back(
+          store.user_name(static_cast<uint32_t>(i)));
+    return columns;
+  };
+
+  auto rebuilt = LogStore::FromColumns(columns_of(original));
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  ASSERT_EQ(rebuilt.value().size(), 2u);
+  EXPECT_EQ(rebuilt.value().host_id(1), LogStore::kNoHost);
+  EXPECT_EQ(rebuilt.value().user_id(1), LogStore::kNoUser);
+  // The intern maps are rebuilt, not just the name vectors.
+  EXPECT_EQ(rebuilt.value().FindSource("B").value(), original.source_id(1));
+
+  // Ragged columns are rejected.
+  auto ragged = columns_of(original);
+  ragged.server_ts.pop_back();
+  EXPECT_FALSE(LogStore::FromColumns(std::move(ragged)).ok());
+
+  // Out-of-range ids are rejected.
+  auto bad_id = columns_of(original);
+  bad_id.source_ids[0] = 99;
+  EXPECT_FALSE(LogStore::FromColumns(std::move(bad_id)).ok());
+
+  // Duplicate dictionary names are rejected.
+  auto dup = columns_of(original);
+  dup.source_names.push_back(dup.source_names[0]);
+  EXPECT_FALSE(LogStore::FromColumns(std::move(dup)).ok());
+
+  // Message offsets that overrun the arena are rejected.
+  auto bad_arena = columns_of(original);
+  bad_arena.message_ends.back() += 1;
+  EXPECT_FALSE(LogStore::FromColumns(std::move(bad_arena)).ok());
+
+  // Non-monotone message offsets are rejected.
+  auto backwards = columns_of(original);
+  std::swap(backwards.message_ends.front(), backwards.message_ends.back());
+  EXPECT_FALSE(LogStore::FromColumns(std::move(backwards)).ok());
+}
+
+TEST(LogStoreTest, ReserveDoesNotChangeContents) {
+  LogStore store;
+  ASSERT_TRUE(store.Append(Rec(1, "A")).ok());
+  store.Reserve(1000);
+  EXPECT_EQ(store.size(), 1u);
+  ASSERT_TRUE(store.Append(Rec(2, "B")).ok());
+  EXPECT_EQ(store.size(), 2u);
+}
+
 }  // namespace
 }  // namespace logmine
